@@ -1,0 +1,25 @@
+// Shared output helpers for the figure/table reproduction benches.
+//
+// Every bench prints: a header naming the paper artifact it regenerates,
+// the workload parameters, and the rows/series the paper reports. The
+// EXPERIMENTS.md file records these outputs next to the paper's values.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace ccp::bench {
+
+inline void banner(const char* artifact, const char* description) {
+  std::printf("\n");
+  std::printf("==============================================================\n");
+  std::printf("%s\n", artifact);
+  std::printf("  %s\n", description);
+  std::printf("==============================================================\n");
+}
+
+inline void section(const char* title) {
+  std::printf("\n--- %s ---\n", title);
+}
+
+}  // namespace ccp::bench

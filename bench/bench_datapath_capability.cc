@@ -1,0 +1,74 @@
+// Extension bench: one agent, one algorithm implementation, two
+// datapaths — the §1 "write once, run everywhere" claim, and the cost of
+// limited datapath capability (§4/§5 discussion about which datapaths
+// can support which primitives).
+//
+//   full datapath       programs: fold + control language + urgent specs
+//   prototype datapath  the paper's §3 prototype: fixed EWMA reports once
+//                       per RTT, DirectControl only
+//
+// Window algorithms translate almost losslessly; BBR loses its in-
+// datapath pulse synchronization (the agent can only set one rate per
+// report) — exactly the fidelity/capability trade the paper discusses.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "sim/ccp_host.hpp"
+#include "sim/dumbbell.hpp"
+
+namespace {
+
+using namespace ccp;
+using namespace ccp::sim;
+
+struct RunOutput {
+  double tput_mbps = 0;
+  double median_rtt_ms = 0;
+  uint64_t timeouts = 0;
+};
+
+template <typename Host>
+RunOutput run(const std::string& alg) {
+  EventQueue q;
+  auto cfg = DumbbellConfig::make(50e6, Duration::from_millis(10), 1.0);
+  Dumbbell net(q, cfg);
+  Host host(q, CcpHostConfig{});
+  auto& flow = host.create_flow(datapath::FlowConfig{1460, 10 * 1460}, alg);
+  const TimePoint end = TimePoint::epoch() + Duration::from_secs(12);
+  host.start(end);
+  TcpSenderConfig scfg;
+  scfg.record_rtt_samples = true;
+  auto& snd = net.add_flow(scfg, &flow, TimePoint::epoch());
+  q.run_until(end);
+  return {snd.delivered_bytes() * 8.0 / 12 / 1e6,
+          snd.rtt_samples().quantile(0.5) / 1000.0, snd.stats().timeouts};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Extension: datapath capability",
+                "Identical algorithms on the full vs the §3 prototype datapath");
+  std::printf("workload: 50 Mbit/s, 10 ms RTT, 1 BDP buffer, 12 s per run\n\n");
+
+  std::printf("%-10s | %21s | %21s\n", "", "full datapath", "prototype datapath");
+  std::printf("%-10s | %10s %10s | %10s %10s\n", "algorithm", "Mbit/s", "medRTT",
+              "Mbit/s", "medRTT");
+  for (const char* alg : {"reno", "cubic", "dctcp", "vegas", "bbr", "timely", "pcc"}) {
+    const RunOutput full = run<SimCcpHost>(alg);
+    const RunOutput proto = run<SimPrototypeHost>(alg);
+    std::printf("%-10s | %10.1f %8.2fms | %10.1f %8.2fms\n", alg, full.tput_mbps,
+                full.median_rtt_ms, proto.tput_mbps, proto.median_rtt_ms);
+  }
+  std::printf(
+      "\nReading: window algorithms (reno, cubic, dctcp) translate losslessly\n"
+      "to DirectControl commands, and vegas falls back to computing its queue\n"
+      "estimate from the prototype's fixed EWMA fields. The algorithms that\n"
+      "*need* control programs are the ones that suffer: bbr loses its\n"
+      "in-datapath pulse pattern, and pcc's micro-experiments collapse\n"
+      "because measurement windows no longer align with rate changes —\n"
+      "precisely why §2.1 argues datapaths should execute control programs\n"
+      "rather than leave timing to the agent. (timely's thresholds are\n"
+      "datacenter-scale; it floors on this WAN profile on both datapaths.)\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Reproduces Figure 4: "Comparison of the reactivity of a CCP-based
+// NewReno implementation and the Linux kernel implementation."
+//
+// Paper setup: a 60-second NewReno flow starts at t=0; at t=20 s a second
+// flow of the same type joins. Both implementations should show the same
+// convergence dynamics: the first flow cedes roughly half the link within
+// a few seconds and the two flows share fairly thereafter.
+#include <cstdio>
+
+#include "algorithms/native/native_reno.hpp"
+#include "bench/bench_common.hpp"
+#include "sim/ccp_host.hpp"
+#include "sim/dumbbell.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace ccp;
+using namespace ccp::sim;
+
+constexpr double kRateBps = 1e9;
+constexpr double kDurationSecs = 60.0;
+constexpr double kSecondFlowStart = 20.0;
+const Duration kRtt = Duration::from_millis(10);
+
+struct RunOutput {
+  // Per-second goodput of each flow, Mbit/s.
+  std::vector<double> tput1, tput2;
+  double converge_secs = -1;  // time after t=20 s until within 25% of fair share
+  double jain_last20 = 0;
+};
+
+RunOutput run(bool use_ccp) {
+  EventQueue q;
+  auto cfg = DumbbellConfig::make(kRateBps, kRtt, 1.0);
+  Dumbbell net(q, cfg);
+  const TimePoint end = TimePoint::epoch() + Duration::from_secs_f(kDurationSecs);
+
+  algorithms::native::NativeReno native1(1460, 10 * 1460);
+  algorithms::native::NativeReno native2(1460, 10 * 1460);
+  std::unique_ptr<SimCcpHost> host;
+  datapath::CcModule* cc1 = &native1;
+  datapath::CcModule* cc2 = &native2;
+  if (use_ccp) {
+    host = std::make_unique<SimCcpHost>(q, CcpHostConfig{});
+    cc1 = &host->create_flow(datapath::FlowConfig{1460, 10 * 1460}, "reno");
+    cc2 = &host->create_flow(datapath::FlowConfig{1460, 10 * 1460}, "reno");
+    host->start(end);
+  }
+
+  auto& s1 = net.add_flow(TcpSenderConfig{}, cc1, TimePoint::epoch());
+  auto& s2 = net.add_flow(TcpSenderConfig{}, cc2,
+                          TimePoint::epoch() + Duration::from_secs_f(kSecondFlowStart));
+
+  RunOutput out;
+  uint64_t last1 = 0, last2 = 0;
+  for (int sec = 1; sec <= static_cast<int>(kDurationSecs); ++sec) {
+    q.run_until(TimePoint::epoch() + Duration::from_secs(sec));
+    out.tput1.push_back((s1.delivered_bytes() - last1) * 8.0 / 1e6);
+    out.tput2.push_back((s2.delivered_bytes() - last2) * 8.0 / 1e6);
+    last1 = s1.delivered_bytes();
+    last2 = s2.delivered_bytes();
+  }
+
+  // Convergence time: first second after the join where flow 2 reaches
+  // 75% of its fair share (half the link).
+  const double fair = kRateBps / 2e6;
+  for (size_t i = static_cast<size_t>(kSecondFlowStart); i < out.tput2.size(); ++i) {
+    if (out.tput2[i] >= 0.75 * fair) {
+      out.converge_secs = static_cast<double>(i + 1) - kSecondFlowStart;
+      break;
+    }
+  }
+  // Jain fairness over the final 20 seconds.
+  double sum1 = 0, sum2 = 0;
+  for (size_t i = 40; i < out.tput1.size(); ++i) {
+    sum1 += out.tput1[i];
+    sum2 += out.tput2[i];
+  }
+  out.jain_last20 =
+      (sum1 + sum2) * (sum1 + sum2) / (2.0 * (sum1 * sum1 + sum2 * sum2));
+  return out;
+}
+
+void print_series(const char* name, const RunOutput& out) {
+  std::printf("\nper-second goodput, %s (t flow1 flow2, Mbit/s; 2 s grid):\n", name);
+  for (size_t i = 1; i < out.tput1.size(); i += 2) {
+    std::printf("  %4zu %8.1f %8.1f\n", i + 1, out.tput1[i], out.tput2[i]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 4 (reproduction)",
+                "NewReno reactivity: competing flow joins at t=20 s");
+  std::printf("workload: 1 Gbit/s bottleneck, 10 ms RTT, 1 BDP buffer, 60 s;\n"
+              "flow 2 starts at t=20 s\n");
+
+  const RunOutput native = run(/*use_ccp=*/false);
+  const RunOutput ccp = run(/*use_ccp=*/true);
+
+  bench::section("summary (paper: 'Both implementations exhibit similar "
+                 "convergence dynamics')");
+  std::printf("%-22s %22s %20s\n", "implementation", "convergence time (s)",
+              "Jain index (40-60 s)");
+  std::printf("%-22s %22.0f %20.3f\n", "native newreno (Linux)",
+              native.converge_secs, native.jain_last20);
+  std::printf("%-22s %22.0f %20.3f\n", "CCP newreno", ccp.converge_secs,
+              ccp.jain_last20);
+
+  print_series("native newreno (Fig 4b)", native);
+  print_series("CCP newreno (Fig 4a)", ccp);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Figure 5: "Comparison of achieved throughput with NIC
+// offloads (TSO, GRO, and GSO) enabled and disabled, respectively. Each
+// value is the average across four runs."
+//
+// Substitution (see DESIGN.md): a calibrated CPU/offload cost model
+// replaces the 10 Gbit/s testbed. The three mechanisms that give the
+// figure its shape are modeled explicitly; per-run measurement noise is
+// added and four runs are averaged, as in the paper.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "offload/model.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace ccp;
+  using namespace ccp::offload;
+  bench::banner("Figure 5 (reproduction)",
+                "Throughput with NIC offloads enabled/disabled, kernel vs CCP");
+  std::printf("model: 10 Gbit/s link, 3 GHz stack core, MTU 1448, 100 us RTT;\n"
+              "4 runs averaged with 1%% measurement noise\n");
+
+  OffloadModel model;
+  Rng rng(2017);
+
+  struct Case {
+    const char* name;
+    OffloadConfig cfg;
+  };
+  const Case cases[] = {
+      {"offloads enabled (TSO+GRO)", {true, true}},
+      {"segmentation off (GRO only)", {false, true}},
+      {"all offloads disabled", {false, false}},
+  };
+
+  bench::section("throughput (Gbit/s), average of 4 runs");
+  std::printf("%-30s %10s %10s %12s\n", "configuration", "kernel", "ccp",
+              "ccp/kernel");
+  for (const auto& c : cases) {
+    double kernel_sum = 0, ccp_sum = 0;
+    for (int run = 0; run < 4; ++run) {
+      const double noise_k = rng.uniform(0.99, 1.01);
+      const double noise_c = rng.uniform(0.99, 1.01);
+      kernel_sum += model.evaluate(c.cfg, CcArch::InDatapath).throughput_bps * noise_k;
+      ccp_sum += model.evaluate(c.cfg, CcArch::Ccp).throughput_bps * noise_c;
+    }
+    const double kernel = kernel_sum / 4 / 1e9;
+    const double ccp = ccp_sum / 4 / 1e9;
+    std::printf("%-30s %10.2f %10.2f %11.3fx\n", c.name, kernel, ccp, ccp / kernel);
+  }
+
+  bench::section("mechanism detail (single run, no noise)");
+  std::printf("%-30s %-8s %14s %14s %12s %10s\n", "configuration", "arch",
+              "snd-cpu-limit", "rcv-cpu-limit", "train(pkts)", "bottleneck");
+  for (const auto& c : cases) {
+    for (auto arch : {CcArch::InDatapath, CcArch::Ccp}) {
+      const auto r = model.evaluate(c.cfg, arch);
+      std::printf("%-30s %-8s %13.2fG %13.2fG %12.1f %10s\n", c.name,
+                  arch == CcArch::Ccp ? "ccp" : "kernel",
+                  r.sender_cpu_limit_bps / 1e9, r.receiver_cpu_limit_bps / 1e9,
+                  r.sender_train_packets, r.bottleneck.c_str());
+    }
+  }
+
+  bench::section("paper comparison");
+  std::printf(
+      "Paper shape: offloads on -> both saturate the NIC (~9.4); TSO off ->\n"
+      "CCP slightly ahead of the kernel (larger bursts aggregate better under\n"
+      "GRO and halve the ACK rate); all off -> comparable. The absolute\n"
+      "numbers depend on the modeled CPU, the ordering and ratios are the\n"
+      "reproduced result.\n");
+  return 0;
+}

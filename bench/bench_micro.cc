@@ -1,0 +1,107 @@
+// Google-benchmark microbenchmarks for the hot paths of the CCP stack:
+// the fold VM (runs per ACK in the datapath), program compilation (runs
+// per Install), wire encode/decode (runs per report/frame), and the
+// shared-memory ring (runs per frame). These bound the per-packet and
+// per-report costs the §2.3 argument rests on.
+#include <benchmark/benchmark.h>
+
+#include "ipc/shm_ring.hpp"
+#include "ipc/transport.hpp"
+#include "ipc/wire.hpp"
+#include "lang/compiler.hpp"
+#include "lang/vm.hpp"
+
+namespace {
+
+using namespace ccp;
+
+constexpr const char* kTypicalProgram = R"(
+fold {
+  volatile acked := acked + Pkt.bytes_acked init 0;
+  rtt := ewma(rtt, Pkt.rtt, 0.125) init 0;
+  minrtt := if(Pkt.rtt > 0, min(minrtt, Pkt.rtt), minrtt) init 0x7fffffff;
+  volatile loss := loss + Pkt.lost init 0 urgent;
+  rcv := Pkt.rcv_rate init 0;
+}
+control { Cwnd($cwnd); WaitRtts(1.0); Report(); }
+)";
+
+void BM_FoldVmPerAck(benchmark::State& state) {
+  auto compiled = lang::compile_text(kTypicalProgram);
+  lang::FoldMachine fm;
+  std::vector<double> vars(compiled.num_vars(), 14600.0);
+  fm.install(&compiled, vars);
+  lang::PktInfo pkt;
+  pkt.rtt_us = 10000;
+  pkt.bytes_acked = 1460;
+  pkt.rcv_rate_bps = 1.25e9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fm.on_packet(pkt));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FoldVmPerAck);
+
+void BM_ProgramCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lang::compile_text(kTypicalProgram));
+  }
+}
+BENCHMARK(BM_ProgramCompile);
+
+void BM_EncodeMeasurement(benchmark::State& state) {
+  ipc::MeasurementMsg msg;
+  msg.flow_id = 1;
+  msg.report_seq = 123;
+  msg.num_acks_folded = 100;
+  msg.fields = {1.0, 2.0, 3.0, 4.0, 5.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ipc::encode_frame(ipc::Message(msg)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeMeasurement);
+
+void BM_DecodeMeasurement(benchmark::State& state) {
+  ipc::MeasurementMsg msg;
+  msg.flow_id = 1;
+  msg.fields = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto frame = ipc::encode_frame(ipc::Message(msg));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ipc::decode_frame(frame));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodeMeasurement);
+
+void BM_ShmRingRoundTrip(benchmark::State& state) {
+  std::vector<uint8_t> mem(ipc::ShmRing::mapping_size(1 << 16));
+  auto ring = ipc::ShmRing::create_in(mem.data(), 1 << 16);
+  std::vector<uint8_t> frame(96, 0x42);
+  for (auto _ : state) {
+    ring.push(frame);
+    benchmark::DoNotOptimize(ring.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShmRingRoundTrip);
+
+void BM_InstallRoundTrip(benchmark::State& state) {
+  // Full Install path: encode the message, decode it, compile the text.
+  ipc::InstallMsg msg;
+  msg.flow_id = 1;
+  msg.program_text = kTypicalProgram;
+  msg.var_names = {"cwnd"};
+  msg.var_values = {14600.0};
+  for (auto _ : state) {
+    auto frame = ipc::encode_frame(ipc::Message(msg));
+    auto decoded = ipc::decode_frame(frame);
+    const auto& install = std::get<ipc::InstallMsg>(decoded[0]);
+    benchmark::DoNotOptimize(lang::compile_text(install.program_text));
+  }
+}
+BENCHMARK(BM_InstallRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// A tour of the datapath program language (§2.1, Table 2).
+//
+// Shows the same program written three ways — text syntax, fluent C++
+// builder, and the compiled bytecode — and runs the paper's BBR pulse
+// program against a live datapath flow to show the control primitives
+// sequencing *inside* the datapath, with no agent round trips.
+#include <cstdio>
+
+#include "datapath/flow.hpp"
+#include "lang/builder.hpp"
+#include "lang/compiler.hpp"
+#include "lang/printer.hpp"
+
+using namespace ccp;
+using namespace ccp::lang;
+
+int main() {
+  // ---- 1. the paper's §2.1 BBR pulse program, text form ----
+  const char* text = R"(
+fold {
+  volatile rate := max(rate, Pkt.rcv_rate) init 0;
+}
+control {
+  Rate(1.25 * $r); WaitRtts(1.0); Report();
+  Rate(0.75 * $r); WaitRtts(1.0); Report();
+  Rate($r);        WaitRtts(6.0); Report();
+}
+)";
+  std::printf("=== text form ===\n%s\n", text);
+
+  // ---- 2. the same program via the fluent builder ----
+  Program built = ProgramBuilder()
+                      .def("rate", Expr::c(0),
+                           max(f("rate"), pkt(PktField::RcvRateBps)),
+                           ProgramBuilder::DefOpts{/*is_volatile=*/true, false})
+                      .rate(1.25 * v("r")).wait_rtts(1.0).report()
+                      .rate(0.75 * v("r")).wait_rtts(1.0).report()
+                      .rate(v("r")).wait_rtts(6.0).report()
+                      .build();
+  std::printf("=== builder form (printed back) ===\n%s\n",
+              print_program(built).c_str());
+
+  // ---- 3. what the datapath actually executes ----
+  CompiledProgram compiled = compile(built);
+  std::printf("=== compiled ===\nfold block: %zu instructions, %zu registers\n"
+              "control: %zu steps, %zu install-time variable(s)\n\n",
+              compiled.fold_block.code.size(), compiled.num_folds(),
+              compiled.control_ops.size(), compiled.num_vars());
+
+  // ---- 4. run it on a real datapath flow and watch the pulses ----
+  std::printf("=== execution trace (datapath alone, RTT = 10 ms) ===\n");
+  int reports = 0;
+  datapath::CcpFlow flow(
+      1, datapath::FlowConfig{},
+      [&reports](ipc::Message msg, bool) {
+        if (std::holds_alternative<ipc::MeasurementMsg>(msg)) {
+          const auto& m = std::get<ipc::MeasurementMsg>(msg);
+          std::printf("    report #%d: max delivery rate this phase = %.1f Mbit/s\n",
+                      ++reports, m.fields[0] * 8 / 1e6);
+        }
+      });
+
+  ipc::InstallMsg install;
+  install.flow_id = 1;
+  install.program_text = text;
+  install.var_names = {"r"};
+  install.var_values = {12.5e6 / 8 * 8};  // 12.5 MB/s = 100 Mbit/s
+  flow.install(install, TimePoint::epoch());
+
+  // Drive ACKs for ~90 ms (one full 8-RTT pulse cycle at 10 ms RTT).
+  double last_rate = -1;
+  for (int ms = 1; ms <= 90; ++ms) {
+    datapath::AckEvent ack;
+    ack.now = TimePoint::epoch() + Duration::from_millis(ms);
+    ack.bytes_acked = 12500;  // ~100 Mbit/s worth per ms
+    ack.packets_acked = 9;
+    ack.rtt_sample = Duration::from_millis(10);
+    flow.on_ack(ack);
+    if (flow.pacing_rate_bps() != last_rate) {
+      last_rate = flow.pacing_rate_bps();
+      std::printf("t=%2d ms: datapath pacing rate -> %6.1f Mbit/s\n", ms,
+                  last_rate * 8 / 1e6);
+    }
+  }
+  std::printf("\nThe 1.25x / 0.75x / 1.0x pulses and the report boundaries all\n"
+              "happened inside the datapath — the agent was not involved after\n"
+              "Install(). That synchronization is why control programs exist\n"
+              "(§2.1): per-RTT measurement windows line up with rate changes.\n");
+  return 0;
+}

@@ -1,0 +1,347 @@
+#include "agent/agent.hpp"
+
+#include <utility>
+
+#include "lang/error.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "lang/sema.hpp"
+#include "util/logging.hpp"
+
+namespace ccp::agent {
+
+namespace {
+
+/// Applies host policy by rewriting the program AST: every Rate(x)
+/// becomes Rate(min(x, cap)) and every Cwnd(x) becomes
+/// Cwnd(min(max(x, lo), hi)). The clamps travel *with* the program into
+/// the datapath, so policy holds even between agent round trips.
+void apply_policy(lang::Program& prog, const Policy& policy) {
+  for (auto& instr : prog.control) {
+    if (instr.op == lang::ControlInstr::Op::SetRate && policy.max_rate_bps) {
+      instr.arg = prog.arena.add_binary(lang::BinaryOp::Min, instr.arg,
+                                        prog.arena.add_const(*policy.max_rate_bps));
+    }
+    if (instr.op == lang::ControlInstr::Op::SetCwnd) {
+      if (policy.min_cwnd_bytes) {
+        instr.arg = prog.arena.add_binary(lang::BinaryOp::Max, instr.arg,
+                                          prog.arena.add_const(*policy.min_cwnd_bytes));
+      }
+      if (policy.max_cwnd_bytes) {
+        instr.arg = prog.arena.add_binary(lang::BinaryOp::Min, instr.arg,
+                                          prog.arena.add_const(*policy.max_cwnd_bytes));
+      }
+    }
+  }
+}
+
+double clamp_opt(double v, const std::optional<double>& lo,
+                 const std::optional<double>& hi) {
+  if (lo && v < *lo) v = *lo;
+  if (hi && v > *hi) v = *hi;
+  return v;
+}
+
+}  // namespace
+
+double Measurement::get(std::string_view name, double fallback) const {
+  if (names_ == nullptr) return fallback;
+  for (size_t i = 0; i < names_->size() && i < msg_->fields.size(); ++i) {
+    if ((*names_)[i] == name) return msg_->fields[i];
+  }
+  return fallback;
+}
+
+bool Measurement::has(std::string_view name) const {
+  if (names_ == nullptr) return false;
+  for (size_t i = 0; i < names_->size() && i < msg_->fields.size(); ++i) {
+    if ((*names_)[i] == name) return true;
+  }
+  return false;
+}
+
+std::vector<PktSample> Measurement::samples() const {
+  std::vector<PktSample> out;
+  if (!msg_->is_vector) return out;
+  constexpr size_t kFields = 6;
+  const size_t n = msg_->fields.size() / kFields;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* f = msg_->fields.data() + i * kFields;
+    out.push_back(PktSample{f[0], f[1], f[2], f[3], f[4], f[5]});
+  }
+  return out;
+}
+
+/// Per-flow bookkeeping in the agent: the algorithm instance, the field
+/// names of the installed program (to decode positional reports), and the
+/// FlowControl implementation handed to the algorithm.
+class CcpAgent::FlowEntry final : public FlowControl {
+ public:
+  FlowEntry(CcpAgent* agent, FlowInfo info, std::unique_ptr<Algorithm> alg,
+            bool supports_programs)
+      : agent_(agent),
+        info_(info),
+        alg_(std::move(alg)),
+        supports_programs_(supports_programs) {}
+
+  Algorithm& alg() { return *alg_; }
+  const std::vector<std::string>& field_names() const { return field_names_; }
+
+  // --- FlowControl ---
+
+  const FlowInfo& info() const override { return info_; }
+
+  void install(const lang::Program& program,
+               std::span<const std::pair<std::string, double>> vars) override {
+    // Copy so policy rewriting does not mutate the caller's AST.
+    lang::Program rewritten = program;
+    do_install(std::move(rewritten), vars);
+  }
+
+  void install_text(std::string program_text,
+                    std::span<const std::pair<std::string, double>> vars) override {
+    do_install(lang::parse_program(program_text), vars);
+  }
+
+  void update_fields(std::span<const std::pair<std::string, double>> vars) override {
+    if (!supports_programs_) {
+      // Refresh the remembered bindings, then issue direct commands.
+      for (const auto& [name, value] : vars) {
+        for (size_t i = 0; i < installed_var_names_.size(); ++i) {
+          if (installed_var_names_[i] == name) {
+            last_var_values_[i] = value;
+            break;
+          }
+        }
+      }
+      translate_to_direct(vars);
+      return;
+    }
+    ipc::UpdateFieldsMsg msg;
+    msg.flow_id = info_.id;
+    msg.var_values.assign(installed_var_names_.size(), 0.0);
+    for (size_t i = 0; i < installed_var_names_.size(); ++i) {
+      bool found = false;
+      for (const auto& [name, value] : vars) {
+        if (name == installed_var_names_[i]) {
+          msg.var_values[i] = value;
+          found = true;
+          break;
+        }
+      }
+      if (!found) msg.var_values[i] = last_var_values_[i];
+    }
+    last_var_values_ = msg.var_values;
+    agent_->send(std::move(msg));
+  }
+
+  void set_cwnd(double bytes) override {
+    ipc::DirectControlMsg msg;
+    msg.flow_id = info_.id;
+    msg.cwnd_bytes = clamp_opt(bytes, agent_->config_.policy.min_cwnd_bytes,
+                               agent_->config_.policy.max_cwnd_bytes);
+    agent_->send(msg);
+  }
+
+  void set_rate(double bps) override {
+    ipc::DirectControlMsg msg;
+    msg.flow_id = info_.id;
+    msg.rate_bps = clamp_opt(bps, std::nullopt, agent_->config_.policy.max_rate_bps);
+    agent_->send(msg);
+  }
+
+  void set_vector_mode(bool enabled) override {
+    vector_mode_requested_ = enabled;
+  }
+  bool vector_mode_requested() const { return vector_mode_requested_; }
+
+ private:
+  /// Capability translation for program-less datapaths (§2.1: "it is
+  /// also possible to support programs purely by issuing commands from
+  /// the CCP each RTT"): by convention, algorithm programs bind their
+  /// window as $cwnd (or $cwnd_cap) and their rate as $rate; those
+  /// bindings become DirectControl commands. Everything else the program
+  /// would have computed is lost — the fidelity cost of a limited
+  /// datapath, quantified by bench_datapath_capability.
+  void translate_to_direct(std::span<const std::pair<std::string, double>> vars) {
+    ipc::DirectControlMsg msg;
+    msg.flow_id = info_.id;
+    for (const auto& [name, value] : vars) {
+      if (name == "cwnd") {
+        msg.cwnd_bytes = clamp_opt(value, agent_->config_.policy.min_cwnd_bytes,
+                                   agent_->config_.policy.max_cwnd_bytes);
+      } else if (name == "cwnd_cap" && !msg.cwnd_bytes.has_value()) {
+        msg.cwnd_bytes = clamp_opt(value, agent_->config_.policy.min_cwnd_bytes,
+                                   agent_->config_.policy.max_cwnd_bytes);
+      } else if (name == "rate") {
+        msg.rate_bps =
+            clamp_opt(value, std::nullopt, agent_->config_.policy.max_rate_bps);
+      }
+    }
+    if (msg.cwnd_bytes.has_value() || msg.rate_bps.has_value()) {
+      agent_->send(msg);
+    }
+  }
+
+  void do_install(lang::Program prog,
+                  std::span<const std::pair<std::string, double>> vars) {
+    if (!supports_programs_) {
+      // Limited datapath: fixed report layout, direct control only.
+      field_names_ = ipc::prototype_field_names();
+      installed_var_names_.clear();
+      for (const auto& [name, value] : vars) {
+        installed_var_names_.push_back(name);
+      }
+      last_var_values_.clear();
+      for (const auto& [name, value] : vars) last_var_values_.push_back(value);
+      translate_to_direct(vars);
+      return;
+    }
+    apply_policy(prog, agent_->config_.policy);
+    // Reject bad programs here, before they ever reach the datapath.
+    lang::check_or_throw(prog);
+
+    ipc::InstallMsg msg;
+    msg.flow_id = info_.id;
+    msg.program_text = lang::print_program(prog);
+    msg.vector_mode = vector_mode_requested_;
+    for (const auto& [name, value] : vars) {
+      msg.var_names.push_back(name);
+      msg.var_values.push_back(value);
+    }
+
+    // Remember layout for decoding subsequent reports. Crucially,
+    // installed_var_names_ must follow the *program's* variable order
+    // (prog.vars), because UpdateFieldsMsg is positional in that order —
+    // not in whatever order the algorithm happened to list bindings.
+    field_names_.clear();
+    for (const auto& reg : prog.folds) field_names_.push_back(reg.name);
+    installed_var_names_ = prog.vars;
+    last_var_values_.assign(installed_var_names_.size(), 0.0);
+    for (size_t i = 0; i < installed_var_names_.size(); ++i) {
+      for (const auto& [name, value] : vars) {
+        if (name == installed_var_names_[i]) {
+          last_var_values_[i] = value;
+          break;
+        }
+      }
+    }
+
+    ++agent_->stats_.installs_sent;
+    agent_->send(std::move(msg));
+  }
+
+  CcpAgent* agent_;
+  FlowInfo info_;
+  std::unique_ptr<Algorithm> alg_;
+  bool supports_programs_;
+  std::vector<std::string> field_names_;
+  std::vector<std::string> installed_var_names_;
+  std::vector<double> last_var_values_;
+  bool vector_mode_requested_ = false;
+};
+
+CcpAgent::CcpAgent(AgentConfig config, FrameTx tx)
+    : config_(std::move(config)), tx_(std::move(tx)) {}
+
+CcpAgent::~CcpAgent() = default;
+
+void CcpAgent::register_algorithm(const std::string& name, AlgorithmFactory factory) {
+  registry_[name] = std::move(factory);
+}
+
+Algorithm* CcpAgent::algorithm(ipc::FlowId id) {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? nullptr : &it->second->alg();
+}
+
+void CcpAgent::send(ipc::Message msg) { tx_(ipc::encode_frame(msg)); }
+
+void CcpAgent::handle_frame(std::span<const uint8_t> frame) {
+  std::vector<ipc::Message> msgs;
+  try {
+    msgs = ipc::decode_frame(frame);
+  } catch (const ipc::WireError& e) {
+    ++stats_.decode_errors;
+    CCP_WARN("agent: dropping malformed frame: %s", e.what());
+    return;
+  }
+  for (const auto& msg : msgs) {
+    std::visit(
+        [this](const auto& m) {
+          using T = std::decay_t<decltype(m)>;
+          if constexpr (std::is_same_v<T, ipc::CreateMsg>) on_create(m);
+          else if constexpr (std::is_same_v<T, ipc::MeasurementMsg>) on_measurement(m);
+          else if constexpr (std::is_same_v<T, ipc::UrgentMsg>) on_urgent(m);
+          else if constexpr (std::is_same_v<T, ipc::FlowCloseMsg>) on_close(m);
+          else {
+            CCP_WARN("agent: unexpected message type from datapath");
+          }
+        },
+        msg);
+  }
+}
+
+void CcpAgent::on_create(const ipc::CreateMsg& msg) {
+  const std::string& alg_name =
+      msg.alg_hint.empty() ? config_.default_algorithm : msg.alg_hint;
+  auto factory_it = registry_.find(alg_name);
+  if (factory_it == registry_.end()) {
+    ++stats_.unknown_algorithm;
+    CCP_WARN("agent: no algorithm '%s' registered for flow %u; flow will run the "
+             "datapath default program",
+             alg_name.c_str(), msg.flow_id);
+    return;
+  }
+  FlowInfo info;
+  info.id = msg.flow_id;
+  info.mss = msg.mss;
+  info.init_cwnd_bytes = msg.init_cwnd_bytes;
+
+  auto entry = std::make_unique<FlowEntry>(this, info, factory_it->second(info),
+                                           msg.supports_programs);
+  FlowEntry& ref = *entry;
+  flows_[msg.flow_id] = std::move(entry);
+  ++stats_.flows_created;
+  try {
+    ref.alg().init(ref);
+  } catch (const lang::ProgramError& e) {
+    CCP_ERROR("agent: algorithm '%s' failed to initialize flow %u: %s",
+              alg_name.c_str(), msg.flow_id, e.what());
+  }
+}
+
+void CcpAgent::on_measurement(const ipc::MeasurementMsg& msg) {
+  auto it = flows_.find(msg.flow_id);
+  if (it == flows_.end()) {
+    ++stats_.unknown_flow_msgs;
+    return;
+  }
+  ++stats_.measurements;
+  FlowEntry& entry = *it->second;
+  Measurement m(&entry.field_names(), &msg);
+  entry.alg().on_measurement(entry, m);
+}
+
+void CcpAgent::on_urgent(const ipc::UrgentMsg& msg) {
+  auto it = flows_.find(msg.flow_id);
+  if (it == flows_.end()) {
+    ++stats_.unknown_flow_msgs;
+    return;
+  }
+  ++stats_.urgents;
+  FlowEntry& entry = *it->second;
+  // Urgent snapshots share the fold layout with measurements.
+  ipc::MeasurementMsg as_measurement;
+  as_measurement.flow_id = msg.flow_id;
+  as_measurement.fields = msg.fields;
+  Measurement m(&entry.field_names(), &as_measurement);
+  entry.alg().on_urgent(entry, msg.kind, m);
+}
+
+void CcpAgent::on_close(const ipc::FlowCloseMsg& msg) {
+  if (flows_.erase(msg.flow_id) > 0) ++stats_.flows_closed;
+}
+
+}  // namespace ccp::agent

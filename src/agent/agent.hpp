@@ -1,0 +1,82 @@
+// The CCP agent: the user-space "glue" between congestion control
+// algorithms and datapaths (§2). It demultiplexes datapath messages to
+// per-flow algorithm instances, ships Install/UpdateFields/DirectControl
+// commands back, and imposes host policy (per-connection rate/cwnd caps)
+// on every decision an algorithm makes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "agent/algorithm.hpp"
+#include "ipc/wire.hpp"
+
+namespace ccp::agent {
+
+/// Host policy applied to all algorithm decisions (§2: "imposes policies
+/// on the decisions of the congestion control algorithms, e.g.,
+/// per-connection maximum transmission rates").
+struct Policy {
+  std::optional<double> max_rate_bps;
+  std::optional<double> max_cwnd_bytes;
+  std::optional<double> min_cwnd_bytes;
+};
+
+struct AgentConfig {
+  std::string default_algorithm = "reno";
+  Policy policy;
+};
+
+struct AgentStats {
+  uint64_t flows_created = 0;
+  uint64_t flows_closed = 0;
+  uint64_t measurements = 0;
+  uint64_t urgents = 0;
+  uint64_t installs_sent = 0;
+  uint64_t decode_errors = 0;
+  uint64_t unknown_flow_msgs = 0;
+  uint64_t unknown_algorithm = 0;
+};
+
+class CcpAgent {
+ public:
+  using FrameTx = std::function<void(std::vector<uint8_t>)>;
+
+  CcpAgent(AgentConfig config, FrameTx tx);
+  ~CcpAgent();
+
+  /// Registers an algorithm under `name`. Flows whose Create carries that
+  /// name as alg_hint (or the configured default) use this factory.
+  void register_algorithm(const std::string& name, AlgorithmFactory factory);
+
+  /// Feeds one frame from the datapath. Malformed frames are dropped.
+  void handle_frame(std::span<const uint8_t> frame);
+
+  const AgentStats& stats() const { return stats_; }
+  size_t num_flows() const { return flows_.size(); }
+
+  /// Algorithm instance for a flow (tests/introspection); null if absent.
+  Algorithm* algorithm(ipc::FlowId id);
+
+ private:
+  class FlowEntry;
+
+  void on_create(const ipc::CreateMsg& msg);
+  void on_measurement(const ipc::MeasurementMsg& msg);
+  void on_urgent(const ipc::UrgentMsg& msg);
+  void on_close(const ipc::FlowCloseMsg& msg);
+  void send(ipc::Message msg);
+
+  AgentConfig config_;
+  FrameTx tx_;
+  std::map<std::string, AlgorithmFactory> registry_;
+  std::map<ipc::FlowId, std::unique_ptr<FlowEntry>> flows_;
+  AgentStats stats_;
+
+  friend class FlowEntry;
+};
+
+}  // namespace ccp::agent

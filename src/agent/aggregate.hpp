@@ -1,0 +1,61 @@
+// Aggregate congestion control: one controller for a *group* of flows
+// sharing a bottleneck.
+//
+// §5 of the paper: "CCP makes it possible to implement congestion
+// control outside the sending hosts, for example to manage congestion
+// for groups of flows that share common bottlenecks. Such offloads could
+// allow efficient use of shared resources." §4 relates this to the
+// Congestion Manager (CM) — but unlike CM, the controller here lives in
+// the agent, off the datapath, and uses the ordinary CCP per-flow API:
+// each member flow runs a normal window program; the group divides one
+// aggregate AIMD window among members by weight.
+//
+// The observable consequence (tested and benched): N flows in one group
+// compete like ONE flow against outside traffic, instead of taking N
+// shares — CM's ensemble-sharing behavior, recreated in ~150 lines of
+// user-space code on top of the unchanged datapath API.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "agent/algorithm.hpp"
+
+namespace ccp::agent {
+
+struct AggregateConfig {
+  double init_cwnd_bytes = 10 * 1460.0;
+  double min_cwnd_bytes = 4 * 1460.0;  // the group floor (>= 2 MSS per member)
+  double mss = 1460.0;
+};
+
+/// Shared state for one group of flows. Create one per bottleneck/group,
+/// register `member_factory()` with the agent under a name, and give
+/// every member flow that algorithm name.
+class AggregateGroup {
+ public:
+  explicit AggregateGroup(AggregateConfig config = {});
+  ~AggregateGroup();
+
+  AggregateGroup(const AggregateGroup&) = delete;
+  AggregateGroup& operator=(const AggregateGroup&) = delete;
+
+  /// Factory producing member algorithms bound to this group's shared
+  /// state (held by shared_ptr, so the group handle and the agent's
+  /// flows may be destroyed in any order).
+  AlgorithmFactory member_factory(double weight = 1.0);
+
+  double aggregate_cwnd_bytes() const;
+  size_t num_members() const;
+  uint64_t loss_episodes() const;
+
+ private:
+  class Member;
+  struct State;
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ccp::agent

@@ -1,0 +1,129 @@
+// The congestion control algorithm API (Table 3 of the paper):
+//
+//   Init(seq, flow)    -> Algorithm::init()
+//   OnMeasurement(m)   -> Algorithm::on_measurement()
+//   OnUrgent(type)     -> Algorithm::on_urgent()
+//   Install(p)         -> FlowControl::install() / install_text()
+//
+// Algorithms run in the agent (user space), never on the datapath fast
+// path. They receive batched measurements once or a few times per RTT and
+// program the datapath with control programs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ipc/message.hpp"
+#include "lang/ast.hpp"
+
+namespace ccp::agent {
+
+/// Static facts about a flow, delivered at Init time.
+struct FlowInfo {
+  ipc::FlowId id = 0;
+  uint32_t mss = 1500;
+  uint64_t init_cwnd_bytes = 0;
+};
+
+/// One per-ACK sample from a vector-mode report (§2.4, first approach).
+struct PktSample {
+  double rtt_us = 0;
+  double bytes_acked = 0;
+  double lost = 0;
+  double ecn = 0;
+  double snd_rate_bps = 0;
+  double rcv_rate_bps = 0;
+};
+
+/// A batched measurement as seen by the algorithm: fold registers by
+/// name, or a vector of per-ACK samples, depending on the installed
+/// program's batching mode.
+class Measurement {
+ public:
+  Measurement(const std::vector<std::string>* field_names,
+              const ipc::MeasurementMsg* msg)
+      : names_(field_names), msg_(msg) {}
+
+  uint64_t report_seq() const { return msg_->report_seq; }
+  uint32_t num_acks() const { return msg_->num_acks_folded; }
+  bool is_vector() const { return msg_->is_vector; }
+
+  /// Fold register by name; `fallback` if absent (e.g. after reinstall).
+  double get(std::string_view name, double fallback = 0.0) const;
+  bool has(std::string_view name) const;
+
+  /// Raw fields, positionally (fold order / flattened samples).
+  const std::vector<double>& raw() const { return msg_->fields; }
+
+  /// Vector-mode access; empty unless is_vector().
+  std::vector<PktSample> samples() const;
+
+ private:
+  const std::vector<std::string>* names_;
+  const ipc::MeasurementMsg* msg_;
+};
+
+/// Handle an algorithm uses to program the datapath for one flow.
+/// Implemented by the agent; all calls route through the policy layer.
+class FlowControl {
+ public:
+  virtual ~FlowControl() = default;
+
+  virtual const FlowInfo& info() const = 0;
+
+  /// Installs a program built with lang::ProgramBuilder (or hand-built
+  /// AST). Variables are bound by name.
+  virtual void install(const lang::Program& program,
+                       std::span<const std::pair<std::string, double>> vars) = 0;
+
+  /// Installs program text directly.
+  virtual void install_text(std::string program_text,
+                            std::span<const std::pair<std::string, double>> vars) = 0;
+
+  /// Rebinds the installed program's variables (cheap, keeps fold state).
+  virtual void update_fields(std::span<const std::pair<std::string, double>> vars) = 0;
+
+  /// One-shot overrides (Figure 1's CWND(c)/RATE(r) arrows).
+  virtual void set_cwnd(double bytes) = 0;
+  virtual void set_rate(double bytes_per_sec) = 0;
+
+  /// Ask the datapath for vector-of-measurements reports (§2.4).
+  virtual void set_vector_mode(bool enabled) = 0;
+};
+
+/// Declarative capability description, used to regenerate Table 1.
+struct AlgorithmTraits {
+  std::vector<std::string> measurements;  // e.g. {"RTT", "Loss"}
+  std::vector<std::string> control_knobs; // e.g. {"CWND"} or {"Rate"}
+};
+
+/// Base class for congestion control algorithms (one instance per flow).
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual AlgorithmTraits traits() const = 0;
+
+  /// Called once when the flow appears. Install the initial program here.
+  virtual void init(FlowControl& flow) = 0;
+
+  /// A batched report arrived.
+  virtual void on_measurement(FlowControl& flow, const Measurement& m) = 0;
+
+  /// An urgent event arrived (loss, timeout, ECN, urgent fold change).
+  /// `m` is the fold snapshot at the event.
+  virtual void on_urgent(FlowControl& flow, ipc::UrgentKind kind,
+                         const Measurement& m) = 0;
+};
+
+using AlgorithmFactory =
+    std::function<std::unique_ptr<Algorithm>(const FlowInfo& info)>;
+
+}  // namespace ccp::agent

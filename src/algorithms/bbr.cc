@@ -1,0 +1,141 @@
+#include "algorithms/bbr.hpp"
+
+#include <algorithm>
+
+namespace ccp::algorithms {
+namespace {
+
+/// Startup: exponential rate growth, report every RTT.
+constexpr const char* kStartupProgram = R"(
+fold {
+  volatile rcv     := max(rcv, Pkt.rcv_rate)        init 0;
+  volatile snd     := max(snd, Pkt.snd_rate)        init 0;
+  minrtt           := if(Pkt.rtt > 0, min(minrtt, Pkt.rtt), minrtt) init 0x7fffffff;
+  volatile loss    := loss + Pkt.lost               init 0 urgent;
+  volatile timeout := max(timeout, Pkt.was_timeout) init 0 urgent;
+}
+control {
+  Rate($rate);
+  Cwnd($cwnd_cap);
+  WaitRtts(1.0);
+  Report();
+}
+)";
+
+/// ProbeBW: the paper's §2.1 pulse program, verbatim in structure. The
+/// datapath holds 1.25x for exactly one RTT and reports the delivery
+/// rate measured *during that window*, which is what lets the agent see
+/// whether extra capacity exists.
+constexpr const char* kProbeBwProgram = R"(
+fold {
+  volatile rcv     := max(rcv, Pkt.rcv_rate)        init 0;
+  minrtt           := if(Pkt.rtt > 0, min(minrtt, Pkt.rtt), minrtt) init 0x7fffffff;
+  volatile loss    := loss + Pkt.lost               init 0 urgent;
+  volatile timeout := max(timeout, Pkt.was_timeout) init 0 urgent;
+}
+control {
+  Cwnd($cwnd_cap);
+  Rate(1.25 * $rate);
+  WaitRtts(1.0);
+  Report();
+  Rate(0.75 * $rate);
+  WaitRtts(1.0);
+  Report();
+  Rate($rate);
+  WaitRtts(6.0);
+  Report();
+}
+)";
+
+}  // namespace
+
+Bbr::Bbr(const FlowInfo& info)
+    : mss_(info.mss),
+      // Until the first delivery-rate sample: 10 packets per 10 ms.
+      pacing_rate_bps_(10.0 * info.mss / 0.01) {}
+
+double Bbr::bdp_bytes() const {
+  if (btl_bw_bps_ <= 0 || min_rtt_us_ >= 1e9) return 10 * mss_;
+  return btl_bw_bps_ * (min_rtt_us_ / 1e6);
+}
+
+void Bbr::init(FlowControl& flow) {
+  flow.install_text(
+      kStartupProgram,
+      VarBindings{{"rate", pacing_rate_bps_},
+                  {"cwnd_cap", kCwndGain * std::max(bdp_bytes(), 10.0 * mss_)}});
+}
+
+void Bbr::push_rate(FlowControl& flow) {
+  flow.update_fields(
+      VarBindings{{"rate", pacing_rate_bps_},
+                  {"cwnd_cap", std::max(kCwndGain * bdp_bytes(), 4.0 * mss_)}});
+}
+
+void Bbr::enter_probe_bw(FlowControl& flow) {
+  state_ = State::ProbeBw;
+  pacing_rate_bps_ = std::max(btl_bw_bps_, 2.0 * mss_ / 0.01);
+  flow.install_text(
+      kProbeBwProgram,
+      VarBindings{{"rate", pacing_rate_bps_},
+                  {"cwnd_cap", std::max(kCwndGain * bdp_bytes(), 4.0 * mss_)}});
+}
+
+void Bbr::on_measurement(FlowControl& flow, const Measurement& m) {
+  const double rcv = m.get("rcv");
+  const double minrtt = m.get("minrtt");
+  if (minrtt > 0 && minrtt < 1e9) min_rtt_us_ = std::min(min_rtt_us_, minrtt);
+  if (rcv > btl_bw_bps_) btl_bw_bps_ = rcv;
+
+  switch (state_) {
+    case State::Startup: {
+      // Plateau detection: bottleneck estimate grew <25% for 3 rounds.
+      if (btl_bw_bps_ < 1.25 * prev_btl_bw_bps_) {
+        ++plateau_rounds_;
+      } else {
+        plateau_rounds_ = 0;
+        prev_btl_bw_bps_ = btl_bw_bps_;
+      }
+      if (plateau_rounds_ >= 3 && btl_bw_bps_ > 0) {
+        // Drain: one RTT at reduced gain to empty the startup queue.
+        state_ = State::Drain;
+        pacing_rate_bps_ = btl_bw_bps_ / kStartupGain;
+        push_rate(flow);
+        return;
+      }
+      pacing_rate_bps_ =
+          std::max(kStartupGain * btl_bw_bps_, pacing_rate_bps_);
+      push_rate(flow);
+      return;
+    }
+    case State::Drain:
+      enter_probe_bw(flow);
+      return;
+    case State::ProbeBw: {
+      // One report per pulse phase. If the 1.25x phase discovered more
+      // bandwidth, btl_bw_bps_ already absorbed it; track downward drift
+      // slowly by decaying toward the recent max.
+      btl_bw_bps_ = std::max(rcv, 0.98 * btl_bw_bps_);
+      pacing_rate_bps_ = std::max(btl_bw_bps_, 2.0 * mss_ / 0.01);
+      push_rate(flow);
+      return;
+    }
+  }
+}
+
+void Bbr::on_urgent(FlowControl& flow, ipc::UrgentKind kind, const Measurement&) {
+  // BBR is deliberately loss-agnostic except for timeouts, which signal
+  // that the path estimate is badly stale.
+  if (kind == ipc::UrgentKind::Timeout) {
+    btl_bw_bps_ = 0;
+    prev_btl_bw_bps_ = 0;
+    plateau_rounds_ = 0;
+    state_ = State::Startup;
+    pacing_rate_bps_ = 10.0 * mss_ / 0.01;
+    flow.install_text(kStartupProgram,
+                      VarBindings{{"rate", pacing_rate_bps_},
+                                  {"cwnd_cap", 10.0 * mss_}});
+  }
+}
+
+}  // namespace ccp::algorithms

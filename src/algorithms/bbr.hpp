@@ -1,0 +1,56 @@
+// A simplified BBR as a CCP algorithm — the paper's running example of a
+// control program (§2.1): the ProbeBW gain cycle
+//
+//   Rate(1.25*r).WaitRtts(1.0).Report().
+//   Rate(0.75*r).WaitRtts(1.0).Report().
+//   Rate(r).WaitRtts(6.0).Report()
+//
+// runs *in the datapath*, so the rate pulses and the measurement windows
+// stay aligned even though the agent only acts a few times per cycle.
+//
+// Simplifications vs. Cardwell et al. (documented in DESIGN.md): Startup
+// and Drain are modeled; ProbeRTT is replaced by the 10-second windowed
+// min-RTT filter the datapath keeps anyway.
+#pragma once
+
+#include "algorithms/common.hpp"
+
+namespace ccp::algorithms {
+
+class Bbr final : public Algorithm {
+ public:
+  explicit Bbr(const FlowInfo& info);
+
+  std::string_view name() const override { return "bbr"; }
+  AlgorithmTraits traits() const override {
+    return {{"Sending Rate", "Receiving Rate", "RTT"}, {"Rate (pulses)", "CWND cap"}};
+  }
+
+  void init(FlowControl& flow) override;
+  void on_measurement(FlowControl& flow, const Measurement& m) override;
+  void on_urgent(FlowControl& flow, ipc::UrgentKind kind,
+                 const Measurement& m) override;
+
+  enum class State { Startup, Drain, ProbeBw };
+  State state() const { return state_; }
+  double bottleneck_rate_bps() const { return btl_bw_bps_; }
+  double min_rtt_us() const { return min_rtt_us_; }
+
+  static constexpr double kStartupGain = 2.89;  // 2/ln2
+  static constexpr double kCwndGain = 2.0;      // cwnd cap = gain * BDP
+
+ private:
+  void enter_probe_bw(FlowControl& flow);
+  void push_rate(FlowControl& flow);
+  double bdp_bytes() const;
+
+  double mss_;
+  State state_ = State::Startup;
+  double btl_bw_bps_ = 0;     // bottleneck bandwidth estimate, bytes/sec
+  double min_rtt_us_ = 1e9;
+  double pacing_rate_bps_;    // current base rate ($rate binding)
+  int plateau_rounds_ = 0;    // startup exit detection
+  double prev_btl_bw_bps_ = 0;
+};
+
+}  // namespace ccp::algorithms

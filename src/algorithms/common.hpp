@@ -1,0 +1,49 @@
+// Shared helpers for CCP algorithm implementations.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agent/algorithm.hpp"
+
+namespace ccp::algorithms {
+
+using agent::Algorithm;
+using agent::AlgorithmTraits;
+using agent::FlowControl;
+using agent::FlowInfo;
+using agent::Measurement;
+
+using VarBindings = std::vector<std::pair<std::string, double>>;
+
+/// The standard window-algorithm program: apply $cwnd, report once per
+/// RTT, count acked bytes, surface loss/timeout urgently. Shared by
+/// Reno, Cubic, and DCTCP (DCTCP adds an ECN register).
+///
+/// Register semantics:
+///   acked   - bytes newly acked since last report (volatile)
+///   loss    - packets newly lost since last report (volatile, urgent)
+///   timeout - 1 if an RTO fired since last report (volatile, urgent)
+///   rtt     - EWMA RTT in us
+///   now     - datapath clock at the last event, us
+///   inflight- bytes in flight at the last event
+inline const char* kWindowProgram = R"(
+fold {
+  volatile acked   := acked + Pkt.bytes_acked       init 0;
+  volatile loss    := loss + Pkt.lost               init 0 urgent;
+  volatile timeout := max(timeout, Pkt.was_timeout) init 0 urgent;
+  rtt              := ewma(rtt, Pkt.rtt, 0.125)     init 0;
+  minrtt           := if(Pkt.rtt > 0, min(minrtt, Pkt.rtt), minrtt)
+                                                    init 0x7fffffff;
+  now              := Pkt.now                       init 0;
+  inflight         := Pkt.bytes_in_flight           init 0;
+}
+control {
+  Cwnd($cwnd);
+  WaitRtts(1.0);
+  Report();
+}
+)";
+
+}  // namespace ccp::algorithms

@@ -1,0 +1,120 @@
+#include "algorithms/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ccp::algorithms {
+
+Cubic::Cubic(const FlowInfo& info)
+    : mss_(info.mss),
+      cwnd_pkts_(static_cast<double>(info.init_cwnd_bytes > 0
+                                         ? info.init_cwnd_bytes / info.mss
+                                         : 10)),
+      ssthresh_pkts_(std::numeric_limits<double>::max()) {}
+
+double Cubic::cubic_k(double w_last_max_pkts, double cwnd_pkts) {
+  // K = cbrt(W_max * (1-beta) / C): time to regain W_max. The paper's
+  // listing writes this as pow(max(0, (WlastMax - cwnd)/0.4), 1/3).
+  return std::cbrt(std::max(0.0, (w_last_max_pkts - cwnd_pkts) / kC));
+}
+
+double Cubic::cubic_window(double t, double w_last_max_pkts, double k) {
+  // W(t) = C*(t-K)^3 + W_max  — the §2.2 user-space floating point win.
+  return w_last_max_pkts + kC * std::pow(t - k, 3.0);
+}
+
+void Cubic::init(FlowControl& flow) {
+  flow.install_text(kWindowProgram, VarBindings{{"cwnd", cwnd_pkts_ * mss_}});
+}
+
+void Cubic::push_cwnd(FlowControl& flow) {
+  flow.update_fields(VarBindings{{"cwnd", cwnd_pkts_ * mss_}});
+}
+
+void Cubic::cut_cwnd(FlowControl& flow) {
+  // Immediate reduction via the direct CWND(c) path (Figure 1), plus the
+  // $cwnd rebind for the program's next pass.
+  flow.set_cwnd(cwnd_pkts_ * mss_);
+  flow.update_fields(VarBindings{{"cwnd", cwnd_pkts_ * mss_}});
+}
+
+void Cubic::on_measurement(FlowControl& flow, const Measurement& m) {
+  ++reports_seen_;
+  const double acked = m.get("acked");
+  const double now_us = m.get("now");
+  const double rtt_us = std::max(1.0, m.get("rtt"));
+  (void)rtt_us;
+  if (acked <= 0) return;
+
+  if (cwnd_pkts_ < ssthresh_pkts_) {
+    cwnd_pkts_ += std::min(acked / mss_, cwnd_pkts_);  // slow start
+    push_cwnd(flow);
+    return;
+  }
+
+  if (epoch_start_us_ < 0) {
+    // First congestion-avoidance report of this epoch.
+    epoch_start_us_ = now_us;
+    if (w_last_max_pkts_ <= 0) w_last_max_pkts_ = cwnd_pkts_;
+    k_ = cubic_k(w_last_max_pkts_, cwnd_pkts_);
+    w_est_pkts_ = cwnd_pkts_;
+  }
+
+  // Target the cubic curve one RTT ahead, like the kernel does.
+  const double t = (now_us - epoch_start_us_ + rtt_us) / 1e6;
+  double target = cubic_window(t, w_last_max_pkts_, k_);
+
+  // TCP-friendly region: track what Reno would have reached; Cubic must
+  // not be slower than standard TCP at low BDP.
+  const double acked_pkts = acked / mss_;
+  w_est_pkts_ += 0.5 * 3.0 * (1.0 - kBeta) / (1.0 + kBeta) * acked_pkts / cwnd_pkts_;
+  target = std::max(target, w_est_pkts_);
+
+  if (target > cwnd_pkts_) {
+    // Approach the target over roughly one RTT of ACKs, as Linux's
+    // per-ACK cnt mechanism does: grow by (target-cwnd) scaled by the
+    // fraction of a window this report acknowledges.
+    const double step = (target - cwnd_pkts_) * std::min(1.0, acked_pkts / cwnd_pkts_);
+    cwnd_pkts_ += step;
+  } else {
+    // Very slow growth when above the curve (Linux: cwnd + 1 per 100 ACKs).
+    cwnd_pkts_ += 0.01 * acked_pkts / cwnd_pkts_;
+  }
+  push_cwnd(flow);
+}
+
+void Cubic::on_urgent(FlowControl& flow, ipc::UrgentKind kind, const Measurement&) {
+  switch (kind) {
+    case ipc::UrgentKind::Loss:
+    case ipc::UrgentKind::Ecn: {
+      // One reduction per episode; see Reno::on_urgent for the rationale.
+      if (reports_seen_ < next_cut_allowed_) return;
+      next_cut_allowed_ = reports_seen_ + 2;
+      epoch_start_us_ = -1;
+      // Fast convergence: if this W_max is below the previous one, the
+      // flow is losing share; release more.
+      if (cwnd_pkts_ < w_last_max_pkts_) {
+        w_last_max_pkts_ = cwnd_pkts_ * (2.0 - kBeta) / 2.0;
+      } else {
+        w_last_max_pkts_ = cwnd_pkts_;
+      }
+      cwnd_pkts_ = std::max(cwnd_pkts_ * kBeta, 2.0);
+      ssthresh_pkts_ = cwnd_pkts_;
+      cut_cwnd(flow);
+      break;
+    }
+    case ipc::UrgentKind::Timeout:
+      ssthresh_pkts_ = std::max(cwnd_pkts_ * kBeta, 2.0);
+      cwnd_pkts_ = 1.0;
+      epoch_start_us_ = -1;
+      w_last_max_pkts_ = 0;
+      next_cut_allowed_ = reports_seen_ + 2;
+      cut_cwnd(flow);
+      break;
+    case ipc::UrgentKind::FoldUrgent:
+      break;
+  }
+}
+
+}  // namespace ccp::algorithms

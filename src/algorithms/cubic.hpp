@@ -1,0 +1,56 @@
+// TCP Cubic as a CCP algorithm — the paper's §2.2 showcase: the window
+// update uses real floating-point cbrt/pow in user space instead of the
+// kernel's 42-line fixed-point Newton-Raphson implementation.
+//
+// Follows Ha, Rhee & Xu (2008) and the Linux implementation: cubic window
+// curve W(t) = C*(t-K)^3 + W_max, TCP-friendly region, fast convergence.
+#pragma once
+
+#include "algorithms/common.hpp"
+
+namespace ccp::algorithms {
+
+class Cubic final : public Algorithm {
+ public:
+  explicit Cubic(const FlowInfo& info);
+
+  std::string_view name() const override { return "cubic"; }
+  AlgorithmTraits traits() const override {
+    return {{"Loss", "ACKs"}, {"CWND"}};
+  }
+
+  void init(FlowControl& flow) override;
+  void on_measurement(FlowControl& flow, const Measurement& m) override;
+  void on_urgent(FlowControl& flow, ipc::UrgentKind kind,
+                 const Measurement& m) override;
+
+  /// The cube-root window computation from the paper's §2.2 listing,
+  /// exposed for the bench that compares it against the kernel's
+  /// fixed-point version. `t` is seconds since the loss epoch started.
+  /// Returns the target window in packets.
+  static double cubic_window(double t, double w_last_max_pkts, double k);
+  static double cubic_k(double w_last_max_pkts, double cwnd_pkts);
+
+  double cwnd_bytes() const { return cwnd_pkts_ * mss_; }
+  bool in_slow_start() const { return cwnd_pkts_ < ssthresh_pkts_; }
+
+  static constexpr double kC = 0.4;     // cubic scaling constant
+  static constexpr double kBeta = 0.7;  // multiplicative decrease factor
+
+ private:
+  void push_cwnd(FlowControl& flow);
+  void cut_cwnd(FlowControl& flow);  // immediate (direct-control) reduction
+
+  double mss_;
+  double cwnd_pkts_;
+  double ssthresh_pkts_;
+  // Loss epoch state.
+  double w_last_max_pkts_ = 0;
+  double epoch_start_us_ = -1;  // <0: no epoch yet
+  double k_ = 0;
+  double w_est_pkts_ = 0;  // Reno-friendly estimate
+  uint64_t reports_seen_ = 0;
+  uint64_t next_cut_allowed_ = 0;
+};
+
+}  // namespace ccp::algorithms

@@ -1,0 +1,89 @@
+#include "algorithms/dctcp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ccp::algorithms {
+namespace {
+
+/// The window program plus per-window ECN accounting: `marked` counts
+/// ECN-echoed acked packets, `acked_pkts` all acked packets, so the agent
+/// can form F = marked/acked per window.
+constexpr const char* kDctcpProgram = R"(
+fold {
+  volatile acked      := acked + Pkt.bytes_acked       init 0;
+  volatile acked_pkts := acked_pkts + Pkt.packets_acked init 0;
+  volatile marked     := marked + Pkt.ecn * Pkt.packets_acked init 0;
+  volatile loss       := loss + Pkt.lost               init 0 urgent;
+  volatile timeout    := max(timeout, Pkt.was_timeout) init 0 urgent;
+  rtt                 := ewma(rtt, Pkt.rtt, 0.125)     init 0;
+}
+control {
+  Cwnd($cwnd);
+  WaitRtts(1.0);
+  Report();
+}
+)";
+
+}  // namespace
+
+Dctcp::Dctcp(const FlowInfo& info)
+    : mss_(info.mss),
+      cwnd_(static_cast<double>(info.init_cwnd_bytes > 0 ? info.init_cwnd_bytes
+                                                         : 10 * info.mss)),
+      ssthresh_(std::numeric_limits<double>::max()) {}
+
+void Dctcp::init(FlowControl& flow) {
+  flow.install_text(kDctcpProgram, VarBindings{{"cwnd", cwnd_}});
+}
+
+void Dctcp::push_cwnd(FlowControl& flow) {
+  flow.update_fields(VarBindings{{"cwnd", cwnd_}});
+}
+
+void Dctcp::on_measurement(FlowControl& flow, const Measurement& m) {
+  const double acked = m.get("acked");
+  const double acked_pkts = m.get("acked_pkts");
+  const double marked = m.get("marked");
+  ++reports_seen_;
+  if (acked <= 0) return;
+
+  const double f = acked_pkts > 0 ? std::min(1.0, marked / acked_pkts) : 0.0;
+  alpha_ = (1.0 - kG) * alpha_ + kG * f;
+
+  if (f > 0) {
+    // DCTCP's proportional backoff — gentler than Reno's halving.
+    cwnd_ = std::max(cwnd_ * (1.0 - alpha_ / 2.0), 2.0 * mss_);
+    ssthresh_ = cwnd_;
+  } else if (cwnd_ < ssthresh_) {
+    cwnd_ += std::min(acked, cwnd_);  // slow start
+  } else {
+    cwnd_ += acked * mss_ / cwnd_;    // standard CA growth
+  }
+  push_cwnd(flow);
+}
+
+void Dctcp::on_urgent(FlowControl& flow, ipc::UrgentKind kind, const Measurement&) {
+  switch (kind) {
+    case ipc::UrgentKind::Loss:
+      if (reports_seen_ >= next_cut_allowed_) {
+        next_cut_allowed_ = reports_seen_ + 2;
+        ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+        cwnd_ = ssthresh_;
+        flow.set_cwnd(cwnd_);  // immediate, then rebind
+        push_cwnd(flow);
+      }
+      break;
+    case ipc::UrgentKind::Timeout:
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+      cwnd_ = mss_;
+      next_cut_allowed_ = reports_seen_ + 2;
+      flow.set_cwnd(cwnd_);
+      push_cwnd(flow);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace ccp::algorithms

@@ -1,0 +1,40 @@
+// DCTCP (Alizadeh et al., SIGCOMM 2010) as a CCP algorithm: the datapath
+// counts ECN-marked bytes per window; the agent maintains the marking
+// EWMA `alpha` and scales the window by alpha/2 each marked window.
+#pragma once
+
+#include "algorithms/common.hpp"
+
+namespace ccp::algorithms {
+
+class Dctcp final : public Algorithm {
+ public:
+  explicit Dctcp(const FlowInfo& info);
+
+  std::string_view name() const override { return "dctcp"; }
+  AlgorithmTraits traits() const override {
+    return {{"ECN", "ACKs", "Loss"}, {"CWND"}};
+  }
+
+  void init(FlowControl& flow) override;
+  void on_measurement(FlowControl& flow, const Measurement& m) override;
+  void on_urgent(FlowControl& flow, ipc::UrgentKind kind,
+                 const Measurement& m) override;
+
+  double alpha() const { return alpha_; }
+  double cwnd_bytes() const { return cwnd_; }
+
+  static constexpr double kG = 1.0 / 16.0;  // alpha gain, as in the paper
+
+ private:
+  void push_cwnd(FlowControl& flow);
+
+  double mss_;
+  double cwnd_;
+  double ssthresh_;
+  double alpha_ = 1.0;  // start conservative, as Linux does
+  uint64_t reports_seen_ = 0;
+  uint64_t next_cut_allowed_ = 0;
+};
+
+}  // namespace ccp::algorithms

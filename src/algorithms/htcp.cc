@@ -1,0 +1,88 @@
+#include "algorithms/htcp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ccp::algorithms {
+
+Htcp::Htcp(const FlowInfo& info)
+    : mss_(info.mss),
+      cwnd_(static_cast<double>(info.init_cwnd_bytes > 0 ? info.init_cwnd_bytes
+                                                         : 10 * info.mss)),
+      ssthresh_(std::numeric_limits<double>::max()) {}
+
+double Htcp::alpha(double secs_since_loss) {
+  const double delta = secs_since_loss - 1.0;  // Delta_L = 1 s
+  if (delta <= 0) return 1.0;
+  return 1.0 + 10.0 * delta + 0.25 * delta * delta;
+}
+
+void Htcp::init(FlowControl& flow) {
+  flow.install_text(kWindowProgram, VarBindings{{"cwnd", cwnd_}});
+}
+
+void Htcp::push_cwnd(FlowControl& flow) {
+  flow.update_fields(VarBindings{{"cwnd", cwnd_}});
+}
+
+void Htcp::on_measurement(FlowControl& flow, const Measurement& m) {
+  ++reports_seen_;
+  const double acked = m.get("acked");
+  const double now_us = m.get("now");
+  const double minrtt = m.get("minrtt");
+  if (minrtt > 0 && minrtt < 1e9) min_rtt_us_ = std::min(min_rtt_us_, minrtt);
+  const double rtt = m.get("rtt");
+  if (rtt > 0) max_rtt_us_ = std::max(max_rtt_us_, rtt);
+  if (acked <= 0) return;
+
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += std::min(acked, cwnd_);  // slow start
+    if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
+  } else {
+    if (last_loss_us_ < 0) last_loss_us_ = now_us;
+    const double since_loss = (now_us - last_loss_us_) / 1e6;
+    // AIMD with the elapsed-time-scaled increase: alpha MSS per RTT.
+    cwnd_ += alpha(since_loss) * acked * mss_ / cwnd_;
+  }
+  push_cwnd(flow);
+}
+
+void Htcp::cut(FlowControl& flow, double beta) {
+  ssthresh_ = std::max(cwnd_ * beta, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+  flow.set_cwnd(cwnd_);  // immediate, then rebind
+  push_cwnd(flow);
+}
+
+void Htcp::on_urgent(FlowControl& flow, ipc::UrgentKind kind, const Measurement& m) {
+  switch (kind) {
+    case ipc::UrgentKind::Loss:
+    case ipc::UrgentKind::Ecn: {
+      if (reports_seen_ < next_cut_allowed_) return;
+      next_cut_allowed_ = reports_seen_ + 2;
+      // Adaptive backoff: beta = minRTT/maxRTT clamped to [0.5, 0.8] —
+      // shallow queues (ratio near 1) back off gently.
+      double beta = 0.5;
+      if (min_rtt_us_ < 1e9 && max_rtt_us_ > 0) {
+        beta = std::clamp(min_rtt_us_ / max_rtt_us_, 0.5, 0.8);
+      }
+      last_loss_us_ = m.get("now", last_loss_us_);
+      // Forget stale RTT extremes; the next epoch re-measures.
+      max_rtt_us_ = 0;
+      cut(flow, beta);
+      break;
+    }
+    case ipc::UrgentKind::Timeout:
+      next_cut_allowed_ = reports_seen_ + 2;
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+      cwnd_ = mss_;
+      last_loss_us_ = m.get("now", last_loss_us_);
+      flow.set_cwnd(cwnd_);
+      push_cwnd(flow);
+      break;
+    case ipc::UrgentKind::FoldUrgent:
+      break;
+  }
+}
+
+}  // namespace ccp::algorithms

@@ -1,0 +1,47 @@
+// H-TCP (Leith & Shorten, PFLDnet 2004) as a CCP algorithm — one of the
+// "over a dozen" kernel algorithms the paper's introduction counts
+// (citation [33]). AIMD where the additive increase grows with the time
+// since the last congestion event (recovering high-BDP paths quickly)
+// and the multiplicative decrease adapts to the observed RTT ratio
+// (backing off less when the queue is short).
+#pragma once
+
+#include "algorithms/common.hpp"
+
+namespace ccp::algorithms {
+
+class Htcp final : public Algorithm {
+ public:
+  explicit Htcp(const FlowInfo& info);
+
+  std::string_view name() const override { return "htcp"; }
+  AlgorithmTraits traits() const override {
+    return {{"ACKs", "Loss", "RTT"}, {"CWND"}};
+  }
+
+  void init(FlowControl& flow) override;
+  void on_measurement(FlowControl& flow, const Measurement& m) override;
+  void on_urgent(FlowControl& flow, ipc::UrgentKind kind,
+                 const Measurement& m) override;
+
+  double cwnd_bytes() const { return cwnd_; }
+
+  /// H-TCP's increase factor: 1 for the first second after loss, then
+  /// the polynomial 1 + 10(Δ-1) + 0.25(Δ-1)^2 (Δ in seconds).
+  static double alpha(double secs_since_loss);
+
+ private:
+  void push_cwnd(FlowControl& flow);
+  void cut(FlowControl& flow, double beta);
+
+  double mss_;
+  double cwnd_;
+  double ssthresh_;
+  double last_loss_us_ = -1;   // datapath time of the last reduction
+  double min_rtt_us_ = 1e9;
+  double max_rtt_us_ = 0;
+  uint64_t reports_seen_ = 0;
+  uint64_t next_cut_allowed_ = 0;
+};
+
+}  // namespace ccp::algorithms

@@ -1,0 +1,42 @@
+#include "algorithms/native/kernel_cbrt.hpp"
+
+namespace ccp::algorithms::native {
+namespace {
+
+inline int fls64(uint64_t x) {
+  if (x == 0) return 0;
+  return 64 - __builtin_clzll(x);
+}
+
+}  // namespace
+
+uint32_t kernel_cubic_root(uint64_t a) {
+  // Exactly the kernel's table: v[x] = 2^(x*0.3333 + 0.5) for the top
+  // bits of the argument.
+  static const uint8_t v[] = {
+      0,   54,  54,  54,  118, 118, 118, 118, 123, 129, 134, 138, 143, 147,
+      151, 156, 157, 161, 164, 168, 170, 173, 176, 179, 181, 185, 187, 190,
+      192, 194, 197, 199, 200, 202, 204, 206, 209, 211, 213, 215, 217, 219,
+      221, 222, 224, 225, 227, 229, 231, 232, 234, 236, 237, 239, 240, 242,
+      244, 245, 246, 248, 250, 251, 252, 254,
+  };
+
+  int b = fls64(a);
+  if (b < 7) {
+    // a in [0..63]: table lookup with rounding.
+    return (static_cast<uint32_t>(v[a]) + 35) >> 6;
+  }
+
+  b = ((b * 84) >> 8) - 1;  // ~ (bits-1)/3
+  const uint32_t shift = static_cast<uint32_t>(a >> (b * 3));
+  uint32_t x = ((static_cast<uint32_t>(v[shift]) + 10) << b) >> 6;
+
+  // One Newton-Raphson iteration: x' = (2x + a/x^2) / 3, with the
+  // kernel's x*(x-1) denominator that biases the estimate upward.
+  x = 2 * x + static_cast<uint32_t>(a / (static_cast<uint64_t>(x) *
+                                         static_cast<uint64_t>(x - 1)));
+  x = (x * 341) >> 10;  // divide by 3 via multiply
+  return x;
+}
+
+}  // namespace ccp::algorithms::native

@@ -1,0 +1,16 @@
+// The Linux kernel's fixed-point cube root (net/ipv4/tcp_cubic.c,
+// cubic_root()): a 6-bit lookup table followed by one Newton-Raphson
+// iteration, all in integer arithmetic because the kernel cannot use
+// floating point (§2.2 of the paper). Reimplemented here as the
+// comparison point for the user-space floating-point version.
+#pragma once
+
+#include <cstdint>
+
+namespace ccp::algorithms::native {
+
+/// Calculates the cube root of a 64-bit value, rounded. Matches the
+/// kernel's cubic_root() algorithm (error < ~0.2% over the useful range).
+uint32_t kernel_cubic_root(uint64_t a);
+
+}  // namespace ccp::algorithms::native

@@ -1,0 +1,40 @@
+// Base class for native (in-datapath) congestion control baselines.
+//
+// These process *every* ACK synchronously inside the datapath, exactly
+// like kernel TCP modules — they are the "Linux" side of Figures 3-5.
+// They share the simulator-facing CcModule interface with CcpFlow, so an
+// experiment can swap CCP and native implementations with one line.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "datapath/cc_module.hpp"
+
+namespace ccp::algorithms::native {
+
+class NativeCcBase : public datapath::CcModule {
+ public:
+  explicit NativeCcBase(uint32_t mss, uint64_t init_cwnd_bytes)
+      : mss_(mss),
+        cwnd_(static_cast<double>(init_cwnd_bytes > 0 ? init_cwnd_bytes
+                                                      : 10ull * mss)) {}
+
+  void on_send(const datapath::SendEvent&) override {}
+  void tick(TimePoint) override {}
+
+  uint64_t cwnd_bytes() const override {
+    return static_cast<uint64_t>(std::max(cwnd_, 2.0 * mss_));
+  }
+  double pacing_rate_bps() const override { return 0.0; }  // window-limited
+
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ protected:
+  double mss_;
+  double cwnd_;
+  double ssthresh_ = std::numeric_limits<double>::max();
+  bool in_recovery_ = false;
+};
+
+}  // namespace ccp::algorithms::native

@@ -1,0 +1,30 @@
+// In-datapath Cubic: per-ACK window updates following the Linux
+// implementation's structure (epoch state, target window one RTT ahead,
+// TCP-friendly region, fast convergence). Baseline for Figure 3.
+#pragma once
+
+#include "algorithms/native/native_common.hpp"
+
+namespace ccp::algorithms::native {
+
+class NativeCubic final : public NativeCcBase {
+ public:
+  using NativeCcBase::NativeCcBase;
+
+  static constexpr double kC = 0.4;
+  static constexpr double kBeta = 0.7;
+
+  void on_ack(const datapath::AckEvent& ev) override;
+  void on_loss(const datapath::LossEvent& ev) override;
+  void on_timeout(const datapath::TimeoutEvent& ev) override;
+
+ private:
+  double w_last_max_pkts_ = 0;
+  TimePoint epoch_start_{};
+  bool epoch_valid_ = false;
+  double k_ = 0;
+  double w_est_pkts_ = 0;
+  Duration srtt_ = Duration::zero();
+};
+
+}  // namespace ccp::algorithms::native

@@ -1,0 +1,66 @@
+// In-datapath DCTCP: per-ACK ECN accounting with per-window alpha update.
+#pragma once
+
+#include <algorithm>
+
+#include "algorithms/native/native_common.hpp"
+
+namespace ccp::algorithms::native {
+
+class NativeDctcp final : public NativeCcBase {
+ public:
+  using NativeCcBase::NativeCcBase;
+
+  static constexpr double kG = 1.0 / 16.0;
+
+  void on_ack(const datapath::AckEvent& ev) override {
+    if (ev.newly_lost_packets > 0 || ev.bytes_acked == 0) return;
+    in_recovery_ = false;
+    acked_pkts_ += ev.packets_acked;
+    if (ev.ecn) marked_pkts_ += ev.packets_acked;
+    window_acked_ += static_cast<double>(ev.bytes_acked);
+
+    // One "window" of ACKs completes when we've acked a cwnd of data.
+    if (window_acked_ >= cwnd_) {
+      const double f =
+          acked_pkts_ > 0 ? std::min(1.0, marked_pkts_ / acked_pkts_) : 0.0;
+      alpha_ = (1.0 - kG) * alpha_ + kG * f;
+      if (f > 0) {
+        cwnd_ = std::max(cwnd_ * (1.0 - alpha_ / 2.0), 2.0 * mss_);
+        ssthresh_ = cwnd_;
+      }
+      window_acked_ = 0;
+      acked_pkts_ = 0;
+      marked_pkts_ = 0;
+    }
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += static_cast<double>(ev.bytes_acked);
+      if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
+    } else {
+      cwnd_ += static_cast<double>(ev.bytes_acked) * mss_ / cwnd_;
+    }
+  }
+
+  void on_loss(const datapath::LossEvent&) override {
+    if (in_recovery_) return;
+    in_recovery_ = true;
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+    cwnd_ = ssthresh_;
+  }
+
+  void on_timeout(const datapath::TimeoutEvent&) override {
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+    cwnd_ = mss_;
+    in_recovery_ = false;
+  }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_ = 1.0;
+  double window_acked_ = 0;
+  double acked_pkts_ = 0;
+  double marked_pkts_ = 0;
+};
+
+}  // namespace ccp::algorithms::native

@@ -1,0 +1,41 @@
+// In-datapath NewReno: per-ACK slow start / AIMD, the classic kernel
+// behavior (RFC 5681/6582). Baseline for Figure 4.
+#pragma once
+
+#include "algorithms/native/native_common.hpp"
+
+namespace ccp::algorithms::native {
+
+class NativeReno final : public NativeCcBase {
+ public:
+  using NativeCcBase::NativeCcBase;
+
+  void on_ack(const datapath::AckEvent& ev) override {
+    // Pure-SACK delivery notifications and loss-marked ACKs don't move
+    // the window.
+    if (ev.newly_lost_packets > 0 || ev.bytes_acked == 0) return;
+    in_recovery_ = false;
+    const double acked = static_cast<double>(ev.bytes_acked);
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += acked;
+      if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
+    } else {
+      cwnd_ += acked * mss_ / cwnd_;
+    }
+  }
+
+  void on_loss(const datapath::LossEvent&) override {
+    if (in_recovery_) return;
+    in_recovery_ = true;
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+    cwnd_ = ssthresh_ + 3.0 * mss_;
+  }
+
+  void on_timeout(const datapath::TimeoutEvent&) override {
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+    cwnd_ = mss_;
+    in_recovery_ = false;
+  }
+};
+
+}  // namespace ccp::algorithms::native

@@ -1,0 +1,97 @@
+#include "algorithms/pcc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccp::algorithms {
+namespace {
+
+constexpr const char* kPccProgram = R"(
+fold {
+  volatile acked    := acked + Pkt.bytes_acked       init 0;
+  volatile lost     := lost + Pkt.lost               init 0;
+  volatile timeout  := max(timeout, Pkt.was_timeout) init 0 urgent;
+  volatile interval := max(interval, Pkt.rtt)        init 0;
+  rcv               := Pkt.rcv_rate                  init 0;
+}
+control {
+  Rate($rate);
+  Cwnd($cwnd_cap);
+  WaitRtts(1.0);
+  Report();
+}
+)";
+
+/// Generous window ceiling so rate control, not the window, shapes the
+/// send pattern (2x the rate-delay product, assuming RTTs up to 100 ms).
+double cwnd_cap_for(double rate_bps, double mss) {
+  return std::max(2.0 * rate_bps * 0.1, 10.0 * mss);
+}
+
+}  // namespace
+
+Pcc::Pcc(const FlowInfo& info, PccParams params)
+    : params_(params), mss_(info.mss), base_rate_bps_(10.0 * info.mss / 0.01) {}
+
+double Pcc::utility(double throughput_bps, double loss_fraction,
+                    double penalty_weight) {
+  // u = T * (1 - 1/(1+exp(-100*(L-0.05)))) - penalty * T * L
+  // (Allegro's sigmoid loss gate plus a linear loss term.)
+  const double sigmoid = 1.0 / (1.0 + std::exp(-100.0 * (loss_fraction - 0.05)));
+  return throughput_bps * (1.0 - sigmoid) - penalty_weight * throughput_bps * loss_fraction;
+}
+
+void Pcc::init(FlowControl& flow) {
+  const double rate = base_rate_bps_ * (1.0 + params_.epsilon);
+  flow.install_text(kPccProgram,
+                    VarBindings{{"rate", rate},
+                                {"cwnd_cap", cwnd_cap_for(rate, mss_)}});
+}
+
+void Pcc::push_rate(FlowControl& flow, double rate) {
+  flow.update_fields(
+      VarBindings{{"rate", rate}, {"cwnd_cap", cwnd_cap_for(rate, mss_)}});
+}
+
+void Pcc::on_measurement(FlowControl& flow, const Measurement& m) {
+  const double acked = m.get("acked");
+  const double lost_pkts = m.get("lost");
+  const double rcv = m.get("rcv");
+  if (acked <= 0 && lost_pkts <= 0) return;
+
+  const double total_pkts = acked / mss_ + lost_pkts;
+  const double loss_frac = total_pkts > 0 ? lost_pkts / total_pkts : 0.0;
+  const double u = utility(rcv, loss_frac, params_.loss_penalty);
+
+  if (phase_ == Phase::Up) {
+    up_utility_ = u;
+    have_up_ = true;
+    phase_ = Phase::Down;
+    push_rate(flow, base_rate_bps_ * (1.0 - params_.epsilon));
+    return;
+  }
+
+  // Down phase completed: compare the two micro-experiments and move.
+  if (have_up_) {
+    if (up_utility_ > u) {
+      base_rate_bps_ *= 1.0 + params_.epsilon;
+    } else if (u > up_utility_) {
+      base_rate_bps_ *= 1.0 - params_.epsilon;
+    }
+    base_rate_bps_ = std::max(base_rate_bps_, params_.min_rate_bps);
+  }
+  have_up_ = false;
+  phase_ = Phase::Up;
+  push_rate(flow, base_rate_bps_ * (1.0 + params_.epsilon));
+}
+
+void Pcc::on_urgent(FlowControl& flow, ipc::UrgentKind kind, const Measurement&) {
+  if (kind == ipc::UrgentKind::Timeout) {
+    base_rate_bps_ = std::max(base_rate_bps_ * 0.5, params_.min_rate_bps);
+    phase_ = Phase::Up;
+    have_up_ = false;
+    push_rate(flow, base_rate_bps_);
+  }
+}
+
+}  // namespace ccp::algorithms

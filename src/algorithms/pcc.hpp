@@ -1,0 +1,54 @@
+// PCC Allegro (Dong et al., NSDI 2015), simplified, as a CCP algorithm:
+// utility-driven rate control via online micro-experiments (Table 1 row
+// "PCC": measures loss + sending/receiving rates, controls Rate).
+//
+// Each monitor interval (one RTT, timed by the datapath control program)
+// yields throughput and loss; the agent computes a utility and performs
+// gradient-ascent-style rate probing: try rate*(1+eps) and rate*(1-eps)
+// in alternating intervals, move toward the better one.
+#pragma once
+
+#include "algorithms/common.hpp"
+
+namespace ccp::algorithms {
+
+struct PccParams {
+  double epsilon = 0.05;        // probe step
+  double loss_penalty = 11.35;  // Allegro's sigmoid-ish penalty weight
+  double min_rate_bps = 3000;   // 2 pkts / second floor
+};
+
+class Pcc final : public Algorithm {
+ public:
+  explicit Pcc(const FlowInfo& info, PccParams params = {});
+
+  std::string_view name() const override { return "pcc"; }
+  AlgorithmTraits traits() const override {
+    return {{"Loss", "Sending Rate", "Receiving Rate"}, {"Rate"}};
+  }
+
+  void init(FlowControl& flow) override;
+  void on_measurement(FlowControl& flow, const Measurement& m) override;
+  void on_urgent(FlowControl& flow, ipc::UrgentKind kind,
+                 const Measurement& m) override;
+
+  double rate_bps() const { return base_rate_bps_; }
+
+  /// Allegro-style utility of a monitor interval.
+  static double utility(double throughput_bps, double loss_fraction,
+                        double penalty_weight);
+
+ private:
+  enum class Phase { Up, Down };  // which probe this interval carries
+
+  void push_rate(FlowControl& flow, double rate);
+
+  PccParams params_;
+  double mss_;
+  double base_rate_bps_;
+  Phase phase_ = Phase::Up;
+  double up_utility_ = 0;
+  bool have_up_ = false;
+};
+
+}  // namespace ccp::algorithms

@@ -1,0 +1,58 @@
+#include "algorithms/registry.hpp"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "algorithms/bbr.hpp"
+#include "algorithms/cubic.hpp"
+#include "algorithms/dctcp.hpp"
+#include "algorithms/htcp.hpp"
+#include "algorithms/pcc.hpp"
+#include "algorithms/reno.hpp"
+#include "algorithms/sprout.hpp"
+#include "algorithms/timely.hpp"
+#include "algorithms/vegas.hpp"
+
+namespace ccp::algorithms {
+namespace {
+
+using Factory = std::function<std::unique_ptr<agent::Algorithm>(const agent::FlowInfo&)>;
+
+const std::map<std::string, Factory>& factories() {
+  static const std::map<std::string, Factory> kFactories = {
+      {"reno", [](const agent::FlowInfo& i) { return std::make_unique<Reno>(i); }},
+      {"cubic", [](const agent::FlowInfo& i) { return std::make_unique<Cubic>(i); }},
+      {"vegas", [](const agent::FlowInfo& i) { return std::make_unique<VegasFold>(i); }},
+      {"vegas_vector",
+       [](const agent::FlowInfo& i) { return std::make_unique<VegasVector>(i); }},
+      {"bbr", [](const agent::FlowInfo& i) { return std::make_unique<Bbr>(i); }},
+      {"dctcp", [](const agent::FlowInfo& i) { return std::make_unique<Dctcp>(i); }},
+      {"htcp", [](const agent::FlowInfo& i) { return std::make_unique<Htcp>(i); }},
+      {"timely", [](const agent::FlowInfo& i) { return std::make_unique<Timely>(i); }},
+      {"pcc", [](const agent::FlowInfo& i) { return std::make_unique<Pcc>(i); }},
+      {"sprout", [](const agent::FlowInfo& i) { return std::make_unique<Sprout>(i); }},
+  };
+  return kFactories;
+}
+
+}  // namespace
+
+void register_builtin_algorithms(agent::CcpAgent& agent) {
+  for (const auto& [name, factory] : factories()) {
+    agent.register_algorithm(name, factory);
+  }
+}
+
+std::vector<std::string> builtin_algorithm_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : factories()) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<agent::Algorithm> make_algorithm(const std::string& name,
+                                                 const agent::FlowInfo& info) {
+  return factories().at(name)(info);
+}
+
+}  // namespace ccp::algorithms

@@ -1,0 +1,23 @@
+// Registration of all built-in CCP algorithms with an agent, plus the
+// capability table used to regenerate the paper's Table 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+
+namespace ccp::algorithms {
+
+/// Registers reno, cubic, vegas, vegas_vector, bbr, dctcp, timely, pcc.
+void register_builtin_algorithms(agent::CcpAgent& agent);
+
+/// Names of all built-in algorithms, in Table 1 order.
+std::vector<std::string> builtin_algorithm_names();
+
+/// Instantiates an algorithm by name (without an agent), for tests and
+/// for the Table 1 bench. Throws std::out_of_range on unknown names.
+std::unique_ptr<agent::Algorithm> make_algorithm(const std::string& name,
+                                                 const agent::FlowInfo& info);
+
+}  // namespace ccp::algorithms

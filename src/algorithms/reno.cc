@@ -1,0 +1,76 @@
+#include "algorithms/reno.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ccp::algorithms {
+
+Reno::Reno(const FlowInfo& info)
+    : mss_(info.mss),
+      cwnd_(static_cast<double>(info.init_cwnd_bytes > 0 ? info.init_cwnd_bytes
+                                                         : 10 * info.mss)),
+      ssthresh_(std::numeric_limits<double>::max()) {}
+
+void Reno::init(FlowControl& flow) {
+  flow.install_text(kWindowProgram, VarBindings{{"cwnd", cwnd_}});
+}
+
+void Reno::push_cwnd(FlowControl& flow) {
+  flow.update_fields(VarBindings{{"cwnd", cwnd_}});
+}
+
+void Reno::cut_cwnd(FlowControl& flow) {
+  // Loss reactions must not wait for the next control-loop pass: apply
+  // the reduction through the direct CWND(c) path (Figure 1) *and*
+  // rebind $cwnd so the program's next Cwnd() agrees.
+  flow.set_cwnd(cwnd_);
+  flow.update_fields(VarBindings{{"cwnd", cwnd_}});
+}
+
+void Reno::on_measurement(FlowControl& flow, const Measurement& m) {
+  ++reports_seen_;
+  const double acked = m.get("acked");
+  if (acked <= 0) return;
+
+  if (cwnd_ < ssthresh_) {
+    // Slow start: one MSS per acked MSS => exponential growth. Cap the
+    // per-report growth at a doubling, as per-batch accounting otherwise
+    // overshoots when reports cover more than one RTT of ACKs.
+    cwnd_ += std::min(acked, cwnd_);
+    if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
+  } else {
+    // Congestion avoidance: cwnd grows one MSS per window's worth of
+    // acked bytes (cwnd += mss*mss/cwnd for each acked MSS).
+    cwnd_ += acked * mss_ / cwnd_;
+  }
+  push_cwnd(flow);
+}
+
+void Reno::on_urgent(FlowControl& flow, ipc::UrgentKind kind, const Measurement&) {
+  switch (kind) {
+    case ipc::UrgentKind::Loss:
+    case ipc::UrgentKind::Ecn:
+      // One reduction per congestion episode: after cutting, wait two
+      // report intervals (one for the cut to reach the datapath, one to
+      // observe its effect) before reacting to further loss urgents.
+      if (reports_seen_ >= next_cut_allowed_) {
+        next_cut_allowed_ = reports_seen_ + 2;
+        ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+        // Fast recovery: deflate to ssthresh (+3 dupack-inflated segments).
+        cwnd_ = ssthresh_ + 3.0 * mss_;
+        cut_cwnd(flow);
+      }
+      break;
+    case ipc::UrgentKind::Timeout:
+      // RTO: collapse to one segment and slow-start again (RFC 5681 §3.1).
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+      cwnd_ = 1.0 * mss_;
+      next_cut_allowed_ = reports_seen_ + 2;
+      cut_cwnd(flow);
+      break;
+    case ipc::UrgentKind::FoldUrgent:
+      break;
+  }
+}
+
+}  // namespace ccp::algorithms

@@ -1,0 +1,39 @@
+// TCP NewReno as a CCP algorithm (Table 1 row "Reno": measures ACKs,
+// controls CWND). Slow start, AIMD congestion avoidance, fast recovery
+// on triple-dupack loss, window collapse on timeout.
+#pragma once
+
+#include "algorithms/common.hpp"
+
+namespace ccp::algorithms {
+
+class Reno final : public Algorithm {
+ public:
+  explicit Reno(const FlowInfo& info);
+
+  std::string_view name() const override { return "reno"; }
+  AlgorithmTraits traits() const override {
+    return {{"ACKs", "Loss"}, {"CWND"}};
+  }
+
+  void init(FlowControl& flow) override;
+  void on_measurement(FlowControl& flow, const Measurement& m) override;
+  void on_urgent(FlowControl& flow, ipc::UrgentKind kind,
+                 const Measurement& m) override;
+
+  double cwnd_bytes() const { return cwnd_; }
+  double ssthresh_bytes() const { return ssthresh_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ private:
+  void push_cwnd(FlowControl& flow);
+  void cut_cwnd(FlowControl& flow);  // immediate (direct-control) reduction
+
+  double mss_;
+  double cwnd_;
+  double ssthresh_;
+  uint64_t reports_seen_ = 0;
+  uint64_t next_cut_allowed_ = 0;  // in reports_seen_ units
+};
+
+}  // namespace ccp::algorithms

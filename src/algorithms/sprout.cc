@@ -1,0 +1,97 @@
+#include "algorithms/sprout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccp::algorithms {
+namespace {
+
+/// Note Wait($tick), not WaitRtts: the measurement grid is equally
+/// spaced in *time*, which is the property Sprout's capacity model needs
+/// (§2.1). `delivered` over one tick / tick length = the capacity sample.
+constexpr const char* kSproutProgram = R"(
+fold {
+  volatile delivered := delivered + Pkt.bytes_acked  init 0;
+  volatile loss      := loss + Pkt.lost              init 0 urgent;
+  volatile timeout   := max(timeout, Pkt.was_timeout) init 0 urgent;
+  rtt                := ewma(rtt, Pkt.rtt, 0.25)     init 0;
+  minrtt             := if(Pkt.rtt > 0, min(minrtt, Pkt.rtt), minrtt) init 0x7fffffff;
+}
+control {
+  Rate($rate);
+  Cwnd($cwnd_cap);
+  Wait($tick);
+  Report();
+}
+)";
+
+}  // namespace
+
+Sprout::Sprout(const FlowInfo& info, SproutParams params)
+    : params_(params),
+      mss_(info.mss),
+      rate_bps_(10.0 * info.mss / 0.02) {}  // 10 packets per tick to start
+
+void Sprout::push(FlowControl& flow) {
+  // Generous window ceiling: pacing shapes the traffic, the window only
+  // bounds the worst case (2x the rate over a 100 ms path).
+  const double cap = std::max(2.0 * rate_bps_ * 0.1, 10.0 * mss_);
+  flow.update_fields(VarBindings{{"rate", rate_bps_}, {"cwnd_cap", cap}});
+}
+
+void Sprout::init(FlowControl& flow) {
+  const double cap = std::max(2.0 * rate_bps_ * 0.1, 10.0 * mss_);
+  flow.install_text(kSproutProgram,
+                    VarBindings{{"rate", rate_bps_},
+                                {"cwnd_cap", cap},
+                                {"tick", params_.tick_us}});
+}
+
+void Sprout::on_measurement(FlowControl& flow, const Measurement& m) {
+  // One equally-spaced capacity sample: bytes delivered during the tick.
+  const double sample_bps = m.get("delivered") / (params_.tick_us / 1e6);
+  if (sample_bps <= 0 && !have_sample_) return;
+
+  if (!have_sample_) {
+    have_sample_ = true;
+    mean_bps_ = sample_bps;
+    var_bps2_ = 0;
+  } else {
+    const double err = sample_bps - mean_bps_;
+    mean_bps_ += params_.gain * err;
+    var_bps2_ += params_.gain * (err * err - var_bps2_);
+  }
+
+  // Cautious forecast: pace at a lower quantile of the modeled capacity.
+  // The model alone is self-fulfilling (delivery can never exceed what
+  // we send), so probing is gated on *delay*: while the smoothed RTT
+  // stays near the path minimum the queue is empty and the capacity
+  // estimate is a lower bound — push multiplicatively above it. Once
+  // delay builds, fall back to the conservative forecast and drain.
+  const double cushion = params_.cushion_stddevs * std::sqrt(var_bps2_);
+  const double forecast = mean_bps_ - cushion;
+  rate_bps_ = std::max({forecast, mean_bps_ * 0.5, params_.min_rate_bps});
+
+  const double rtt = m.get("rtt");
+  const double minrtt = m.get("minrtt");
+  const bool low_delay =
+      rtt > 0 && minrtt > 0 && minrtt < 1e9 && rtt < 1.25 * minrtt;
+  if (low_delay) {
+    const double probe =
+        mean_bps_ * 1.25 + mss_ / (params_.tick_us / 1e6);  // MI + one pkt/tick
+    rate_bps_ = std::max(rate_bps_, probe);
+  }
+  push(flow);
+}
+
+void Sprout::on_urgent(FlowControl& flow, ipc::UrgentKind kind, const Measurement&) {
+  if (kind == ipc::UrgentKind::Timeout || kind == ipc::UrgentKind::Loss) {
+    // Loss means the forecast overshot badly: damp the model, not just
+    // the instantaneous rate.
+    mean_bps_ *= 0.7;
+    rate_bps_ = std::max(mean_bps_, params_.min_rate_bps);
+    push(flow);
+  }
+}
+
+}  // namespace ccp::algorithms

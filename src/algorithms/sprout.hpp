@@ -1,0 +1,53 @@
+// A Sprout-flavored forecast controller (Winstein et al., NSDI 2013) —
+// Table 1's row "Sprout: Sending Rate, Receiving Rate, RTT -> Rate".
+//
+// The paper cites Sprout as the motivating example for the control
+// language's fixed-interval measurement: "Sprout models available
+// network capacity using equally spaced rate measurements" (§2.1). This
+// implementation uses exactly that: a `Wait($tick)` control program
+// gives the agent delivery-rate samples on a fixed wall-clock grid
+// (not per-RTT!), and the agent maintains a mean/variance model of the
+// capacity and paces at a conservative lower quantile of its forecast —
+// Sprout's cautious-forecast idea, simplified to a Gaussian model.
+#pragma once
+
+#include "algorithms/common.hpp"
+
+namespace ccp::algorithms {
+
+struct SproutParams {
+  double tick_us = 20'000;        // forecast grid: 20 ms, as in Sprout
+  double gain = 0.25;             // EWMA gain for mean/variance tracking
+  double cushion_stddevs = 1.0;   // pace at mean - k*sigma (≈ 84th pct safe)
+  double min_rate_bps = 2 * 1460 / 0.1;  // floor: 2 pkts / 100 ms
+};
+
+class Sprout final : public Algorithm {
+ public:
+  explicit Sprout(const FlowInfo& info, SproutParams params = {});
+
+  std::string_view name() const override { return "sprout"; }
+  AlgorithmTraits traits() const override {
+    return {{"Sending Rate", "Receiving Rate", "RTT"}, {"Rate"}};
+  }
+
+  void init(FlowControl& flow) override;
+  void on_measurement(FlowControl& flow, const Measurement& m) override;
+  void on_urgent(FlowControl& flow, ipc::UrgentKind kind,
+                 const Measurement& m) override;
+
+  double rate_bps() const { return rate_bps_; }
+  double forecast_mean_bps() const { return mean_bps_; }
+
+ private:
+  void push(FlowControl& flow);
+
+  SproutParams params_;
+  double mss_;
+  double rate_bps_;
+  double mean_bps_ = 0;
+  double var_bps2_ = 0;
+  bool have_sample_ = false;
+};
+
+}  // namespace ccp::algorithms

@@ -1,0 +1,87 @@
+#include "algorithms/timely.hpp"
+
+#include <algorithm>
+
+namespace ccp::algorithms {
+namespace {
+
+constexpr const char* kTimelyProgram = R"(
+fold {
+  rtt              := ewma(rtt, Pkt.rtt, 0.5)       init 0;
+  minrtt           := if(Pkt.rtt > 0, min(minrtt, Pkt.rtt), minrtt) init 0x7fffffff;
+  volatile loss    := loss + Pkt.lost               init 0 urgent;
+  volatile timeout := max(timeout, Pkt.was_timeout) init 0 urgent;
+}
+control {
+  Rate($rate);
+  Cwnd($cwnd_cap);
+  WaitRtts(1.0);
+  Report();
+}
+)";
+
+}  // namespace
+
+Timely::Timely(const FlowInfo& info, TimelyParams params)
+    : params_(params),
+      mss_(info.mss),
+      rate_bps_(10.0 * info.mss / 0.01) {}  // 10 pkts / 10 ms until samples arrive
+
+namespace {
+/// Rate-based algorithms still need a window so the datapath never
+/// releases an unbounded line-rate burst: cap at 2x the rate-delay
+/// product (a generous ceiling; pacing provides the real control).
+double cwnd_cap_for(double rate_bps, double rtt_us, double mss) {
+  const double rtt_s = rtt_us > 0 ? rtt_us / 1e6 : 0.01;
+  return std::max(2.0 * rate_bps * rtt_s, 10.0 * mss);
+}
+}  // namespace
+
+void Timely::init(FlowControl& flow) {
+  flow.install_text(kTimelyProgram,
+                    VarBindings{{"rate", rate_bps_},
+                                {"cwnd_cap", cwnd_cap_for(rate_bps_, 0, mss_)}});
+}
+
+void Timely::on_measurement(FlowControl& flow, const Measurement& m) {
+  const double rtt = m.get("rtt");
+  if (rtt <= 0) return;
+  const double minrtt = m.get("minrtt");
+  if (minrtt > 0 && minrtt < 1e9) min_rtt_us_ = std::min(min_rtt_us_, minrtt);
+
+  if (prev_rtt_us_ <= 0) {
+    prev_rtt_us_ = rtt;
+    return;
+  }
+  const double new_diff = rtt - prev_rtt_us_;
+  prev_rtt_us_ = rtt;
+  rtt_diff_us_ =
+      (1.0 - params_.ewma_alpha) * rtt_diff_us_ + params_.ewma_alpha * new_diff;
+  // Gradient normalized by the minimum RTT, per the paper.
+  const double norm_minrtt = min_rtt_us_ < 1e9 ? min_rtt_us_ : rtt;
+  const double gradient = rtt_diff_us_ / std::max(1.0, norm_minrtt);
+
+  if (rtt < params_.t_low_us) {
+    rate_bps_ += params_.add_step_bps;
+  } else if (rtt > params_.t_high_us) {
+    rate_bps_ *= 1.0 - params_.beta * (1.0 - params_.t_high_us / rtt);
+  } else if (gradient <= 0) {
+    rate_bps_ += params_.add_step_bps;
+  } else {
+    rate_bps_ *= 1.0 - params_.beta * std::min(1.0, gradient);
+  }
+  rate_bps_ = std::max(rate_bps_, 2.0 * mss_ / 0.1);  // floor: 2 pkts / 100 ms
+  flow.update_fields(VarBindings{
+      {"rate", rate_bps_}, {"cwnd_cap", cwnd_cap_for(rate_bps_, rtt, mss_)}});
+}
+
+void Timely::on_urgent(FlowControl& flow, ipc::UrgentKind kind, const Measurement&) {
+  if (kind == ipc::UrgentKind::Timeout) {
+    rate_bps_ = std::max(rate_bps_ * 0.5, 2.0 * mss_ / 0.1);
+    flow.update_fields(VarBindings{
+        {"rate", rate_bps_},
+        {"cwnd_cap", cwnd_cap_for(rate_bps_, prev_rtt_us_, mss_)}});
+  }
+}
+
+}  // namespace ccp::algorithms

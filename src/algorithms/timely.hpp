@@ -1,0 +1,40 @@
+// TIMELY (Mittal et al., SIGCOMM 2015) as a CCP algorithm: RTT-gradient
+// rate control (Table 1 row "Timely": measures RTT, controls Rate).
+#pragma once
+
+#include "algorithms/common.hpp"
+
+namespace ccp::algorithms {
+
+struct TimelyParams {
+  double t_low_us = 500;       // below: additive increase
+  double t_high_us = 5000;     // above: multiplicative decrease
+  double add_step_bps = 1.25e6 / 8 * 10;  // additive increment (bytes/s)
+  double beta = 0.8;           // multiplicative decrease factor
+  double ewma_alpha = 0.3;     // rtt-diff smoothing
+};
+
+class Timely final : public Algorithm {
+ public:
+  explicit Timely(const FlowInfo& info, TimelyParams params = {});
+
+  std::string_view name() const override { return "timely"; }
+  AlgorithmTraits traits() const override { return {{"RTT"}, {"Rate"}}; }
+
+  void init(FlowControl& flow) override;
+  void on_measurement(FlowControl& flow, const Measurement& m) override;
+  void on_urgent(FlowControl& flow, ipc::UrgentKind kind,
+                 const Measurement& m) override;
+
+  double rate_bps() const { return rate_bps_; }
+
+ private:
+  TimelyParams params_;
+  double mss_;
+  double rate_bps_;
+  double prev_rtt_us_ = 0;
+  double rtt_diff_us_ = 0;
+  double min_rtt_us_ = 1e9;
+};
+
+}  // namespace ccp::algorithms

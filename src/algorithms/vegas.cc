@@ -1,0 +1,151 @@
+#include "algorithms/vegas.hpp"
+
+#include <algorithm>
+
+namespace ccp::algorithms {
+namespace {
+
+/// The fold-function program from §2.4: the datapath tracks the minimum
+/// RTT and accumulates the window increment `delta` (in packets) per ACK.
+/// $cwnd, $alpha, $beta, and $baseRtt are bound by the agent.
+///
+/// inQ = (rtt - baseRtt) * cwnd_pkts / baseRtt, the Vegas queue estimate.
+constexpr const char* kVegasFoldProgram = R"(
+fold {
+  baseRtt := if(Pkt.rtt > 0, min(baseRtt, Pkt.rtt), baseRtt) init $baseRtt;
+  volatile delta :=
+      if((Pkt.rtt - baseRtt) * ($cwnd / Pkt.mss) / baseRtt < $alpha,
+         delta + 1,
+         if((Pkt.rtt - baseRtt) * ($cwnd / Pkt.mss) / baseRtt > $beta,
+            delta - 1,
+            delta))
+      init 0;
+  volatile loss    := loss + Pkt.lost               init 0 urgent;
+  volatile timeout := max(timeout, Pkt.was_timeout) init 0 urgent;
+}
+control {
+  Cwnd($cwnd);
+  WaitRtts(1.0);
+  Report();
+}
+)";
+
+/// Vector mode: the datapath only needs to time reports; all computation
+/// happens in the agent over the raw samples.
+constexpr const char* kVegasVectorProgram = R"(
+fold {
+  volatile loss    := loss + Pkt.lost               init 0 urgent;
+  volatile timeout := max(timeout, Pkt.was_timeout) init 0 urgent;
+}
+control {
+  Cwnd($cwnd);
+  WaitRtts(1.0);
+  Report();
+}
+)";
+
+}  // namespace
+
+// --- fold variant ---
+
+VegasFold::VegasFold(const FlowInfo& info, VegasParams params)
+    : mss_(info.mss),
+      cwnd_(static_cast<double>(info.init_cwnd_bytes > 0 ? info.init_cwnd_bytes
+                                                         : 10 * info.mss)),
+      params_(params) {}
+
+void VegasFold::install(FlowControl& flow) {
+  flow.install_text(kVegasFoldProgram,
+                    VarBindings{{"cwnd", cwnd_},
+                                {"alpha", params_.alpha},
+                                {"beta", params_.beta},
+                                {"baseRtt", base_rtt_us_}});
+}
+
+void VegasFold::init(FlowControl& flow) { install(flow); }
+
+void VegasFold::on_measurement(FlowControl& flow, const Measurement& m) {
+  double delta;
+  if (m.has("delta")) {
+    // The datapath did the per-ACK work (the §2.4 fold program).
+    delta = m.get("delta");
+    base_rtt_us_ = std::min(base_rtt_us_, m.get("baseRtt", base_rtt_us_));
+  } else {
+    // Capability fallback: a limited datapath (no fold programs) only
+    // reports smoothed RTT statistics; compute the queue estimate in
+    // user space from those. Coarser — one sample per RTT instead of
+    // per ACK — but the same control law.
+    const double rtt = m.get("rtt");
+    const double minrtt = m.get("minrtt");
+    if (rtt <= 0) return;
+    if (minrtt > 0) base_rtt_us_ = std::min(base_rtt_us_, minrtt);
+    if (base_rtt_us_ >= 1e9) return;
+    const double in_queue =
+        (rtt - base_rtt_us_) * (cwnd_ / mss_) / base_rtt_us_;
+    delta = in_queue < params_.alpha ? 1 : in_queue > params_.beta ? -1 : 0;
+  }
+  // Apply the *sign* of the adjustment: Vegas proper moves the window by
+  // one segment per RTT (tcp_vegas.c does the same). Applying the raw
+  // per-ACK sum in one per-RTT chunk, as a naive reading of the §2.4
+  // listing would, oscillates: every sample in the batch predates the
+  // previous window change. See DESIGN.md.
+  if (delta > 0) cwnd_ += mss_;
+  else if (delta < 0) cwnd_ -= mss_;
+  cwnd_ = std::max(cwnd_, 2.0 * mss_);
+  flow.update_fields(VarBindings{{"cwnd", cwnd_}, {"baseRtt", base_rtt_us_}});
+}
+
+void VegasFold::on_urgent(FlowControl& flow, ipc::UrgentKind kind,
+                          const Measurement&) {
+  if (kind == ipc::UrgentKind::Loss || kind == ipc::UrgentKind::Timeout) {
+    cwnd_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+    flow.set_cwnd(cwnd_);  // immediate, then rebind
+    flow.update_fields(VarBindings{{"cwnd", cwnd_}});
+  }
+}
+
+// --- vector variant ---
+
+VegasVector::VegasVector(const FlowInfo& info, VegasParams params)
+    : mss_(info.mss),
+      cwnd_(static_cast<double>(info.init_cwnd_bytes > 0 ? info.init_cwnd_bytes
+                                                         : 10 * info.mss)),
+      params_(params) {}
+
+void VegasVector::init(FlowControl& flow) {
+  flow.set_vector_mode(true);
+  flow.install_text(kVegasVectorProgram, VarBindings{{"cwnd", cwnd_}});
+}
+
+void VegasVector::on_measurement(FlowControl& flow, const Measurement& m) {
+  // The paper's §2.4 vector listing, one iteration per raw ACK sample,
+  // accumulating the adjustment; applied once per RTT (sign rule, same
+  // as the fold variant — see VegasFold::on_measurement).
+  double delta = 0;
+  for (const agent::PktSample& p : m.samples()) {
+    if (p.rtt_us <= 0) continue;
+    base_rtt_us_ = std::min(base_rtt_us_, p.rtt_us);
+    const double in_queue =
+        (p.rtt_us - base_rtt_us_) * (cwnd_ / mss_) / base_rtt_us_;
+    if (in_queue < params_.alpha) {
+      delta += 1;
+    } else if (in_queue > params_.beta) {
+      delta -= 1;
+    }
+  }
+  if (delta > 0) cwnd_ += mss_;
+  else if (delta < 0) cwnd_ -= mss_;
+  cwnd_ = std::max(cwnd_, 2.0 * mss_);
+  flow.update_fields(VarBindings{{"cwnd", cwnd_}});
+}
+
+void VegasVector::on_urgent(FlowControl& flow, ipc::UrgentKind kind,
+                            const Measurement&) {
+  if (kind == ipc::UrgentKind::Loss || kind == ipc::UrgentKind::Timeout) {
+    cwnd_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+    flow.set_cwnd(cwnd_);  // immediate, then rebind
+    flow.update_fields(VarBindings{{"cwnd", cwnd_}});
+  }
+}
+
+}  // namespace ccp::algorithms

@@ -1,0 +1,72 @@
+// TCP Vegas in both batching styles of §2.4 of the paper.
+//
+// VegasFold pushes the queue-estimate computation *into the datapath* as
+// a fold function: the datapath accumulates `delta` (the net window
+// adjustment) per ACK, and the agent just applies it — the paper's
+// "fold function over measurements" listing, verbatim.
+//
+// VegasVector asks the datapath for the raw per-ACK vector and runs the
+// same loop in user space — the paper's "vector of measurements" listing.
+//
+// Both must compute identical windows on identical traces; a property
+// test asserts that equivalence.
+#pragma once
+
+#include "algorithms/common.hpp"
+
+namespace ccp::algorithms {
+
+/// Shared Vegas parameters (packets of queueing): increase below alpha,
+/// decrease above beta.
+struct VegasParams {
+  double alpha = 2.0;
+  double beta = 4.0;
+};
+
+class VegasFold final : public Algorithm {
+ public:
+  explicit VegasFold(const FlowInfo& info, VegasParams params = {});
+
+  std::string_view name() const override { return "vegas"; }
+  AlgorithmTraits traits() const override { return {{"RTT"}, {"CWND"}}; }
+
+  void init(FlowControl& flow) override;
+  void on_measurement(FlowControl& flow, const Measurement& m) override;
+  void on_urgent(FlowControl& flow, ipc::UrgentKind kind,
+                 const Measurement& m) override;
+
+  double cwnd_bytes() const { return cwnd_; }
+  double base_rtt_us() const { return base_rtt_us_; }
+
+ private:
+  void install(FlowControl& flow);
+
+  double mss_;
+  double cwnd_;
+  VegasParams params_;
+  double base_rtt_us_ = 1e9;
+};
+
+class VegasVector final : public Algorithm {
+ public:
+  explicit VegasVector(const FlowInfo& info, VegasParams params = {});
+
+  std::string_view name() const override { return "vegas_vector"; }
+  AlgorithmTraits traits() const override { return {{"RTT"}, {"CWND"}}; }
+
+  void init(FlowControl& flow) override;
+  void on_measurement(FlowControl& flow, const Measurement& m) override;
+  void on_urgent(FlowControl& flow, ipc::UrgentKind kind,
+                 const Measurement& m) override;
+
+  double cwnd_bytes() const { return cwnd_; }
+  double base_rtt_us() const { return base_rtt_us_; }
+
+ private:
+  double mss_;
+  double cwnd_;
+  VegasParams params_;
+  double base_rtt_us_ = 1e9;
+};
+
+}  // namespace ccp::algorithms

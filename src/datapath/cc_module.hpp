@@ -1,0 +1,31 @@
+// The datapath-facing congestion control interface.
+//
+// The simulator's TCP sender drives whatever implements this: either a
+// native in-datapath algorithm (the paper's baseline — what the Linux
+// kernel does today) or a CcpFlow, which forwards measurements to the
+// user-space agent and enforces whatever the agent programs.
+#pragma once
+
+#include <cstdint>
+
+#include "datapath/events.hpp"
+
+namespace ccp::datapath {
+
+class CcModule {
+ public:
+  virtual ~CcModule() = default;
+
+  virtual void on_ack(const AckEvent& ev) = 0;
+  virtual void on_loss(const LossEvent& ev) = 0;
+  virtual void on_timeout(const TimeoutEvent& ev) = 0;
+  virtual void on_send(const SendEvent& ev) = 0;
+  virtual void tick(TimePoint now) = 0;
+
+  /// Bytes allowed in flight.
+  virtual uint64_t cwnd_bytes() const = 0;
+  /// Pacing rate in bytes/sec; 0 disables pacing (window-limited only).
+  virtual double pacing_rate_bps() const = 0;
+};
+
+}  // namespace ccp::datapath

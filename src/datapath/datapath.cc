@@ -1,0 +1,119 @@
+#include "datapath/datapath.hpp"
+
+#include "lang/error.hpp"
+#include "util/logging.hpp"
+
+namespace ccp::datapath {
+
+CcpDatapath::CcpDatapath(DatapathConfig config, FrameTx tx)
+    : config_(config), tx_(std::move(tx)) {}
+
+CcpFlow& CcpDatapath::create_flow(const FlowConfig& cfg, const std::string& alg_hint,
+                                  TimePoint now) {
+  const ipc::FlowId id = next_flow_id_++;
+  auto sink = [this, id](ipc::Message msg, bool urgent) {
+    // `oldest_pending_` needs a timestamp; flows stamp messages via the
+    // enqueue path below with the time of their triggering event. We use
+    // the flow's last event time implicitly: enqueue() receives it from
+    // tick()/on_ack() callers through the flow; here we approximate with
+    // the batcher's own clock, which tick() keeps fresh.
+    enqueue(std::move(msg), urgent, last_event_time_);
+  };
+  auto flow = std::make_unique<CcpFlow>(id, cfg, std::move(sink));
+  CcpFlow& ref = *flow;
+  flows_.emplace(id, std::move(flow));
+
+  ipc::CreateMsg create;
+  create.flow_id = id;
+  create.init_cwnd_bytes = static_cast<uint32_t>(cfg.init_cwnd_bytes);
+  create.mss = cfg.mss;
+  create.alg_hint = alg_hint;
+  enqueue(create, /*urgent=*/true, now);
+  return ref;
+}
+
+void CcpDatapath::close_flow(ipc::FlowId id, TimePoint now) {
+  if (flows_.erase(id) > 0) {
+    enqueue(ipc::FlowCloseMsg{id}, /*urgent=*/true, now);
+  }
+}
+
+CcpFlow* CcpDatapath::flow(ipc::FlowId id) {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? nullptr : it->second.get();
+}
+
+void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
+  ++stats_.frames_received;
+  std::vector<ipc::Message> msgs;
+  try {
+    msgs = ipc::decode_frame(frame);
+  } catch (const ipc::WireError& e) {
+    ++stats_.decode_errors;
+    CCP_WARN("datapath: dropping malformed frame: %s", e.what());
+    return;
+  }
+  for (const auto& msg : msgs) {
+    ++stats_.msgs_received;
+    std::visit(
+        [&](const auto& m) {
+          using T = std::decay_t<decltype(m)>;
+          if constexpr (std::is_same_v<T, ipc::InstallMsg>) {
+            if (CcpFlow* fl = flow(m.flow_id)) {
+              try {
+                fl->install(m, now);
+              } catch (const lang::ProgramError& e) {
+                ++stats_.install_errors;
+                CCP_WARN("datapath: rejecting program for flow %u: %s", m.flow_id,
+                         e.what());
+              }
+            }
+          } else if constexpr (std::is_same_v<T, ipc::UpdateFieldsMsg>) {
+            if (CcpFlow* fl = flow(m.flow_id)) {
+              try {
+                fl->update_fields(m, now);
+              } catch (const lang::ProgramError& e) {
+                ++stats_.install_errors;
+                CCP_WARN("datapath: bad update_fields for flow %u: %s", m.flow_id,
+                         e.what());
+              }
+            }
+          } else if constexpr (std::is_same_v<T, ipc::DirectControlMsg>) {
+            if (CcpFlow* fl = flow(m.flow_id)) fl->direct_control(m, now);
+          } else {
+            CCP_WARN("datapath: unexpected message type %d from agent",
+                     static_cast<int>(ipc::message_type(ipc::Message(m))));
+          }
+        },
+        msg);
+  }
+}
+
+void CcpDatapath::tick(TimePoint now) {
+  last_event_time_ = now;
+  for (auto& [id, flow] : flows_) flow->tick(now);
+  if (!pending_.empty() && now - oldest_pending_ >= config_.flush_interval) {
+    flush();
+  }
+}
+
+void CcpDatapath::enqueue(ipc::Message msg, bool urgent, TimePoint now) {
+  if (pending_.empty()) oldest_pending_ = now;
+  pending_.push_back(std::move(msg));
+  if (urgent || config_.flush_interval.is_zero() ||
+      pending_.size() >= config_.max_batch_msgs) {
+    flush();
+  }
+}
+
+void CcpDatapath::flush() {
+  if (pending_.empty()) return;
+  auto frame = ipc::encode_frame(pending_);
+  stats_.msgs_sent += pending_.size();
+  stats_.bytes_sent += frame.size();
+  ++stats_.frames_sent;
+  pending_.clear();
+  tx_(std::move(frame));
+}
+
+}  // namespace ccp::datapath

@@ -1,0 +1,80 @@
+// The CCP datapath object: owns all flows on one host, batches their
+// outgoing messages into frames, and dispatches the agent's commands.
+//
+// Transport-agnostic by design: outgoing frames go through a FrameTx
+// callback and incoming frames arrive via handle_frame(). The simulator
+// wires these through its event queue (with a modeled IPC delay); real
+// deployments wire them to an ipc::Transport (see TransportDriver).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "datapath/flow.hpp"
+#include "ipc/wire.hpp"
+#include "util/time.hpp"
+
+namespace ccp::datapath {
+
+struct DatapathConfig {
+  /// How long batched (non-urgent) messages may sit before a flush.
+  /// Zero = send every message in its own frame immediately.
+  Duration flush_interval = Duration::zero();
+  /// Flush regardless of age once this many messages are pending.
+  size_t max_batch_msgs = 64;
+};
+
+struct DatapathStats {
+  uint64_t frames_sent = 0;
+  uint64_t msgs_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t frames_received = 0;
+  uint64_t msgs_received = 0;
+  uint64_t decode_errors = 0;
+  uint64_t install_errors = 0;
+};
+
+class CcpDatapath {
+ public:
+  using FrameTx = std::function<void(std::vector<uint8_t>)>;
+
+  CcpDatapath(DatapathConfig config, FrameTx tx);
+
+  /// Registers a flow and announces it to the agent.
+  CcpFlow& create_flow(const FlowConfig& cfg, const std::string& alg_hint,
+                       TimePoint now);
+  void close_flow(ipc::FlowId id, TimePoint now);
+  CcpFlow* flow(ipc::FlowId id);
+
+  /// Feeds one frame from the agent. Malformed frames and bad programs
+  /// are counted and dropped — never fatal (§5).
+  void handle_frame(std::span<const uint8_t> frame, TimePoint now);
+
+  /// Periodic maintenance: advances every flow's control program and
+  /// flushes aged batches. Call at least every flush_interval.
+  void tick(TimePoint now);
+
+  /// Sends everything pending now.
+  void flush();
+
+  const DatapathStats& stats() const { return stats_; }
+  size_t num_flows() const { return flows_.size(); }
+
+ private:
+  void enqueue(ipc::Message msg, bool urgent, TimePoint now);
+
+  DatapathConfig config_;
+  FrameTx tx_;
+  std::map<ipc::FlowId, std::unique_ptr<CcpFlow>> flows_;
+  ipc::FlowId next_flow_id_ = 1;
+  std::vector<ipc::Message> pending_;
+  TimePoint oldest_pending_{};
+  TimePoint last_event_time_{};  // freshest tick time, stamps sink messages
+  DatapathStats stats_;
+};
+
+}  // namespace ccp::datapath

@@ -1,0 +1,369 @@
+#include "datapath/flow.hpp"
+
+#include <algorithm>
+
+#include "lang/error.hpp"
+#include "util/logging.hpp"
+
+namespace ccp::datapath {
+namespace {
+
+/// The program a flow runs before the agent installs anything: report the
+/// standard statistics once per RTT. This mirrors the paper's §3
+/// prototype datapath, which "reports only the most recent ACK and an
+/// EWMA-filtered RTT, sending rate, and receiving rate".
+constexpr const char* kDefaultProgram = R"(
+fold {
+  volatile acked   := acked + Pkt.bytes_acked          init 0;
+  rtt              := ewma(rtt, Pkt.rtt, 0.125)        init 0;
+  minrtt           := if(Pkt.rtt > 0, min(minrtt, Pkt.rtt), minrtt) init 0x7fffffff;
+  snd              := Pkt.snd_rate                     init 0;
+  rcv              := Pkt.rcv_rate                     init 0;
+  volatile loss    := loss + Pkt.lost                  init 0 urgent;
+  volatile timeout := max(timeout, Pkt.was_timeout)    init 0 urgent;
+  volatile ecn     := ecn + Pkt.ecn                    init 0;
+  inflight         := Pkt.bytes_in_flight              init 0;
+}
+control {
+  WaitRtts(1.0);
+  Report();
+}
+)";
+
+/// Watchdog fallback (§5): complete AIMD congestion control expressed in
+/// the fold language, needing no agent round trips at all. Per ACK the
+/// `win` register grows additively (one MSS per window) and halves on
+/// loss; RTOs collapse it. The control block applies it once per RTT.
+constexpr const char* kFallbackProgram = R"(
+fold {
+  win := if(Pkt.was_timeout > 0,
+            2 * Pkt.mss,
+            if(Pkt.lost > 0,
+               max(win * 0.5, 2 * Pkt.mss),
+               win + Pkt.bytes_acked * Pkt.mss / win))
+         init $init_cwnd;
+  volatile loss := loss + Pkt.lost init 0;
+  rtt := ewma(rtt, Pkt.rtt, 0.125) init 0;
+}
+control {
+  Cwnd(win);
+  WaitRtts(1.0);
+  Report();
+}
+)";
+
+}  // namespace
+
+CcpFlow::CcpFlow(ipc::FlowId id, FlowConfig config, MessageSink sink)
+    : id_(id),
+      config_(config),
+      sink_(std::move(sink)),
+      cwnd_bytes_(config.init_cwnd_bytes),
+      cwnd_target_bytes_(config.init_cwnd_bytes),
+      snd_rate_(config.rate_window),
+      rcv_rate_(config.rate_window) {
+  program_ = std::make_unique<lang::CompiledProgram>(
+      lang::compile_text(kDefaultProgram));
+  fold_.install(program_.get(), {});
+}
+
+Duration CcpFlow::srtt() const {
+  return Duration::from_nanos(static_cast<int64_t>(srtt_us_.value() * 1000.0));
+}
+
+Duration CcpFlow::rtt_or_default() const {
+  if (srtt_us_.initialized() && srtt_us_.value() > 0) return srtt();
+  return config_.default_report_interval;
+}
+
+lang::PktInfo CcpFlow::make_pkt_info(const AckEvent& ev) const {
+  lang::PktInfo pkt;
+  pkt.rtt_us = ev.rtt_sample.is_zero()
+                   ? srtt_us_.value()
+                   : static_cast<double>(ev.rtt_sample.micros());
+  pkt.bytes_acked = static_cast<double>(ev.bytes_acked);
+  pkt.packets_acked = static_cast<double>(ev.packets_acked);
+  pkt.lost_packets = static_cast<double>(ev.newly_lost_packets);
+  pkt.ecn = ev.ecn ? 1.0 : 0.0;
+  pkt.was_timeout = 0.0;
+  pkt.snd_rate_bps = snd_rate_.rate_bps(ev.now);
+  pkt.rcv_rate_bps = rcv_rate_.rate_bps(ev.now);
+  pkt.bytes_in_flight = static_cast<double>(ev.bytes_in_flight);
+  pkt.packets_in_flight = static_cast<double>(ev.packets_in_flight);
+  pkt.bytes_pending = static_cast<double>(ev.bytes_pending);
+  pkt.now_us = static_cast<double>(ev.now.nanos()) / 1000.0;
+  pkt.mss = static_cast<double>(config_.mss);
+  pkt.cwnd = static_cast<double>(cwnd_bytes_);
+  pkt.rate_bps = rate_bps_;
+  return pkt;
+}
+
+void CcpFlow::on_send(const SendEvent& ev) { snd_rate_.on_bytes(ev.bytes, ev.now); }
+
+void CcpFlow::on_ack(const AckEvent& ev) {
+  // Delivery/sending rates are most meaningful over roughly one RTT
+  // (BBR-style delivery rate sampling); adapt the estimator horizon.
+  if (srtt_us_.initialized()) {
+    const Duration window =
+        std::max(srtt(), Duration::from_millis(1));
+    snd_rate_.set_window(window);
+    rcv_rate_.set_window(window);
+  }
+  if (config_.smooth_cwnd && cwnd_target_bytes_ > cwnd_bytes_) {
+    // Open the window by at most the bytes this ACK freed: the ramp is
+    // ACK-clocked, so the instantaneous send rate never exceeds 2x the
+    // bottleneck (classic slow-start pacing, never a window-sized burst).
+    cwnd_bytes_ = std::min(cwnd_target_bytes_, cwnd_bytes_ + ev.bytes_acked);
+  }
+  if (!ev.rtt_sample.is_zero()) {
+    const double rtt_us = static_cast<double>(ev.rtt_sample.micros());
+    srtt_us_.update(rtt_us);
+    min_rtt_us_.update(rtt_us, ev.now);
+  }
+  rcv_rate_.on_bytes(ev.bytes_delivered > 0 ? ev.bytes_delivered : ev.bytes_acked,
+                     ev.now);
+
+  const lang::PktInfo pkt = make_pkt_info(ev);
+  if (vector_mode_) {
+    vector_samples_.insert(vector_samples_.end(),
+                           {pkt.rtt_us, pkt.bytes_acked, pkt.lost_packets, pkt.ecn,
+                            pkt.snd_rate_bps, pkt.rcv_rate_bps});
+  }
+  fold_event(pkt, ev.now);
+}
+
+void CcpFlow::on_loss(const LossEvent& ev) {
+  lang::PktInfo pkt;
+  pkt.rtt_us = srtt_us_.value();
+  pkt.lost_packets = static_cast<double>(ev.lost_packets);
+  pkt.snd_rate_bps = snd_rate_.rate_bps(ev.now);
+  pkt.rcv_rate_bps = rcv_rate_.rate_bps(ev.now);
+  pkt.bytes_in_flight = static_cast<double>(ev.bytes_in_flight);
+  pkt.now_us = static_cast<double>(ev.now.nanos()) / 1000.0;
+  pkt.mss = static_cast<double>(config_.mss);
+  pkt.cwnd = static_cast<double>(cwnd_bytes_);
+  pkt.rate_bps = rate_bps_;
+  fold_event(pkt, ev.now);
+}
+
+void CcpFlow::on_timeout(const TimeoutEvent& ev) {
+  lang::PktInfo pkt;
+  pkt.rtt_us = srtt_us_.value();
+  pkt.was_timeout = 1.0;
+  pkt.now_us = static_cast<double>(ev.now.nanos()) / 1000.0;
+  pkt.mss = static_cast<double>(config_.mss);
+  pkt.cwnd = static_cast<double>(cwnd_bytes_);
+  pkt.rate_bps = rate_bps_;
+  fold_event(pkt, ev.now);
+}
+
+void CcpFlow::fold_event(const lang::PktInfo& pkt, TimePoint now) {
+  last_pkt_ = pkt;
+  ++acks_since_report_;
+  ++acks_folded_total_;
+  check_watchdog(now);
+  const bool urgent = fold_.on_packet(pkt);
+  // Damping: at most one urgent notification per report interval. During
+  // a large loss episode every ACK can mark new losses; the agent only
+  // needs to hear about the episode once per control period (its own
+  // response cadence, §2.3), not once per ACK.
+  if (urgent && !urgent_since_report_) {
+    urgent_since_report_ = true;
+    emit_urgent(pkt.was_timeout != 0.0  ? ipc::UrgentKind::Timeout
+                : pkt.lost_packets > 0  ? ipc::UrgentKind::Loss
+                : pkt.ecn != 0.0        ? ipc::UrgentKind::Ecn
+                                        : ipc::UrgentKind::FoldUrgent);
+  }
+  run_control(now);
+}
+
+void CcpFlow::tick(TimePoint now) {
+  check_watchdog(now);
+  run_control(now);
+}
+
+void CcpFlow::check_watchdog(TimePoint now) {
+  if (config_.agent_timeout.is_zero() || !agent_has_programmed_ || in_fallback_) {
+    return;
+  }
+  if (now - last_agent_contact_ > config_.agent_timeout) {
+    CCP_WARN("flow %u: agent silent for %lld ms; engaging datapath fallback",
+             id_, static_cast<long long>((now - last_agent_contact_).millis()));
+    enter_fallback(now);
+  }
+}
+
+void CcpFlow::enter_fallback(TimePoint now) {
+  ipc::InstallMsg msg;
+  msg.flow_id = id_;
+  msg.program_text = kFallbackProgram;
+  msg.var_names = {"init_cwnd"};
+  // Resume conservatively from half the current window.
+  msg.var_values = {std::max(static_cast<double>(cwnd_bytes_) / 2.0,
+                             2.0 * config_.mss)};
+  install(msg, now);
+  // install() clears the fallback/agent state; restore the flag so the
+  // agent reclaims the flow on its next command.
+  in_fallback_ = true;
+  agent_has_programmed_ = false;
+}
+
+void CcpFlow::run_control(TimePoint now) {
+  if (program_ == nullptr || program_->control_ops.empty()) return;
+  if (waiting_) {
+    if (now < wait_until_) return;
+    waiting_ = false;
+    if (advance_pc_on_resume_) {
+      ++control_pc_;
+      if (control_pc_ >= program_->control_ops.size()) control_pc_ = 0;
+    }
+  }
+
+  // Execute until we hit a Wait. A full loop without any Wait means the
+  // program gave no cadence; impose one RTT so it cannot spin (the paper's
+  // natural control timescale, §2.3).
+  size_t executed = 0;
+  const size_t n = program_->control_ops.size();
+  while (!waiting_) {
+    if (executed++ >= n) {
+      waiting_ = true;
+      advance_pc_on_resume_ = false;  // resume from this pc, don't skip it
+      wait_until_ = now + rtt_or_default();
+      return;
+    }
+    const auto op = program_->control_ops[control_pc_];
+    switch (op) {
+      case lang::ControlInstr::Op::SetRate:
+        set_rate(fold_.eval_control_arg(control_pc_, last_pkt_));
+        break;
+      case lang::ControlInstr::Op::SetCwnd:
+        set_cwnd(fold_.eval_control_arg(control_pc_, last_pkt_));
+        break;
+      case lang::ControlInstr::Op::Wait: {
+        const double us = fold_.eval_control_arg(control_pc_, last_pkt_);
+        waiting_ = true;
+        advance_pc_on_resume_ = true;
+        wait_until_ =
+            now + Duration::from_nanos(static_cast<int64_t>(std::max(0.0, us) * 1000));
+        return;  // pc advances when the wait expires
+      }
+      case lang::ControlInstr::Op::WaitRtts: {
+        const double rtts = fold_.eval_control_arg(control_pc_, last_pkt_);
+        waiting_ = true;
+        advance_pc_on_resume_ = true;
+        wait_until_ = now + rtt_or_default() * std::max(0.0, rtts);
+        return;
+      }
+      case lang::ControlInstr::Op::Report:
+        emit_report(now);
+        break;
+    }
+    ++control_pc_;
+    if (control_pc_ >= n) control_pc_ = 0;
+  }
+}
+
+void CcpFlow::emit_report(TimePoint now) {
+  (void)now;
+  ipc::MeasurementMsg msg;
+  msg.flow_id = id_;
+  msg.report_seq = report_seq_++;
+  msg.num_acks_folded = acks_since_report_;
+  if (vector_mode_) {
+    msg.is_vector = true;
+    msg.fields = std::move(vector_samples_);
+    vector_samples_.clear();
+  } else {
+    msg.fields = fold_.state();
+  }
+  sink_(std::move(msg), /*urgent=*/false);
+  fold_.reset_volatile();
+  acks_since_report_ = 0;
+  urgent_since_report_ = false;
+}
+
+void CcpFlow::emit_urgent(ipc::UrgentKind kind) {
+  ipc::UrgentMsg msg;
+  msg.flow_id = id_;
+  msg.kind = kind;
+  msg.fields = fold_.state();
+  sink_(std::move(msg), /*urgent=*/true);
+}
+
+void CcpFlow::set_cwnd(double bytes) {
+  const double clamped =
+      std::clamp(bytes, static_cast<double>(config_.min_cwnd_bytes),
+                 static_cast<double>(config_.max_cwnd_bytes));
+  const uint64_t target = static_cast<uint64_t>(clamped);
+  cwnd_target_bytes_ = target;
+  if (!config_.smooth_cwnd || target <= cwnd_bytes_) {
+    // Decreases (and everything when smoothing is off) apply immediately.
+    cwnd_bytes_ = target;
+  }
+  // Increases ramp ACK-clocked in on_ack() (§3: "smooth congestion
+  // window transitions in the datapath to avoid packet bursts").
+}
+
+void CcpFlow::set_rate(double bps) {
+  rate_bps_ = std::max(0.0, bps);
+}
+
+void CcpFlow::install(const ipc::InstallMsg& msg, TimePoint now) {
+  // Compile first: if the program is malformed we throw and the previous
+  // program keeps running (§5 safety: a bad Install cannot brick a flow).
+  auto compiled =
+      std::make_unique<lang::CompiledProgram>(lang::compile_text(msg.program_text));
+
+  // Bind variables by name so callers can pass them in any order.
+  std::vector<double> var_values(compiled->num_vars(), 0.0);
+  for (size_t i = 0; i < msg.var_names.size() && i < msg.var_values.size(); ++i) {
+    const int idx = compiled->var_index(msg.var_names[i]);
+    if (idx < 0) {
+      throw lang::ProgramError("install: program has no variable $" + msg.var_names[i]);
+    }
+    var_values[static_cast<size_t>(idx)] = msg.var_values[i];
+  }
+  for (const auto& name : compiled->var_names) {
+    const bool bound =
+        std::find(msg.var_names.begin(), msg.var_names.end(), name) != msg.var_names.end();
+    if (!bound) {
+      throw lang::ProgramError("install: variable $" + name + " left unbound");
+    }
+  }
+
+  program_ = std::move(compiled);
+  fold_.install(program_.get(), std::move(var_values));
+  control_pc_ = 0;
+  waiting_ = false;
+  acks_since_report_ = 0;
+  vector_mode_ = msg.vector_mode;
+  vector_samples_.clear();
+  agent_has_programmed_ = true;
+  in_fallback_ = false;
+  last_agent_contact_ = now;
+  run_control(now);
+}
+
+void CcpFlow::update_fields(const ipc::UpdateFieldsMsg& msg, TimePoint now) {
+  if (program_ == nullptr) return;
+  last_agent_contact_ = now;
+  in_fallback_ = false;
+  if (msg.var_values.size() != program_->num_vars()) {
+    // Stale update racing an in-flight Install (the agent swapped
+    // programs while this message crossed the IPC boundary): drop it;
+    // the agent's next update will match the new program.
+    CCP_DEBUG("flow %u: dropping stale update_fields (%zu values, program has %zu)",
+              id_, msg.var_values.size(), program_->num_vars());
+    return;
+  }
+  fold_.update_vars(msg.var_values);
+}
+
+void CcpFlow::direct_control(const ipc::DirectControlMsg& msg, TimePoint now) {
+  last_agent_contact_ = now;
+  in_fallback_ = false;
+  if (msg.cwnd_bytes.has_value()) set_cwnd(*msg.cwnd_bytes);
+  if (msg.rate_bps.has_value()) set_rate(*msg.rate_bps);
+}
+
+}  // namespace ccp::datapath

@@ -1,0 +1,158 @@
+// Per-flow CCP datapath state machine.
+//
+// This is the paper's "modification to the datapath" (§2): it enforces
+// the congestion window and pacing rate received from the agent, gathers
+// per-ACK statistics, folds them through the installed program, executes
+// the control program's Rate/Cwnd/Wait/WaitRtts/Report sequence in the
+// datapath itself, and emits batched Measurement and immediate Urgent
+// messages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "datapath/cc_module.hpp"
+#include "datapath/events.hpp"
+#include "ipc/message.hpp"
+#include "lang/compiler.hpp"
+#include "lang/vm.hpp"
+#include "util/ewma.hpp"
+#include "util/rate_estimator.hpp"
+#include "util/time.hpp"
+#include "util/windowed_filter.hpp"
+
+namespace ccp::datapath {
+
+/// Configuration for one flow.
+struct FlowConfig {
+  uint32_t mss = 1500;
+  uint64_t init_cwnd_bytes = 10 * 1500;  // RFC 6928 initial window
+  uint64_t min_cwnd_bytes = 2 * 1500;
+  uint64_t max_cwnd_bytes = 1ULL << 30;
+  Duration rate_window = Duration::from_millis(100);  // rate estimator horizon
+  Duration default_report_interval = Duration::from_millis(10);  // pre-RTT fallback
+
+  /// Smooth congestion window transitions (§3 future work, implemented):
+  /// a cwnd *increase* from the agent becomes a target that the datapath
+  /// approaches ACK-clocked (cwnd += bytes_acked per ACK, i.e. at most
+  /// doubling per RTT), instead of a single burst-inducing jump.
+  /// Decreases always apply immediately. The ablation bench
+  /// (bench_ablation_smoothing) quantifies what this buys.
+  bool smooth_cwnd = true;
+
+  /// Safety watchdog (§5 "Is CCP safe to deploy?"): if the agent goes
+  /// silent for this long while a non-default program is installed, the
+  /// datapath falls back to a self-contained AIMD program that needs no
+  /// agent at all (the fold registers run the whole control law — §5's
+  /// "synthesize the congestion controller into the datapath"). Zero
+  /// disables the watchdog.
+  Duration agent_timeout = Duration::zero();
+};
+
+/// Sink for messages the flow wants delivered to the agent. `urgent`
+/// requests immediate flush (bypassing the batcher).
+using MessageSink = std::function<void(ipc::Message, bool urgent)>;
+
+class CcpFlow final : public CcModule {
+ public:
+  CcpFlow(ipc::FlowId id, FlowConfig config, MessageSink sink);
+
+  // --- stack-facing API (the datapath contract, §2.1) ---
+
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(const LossEvent& ev) override;
+  void on_timeout(const TimeoutEvent& ev) override;
+  void on_send(const SendEvent& ev) override;
+
+  /// Advances time-based control-program waits even when no ACKs arrive.
+  void tick(TimePoint now) override;
+
+  /// Current enforcement values the stack must obey.
+  uint64_t cwnd_bytes() const override { return cwnd_bytes_; }
+  /// 0 means "no pacing" (window-limited only).
+  double pacing_rate_bps() const override { return rate_bps_; }
+
+  // --- agent-facing API ---
+
+  /// Compiles and installs a program. Throws lang::ProgramError on a bad
+  /// program (the datapath rejects it; the old program keeps running).
+  void install(const ipc::InstallMsg& msg, TimePoint now);
+  void update_fields(const ipc::UpdateFieldsMsg& msg, TimePoint now);
+  void direct_control(const ipc::DirectControlMsg& msg, TimePoint now);
+
+  /// Switches between fold reporting and vector-of-measurements
+  /// reporting (§2.4). In vector mode the flow records one sample per
+  /// ACK and ships the raw vector at Report() time.
+  void set_vector_mode(bool enabled) { vector_mode_ = enabled; }
+  bool vector_mode() const { return vector_mode_; }
+
+  // --- introspection (tests, tracing) ---
+
+  ipc::FlowId id() const { return id_; }
+  const FlowConfig& config() const { return config_; }
+  /// True while the watchdog fallback program is driving this flow.
+  bool in_fallback() const { return in_fallback_; }
+  Duration srtt() const;
+  const lang::FoldMachine& fold() const { return fold_; }
+  uint64_t reports_sent() const { return report_seq_; }
+  uint64_t acks_folded_total() const { return acks_folded_total_; }
+
+ private:
+  void fold_event(const lang::PktInfo& pkt, TimePoint now);
+  void check_watchdog(TimePoint now);
+  void enter_fallback(TimePoint now);
+  lang::PktInfo make_pkt_info(const AckEvent& ev) const;
+  void run_control(TimePoint now);
+  void emit_report(TimePoint now);
+  void emit_urgent(ipc::UrgentKind kind);
+  void set_cwnd(double bytes);
+  void set_rate(double bps);
+  Duration rtt_or_default() const;
+
+  ipc::FlowId id_;
+  FlowConfig config_;
+  MessageSink sink_;
+
+  // Enforcement state (primitives (1) and (2) of §2.1).
+  uint64_t cwnd_bytes_;
+  uint64_t cwnd_target_bytes_;  // smooth-transition target (== cwnd if off)
+  double rate_bps_ = 0;
+
+  // Measurement state (primitive (3)).
+  Ewma srtt_us_{0.125};  // RFC 6298 gain
+  WindowedFilter<double> min_rtt_us_{FilterKind::Min, Duration::from_secs(10)};
+  RateEstimator snd_rate_;
+  RateEstimator rcv_rate_;
+
+  // Program state.
+  std::unique_ptr<lang::CompiledProgram> program_;
+  lang::FoldMachine fold_;
+  size_t control_pc_ = 0;
+  bool waiting_ = false;
+  bool advance_pc_on_resume_ = true;
+  TimePoint wait_until_{};
+  uint64_t report_seq_ = 0;
+  uint32_t acks_since_report_ = 0;
+  bool urgent_since_report_ = false;  // damping: one urgent per interval
+
+  // Watchdog state.
+  bool agent_has_programmed_ = false;  // a non-default program is active
+  bool in_fallback_ = false;
+  TimePoint last_agent_contact_{};
+  uint64_t acks_folded_total_ = 0;
+  lang::PktInfo last_pkt_;  // most recent event, for control-arg evaluation
+
+  // Vector mode (§2.4 first approach).
+  bool vector_mode_ = false;
+  std::vector<double> vector_samples_;  // flattened kVectorFieldsPerPkt per ACK
+
+ public:
+  /// Per-packet fields recorded in vector mode, in order:
+  /// rtt_us, bytes_acked, lost, ecn, snd_rate, rcv_rate.
+  static constexpr size_t kVectorFieldsPerPkt = 6;
+};
+
+}  // namespace ccp::datapath

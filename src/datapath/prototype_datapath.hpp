@@ -1,0 +1,124 @@
+// The paper's §3 prototype datapath, as a second independent datapath
+// implementation:
+//
+//   "Our datapath implementation currently does not support user-defined
+//    measurements, user specification of urgent messages, or either
+//    event vectors or general fold functions. Rather, the prototype
+//    datapath reports only the most recent ACK and an EWMA-filtered RTT,
+//    sending rate, and receiving rate."
+//
+// It cannot run programs: Install messages are counted and dropped, and
+// CreateMsg announces supports_programs = false, so the agent translates
+// algorithm decisions into per-report DirectControl commands instead
+// (§2.1: "it is also possible to support programs purely by issuing
+// commands from the CCP each RTT").
+//
+// Having two datapaths behind one agent is the "write once, run
+// everywhere" claim made executable: the same algorithm objects drive
+// both (see bench_datapath_capability and the integration tests).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "datapath/cc_module.hpp"
+#include "datapath/datapath.hpp"  // DatapathConfig
+#include "datapath/flow.hpp"      // FlowConfig, MessageSink
+#include "ipc/wire.hpp"
+#include "util/ewma.hpp"
+#include "util/rate_estimator.hpp"
+#include "util/time.hpp"
+
+namespace ccp::datapath {
+
+class PrototypeDatapath;
+
+/// One flow on the prototype datapath. Fixed measurement set, fixed
+/// per-RTT report cadence, enforcement only via direct cwnd/rate.
+class PrototypeFlow final : public CcModule {
+ public:
+  PrototypeFlow(ipc::FlowId id, FlowConfig config, MessageSink sink);
+
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(const LossEvent& ev) override;
+  void on_timeout(const TimeoutEvent& ev) override;
+  void on_send(const SendEvent& ev) override;
+  void tick(TimePoint now) override;
+
+  uint64_t cwnd_bytes() const override { return cwnd_bytes_; }
+  double pacing_rate_bps() const override { return rate_bps_; }
+
+  void direct_control(const ipc::DirectControlMsg& msg);
+
+  ipc::FlowId id() const { return id_; }
+  uint64_t reports_sent() const { return report_seq_; }
+  Duration srtt() const {
+    return Duration::from_nanos(static_cast<int64_t>(srtt_us_.value() * 1000));
+  }
+
+ private:
+  void maybe_report(TimePoint now);
+  void emit_report(TimePoint now);
+
+  ipc::FlowId id_;
+  FlowConfig config_;
+  MessageSink sink_;
+
+  uint64_t cwnd_bytes_;
+  uint64_t cwnd_target_bytes_;
+  double rate_bps_ = 0;
+
+  Ewma srtt_us_{0.125};
+  double min_rtt_us_ = 1e9;
+  RateEstimator snd_rate_;
+  RateEstimator rcv_rate_;
+
+  // Counters since the last report (the fixed "fold").
+  double acked_ = 0;
+  double acked_pkts_ = 0;
+  double marked_ = 0;
+  double loss_ = 0;
+  double timeout_ = 0;
+  double inflight_ = 0;
+
+  TimePoint next_report_{};
+  uint64_t report_seq_ = 0;
+  uint32_t acks_since_report_ = 0;
+  bool urgent_since_report_ = false;
+};
+
+/// Container + agent-facing framing for prototype flows.
+class PrototypeDatapath {
+ public:
+  using FrameTx = std::function<void(std::vector<uint8_t>)>;
+
+  PrototypeDatapath(DatapathConfig config, FrameTx tx);
+
+  PrototypeFlow& create_flow(const FlowConfig& cfg, const std::string& alg_hint,
+                             TimePoint now);
+  void close_flow(ipc::FlowId id, TimePoint now);
+  PrototypeFlow* flow(ipc::FlowId id);
+
+  /// Accepts DirectControl; counts and drops Install/UpdateFields
+  /// (unsupported by this datapath).
+  void handle_frame(std::span<const uint8_t> frame, TimePoint now);
+  void tick(TimePoint now);
+
+  uint64_t unsupported_msgs() const { return unsupported_msgs_; }
+  size_t num_flows() const { return flows_.size(); }
+
+ private:
+  void send(ipc::Message msg);
+
+  DatapathConfig config_;
+  FrameTx tx_;
+  std::map<ipc::FlowId, std::unique_ptr<PrototypeFlow>> flows_;
+  ipc::FlowId next_flow_id_ = 1;
+  uint64_t unsupported_msgs_ = 0;
+};
+
+}  // namespace ccp::datapath

@@ -1,0 +1,114 @@
+// Messages exchanged between the datapath and the CCP agent (Figure 1).
+//
+// Datapath -> agent:  Create, Measurement (batched), Urgent, FlowClose
+// Agent -> datapath:  Install (a program), UpdateFields (rebind $vars),
+//                     DirectControl (one-shot cwnd/rate override)
+//
+// Measurements carry the fold register file by position; the agent knows
+// the field names because it installed the program. This keeps the hot
+// message small and fixed-layout, like the real CCP's netlink messages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ccp::ipc {
+
+using FlowId = uint32_t;
+
+/// Why an Urgent message fired. Loss/Timeout/Ecn come from the datapath's
+/// own congestion detection; FoldUrgent means a register declared
+/// `urgent` changed (§2.1 "urgent measurements").
+enum class UrgentKind : uint8_t { Loss = 0, Timeout = 1, Ecn = 2, FoldUrgent = 3 };
+
+/// A new flow appeared in the datapath.
+struct CreateMsg {
+  FlowId flow_id = 0;
+  uint32_t init_cwnd_bytes = 0;
+  uint32_t mss = 1500;
+  uint32_t src_port = 0;
+  uint32_t dst_port = 0;
+  std::string alg_hint;  // which algorithm the host policy wants, may be empty
+
+  /// Datapath capability flag. Full datapaths compile and run installed
+  /// programs; limited ones (the paper's §3 prototype: "reports only the
+  /// most recent ACK and an EWMA-filtered RTT, sending rate, and
+  /// receiving rate") accept only DirectControl and report a fixed field
+  /// layout (prototype_field_names()). The agent translates for them —
+  /// "it is also possible to support programs purely by issuing commands
+  /// from the CCP each RTT" (§2.1).
+  bool supports_programs = true;
+};
+
+/// The fixed measurement layout limited datapaths report, in order.
+/// (Includes both "loss" and "lost" spellings so algorithms written
+/// against either name translate cleanly.)
+const std::vector<std::string>& prototype_field_names();
+
+/// One batched report: the fold register file at Report() time.
+struct MeasurementMsg {
+  FlowId flow_id = 0;
+  uint64_t report_seq = 0;  // per-flow, increments every report
+  uint32_t num_acks_folded = 0;  // how many ACKs this batch summarizes
+  bool is_vector = false;   // §2.4: raw per-ACK samples instead of fold state
+  std::vector<double> fields;    // fold registers in program order, or
+                                 // num_acks_folded * kVectorFieldsPerPkt samples
+};
+
+/// Immediate notification of a congestion event (§2.1).
+struct UrgentMsg {
+  FlowId flow_id = 0;
+  UrgentKind kind = UrgentKind::Loss;
+  std::vector<double> fields;  // fold register snapshot at the event
+};
+
+struct FlowCloseMsg {
+  FlowId flow_id = 0;
+};
+
+/// Install a new datapath program (Table 3's Install()). The program is
+/// shipped as text and compiled by the datapath, so a datapath can reject
+/// programs it cannot support.
+struct InstallMsg {
+  FlowId flow_id = 0;
+  std::string program_text;
+  std::vector<std::string> var_names;
+  std::vector<double> var_values;
+  bool vector_mode = false;  // §2.4: request per-ACK vector reports
+};
+
+/// Rebind install-time variables of the running program without resetting
+/// fold state — the cheap per-report control message.
+struct UpdateFieldsMsg {
+  FlowId flow_id = 0;
+  std::vector<double> var_values;  // positional, must match installed program
+};
+
+/// One-shot override used by simple window/rate algorithms and by agent
+/// policy enforcement (Figure 1's CWND(c) / RATE(r) arrows).
+struct DirectControlMsg {
+  FlowId flow_id = 0;
+  std::optional<double> cwnd_bytes;
+  std::optional<double> rate_bps;
+};
+
+using Message = std::variant<CreateMsg, MeasurementMsg, UrgentMsg, FlowCloseMsg,
+                             InstallMsg, UpdateFieldsMsg, DirectControlMsg>;
+
+/// Stable on-wire discriminators (never reorder).
+enum class MsgType : uint8_t {
+  Create = 1,
+  Measurement = 2,
+  Urgent = 3,
+  FlowClose = 4,
+  Install = 5,
+  UpdateFields = 6,
+  DirectControl = 7,
+};
+
+MsgType message_type(const Message& m);
+
+}  // namespace ccp::ipc

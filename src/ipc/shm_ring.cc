@@ -1,0 +1,69 @@
+#include "ipc/shm_ring.hpp"
+
+#include <cstring>
+#include <new>
+
+namespace ccp::ipc {
+
+ShmRing ShmRing::create_in(void* mem, size_t capacity) {
+  auto* hdr = new (mem) RingHeader();
+  hdr->capacity = capacity;
+  return ShmRing(hdr, static_cast<uint8_t*>(mem) + sizeof(RingHeader));
+}
+
+ShmRing ShmRing::attach(void* mem) {
+  auto* hdr = static_cast<RingHeader*>(mem);
+  return ShmRing(hdr, static_cast<uint8_t*>(mem) + sizeof(RingHeader));
+}
+
+void ShmRing::copy_in(uint64_t at, std::span<const uint8_t> src) {
+  const uint64_t cap = hdr_->capacity;
+  const uint64_t off = at & (cap - 1);
+  const uint64_t first = std::min<uint64_t>(src.size(), cap - off);
+  std::memcpy(data_ + off, src.data(), first);
+  if (first < src.size()) {
+    std::memcpy(data_, src.data() + first, src.size() - first);
+  }
+}
+
+void ShmRing::copy_out(uint64_t at, std::span<uint8_t> dst) const {
+  const uint64_t cap = hdr_->capacity;
+  const uint64_t off = at & (cap - 1);
+  const uint64_t first = std::min<uint64_t>(dst.size(), cap - off);
+  std::memcpy(dst.data(), data_ + off, first);
+  if (first < dst.size()) {
+    std::memcpy(dst.data() + first, data_, dst.size() - first);
+  }
+}
+
+bool ShmRing::push(std::span<const uint8_t> payload) {
+  const uint64_t need = 4 + payload.size();
+  const uint64_t tail = hdr_->tail.load(std::memory_order_relaxed);
+  const uint64_t head = hdr_->head.load(std::memory_order_acquire);
+  if (hdr_->capacity - (tail - head) < need) return false;
+
+  uint8_t len_bytes[4];
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(len_bytes, &len, 4);
+  copy_in(tail, len_bytes);
+  copy_in(tail + 4, payload);
+  hdr_->tail.store(tail + need, std::memory_order_release);
+  return true;
+}
+
+std::optional<std::vector<uint8_t>> ShmRing::pop() {
+  const uint64_t head = hdr_->head.load(std::memory_order_relaxed);
+  const uint64_t tail = hdr_->tail.load(std::memory_order_acquire);
+  if (tail == head) return std::nullopt;
+
+  uint8_t len_bytes[4];
+  copy_out(head, len_bytes);
+  uint32_t len;
+  std::memcpy(&len, len_bytes, 4);
+  std::vector<uint8_t> out(len);
+  copy_out(head + 4, out);
+  hdr_->head.store(head + 4 + len, std::memory_order_release);
+  return out;
+}
+
+}  // namespace ccp::ipc

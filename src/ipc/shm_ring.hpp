@@ -1,0 +1,77 @@
+// Shared-memory SPSC byte ring used by the shm transport.
+//
+// Layout in the shared mapping (one per direction):
+//
+//   [ RingHeader | data bytes ... ]
+//
+// The producer writes [u32 len][payload] records; head/tail are byte
+// offsets that only ever increase (mod 2^64) so empty/full is
+// unambiguous. Single producer, single consumer, both possibly in
+// different processes (the mapping is MAP_SHARED|MAP_ANONYMOUS, created
+// before fork()).
+//
+// This is the stand-in for the paper's Netlink channel: a syscall-free
+// data plane with an optional eventfd doorbell for blocking waits.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace ccp::ipc {
+
+struct RingHeader {
+  std::atomic<uint64_t> head{0};  // next byte the consumer will read
+  std::atomic<uint64_t> tail{0};  // next byte the producer will write
+  uint64_t capacity = 0;          // power of two
+};
+
+/// Non-owning view over a ring in shared memory. The owner (ShmChannel)
+/// manages the mapping's lifetime.
+class ShmRing {
+ public:
+  ShmRing() = default;
+  ShmRing(RingHeader* header, uint8_t* data) : hdr_(header), data_(data) {}
+
+  /// Producer side: appends one record. Returns false if there is not
+  /// enough free space (caller may retry or drop).
+  bool push(std::span<const uint8_t> payload);
+
+  /// Consumer side: pops one record if available.
+  std::optional<std::vector<uint8_t>> pop();
+
+  bool empty() const {
+    return hdr_->head.load(std::memory_order_acquire) ==
+           hdr_->tail.load(std::memory_order_acquire);
+  }
+
+  uint64_t bytes_used() const {
+    return hdr_->tail.load(std::memory_order_acquire) -
+           hdr_->head.load(std::memory_order_acquire);
+  }
+
+  uint64_t capacity() const { return hdr_->capacity; }
+
+  /// Total size of the shared mapping needed for a ring of `capacity`.
+  static size_t mapping_size(size_t capacity) {
+    return sizeof(RingHeader) + capacity;
+  }
+
+  /// Initializes a header+data region in place (producer side, once).
+  static ShmRing create_in(void* mem, size_t capacity);
+
+  /// Attaches to an already-initialized region.
+  static ShmRing attach(void* mem);
+
+ private:
+  void copy_in(uint64_t at, std::span<const uint8_t> src);
+  void copy_out(uint64_t at, std::span<uint8_t> dst) const;
+
+  RingHeader* hdr_ = nullptr;
+  uint8_t* data_ = nullptr;
+};
+
+}  // namespace ccp::ipc

@@ -1,0 +1,68 @@
+// Transport abstraction between the CCP agent and a datapath.
+//
+// A transport carries whole frames (message boundaries preserved). Three
+// implementations:
+//   - UnixSocketTransport: SOCK_SEQPACKET socketpair, works across fork();
+//     this is the paper's "Unix domain socket" IPC (Figure 2).
+//   - ShmRingTransport: shared-memory SPSC ring with either busy-poll or
+//     eventfd-blocking receive; stands in for the paper's Netlink channel
+//     (see DESIGN.md substitutions).
+//   - InProcTransport: lock-protected queue pair for tests and for
+//     threads within one process.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace ccp::ipc {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends one frame. Returns false if the peer is gone or the channel is
+  /// full beyond recovery; the caller decides whether to drop or retry.
+  virtual bool send_frame(std::span<const uint8_t> frame) = 0;
+
+  /// Blocks until a frame arrives, the timeout elapses (nullopt result),
+  /// or the peer closes (also nullopt; use `closed()` to distinguish).
+  virtual std::optional<std::vector<uint8_t>> recv_frame(
+      std::optional<Duration> timeout) = 0;
+
+  /// Non-blocking receive.
+  virtual std::optional<std::vector<uint8_t>> try_recv_frame() = 0;
+
+  virtual bool closed() const = 0;
+};
+
+/// Both ends of a bidirectional channel.
+struct TransportPair {
+  std::unique_ptr<Transport> a;
+  std::unique_ptr<Transport> b;
+};
+
+/// SOCK_SEQPACKET Unix socketpair. Endpoints remain usable in parent and
+/// child after fork() (each side must close the end it does not use by
+/// simply destroying it).
+TransportPair make_unix_socket_pair();
+
+/// In-process queue pair (thread-safe).
+TransportPair make_inproc_pair();
+
+/// How the receiving side of a shm ring waits for data.
+enum class ShmWaitMode {
+  Blocking,  // eventfd wakeup: sleeps in the kernel, like Netlink recv
+  BusyPoll,  // spins on the ring head: models a dedicated/hot core (§2.3)
+};
+
+/// Shared-memory ring channel (anonymous shared mapping; usable across
+/// fork()). `capacity_bytes` is per direction and rounded up to a power
+/// of two.
+TransportPair make_shm_ring_pair(size_t capacity_bytes, ShmWaitMode mode);
+
+}  // namespace ccp::ipc

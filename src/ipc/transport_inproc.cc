@@ -1,0 +1,86 @@
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "ipc/transport.hpp"
+
+namespace ccp::ipc {
+namespace {
+
+/// One direction of the in-process channel.
+struct Queue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::vector<uint8_t>> frames;
+  bool closed = false;
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mu);
+    closed = true;
+    cv.notify_all();
+  }
+};
+
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport(std::shared_ptr<Queue> tx, std::shared_ptr<Queue> rx)
+      : tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+  ~InProcTransport() override {
+    tx_->close();
+    rx_->close();
+  }
+
+  bool send_frame(std::span<const uint8_t> frame) override {
+    std::lock_guard<std::mutex> lock(tx_->mu);
+    if (tx_->closed) return false;
+    tx_->frames.emplace_back(frame.begin(), frame.end());
+    tx_->cv.notify_one();
+    return true;
+  }
+
+  std::optional<std::vector<uint8_t>> recv_frame(
+      std::optional<Duration> timeout) override {
+    std::unique_lock<std::mutex> lock(rx_->mu);
+    auto ready = [this] { return !rx_->frames.empty() || rx_->closed; };
+    if (timeout.has_value()) {
+      if (!rx_->cv.wait_for(lock, std::chrono::nanoseconds(timeout->nanos()), ready)) {
+        return std::nullopt;
+      }
+    } else {
+      rx_->cv.wait(lock, ready);
+    }
+    if (rx_->frames.empty()) return std::nullopt;  // closed
+    auto frame = std::move(rx_->frames.front());
+    rx_->frames.pop_front();
+    return frame;
+  }
+
+  std::optional<std::vector<uint8_t>> try_recv_frame() override {
+    std::lock_guard<std::mutex> lock(rx_->mu);
+    if (rx_->frames.empty()) return std::nullopt;
+    auto frame = std::move(rx_->frames.front());
+    rx_->frames.pop_front();
+    return frame;
+  }
+
+  bool closed() const override {
+    std::lock_guard<std::mutex> lock(rx_->mu);
+    return rx_->closed && rx_->frames.empty();
+  }
+
+ private:
+  std::shared_ptr<Queue> tx_;
+  mutable std::shared_ptr<Queue> rx_;
+};
+
+}  // namespace
+
+TransportPair make_inproc_pair() {
+  auto ab = std::make_shared<Queue>();
+  auto ba = std::make_shared<Queue>();
+  return TransportPair{std::make_unique<InProcTransport>(ab, ba),
+                       std::make_unique<InProcTransport>(ba, ab)};
+}
+
+}  // namespace ccp::ipc

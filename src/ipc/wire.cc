@@ -1,0 +1,287 @@
+#include "ipc/wire.hpp"
+
+#include <cstring>
+#include <limits>
+
+namespace ccp::ipc {
+
+namespace {
+// Sanity caps so a corrupt length field can't trigger a giant allocation.
+constexpr uint32_t kMaxVecLen = 1 << 20;
+constexpr uint32_t kMaxStrLen = 1 << 20;
+constexpr uint32_t kMaxMsgLen = 1 << 24;
+}  // namespace
+
+const std::vector<std::string>& prototype_field_names() {
+  static const std::vector<std::string> kNames = {
+      "acked", "acked_pkts", "marked", "loss", "lost",  "timeout",
+      "rtt",   "minrtt",     "snd",    "rcv",  "now",   "inflight"};
+  return kNames;
+}
+
+MsgType message_type(const Message& m) {
+  return std::visit(
+      [](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, CreateMsg>) return MsgType::Create;
+        else if constexpr (std::is_same_v<T, MeasurementMsg>) return MsgType::Measurement;
+        else if constexpr (std::is_same_v<T, UrgentMsg>) return MsgType::Urgent;
+        else if constexpr (std::is_same_v<T, FlowCloseMsg>) return MsgType::FlowClose;
+        else if constexpr (std::is_same_v<T, InstallMsg>) return MsgType::Install;
+        else if constexpr (std::is_same_v<T, UpdateFieldsMsg>) return MsgType::UpdateFields;
+        else return MsgType::DirectControl;
+      },
+      m);
+}
+
+void Encoder::u8(uint8_t v) { buf_.push_back(v); }
+void Encoder::u16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+void Encoder::u32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void Encoder::u64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void Encoder::f64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+void Encoder::str(const std::string& s) {
+  u32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+void Encoder::f64_vec(const std::vector<double>& v) {
+  u32(static_cast<uint32_t>(v.size()));
+  for (double d : v) f64(d);
+}
+void Encoder::str_vec(const std::vector<std::string>& v) {
+  u32(static_cast<uint32_t>(v.size()));
+  for (const auto& s : v) str(s);
+}
+void Encoder::patch_u32(size_t offset, uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_[offset + i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void Decoder::need(size_t n) const {
+  if (pos_ + n > data_.size()) throw WireError("truncated message");
+}
+uint8_t Decoder::u8() {
+  need(1);
+  return data_[pos_++];
+}
+uint16_t Decoder::u16() {
+  need(2);
+  uint16_t v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+uint32_t Decoder::u32() {
+  need(4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+uint64_t Decoder::u64() {
+  need(8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+double Decoder::f64() {
+  const uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+std::string Decoder::str() {
+  const uint32_t len = u32();
+  if (len > kMaxStrLen) throw WireError("string too long");
+  need(len);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+std::vector<double> Decoder::f64_vec() {
+  const uint32_t count = u32();
+  if (count > kMaxVecLen) throw WireError("vector too long");
+  need(count * 8);
+  std::vector<double> v;
+  v.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) v.push_back(f64());
+  return v;
+}
+std::vector<std::string> Decoder::str_vec() {
+  const uint32_t count = u32();
+  if (count > kMaxVecLen) throw WireError("vector too long");
+  std::vector<std::string> v;
+  v.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) v.push_back(str());
+  return v;
+}
+void Decoder::skip(size_t n) {
+  need(n);
+  pos_ += n;
+}
+
+namespace {
+
+void encode_payload(Encoder& e, const CreateMsg& m) {
+  e.u32(m.flow_id);
+  e.u32(m.init_cwnd_bytes);
+  e.u32(m.mss);
+  e.u32(m.src_port);
+  e.u32(m.dst_port);
+  e.str(m.alg_hint);
+  e.u8(m.supports_programs ? 1 : 0);
+}
+void encode_payload(Encoder& e, const MeasurementMsg& m) {
+  e.u32(m.flow_id);
+  e.u64(m.report_seq);
+  e.u32(m.num_acks_folded);
+  e.u8(m.is_vector ? 1 : 0);
+  e.f64_vec(m.fields);
+}
+void encode_payload(Encoder& e, const UrgentMsg& m) {
+  e.u32(m.flow_id);
+  e.u8(static_cast<uint8_t>(m.kind));
+  e.f64_vec(m.fields);
+}
+void encode_payload(Encoder& e, const FlowCloseMsg& m) { e.u32(m.flow_id); }
+void encode_payload(Encoder& e, const InstallMsg& m) {
+  e.u32(m.flow_id);
+  e.str(m.program_text);
+  e.str_vec(m.var_names);
+  e.f64_vec(m.var_values);
+  e.u8(m.vector_mode ? 1 : 0);
+}
+void encode_payload(Encoder& e, const UpdateFieldsMsg& m) {
+  e.u32(m.flow_id);
+  e.f64_vec(m.var_values);
+}
+void encode_payload(Encoder& e, const DirectControlMsg& m) {
+  e.u32(m.flow_id);
+  e.u8(m.cwnd_bytes.has_value() ? 1 : 0);
+  e.f64(m.cwnd_bytes.value_or(0));
+  e.u8(m.rate_bps.has_value() ? 1 : 0);
+  e.f64(m.rate_bps.value_or(0));
+}
+
+Message decode_payload(MsgType type, Decoder& d) {
+  switch (type) {
+    case MsgType::Create: {
+      CreateMsg m;
+      m.flow_id = d.u32();
+      m.init_cwnd_bytes = d.u32();
+      m.mss = d.u32();
+      m.src_port = d.u32();
+      m.dst_port = d.u32();
+      m.alg_hint = d.str();
+      m.supports_programs = d.u8() != 0;
+      return m;
+    }
+    case MsgType::Measurement: {
+      MeasurementMsg m;
+      m.flow_id = d.u32();
+      m.report_seq = d.u64();
+      m.num_acks_folded = d.u32();
+      m.is_vector = d.u8() != 0;
+      m.fields = d.f64_vec();
+      return m;
+    }
+    case MsgType::Urgent: {
+      UrgentMsg m;
+      m.flow_id = d.u32();
+      const uint8_t kind = d.u8();
+      if (kind > static_cast<uint8_t>(UrgentKind::FoldUrgent)) {
+        throw WireError("bad urgent kind");
+      }
+      m.kind = static_cast<UrgentKind>(kind);
+      m.fields = d.f64_vec();
+      return m;
+    }
+    case MsgType::FlowClose: {
+      FlowCloseMsg m;
+      m.flow_id = d.u32();
+      return m;
+    }
+    case MsgType::Install: {
+      InstallMsg m;
+      m.flow_id = d.u32();
+      m.program_text = d.str();
+      m.var_names = d.str_vec();
+      m.var_values = d.f64_vec();
+      m.vector_mode = d.u8() != 0;
+      return m;
+    }
+    case MsgType::UpdateFields: {
+      UpdateFieldsMsg m;
+      m.flow_id = d.u32();
+      m.var_values = d.f64_vec();
+      return m;
+    }
+    case MsgType::DirectControl: {
+      DirectControlMsg m;
+      m.flow_id = d.u32();
+      const bool has_cwnd = d.u8() != 0;
+      const double cwnd = d.f64();
+      const bool has_rate = d.u8() != 0;
+      const double rate = d.f64();
+      if (has_cwnd) m.cwnd_bytes = cwnd;
+      if (has_rate) m.rate_bps = rate;
+      return m;
+    }
+  }
+  throw WireError("unknown message type " + std::to_string(static_cast<int>(type)));
+}
+
+}  // namespace
+
+void encode_message(Encoder& enc, const Message& m) {
+  const size_t len_at = enc.size();
+  enc.u32(0);  // placeholder msg_len
+  enc.u8(static_cast<uint8_t>(message_type(m)));
+  std::visit([&enc](const auto& msg) { encode_payload(enc, msg); }, m);
+  enc.patch_u32(len_at, static_cast<uint32_t>(enc.size() - len_at));
+}
+
+std::vector<uint8_t> encode_frame(std::span<const Message> msgs) {
+  Encoder enc;
+  if (msgs.size() > std::numeric_limits<uint16_t>::max()) {
+    throw WireError("too many messages in one frame");
+  }
+  enc.u16(static_cast<uint16_t>(msgs.size()));
+  for (const auto& m : msgs) encode_message(enc, m);
+  return std::move(enc.buffer());
+}
+
+std::vector<uint8_t> encode_frame(const Message& msg) {
+  return encode_frame(std::span<const Message>(&msg, 1));
+}
+
+std::vector<Message> decode_frame(std::span<const uint8_t> frame) {
+  Decoder d(frame);
+  const uint16_t n = d.u16();
+  std::vector<Message> out;
+  out.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    const size_t msg_start = d.position();
+    const uint32_t msg_len = d.u32();
+    if (msg_len < 5 || msg_len > kMaxMsgLen) throw WireError("bad message length");
+    const uint8_t type = d.u8();
+    Message m = decode_payload(static_cast<MsgType>(type), d);
+    if (d.position() != msg_start + msg_len) {
+      throw WireError("message length mismatch");
+    }
+    out.push_back(std::move(m));
+  }
+  if (d.remaining() != 0) throw WireError("trailing bytes in frame");
+  return out;
+}
+
+}  // namespace ccp::ipc

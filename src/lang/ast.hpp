@@ -1,0 +1,146 @@
+// Abstract syntax for datapath programs: fold functions over per-packet
+// measurements plus the sequential control language of Table 2.
+//
+// Expressions live in a flat arena (`ExprArena`) indexed by `ExprId` —
+// cheap to copy, trivially walkable by the compiler, no recursive
+// ownership.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/pkt_fields.hpp"
+
+namespace ccp::lang {
+
+using ExprId = uint32_t;
+inline constexpr ExprId kInvalidExpr = UINT32_MAX;
+
+enum class ExprKind : uint8_t {
+  Const,       // literal number
+  FoldRef,     // reference to a fold register (payload: register index)
+  PktRef,      // reference to a packet field
+  VarRef,      // reference to an install-time variable ($name)
+  Unary,
+  Binary,
+  Ternary,
+};
+
+enum class UnaryOp : uint8_t { Neg, Not, Sqrt, Abs, Log, Exp, Cbrt };
+
+enum class BinaryOp : uint8_t {
+  Add, Sub, Mul, Div, Pow, Min, Max,
+  Lt, Le, Gt, Ge, Eq, Ne, And, Or,
+};
+
+enum class TernaryOp : uint8_t {
+  If,    // If(cond, then, else) — strict (both branches evaluated)
+  Ewma,  // Ewma(old, sample, gain): (1-gain)*old + gain*sample
+};
+
+struct ExprNode {
+  ExprKind kind;
+  union {
+    double constant;        // Const
+    uint32_t index;         // FoldRef (register index) / VarRef (var index)
+    PktField field;         // PktRef
+    UnaryOp unary_op;       // Unary
+    BinaryOp binary_op;     // Binary
+    TernaryOp ternary_op;   // Ternary
+  };
+  ExprId child[3] = {kInvalidExpr, kInvalidExpr, kInvalidExpr};
+};
+
+/// Flat expression storage. ExprIds are stable; children always precede
+/// nothing in particular (the tree may be built in any order).
+class ExprArena {
+ public:
+  ExprId add_const(double v) {
+    ExprNode n{ExprKind::Const, {.constant = v}, {}};
+    return push(n);
+  }
+  ExprId add_fold_ref(uint32_t reg) {
+    ExprNode n{ExprKind::FoldRef, {.index = reg}, {}};
+    return push(n);
+  }
+  ExprId add_pkt_ref(PktField f) {
+    ExprNode n{ExprKind::PktRef, {.field = f}, {}};
+    return push(n);
+  }
+  ExprId add_var_ref(uint32_t var) {
+    ExprNode n{ExprKind::VarRef, {.index = var}, {}};
+    return push(n);
+  }
+  ExprId add_unary(UnaryOp op, ExprId a) {
+    ExprNode n{ExprKind::Unary, {.unary_op = op}, {}};
+    n.child[0] = a;
+    return push(n);
+  }
+  ExprId add_binary(BinaryOp op, ExprId a, ExprId b) {
+    ExprNode n{ExprKind::Binary, {.binary_op = op}, {}};
+    n.child[0] = a;
+    n.child[1] = b;
+    return push(n);
+  }
+  ExprId add_ternary(TernaryOp op, ExprId a, ExprId b, ExprId c) {
+    ExprNode n{ExprKind::Ternary, {.ternary_op = op}, {}};
+    n.child[0] = a;
+    n.child[1] = b;
+    n.child[2] = c;
+    return push(n);
+  }
+
+  const ExprNode& at(ExprId id) const { return nodes_[id]; }
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  ExprId push(const ExprNode& n) {
+    nodes_.push_back(n);
+    return static_cast<ExprId>(nodes_.size() - 1);
+  }
+  std::vector<ExprNode> nodes_;
+};
+
+/// One fold register: constant-space per-packet state (§2.4, "fold
+/// function over measurements").
+struct FoldRegister {
+  std::string name;
+  ExprId init = kInvalidExpr;    // evaluated at install and (if volatile) on Report
+  ExprId update = kInvalidExpr;  // evaluated once per ACK; result stored
+  bool is_volatile = false;      // reset to init after each Report
+  bool urgent = false;           // a change triggers an immediate report (§2.1)
+};
+
+/// One step of the control program (Table 2 primitives).
+struct ControlInstr {
+  enum class Op : uint8_t { SetRate, SetCwnd, Wait, WaitRtts, Report };
+  Op op;
+  ExprId arg = kInvalidExpr;  // unused for Report
+};
+
+/// A complete datapath program: the unit of Install() (Table 3).
+struct Program {
+  ExprArena arena;
+  std::vector<FoldRegister> folds;
+  std::vector<ControlInstr> control;
+  std::vector<std::string> vars;  // install-time variable names ($-prefixed in text)
+
+  /// Index of a fold register by name, or -1.
+  int fold_index(std::string_view name) const {
+    for (size_t i = 0; i < folds.size(); ++i) {
+      if (folds[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  /// Index of an install var by name, adding it if new.
+  uint32_t var_index(std::string_view name) {
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i] == name) return static_cast<uint32_t>(i);
+    }
+    vars.emplace_back(name);
+    return static_cast<uint32_t>(vars.size() - 1);
+  }
+};
+
+}  // namespace ccp::lang

@@ -1,0 +1,215 @@
+#include "lang/builder.hpp"
+
+#include <unordered_map>
+
+#include "lang/error.hpp"
+
+namespace ccp::lang {
+
+/// Builder-side expression node: a tiny immutable tree that build()
+/// lowers into the arena. Kept separate from ExprNode because builder
+/// references registers/vars by *name* (indices are assigned at build).
+class Expr::Node {
+ public:
+  ExprKind kind;
+  double constant = 0;
+  PktField field{};
+  std::string name;  // fold / var reference
+  UnaryOp unary_op{};
+  BinaryOp binary_op{};
+  TernaryOp ternary_op{};
+  std::shared_ptr<const Node> child[3];
+};
+
+Expr::Expr(double value) : node(nullptr) { *this = Expr::c(value); }
+Expr::Expr(int value) : node(nullptr) { *this = Expr::c(value); }
+
+Expr Expr::c(double value) {
+  auto n = std::make_shared<Node>();
+  n->kind = ExprKind::Const;
+  n->constant = value;
+  return Expr(std::move(n));
+}
+
+Expr Expr::pkt(PktField field) {
+  auto n = std::make_shared<Node>();
+  n->kind = ExprKind::PktRef;
+  n->field = field;
+  return Expr(std::move(n));
+}
+
+Expr Expr::var(std::string name) {
+  auto n = std::make_shared<Node>();
+  n->kind = ExprKind::VarRef;
+  n->name = std::move(name);
+  return Expr(std::move(n));
+}
+
+Expr Expr::fold(std::string name) {
+  auto n = std::make_shared<Node>();
+  n->kind = ExprKind::FoldRef;
+  n->name = std::move(name);
+  return Expr(std::move(n));
+}
+
+namespace {
+
+Expr unary(UnaryOp op, const Expr& a) {
+  auto n = std::make_shared<Expr::Node>();
+  n->kind = ExprKind::Unary;
+  n->unary_op = op;
+  n->child[0] = a.node;
+  // `node` is a public handle, so helpers can rebind it directly.
+  Expr e = Expr::c(0);
+  e.node = std::move(n);
+  return e;
+}
+
+Expr binary(BinaryOp op, const Expr& a, const Expr& b) {
+  auto n = std::make_shared<Expr::Node>();
+  n->kind = ExprKind::Binary;
+  n->binary_op = op;
+  n->child[0] = a.node;
+  n->child[1] = b.node;
+  Expr e = Expr::c(0);
+  e.node = std::move(n);
+  return e;
+}
+
+Expr ternary(TernaryOp op, const Expr& a, const Expr& b, const Expr& c) {
+  auto n = std::make_shared<Expr::Node>();
+  n->kind = ExprKind::Ternary;
+  n->ternary_op = op;
+  n->child[0] = a.node;
+  n->child[1] = b.node;
+  n->child[2] = c.node;
+  Expr e = Expr::c(0);
+  e.node = std::move(n);
+  return e;
+}
+
+}  // namespace
+
+Expr operator+(Expr a, Expr b) { return binary(BinaryOp::Add, a, b); }
+Expr operator-(Expr a, Expr b) { return binary(BinaryOp::Sub, a, b); }
+Expr operator*(Expr a, Expr b) { return binary(BinaryOp::Mul, a, b); }
+Expr operator/(Expr a, Expr b) { return binary(BinaryOp::Div, a, b); }
+Expr operator-(Expr a) { return unary(UnaryOp::Neg, a); }
+Expr operator<(Expr a, Expr b) { return binary(BinaryOp::Lt, a, b); }
+Expr operator<=(Expr a, Expr b) { return binary(BinaryOp::Le, a, b); }
+Expr operator>(Expr a, Expr b) { return binary(BinaryOp::Gt, a, b); }
+Expr operator>=(Expr a, Expr b) { return binary(BinaryOp::Ge, a, b); }
+Expr operator==(Expr a, Expr b) { return binary(BinaryOp::Eq, a, b); }
+Expr operator!=(Expr a, Expr b) { return binary(BinaryOp::Ne, a, b); }
+Expr operator&&(Expr a, Expr b) { return binary(BinaryOp::And, a, b); }
+Expr operator||(Expr a, Expr b) { return binary(BinaryOp::Or, a, b); }
+
+Expr min(Expr a, Expr b) { return binary(BinaryOp::Min, a, b); }
+Expr max(Expr a, Expr b) { return binary(BinaryOp::Max, a, b); }
+Expr pow(Expr a, Expr b) { return binary(BinaryOp::Pow, a, b); }
+Expr abs(Expr a) { return unary(UnaryOp::Abs, a); }
+Expr sqrt(Expr a) { return unary(UnaryOp::Sqrt, a); }
+Expr cbrt(Expr a) { return unary(UnaryOp::Cbrt, a); }
+Expr log(Expr a) { return unary(UnaryOp::Log, a); }
+Expr exp(Expr a) { return unary(UnaryOp::Exp, a); }
+Expr ewma(Expr old_value, Expr sample, Expr gain) {
+  return ternary(TernaryOp::Ewma, old_value, sample, gain);
+}
+Expr if_(Expr cond, Expr then_val, Expr else_val) {
+  return ternary(TernaryOp::If, cond, then_val, else_val);
+}
+
+ProgramBuilder& ProgramBuilder::def(std::string name, Expr init, Expr update,
+                                    DefOpts opts) {
+  defs_.push_back(Def{std::move(name), std::move(init), std::move(update), opts});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::def(std::string name, Expr init, Expr update) {
+  return def(std::move(name), std::move(init), std::move(update), DefOpts{});
+}
+
+ProgramBuilder& ProgramBuilder::def_counter(std::string name, Expr update,
+                                            bool urgent) {
+  return def(std::move(name), Expr::c(0), std::move(update),
+             DefOpts{/*is_volatile=*/true, urgent});
+}
+
+ProgramBuilder& ProgramBuilder::rate(Expr bytes_per_sec) {
+  steps_.push_back({ControlInstr::Op::SetRate, bytes_per_sec.node});
+  return *this;
+}
+ProgramBuilder& ProgramBuilder::cwnd(Expr bytes) {
+  steps_.push_back({ControlInstr::Op::SetCwnd, bytes.node});
+  return *this;
+}
+ProgramBuilder& ProgramBuilder::wait(Expr microseconds) {
+  steps_.push_back({ControlInstr::Op::Wait, microseconds.node});
+  return *this;
+}
+ProgramBuilder& ProgramBuilder::wait_rtts(Expr rtts) {
+  steps_.push_back({ControlInstr::Op::WaitRtts, rtts.node});
+  return *this;
+}
+ProgramBuilder& ProgramBuilder::report() {
+  steps_.push_back({ControlInstr::Op::Report, nullptr});
+  return *this;
+}
+
+namespace {
+
+ExprId lower(const Expr::Node& n, Program& prog,
+             const std::unordered_map<std::string, uint32_t>& folds) {
+  switch (n.kind) {
+    case ExprKind::Const:
+      return prog.arena.add_const(n.constant);
+    case ExprKind::PktRef:
+      return prog.arena.add_pkt_ref(n.field);
+    case ExprKind::VarRef:
+      return prog.arena.add_var_ref(prog.var_index(n.name));
+    case ExprKind::FoldRef: {
+      auto it = folds.find(n.name);
+      if (it == folds.end()) {
+        throw ProgramError("builder: unknown fold register '" + n.name + "'");
+      }
+      return prog.arena.add_fold_ref(it->second);
+    }
+    case ExprKind::Unary:
+      return prog.arena.add_unary(n.unary_op, lower(*n.child[0], prog, folds));
+    case ExprKind::Binary:
+      return prog.arena.add_binary(n.binary_op, lower(*n.child[0], prog, folds),
+                                   lower(*n.child[1], prog, folds));
+    case ExprKind::Ternary:
+      return prog.arena.add_ternary(n.ternary_op, lower(*n.child[0], prog, folds),
+                                    lower(*n.child[1], prog, folds),
+                                    lower(*n.child[2], prog, folds));
+  }
+  throw ProgramError("builder: unknown node kind");
+}
+
+}  // namespace
+
+Program ProgramBuilder::build() const {
+  Program prog;
+  std::unordered_map<std::string, uint32_t> folds;
+  for (const auto& d : defs_) {
+    if (folds.count(d.name) != 0) {
+      throw ProgramError("builder: duplicate fold register '" + d.name + "'");
+    }
+    folds.emplace(d.name, static_cast<uint32_t>(prog.folds.size()));
+    prog.folds.push_back(FoldRegister{d.name, kInvalidExpr, kInvalidExpr,
+                                      d.opts.is_volatile, d.opts.urgent});
+  }
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    prog.folds[i].init = lower(*defs_[i].init.node, prog, folds);
+    prog.folds[i].update = lower(*defs_[i].update.node, prog, folds);
+  }
+  for (const auto& s : steps_) {
+    ControlInstr instr{s.op, kInvalidExpr};
+    if (s.arg != nullptr) instr.arg = lower(*s.arg, prog, folds);
+    prog.control.push_back(instr);
+  }
+  return prog;
+}
+
+}  // namespace ccp::lang

@@ -1,0 +1,123 @@
+// Fluent C++ API for constructing datapath programs, mirroring the
+// paper's chained syntax:
+//
+//     Rate(1.25*r).WaitRtts(1.0).Report().
+//     Rate(0.75*r).WaitRtts(1.0).Report().
+//     Rate(rate).WaitRtts(6.0).Report()
+//
+// becomes
+//
+//     ProgramBuilder()
+//         .def("rate", Expr::c(0), ewma(f("rate"), pkt(PktField::RcvRateBps), 0.125))
+//         .rate(1.25 * v("r")).wait_rtts(1.0).report()
+//         .rate(0.75 * v("r")).wait_rtts(1.0).report()
+//         .rate(v("r")).wait_rtts(6.0).report()
+//         .build();
+//
+// The builder produces exactly the same `Program` AST the text parser
+// does, so algorithms can choose either form.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace ccp::lang {
+
+/// Value-semantic expression handle used by the builder.
+class Expr {
+ public:
+  /// Literal constant.
+  static Expr c(double value);
+  /// Packet field reference (Pkt.<field>).
+  static Expr pkt(PktField field);
+  /// Install-time variable reference ($name).
+  static Expr var(std::string name);
+  /// Fold register reference.
+  static Expr fold(std::string name);
+
+  friend Expr operator+(Expr a, Expr b);
+  friend Expr operator-(Expr a, Expr b);
+  friend Expr operator*(Expr a, Expr b);
+  friend Expr operator/(Expr a, Expr b);
+  friend Expr operator-(Expr a);
+  friend Expr operator<(Expr a, Expr b);
+  friend Expr operator<=(Expr a, Expr b);
+  friend Expr operator>(Expr a, Expr b);
+  friend Expr operator>=(Expr a, Expr b);
+  friend Expr operator==(Expr a, Expr b);
+  friend Expr operator!=(Expr a, Expr b);
+  friend Expr operator&&(Expr a, Expr b);
+  friend Expr operator||(Expr a, Expr b);
+
+  friend Expr min(Expr a, Expr b);
+  friend Expr max(Expr a, Expr b);
+  friend Expr pow(Expr a, Expr b);
+  friend Expr abs(Expr a);
+  friend Expr sqrt(Expr a);
+  friend Expr cbrt(Expr a);
+  friend Expr log(Expr a);
+  friend Expr exp(Expr a);
+  friend Expr ewma(Expr old_value, Expr sample, Expr gain);
+  friend Expr if_(Expr cond, Expr then_val, Expr else_val);
+
+  // Numeric literals promote implicitly so `1.25 * v` reads naturally.
+  Expr(double value);  // NOLINT(google-explicit-constructor)
+  Expr(int value);     // NOLINT(google-explicit-constructor)
+
+  class Node;
+  std::shared_ptr<const Node> node;
+
+ private:
+  explicit Expr(std::shared_ptr<const Node> n) : node(std::move(n)) {}
+};
+
+/// Builds a `Program`. Methods return *this for chaining.
+class ProgramBuilder {
+ public:
+  struct DefOpts {
+    bool is_volatile = false;
+    bool urgent = false;
+  };
+
+  /// Declares a fold register. `update` runs once per ACK; `init` at
+  /// install (and after each Report if volatile).
+  ProgramBuilder& def(std::string name, Expr init, Expr update, DefOpts opts);
+  ProgramBuilder& def(std::string name, Expr init, Expr update);
+
+  /// Shorthand for the common per-report counter: volatile, init 0.
+  ProgramBuilder& def_counter(std::string name, Expr update, bool urgent = false);
+
+  ProgramBuilder& rate(Expr bytes_per_sec);
+  ProgramBuilder& cwnd(Expr bytes);
+  ProgramBuilder& wait(Expr microseconds);
+  ProgramBuilder& wait_rtts(Expr rtts);
+  ProgramBuilder& report();
+
+  /// Lowers to the AST. Throws ProgramError on unknown fold-register
+  /// references. The result still goes through sema in compile().
+  Program build() const;
+
+ private:
+  struct Def {
+    std::string name;
+    Expr init;
+    Expr update;
+    DefOpts opts;
+  };
+  struct Step {
+    ControlInstr::Op op;
+    std::shared_ptr<const Expr::Node> arg;  // null for Report
+  };
+  std::vector<Def> defs_;
+  std::vector<Step> steps_;
+};
+
+// Terse aliases for algorithm code.
+inline Expr v(std::string name) { return Expr::var(std::move(name)); }
+inline Expr f(std::string name) { return Expr::fold(std::move(name)); }
+inline Expr pkt(PktField field) { return Expr::pkt(field); }
+
+}  // namespace ccp::lang

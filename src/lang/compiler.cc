@@ -1,0 +1,187 @@
+#include "lang/compiler.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "lang/error.hpp"
+#include "lang/parser.hpp"
+#include "lang/sema.hpp"
+
+namespace ccp::lang {
+namespace {
+
+/// Emits bytecode for expression trees into a CodeBlock.
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(const ExprArena& arena) : arena_(arena) {}
+
+  uint16_t emit_expr(ExprId id) {
+    const ExprNode& n = arena_.at(id);
+    switch (n.kind) {
+      case ExprKind::Const: {
+        const uint16_t dst = alloc();
+        block_.code.push_back({OpCode::LoadConst, dst, intern_const(n.constant), 0, 0});
+        return dst;
+      }
+      case ExprKind::FoldRef: {
+        const uint16_t dst = alloc();
+        block_.code.push_back(
+            {OpCode::LoadFold, dst, static_cast<uint16_t>(n.index), 0, 0});
+        return dst;
+      }
+      case ExprKind::PktRef: {
+        const uint16_t dst = alloc();
+        block_.code.push_back(
+            {OpCode::LoadPkt, dst, static_cast<uint16_t>(n.field), 0, 0});
+        return dst;
+      }
+      case ExprKind::VarRef: {
+        const uint16_t dst = alloc();
+        block_.code.push_back(
+            {OpCode::LoadVar, dst, static_cast<uint16_t>(n.index), 0, 0});
+        return dst;
+      }
+      case ExprKind::Unary: {
+        const uint16_t a = emit_expr(n.child[0]);
+        const uint16_t dst = alloc();
+        block_.code.push_back({unary_opcode(n.unary_op), dst, a, 0, 0});
+        return dst;
+      }
+      case ExprKind::Binary: {
+        const uint16_t a = emit_expr(n.child[0]);
+        const uint16_t b = emit_expr(n.child[1]);
+        const uint16_t dst = alloc();
+        block_.code.push_back({binary_opcode(n.binary_op), dst, a, b, 0});
+        return dst;
+      }
+      case ExprKind::Ternary: {
+        const uint16_t a = emit_expr(n.child[0]);
+        const uint16_t b = emit_expr(n.child[1]);
+        const uint16_t c = emit_expr(n.child[2]);
+        const uint16_t dst = alloc();
+        const OpCode op =
+            n.ternary_op == TernaryOp::If ? OpCode::Select : OpCode::Ewma;
+        block_.code.push_back({op, dst, a, b, c});
+        return dst;
+      }
+    }
+    throw ProgramError("internal: unknown expression kind");
+  }
+
+  void emit_store_fold(uint16_t reg, uint16_t slot) {
+    block_.code.push_back({OpCode::StoreFold, 0, reg, slot, 0});
+  }
+
+  CodeBlock take(uint16_t result_slot = 0) {
+    block_.n_slots = next_slot_;
+    block_.result_slot = result_slot;
+    return std::move(block_);
+  }
+
+ private:
+  uint16_t alloc() {
+    if (next_slot_ == std::numeric_limits<uint16_t>::max()) {
+      throw ProgramError("expression too large to compile");
+    }
+    return next_slot_++;
+  }
+
+  uint16_t intern_const(double v) {
+    for (size_t i = 0; i < block_.consts.size(); ++i) {
+      // Bitwise comparison so 0.0 and -0.0 keep distinct entries.
+      if (block_.consts[i] == v && std::signbit(block_.consts[i]) == std::signbit(v)) {
+        return static_cast<uint16_t>(i);
+      }
+    }
+    block_.consts.push_back(v);
+    return static_cast<uint16_t>(block_.consts.size() - 1);
+  }
+
+  static OpCode unary_opcode(UnaryOp op) {
+    switch (op) {
+      case UnaryOp::Neg: return OpCode::Neg;
+      case UnaryOp::Not: return OpCode::Not;
+      case UnaryOp::Sqrt: return OpCode::Sqrt;
+      case UnaryOp::Abs: return OpCode::Abs;
+      case UnaryOp::Log: return OpCode::Log;
+      case UnaryOp::Exp: return OpCode::Exp;
+      case UnaryOp::Cbrt: return OpCode::Cbrt;
+    }
+    throw ProgramError("internal: unknown unary op");
+  }
+
+  static OpCode binary_opcode(BinaryOp op) {
+    switch (op) {
+      case BinaryOp::Add: return OpCode::Add;
+      case BinaryOp::Sub: return OpCode::Sub;
+      case BinaryOp::Mul: return OpCode::Mul;
+      case BinaryOp::Div: return OpCode::Div;
+      case BinaryOp::Pow: return OpCode::Pow;
+      case BinaryOp::Min: return OpCode::Min;
+      case BinaryOp::Max: return OpCode::Max;
+      case BinaryOp::Lt: return OpCode::Lt;
+      case BinaryOp::Le: return OpCode::Le;
+      case BinaryOp::Gt: return OpCode::Gt;
+      case BinaryOp::Ge: return OpCode::Ge;
+      case BinaryOp::Eq: return OpCode::Eq;
+      case BinaryOp::Ne: return OpCode::Ne;
+      case BinaryOp::And: return OpCode::And;
+      case BinaryOp::Or: return OpCode::Or;
+    }
+    throw ProgramError("internal: unknown binary op");
+  }
+
+  const ExprArena& arena_;
+  CodeBlock block_;
+  uint16_t next_slot_ = 0;
+};
+
+}  // namespace
+
+CompiledProgram compile(const Program& prog) {
+  check_or_throw(prog);
+
+  CompiledProgram out;
+  for (const auto& reg : prog.folds) {
+    out.fold_names.push_back(reg.name);
+    out.volatile_regs.push_back(reg.is_volatile);
+    out.urgent_regs.push_back(reg.urgent);
+  }
+  out.var_names = prog.vars;
+
+  {
+    BlockBuilder b(prog.arena);
+    for (size_t i = 0; i < prog.folds.size(); ++i) {
+      const uint16_t slot = b.emit_expr(prog.folds[i].init);
+      b.emit_store_fold(static_cast<uint16_t>(i), slot);
+    }
+    out.init_block = b.take();
+  }
+  {
+    BlockBuilder b(prog.arena);
+    for (size_t i = 0; i < prog.folds.size(); ++i) {
+      // Store immediately so later updates observe the new value
+      // (sequential fold semantics; see parser.hpp).
+      const uint16_t slot = b.emit_expr(prog.folds[i].update);
+      b.emit_store_fold(static_cast<uint16_t>(i), slot);
+    }
+    out.fold_block = b.take();
+  }
+  for (const auto& instr : prog.control) {
+    out.control_ops.push_back(instr.op);
+    if (instr.arg == kInvalidExpr) {
+      out.control_args.emplace_back();
+      continue;
+    }
+    BlockBuilder b(prog.arena);
+    const uint16_t slot = b.emit_expr(instr.arg);
+    out.control_args.push_back(b.take(slot));
+  }
+  return out;
+}
+
+CompiledProgram compile_text(std::string_view src) {
+  return compile(parse_program(src));
+}
+
+}  // namespace ccp::lang

@@ -1,0 +1,62 @@
+// Lowers a checked AST into executable bytecode.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "lang/bytecode.hpp"
+
+namespace ccp::lang {
+
+/// Everything the datapath needs to run one installed program.
+struct CompiledProgram {
+  /// Evaluates every register's init expression and stores it.
+  /// Packet fields read as zero during init.
+  CodeBlock init_block;
+
+  /// Runs once per ACK: evaluates updates in declaration order, storing
+  /// each result immediately (sequential fold semantics, §2.4).
+  CodeBlock fold_block;
+
+  /// One compiled expression per control instruction argument
+  /// (index-aligned with `control`; Report entries are empty blocks).
+  std::vector<CodeBlock> control_args;
+  std::vector<ControlInstr::Op> control_ops;
+
+  /// Register metadata, index-aligned with the fold state vector.
+  std::vector<std::string> fold_names;
+  std::vector<bool> volatile_regs;
+  std::vector<bool> urgent_regs;
+
+  /// Install-time variable names; the agent binds these in Install().
+  std::vector<std::string> var_names;
+
+  size_t num_folds() const { return fold_names.size(); }
+  size_t num_vars() const { return var_names.size(); }
+  bool has_urgent() const {
+    for (bool u : urgent_regs) if (u) return true;
+    return false;
+  }
+  int fold_index(std::string_view name) const {
+    for (size_t i = 0; i < fold_names.size(); ++i) {
+      if (fold_names[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  int var_index(std::string_view name) const {
+    for (size_t i = 0; i < var_names.size(); ++i) {
+      if (var_names[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Compiles a parsed program. Runs semantic analysis first and throws
+/// ProgramError on any error-severity issue.
+CompiledProgram compile(const Program& prog);
+
+/// Convenience: parse + check + compile program text.
+CompiledProgram compile_text(std::string_view src);
+
+}  // namespace ccp::lang

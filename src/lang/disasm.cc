@@ -1,0 +1,120 @@
+#include "lang/disasm.hpp"
+
+#include <cstdio>
+
+namespace ccp::lang {
+namespace {
+
+struct OpInfo {
+  const char* name;
+  int operands;  // -1: special form
+};
+
+OpInfo op_info(OpCode op) {
+  switch (op) {
+    case OpCode::LoadConst: return {"const", -1};
+    case OpCode::LoadFold: return {"fold", -1};
+    case OpCode::LoadPkt: return {"pkt", -1};
+    case OpCode::LoadVar: return {"var", -1};
+    case OpCode::Neg: return {"neg", 1};
+    case OpCode::Not: return {"not", 1};
+    case OpCode::Sqrt: return {"sqrt", 1};
+    case OpCode::Abs: return {"abs", 1};
+    case OpCode::Log: return {"log", 1};
+    case OpCode::Exp: return {"exp", 1};
+    case OpCode::Cbrt: return {"cbrt", 1};
+    case OpCode::Add: return {"add", 2};
+    case OpCode::Sub: return {"sub", 2};
+    case OpCode::Mul: return {"mul", 2};
+    case OpCode::Div: return {"div", 2};
+    case OpCode::Pow: return {"pow", 2};
+    case OpCode::Min: return {"min", 2};
+    case OpCode::Max: return {"max", 2};
+    case OpCode::Lt: return {"lt", 2};
+    case OpCode::Le: return {"le", 2};
+    case OpCode::Gt: return {"gt", 2};
+    case OpCode::Ge: return {"ge", 2};
+    case OpCode::Eq: return {"eq", 2};
+    case OpCode::Ne: return {"ne", 2};
+    case OpCode::And: return {"and", 2};
+    case OpCode::Or: return {"or", 2};
+    case OpCode::Select: return {"select", 3};
+    case OpCode::Ewma: return {"ewma", 3};
+    case OpCode::StoreFold: return {"store", -1};
+  }
+  return {"?", 0};
+}
+
+}  // namespace
+
+std::string disassemble_instr(const CodeBlock& block, const Instr& instr) {
+  char buf[128];
+  const OpInfo info = op_info(instr.op);
+  switch (instr.op) {
+    case OpCode::LoadConst:
+      std::snprintf(buf, sizeof(buf), "  %%%u = const %g", instr.dst,
+                    block.consts[instr.a]);
+      break;
+    case OpCode::LoadFold:
+      std::snprintf(buf, sizeof(buf), "  %%%u = fold[%u]", instr.dst, instr.a);
+      break;
+    case OpCode::LoadPkt:
+      std::snprintf(buf, sizeof(buf), "  %%%u = Pkt.%s", instr.dst,
+                    std::string(pkt_field_name(static_cast<PktField>(instr.a))).c_str());
+      break;
+    case OpCode::LoadVar:
+      std::snprintf(buf, sizeof(buf), "  %%%u = $var[%u]", instr.dst, instr.a);
+      break;
+    case OpCode::StoreFold:
+      std::snprintf(buf, sizeof(buf), "  fold[%u] <- %%%u", instr.a, instr.b);
+      break;
+    default:
+      if (info.operands == 1) {
+        std::snprintf(buf, sizeof(buf), "  %%%u = %s %%%u", instr.dst, info.name,
+                      instr.a);
+      } else if (info.operands == 2) {
+        std::snprintf(buf, sizeof(buf), "  %%%u = %s %%%u, %%%u", instr.dst,
+                      info.name, instr.a, instr.b);
+      } else {
+        std::snprintf(buf, sizeof(buf), "  %%%u = %s %%%u, %%%u, %%%u", instr.dst,
+                      info.name, instr.a, instr.b, instr.c);
+      }
+      break;
+  }
+  return buf;
+}
+
+std::string disassemble_block(const std::string& title, const CodeBlock& block) {
+  std::string out = title + " (" + std::to_string(block.code.size()) +
+                    " instrs, " + std::to_string(block.n_slots) + " slots):\n";
+  for (const Instr& instr : block.code) {
+    out += disassemble_instr(block, instr);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string disassemble(const CompiledProgram& prog) {
+  std::string out = disassemble_block("init", prog.init_block);
+  out += disassemble_block("fold (per ACK)", prog.fold_block);
+  for (size_t i = 0; i < prog.control_ops.size(); ++i) {
+    const char* op_name = nullptr;
+    switch (prog.control_ops[i]) {
+      case ControlInstr::Op::SetRate: op_name = "Rate"; break;
+      case ControlInstr::Op::SetCwnd: op_name = "Cwnd"; break;
+      case ControlInstr::Op::Wait: op_name = "Wait"; break;
+      case ControlInstr::Op::WaitRtts: op_name = "WaitRtts"; break;
+      case ControlInstr::Op::Report: op_name = "Report"; break;
+    }
+    if (prog.control_args[i].code.empty()) {
+      out += "control[" + std::to_string(i) + "] " + op_name + "\n";
+    } else {
+      out += disassemble_block(
+          "control[" + std::to_string(i) + "] " + op_name + " arg",
+          prog.control_args[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ccp::lang

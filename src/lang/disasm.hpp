@@ -1,0 +1,22 @@
+// Human-readable listings of compiled datapath bytecode — for the
+// ccp_lang_check tool, debugging, and documentation ("what does the
+// datapath actually execute for this program?").
+#pragma once
+
+#include <string>
+
+#include "lang/bytecode.hpp"
+#include "lang/compiler.hpp"
+
+namespace ccp::lang {
+
+/// One instruction, e.g. "  %3 = min %1, %2" or "  fold[0] <- %3".
+std::string disassemble_instr(const CodeBlock& block, const Instr& instr);
+
+/// A whole block with a header line.
+std::string disassemble_block(const std::string& title, const CodeBlock& block);
+
+/// Every block of a compiled program (init, fold, control args).
+std::string disassemble(const CompiledProgram& prog);
+
+}  // namespace ccp::lang

@@ -1,0 +1,30 @@
+// Error type for program compilation. Programs are compiled in the agent
+// (control plane), never on the datapath fast path, so exceptions are the
+// right tool: a malformed program must never be installed.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ccp::lang {
+
+class ProgramError : public std::runtime_error {
+ public:
+  ProgramError(std::string message, int line, int col)
+      : std::runtime_error("program error at " + std::to_string(line) + ":" +
+                           std::to_string(col) + ": " + message),
+        line_(line),
+        col_(col) {}
+
+  explicit ProgramError(std::string message)
+      : std::runtime_error("program error: " + message), line_(0), col_(0) {}
+
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+ private:
+  int line_;
+  int col_;
+};
+
+}  // namespace ccp::lang

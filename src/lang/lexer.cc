@@ -1,0 +1,158 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "lang/error.hpp"
+
+namespace ccp::lang {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i < src.size() && src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto push = [&](TokKind kind, std::string text = {}, double num = 0) {
+    out.push_back(Token{kind, std::move(text), num, line, col});
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') advance(1);
+      continue;
+    }
+    if (ident_start(c)) {
+      size_t j = i;
+      while (j < src.size() && ident_char(src[j])) ++j;
+      push(TokKind::Ident, std::string(src.substr(i, j - i)));
+      advance(j - i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      // Hex literals (used for "infinity" sentinels like 0x7fffffff).
+      if (c == '0' && j + 1 < src.size() && (src[j + 1] == 'x' || src[j + 1] == 'X')) {
+        j += 2;
+        while (j < src.size() && std::isxdigit(static_cast<unsigned char>(src[j]))) ++j;
+        const std::string text(src.substr(i, j - i));
+        const double v = static_cast<double>(std::strtoull(text.c_str() + 2, nullptr, 16));
+        push(TokKind::Number, text, v);
+        advance(j - i);
+        continue;
+      }
+      while (j < src.size() && (std::isdigit(static_cast<unsigned char>(src[j])) ||
+                                src[j] == '.')) {
+        ++j;
+      }
+      if (j < src.size() && (src[j] == 'e' || src[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < src.size() && (src[k] == '+' || src[k] == '-')) ++k;
+        if (k < src.size() && std::isdigit(static_cast<unsigned char>(src[k]))) {
+          j = k;
+          while (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+        }
+      }
+      const std::string text(src.substr(i, j - i));
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size()) {
+        throw ProgramError("malformed number '" + text + "'", line, col);
+      }
+      push(TokKind::Number, text, v);
+      advance(j - i);
+      continue;
+    }
+    if (c == '$') {
+      size_t j = i + 1;
+      if (j >= src.size() || !ident_start(src[j])) {
+        throw ProgramError("expected variable name after '$'", line, col);
+      }
+      while (j < src.size() && ident_char(src[j])) ++j;
+      push(TokKind::Dollar, std::string(src.substr(i + 1, j - i - 1)));
+      advance(j - i);
+      continue;
+    }
+
+    auto two = [&](char second) {
+      return i + 1 < src.size() && src[i + 1] == second;
+    };
+    switch (c) {
+      case '{': push(TokKind::LBrace); advance(1); break;
+      case '}': push(TokKind::RBrace); advance(1); break;
+      case '(': push(TokKind::LParen); advance(1); break;
+      case ')': push(TokKind::RParen); advance(1); break;
+      case ';': push(TokKind::Semi); advance(1); break;
+      case ',': push(TokKind::Comma); advance(1); break;
+      case '.': push(TokKind::Dot); advance(1); break;
+      case '+': push(TokKind::Plus); advance(1); break;
+      case '-': push(TokKind::Minus); advance(1); break;
+      case '*': push(TokKind::Star); advance(1); break;
+      case '/': push(TokKind::Slash); advance(1); break;
+      case ':':
+        if (!two('=')) throw ProgramError("expected ':='", line, col);
+        push(TokKind::Assign);
+        advance(2);
+        break;
+      case '<':
+        if (two('=')) { push(TokKind::Le); advance(2); }
+        else { push(TokKind::Lt); advance(1); }
+        break;
+      case '>':
+        if (two('=')) { push(TokKind::Ge); advance(2); }
+        else { push(TokKind::Gt); advance(1); }
+        break;
+      case '=':
+        if (!two('=')) throw ProgramError("expected '==' (assignment is ':=')", line, col);
+        push(TokKind::EqEq);
+        advance(2);
+        break;
+      case '!':
+        if (two('=')) { push(TokKind::Ne); advance(2); }
+        else { push(TokKind::Bang); advance(1); }
+        break;
+      case '&':
+        if (!two('&')) throw ProgramError("expected '&&'", line, col);
+        push(TokKind::AndAnd);
+        advance(2);
+        break;
+      case '|':
+        if (!two('|')) throw ProgramError("expected '||'", line, col);
+        push(TokKind::OrOr);
+        advance(2);
+        break;
+      default:
+        throw ProgramError(std::string("unexpected character '") + c + "'", line, col);
+    }
+  }
+  out.push_back(Token{TokKind::End, "", 0, line, col});
+  return out;
+}
+
+}  // namespace ccp::lang

@@ -1,0 +1,35 @@
+// Tokenizer for the datapath program text syntax.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccp::lang {
+
+enum class TokKind : uint8_t {
+  Ident,      // foo, min, fold, control, ... (keywords resolved by parser)
+  Number,     // 1, 0.4, 1e6, 0x7fffffff
+  Dollar,     // $r  (text carries the name without '$')
+  LBrace, RBrace, LParen, RParen,
+  Semi, Comma, Dot,
+  Assign,     // :=
+  Plus, Minus, Star, Slash,
+  Lt, Le, Gt, Ge, EqEq, Ne,
+  AndAnd, OrOr, Bang,
+  End,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;   // identifier / raw number text
+  double number = 0;  // valid when kind == Number
+  int line = 1;
+  int col = 1;
+};
+
+/// Tokenizes the whole input. `//`-comments run to end of line.
+/// Throws ProgramError on an unrecognized character or malformed number.
+std::vector<Token> tokenize(std::string_view src);
+
+}  // namespace ccp::lang

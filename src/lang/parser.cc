@@ -1,0 +1,316 @@
+#include "lang/parser.hpp"
+
+#include <optional>
+#include <unordered_map>
+
+#include "lang/error.hpp"
+#include "lang/lexer.hpp"
+
+namespace ccp::lang {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : toks_(tokenize(src)) {}
+
+  Program parse() {
+    // Pre-scan fold declarations so expressions anywhere (including the
+    // control block and forward references within the fold block) can
+    // resolve register names.
+    prescan_fold_names();
+
+    bool saw_fold = false;
+    bool saw_control = false;
+    while (!at(TokKind::End)) {
+      const Token& t = expect(TokKind::Ident, "'fold' or 'control'");
+      if (t.text == "fold") {
+        if (saw_fold) fail(t, "duplicate fold block");
+        saw_fold = true;
+        parse_fold_block();
+      } else if (t.text == "control") {
+        if (saw_control) fail(t, "duplicate control block");
+        saw_control = true;
+        parse_control_block();
+      } else {
+        fail(t, "expected 'fold' or 'control', got '" + t.text + "'");
+      }
+    }
+    return std::move(prog_);
+  }
+
+ private:
+  [[noreturn]] void fail(const Token& t, std::string msg) const {
+    throw ProgramError(std::move(msg), t.line, t.col);
+  }
+
+  const Token& peek() const { return toks_[pos_]; }
+  const Token& next() { return toks_[pos_++]; }
+  bool at(TokKind k) const { return peek().kind == k; }
+  bool at_ident(std::string_view s) const {
+    return at(TokKind::Ident) && peek().text == s;
+  }
+  const Token& expect(TokKind k, const char* what) {
+    if (!at(k)) fail(peek(), std::string("expected ") + what);
+    return next();
+  }
+
+  void prescan_fold_names() {
+    // Walk the token stream without consuming it: find the fold block and
+    // register every declared name.
+    size_t i = 0;
+    while (toks_[i].kind != TokKind::End) {
+      if (toks_[i].kind == TokKind::Ident && toks_[i].text == "fold" &&
+          toks_[i + 1].kind == TokKind::LBrace) {
+        size_t j = i + 2;
+        while (toks_[j].kind != TokKind::RBrace && toks_[j].kind != TokKind::End) {
+          // decl := ['volatile'] NAME ':=' ... ';'
+          size_t name_at = j;
+          if (toks_[j].kind == TokKind::Ident && toks_[j].text == "volatile") {
+            name_at = j + 1;
+          }
+          if (toks_[name_at].kind == TokKind::Ident &&
+              toks_[name_at + 1].kind == TokKind::Assign) {
+            const std::string& name = toks_[name_at].text;
+            if (fold_names_.count(name) != 0) {
+              fail(toks_[name_at], "duplicate fold register '" + name + "'");
+            }
+            const uint32_t idx = static_cast<uint32_t>(prog_.folds.size());
+            fold_names_.emplace(name, idx);
+            prog_.folds.push_back(FoldRegister{name, kInvalidExpr, kInvalidExpr,
+                                               /*is_volatile=*/false, /*urgent=*/false});
+          }
+          // Skip to the ';' terminating this declaration.
+          while (toks_[j].kind != TokKind::Semi && toks_[j].kind != TokKind::RBrace &&
+                 toks_[j].kind != TokKind::End) {
+            ++j;
+          }
+          if (toks_[j].kind == TokKind::Semi) ++j;
+        }
+        return;  // at most one fold block; parse_fold_block enforces the rest
+      }
+      ++i;
+    }
+  }
+
+  void parse_fold_block() {
+    expect(TokKind::LBrace, "'{'");
+    while (!at(TokKind::RBrace)) {
+      bool is_volatile = false;
+      if (at_ident("volatile")) {
+        next();
+        is_volatile = true;
+      }
+      const Token& name_tok = expect(TokKind::Ident, "register name");
+      auto it = fold_names_.find(name_tok.text);
+      if (it == fold_names_.end()) {
+        fail(name_tok, "internal: fold register not prescanned");
+      }
+      FoldRegister& reg = prog_.folds[it->second];
+      reg.is_volatile = is_volatile;
+      expect(TokKind::Assign, "':='");
+      reg.update = parse_expr();
+      if (!at_ident("init")) fail(peek(), "expected 'init' clause");
+      next();
+      reg.init = parse_expr();
+      if (at_ident("urgent")) {
+        next();
+        reg.urgent = true;
+      }
+      expect(TokKind::Semi, "';'");
+    }
+    next();  // consume '}'
+  }
+
+  void parse_control_block() {
+    expect(TokKind::LBrace, "'{'");
+    while (!at(TokKind::RBrace)) {
+      const Token& t = expect(TokKind::Ident, "control primitive");
+      ControlInstr instr{};
+      if (t.text == "Rate") {
+        instr.op = ControlInstr::Op::SetRate;
+      } else if (t.text == "Cwnd") {
+        instr.op = ControlInstr::Op::SetCwnd;
+      } else if (t.text == "Wait") {
+        instr.op = ControlInstr::Op::Wait;
+      } else if (t.text == "WaitRtts") {
+        instr.op = ControlInstr::Op::WaitRtts;
+      } else if (t.text == "Report") {
+        instr.op = ControlInstr::Op::Report;
+      } else {
+        fail(t, "unknown control primitive '" + t.text +
+                    "' (expected Rate, Cwnd, Wait, WaitRtts, or Report)");
+      }
+      expect(TokKind::LParen, "'('");
+      if (instr.op != ControlInstr::Op::Report) {
+        instr.arg = parse_expr();
+      }
+      expect(TokKind::RParen, "')'");
+      expect(TokKind::Semi, "';'");
+      prog_.control.push_back(instr);
+    }
+    next();  // consume '}'
+  }
+
+  // --- expressions, precedence climbing ---
+
+  ExprId parse_expr() { return parse_or(); }
+
+  ExprId parse_or() {
+    ExprId lhs = parse_and();
+    while (at(TokKind::OrOr)) {
+      next();
+      lhs = prog_.arena.add_binary(BinaryOp::Or, lhs, parse_and());
+    }
+    return lhs;
+  }
+
+  ExprId parse_and() {
+    ExprId lhs = parse_cmp();
+    while (at(TokKind::AndAnd)) {
+      next();
+      lhs = prog_.arena.add_binary(BinaryOp::And, lhs, parse_cmp());
+    }
+    return lhs;
+  }
+
+  ExprId parse_cmp() {
+    ExprId lhs = parse_add();
+    std::optional<BinaryOp> op;
+    switch (peek().kind) {
+      case TokKind::Lt: op = BinaryOp::Lt; break;
+      case TokKind::Le: op = BinaryOp::Le; break;
+      case TokKind::Gt: op = BinaryOp::Gt; break;
+      case TokKind::Ge: op = BinaryOp::Ge; break;
+      case TokKind::EqEq: op = BinaryOp::Eq; break;
+      case TokKind::Ne: op = BinaryOp::Ne; break;
+      default: break;
+    }
+    if (!op) return lhs;
+    next();
+    return prog_.arena.add_binary(*op, lhs, parse_add());
+  }
+
+  ExprId parse_add() {
+    ExprId lhs = parse_mul();
+    for (;;) {
+      if (at(TokKind::Plus)) {
+        next();
+        lhs = prog_.arena.add_binary(BinaryOp::Add, lhs, parse_mul());
+      } else if (at(TokKind::Minus)) {
+        next();
+        lhs = prog_.arena.add_binary(BinaryOp::Sub, lhs, parse_mul());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprId parse_mul() {
+    ExprId lhs = parse_unary();
+    for (;;) {
+      if (at(TokKind::Star)) {
+        next();
+        lhs = prog_.arena.add_binary(BinaryOp::Mul, lhs, parse_unary());
+      } else if (at(TokKind::Slash)) {
+        next();
+        lhs = prog_.arena.add_binary(BinaryOp::Div, lhs, parse_unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprId parse_unary() {
+    if (at(TokKind::Minus)) {
+      next();
+      return prog_.arena.add_unary(UnaryOp::Neg, parse_unary());
+    }
+    if (at(TokKind::Bang)) {
+      next();
+      return prog_.arena.add_unary(UnaryOp::Not, parse_unary());
+    }
+    return parse_primary();
+  }
+
+  ExprId parse_primary() {
+    if (at(TokKind::Number)) {
+      return prog_.arena.add_const(next().number);
+    }
+    if (at(TokKind::Dollar)) {
+      return prog_.arena.add_var_ref(prog_.var_index(next().text));
+    }
+    if (at(TokKind::LParen)) {
+      next();
+      ExprId inner = parse_expr();
+      expect(TokKind::RParen, "')'");
+      return inner;
+    }
+    const Token& t = expect(TokKind::Ident, "expression");
+    if (t.text == "Pkt") {
+      expect(TokKind::Dot, "'.' after Pkt");
+      const Token& f = expect(TokKind::Ident, "packet field name");
+      auto field = pkt_field_from_name(f.text);
+      if (!field) fail(f, "unknown packet field 'Pkt." + f.text + "'");
+      return prog_.arena.add_pkt_ref(*field);
+    }
+    if (at(TokKind::LParen)) {
+      return parse_call(t);
+    }
+    auto it = fold_names_.find(t.text);
+    if (it == fold_names_.end()) {
+      fail(t, "unknown name '" + t.text +
+                  "' (fold registers must be declared; install-time variables "
+                  "are written $" + t.text + ")");
+    }
+    return prog_.arena.add_fold_ref(it->second);
+  }
+
+  ExprId parse_call(const Token& name) {
+    expect(TokKind::LParen, "'('");
+    std::vector<ExprId> args;
+    if (!at(TokKind::RParen)) {
+      args.push_back(parse_expr());
+      while (at(TokKind::Comma)) {
+        next();
+        args.push_back(parse_expr());
+      }
+    }
+    expect(TokKind::RParen, "')'");
+
+    auto need = [&](size_t n) {
+      if (args.size() != n) {
+        fail(name, name.text + " expects " + std::to_string(n) + " argument(s), got " +
+                       std::to_string(args.size()));
+      }
+    };
+    const std::string& fn = name.text;
+    if (fn == "min") { need(2); return prog_.arena.add_binary(BinaryOp::Min, args[0], args[1]); }
+    if (fn == "max") { need(2); return prog_.arena.add_binary(BinaryOp::Max, args[0], args[1]); }
+    if (fn == "pow") { need(2); return prog_.arena.add_binary(BinaryOp::Pow, args[0], args[1]); }
+    if (fn == "abs") { need(1); return prog_.arena.add_unary(UnaryOp::Abs, args[0]); }
+    if (fn == "sqrt") { need(1); return prog_.arena.add_unary(UnaryOp::Sqrt, args[0]); }
+    if (fn == "cbrt") { need(1); return prog_.arena.add_unary(UnaryOp::Cbrt, args[0]); }
+    if (fn == "log") { need(1); return prog_.arena.add_unary(UnaryOp::Log, args[0]); }
+    if (fn == "exp") { need(1); return prog_.arena.add_unary(UnaryOp::Exp, args[0]); }
+    if (fn == "ewma") {
+      need(3);
+      return prog_.arena.add_ternary(TernaryOp::Ewma, args[0], args[1], args[2]);
+    }
+    if (fn == "if") {
+      need(3);
+      return prog_.arena.add_ternary(TernaryOp::If, args[0], args[1], args[2]);
+    }
+    fail(name, "unknown function '" + fn + "'");
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  Program prog_;
+  std::unordered_map<std::string, uint32_t> fold_names_;
+};
+
+}  // namespace
+
+Program parse_program(std::string_view src) { return Parser(src).parse(); }
+
+}  // namespace ccp::lang

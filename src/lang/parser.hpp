@@ -1,0 +1,33 @@
+// Recursive-descent parser for datapath programs.
+//
+// Grammar (fold and control blocks may appear in either order; at most
+// one of each):
+//
+//   program   := block*
+//   block     := 'fold' '{' decl* '}' | 'control' '{' instr* '}'
+//   decl      := ['volatile'] IDENT ':=' expr 'init' expr ['urgent'] ';'
+//   instr     := ('Rate'|'Cwnd'|'Wait'|'WaitRtts') '(' expr ')' ';'
+//              | 'Report' '(' ')' ';'
+//   expr      := or-chain with C-style precedence; primaries are numbers,
+//                $vars, Pkt.<field>, fold-register names, calls
+//                (min, max, abs, sqrt, cbrt, pow, log, exp, ewma, if),
+//                and parenthesized expressions.
+//
+// Fold registers may reference each other, including forward references;
+// updates are applied *sequentially* in declaration order, and an update
+// reads the already-updated values of registers declared before it (this
+// matches the paper's §2.4 Vegas fold, where inQ uses new.baseRtt).
+#pragma once
+
+#include <string_view>
+
+#include "lang/ast.hpp"
+
+namespace ccp::lang {
+
+/// Parses program text into an AST. Throws ProgramError with position
+/// info on any syntax error. Name resolution errors (unknown register)
+/// are also reported here.
+Program parse_program(std::string_view src);
+
+}  // namespace ccp::lang

@@ -1,0 +1,43 @@
+#include "lang/pkt_fields.hpp"
+
+#include <array>
+#include <utility>
+
+namespace ccp::lang {
+namespace {
+
+constexpr std::array<std::pair<PktField, std::string_view>, kNumPktFields> kNames = {{
+    {PktField::RttUs, "rtt"},
+    {PktField::BytesAcked, "bytes_acked"},
+    {PktField::PacketsAcked, "packets_acked"},
+    {PktField::LostPackets, "lost"},
+    {PktField::Ecn, "ecn"},
+    {PktField::WasTimeout, "was_timeout"},
+    {PktField::SndRateBps, "snd_rate"},
+    {PktField::RcvRateBps, "rcv_rate"},
+    {PktField::BytesInFlight, "bytes_in_flight"},
+    {PktField::PacketsInFlight, "packets_in_flight"},
+    {PktField::BytesPending, "bytes_pending"},
+    {PktField::NowUs, "now"},
+    {PktField::Mss, "mss"},
+    {PktField::Cwnd, "cwnd"},
+    {PktField::RateBps, "rate"},
+}};
+
+}  // namespace
+
+std::string_view pkt_field_name(PktField f) {
+  for (const auto& [field, name] : kNames) {
+    if (field == f) return name;
+  }
+  return "?";
+}
+
+std::optional<PktField> pkt_field_from_name(std::string_view name) {
+  for (const auto& [field, n] : kNames) {
+    if (n == name) return field;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ccp::lang

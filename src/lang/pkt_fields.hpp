@@ -1,0 +1,84 @@
+// Per-ACK measurement fields the datapath exposes to fold functions.
+//
+// This is the paper's primitive (3): "statistics on packet-level round
+// trip times, packet delivery rates, and packet loss, and functions
+// specified over them" (§2.1), plus the congestion signals of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace ccp::lang {
+
+enum class PktField : uint8_t {
+  RttUs,             // most recent packet-level RTT sample, microseconds
+  BytesAcked,        // bytes newly cumulatively acked by this ACK
+  PacketsAcked,      // packets newly acked
+  LostPackets,       // packets newly declared lost (dupack or RTO)
+  Ecn,               // 1 if this ACK echoed an ECN congestion mark
+  WasTimeout,        // 1 if this event is a retransmission timeout
+  SndRateBps,        // measured sending rate, bytes/sec
+  RcvRateBps,        // measured delivery rate, bytes/sec
+  BytesInFlight,     // bytes outstanding after this ACK
+  PacketsInFlight,   // packets outstanding after this ACK
+  BytesPending,      // bytes the application has queued but not yet sent
+  NowUs,             // datapath clock, microseconds
+  Mss,               // maximum segment size, bytes
+  Cwnd,              // current congestion window, bytes (read-back)
+  RateBps,           // current pacing rate, bytes/sec (read-back)
+};
+
+inline constexpr uint8_t kNumPktFields = 15;
+
+/// Field name as written in programs: "Pkt.rtt", "Pkt.bytes_acked", ...
+std::string_view pkt_field_name(PktField f);
+
+/// Inverse of pkt_field_name (without the "Pkt." prefix).
+std::optional<PktField> pkt_field_from_name(std::string_view name);
+
+/// The measurements carried by one ACK (or loss/timeout event) into the
+/// fold VM. All values as doubles: the datapath language is
+/// floating-point end to end (§2.2 argues this is a feature of moving
+/// congestion control to user space; our datapath is software, so it can
+/// afford the same representation).
+struct PktInfo {
+  double rtt_us = 0;
+  double bytes_acked = 0;
+  double packets_acked = 0;
+  double lost_packets = 0;
+  double ecn = 0;
+  double was_timeout = 0;
+  double snd_rate_bps = 0;
+  double rcv_rate_bps = 0;
+  double bytes_in_flight = 0;
+  double packets_in_flight = 0;
+  double bytes_pending = 0;
+  double now_us = 0;
+  double mss = 1500;
+  double cwnd = 0;
+  double rate_bps = 0;
+
+  double get(PktField f) const {
+    switch (f) {
+      case PktField::RttUs: return rtt_us;
+      case PktField::BytesAcked: return bytes_acked;
+      case PktField::PacketsAcked: return packets_acked;
+      case PktField::LostPackets: return lost_packets;
+      case PktField::Ecn: return ecn;
+      case PktField::WasTimeout: return was_timeout;
+      case PktField::SndRateBps: return snd_rate_bps;
+      case PktField::RcvRateBps: return rcv_rate_bps;
+      case PktField::BytesInFlight: return bytes_in_flight;
+      case PktField::PacketsInFlight: return packets_in_flight;
+      case PktField::BytesPending: return bytes_pending;
+      case PktField::NowUs: return now_us;
+      case PktField::Mss: return mss;
+      case PktField::Cwnd: return cwnd;
+      case PktField::RateBps: return rate_bps;
+    }
+    return 0;
+  }
+};
+
+}  // namespace ccp::lang

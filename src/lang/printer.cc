@@ -1,0 +1,143 @@
+#include "lang/printer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ccp::lang {
+namespace {
+
+const char* binary_symbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "!=";
+    case BinaryOp::And: return "&&";
+    case BinaryOp::Or: return "||";
+    default: return nullptr;  // Min/Max/Pow print as calls
+  }
+}
+
+const char* binary_fn(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Min: return "min";
+    case BinaryOp::Max: return "max";
+    case BinaryOp::Pow: return "pow";
+    default: return nullptr;
+  }
+}
+
+const char* unary_fn(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::Sqrt: return "sqrt";
+    case UnaryOp::Abs: return "abs";
+    case UnaryOp::Log: return "log";
+    case UnaryOp::Exp: return "exp";
+    case UnaryOp::Cbrt: return "cbrt";
+    default: return nullptr;  // Neg/Not print as prefix operators
+  }
+}
+
+std::string format_number(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string print_expr(const Program& prog, ExprId id) {
+  const ExprNode& n = prog.arena.at(id);
+  switch (n.kind) {
+    case ExprKind::Const:
+      // Negative literals print parenthesized so the round trip is
+      // idempotent: the parser reads "-2" as Neg(Const(2)), which prints
+      // as "(-2)" — so print "(-2)" the first time too.
+      if (n.constant < 0 || std::signbit(n.constant)) {
+        return "(" + format_number(n.constant) + ")";
+      }
+      return format_number(n.constant);
+    case ExprKind::FoldRef:
+      return prog.folds[n.index].name;
+    case ExprKind::PktRef:
+      return "Pkt." + std::string(pkt_field_name(n.field));
+    case ExprKind::VarRef:
+      return "$" + prog.vars[n.index];
+    case ExprKind::Unary: {
+      const std::string inner = print_expr(prog, n.child[0]);
+      if (const char* fn = unary_fn(n.unary_op)) {
+        return std::string(fn) + "(" + inner + ")";
+      }
+      return (n.unary_op == UnaryOp::Neg ? "(-" : "(!") + inner + ")";
+    }
+    case ExprKind::Binary: {
+      const std::string a = print_expr(prog, n.child[0]);
+      const std::string b = print_expr(prog, n.child[1]);
+      if (const char* fn = binary_fn(n.binary_op)) {
+        return std::string(fn) + "(" + a + ", " + b + ")";
+      }
+      // Fully parenthesized so we never need precedence logic here.
+      return "(" + a + " " + binary_symbol(n.binary_op) + " " + b + ")";
+    }
+    case ExprKind::Ternary: {
+      const std::string a = print_expr(prog, n.child[0]);
+      const std::string b = print_expr(prog, n.child[1]);
+      const std::string c = print_expr(prog, n.child[2]);
+      const char* fn = n.ternary_op == TernaryOp::If ? "if" : "ewma";
+      return std::string(fn) + "(" + a + ", " + b + ", " + c + ")";
+    }
+  }
+  return "?";
+}
+
+std::string print_program(const Program& prog) {
+  std::string out;
+  if (!prog.folds.empty()) {
+    out += "fold {\n";
+    for (const auto& reg : prog.folds) {
+      out += "  ";
+      if (reg.is_volatile) out += "volatile ";
+      out += reg.name + " := " + print_expr(prog, reg.update) + " init " +
+             print_expr(prog, reg.init);
+      if (reg.urgent) out += " urgent";
+      out += ";\n";
+    }
+    out += "}\n";
+  }
+  out += "control {\n";
+  for (const auto& instr : prog.control) {
+    out += "  ";
+    switch (instr.op) {
+      case ControlInstr::Op::SetRate:
+        out += "Rate(" + print_expr(prog, instr.arg) + ");\n";
+        break;
+      case ControlInstr::Op::SetCwnd:
+        out += "Cwnd(" + print_expr(prog, instr.arg) + ");\n";
+        break;
+      case ControlInstr::Op::Wait:
+        out += "Wait(" + print_expr(prog, instr.arg) + ");\n";
+        break;
+      case ControlInstr::Op::WaitRtts:
+        out += "WaitRtts(" + print_expr(prog, instr.arg) + ");\n";
+        break;
+      case ControlInstr::Op::Report:
+        out += "Report();\n";
+        break;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ccp::lang

@@ -1,0 +1,15 @@
+// Pretty-printer: Program AST -> canonical text form. Round-trips through
+// the parser (parse(print(p)) is structurally identical to p), which the
+// tests rely on, and is what the agent logs when installing programs.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace ccp::lang {
+
+std::string print_expr(const Program& prog, ExprId id);
+std::string print_program(const Program& prog);
+
+}  // namespace ccp::lang

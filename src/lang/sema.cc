@@ -1,0 +1,128 @@
+#include "lang/sema.hpp"
+
+#include "lang/error.hpp"
+
+namespace ccp::lang {
+namespace {
+
+bool is_const(const ExprArena& arena, ExprId id, double* out) {
+  const ExprNode& n = arena.at(id);
+  if (n.kind == ExprKind::Const) {
+    *out = n.constant;
+    return true;
+  }
+  if (n.kind == ExprKind::Unary && n.unary_op == UnaryOp::Neg) {
+    double inner;
+    if (is_const(arena, n.child[0], &inner)) {
+      *out = -inner;
+      return true;
+    }
+  }
+  return false;
+}
+
+void walk_expr(const Program& prog, ExprId id, std::vector<SemaIssue>& issues,
+               std::vector<bool>& fold_used) {
+  const ExprNode& n = prog.arena.at(id);
+  switch (n.kind) {
+    case ExprKind::Const:
+    case ExprKind::PktRef:
+    case ExprKind::VarRef:
+      return;
+    case ExprKind::FoldRef:
+      if (n.index < fold_used.size()) fold_used[n.index] = true;
+      return;
+    case ExprKind::Unary:
+      walk_expr(prog, n.child[0], issues, fold_used);
+      return;
+    case ExprKind::Binary: {
+      walk_expr(prog, n.child[0], issues, fold_used);
+      walk_expr(prog, n.child[1], issues, fold_used);
+      if (n.binary_op == BinaryOp::Div) {
+        double v;
+        if (is_const(prog.arena, n.child[1], &v) && v == 0.0) {
+          issues.push_back({SemaIssue::Severity::Error, "division by literal zero"});
+        }
+      }
+      return;
+    }
+    case ExprKind::Ternary: {
+      walk_expr(prog, n.child[0], issues, fold_used);
+      walk_expr(prog, n.child[1], issues, fold_used);
+      walk_expr(prog, n.child[2], issues, fold_used);
+      if (n.ternary_op == TernaryOp::Ewma) {
+        double g;
+        if (is_const(prog.arena, n.child[2], &g) && (g <= 0.0 || g > 1.0)) {
+          issues.push_back({SemaIssue::Severity::Error,
+                            "ewma gain must be in (0, 1], got " + std::to_string(g)});
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<SemaIssue> analyze(const Program& prog) {
+  std::vector<SemaIssue> issues;
+  std::vector<bool> fold_used(prog.folds.size(), false);
+
+  if (prog.control.empty()) {
+    issues.push_back({SemaIssue::Severity::Error,
+                      "program has no control block; the datapath would never "
+                      "report or change its sending behavior"});
+  } else {
+    bool has_report = false;
+    for (const auto& instr : prog.control) {
+      if (instr.op == ControlInstr::Op::Report) has_report = true;
+    }
+    if (!has_report) {
+      issues.push_back({SemaIssue::Severity::Error,
+                        "control program never calls Report(); the agent would "
+                        "receive no measurements"});
+    }
+  }
+
+  for (const auto& reg : prog.folds) {
+    walk_expr(prog, reg.init, issues, fold_used);
+    walk_expr(prog, reg.update, issues, fold_used);
+  }
+  for (const auto& instr : prog.control) {
+    if (instr.arg == kInvalidExpr) continue;
+    walk_expr(prog, instr.arg, issues, fold_used);
+    double v;
+    if ((instr.op == ControlInstr::Op::Wait || instr.op == ControlInstr::Op::WaitRtts) &&
+        is_const(prog.arena, instr.arg, &v) && v <= 0.0) {
+      issues.push_back({SemaIssue::Severity::Error,
+                        "Wait/WaitRtts argument must be positive, got " +
+                            std::to_string(v)});
+    }
+  }
+
+  // Self-references (e.g. `acked := acked + ...`) do not count as a use
+  // by anyone else; reports always carry all registers, so "unused" here
+  // means "not read by any *other* expression" — only a warning, since
+  // reports still deliver it to the agent.
+  for (size_t i = 0; i < prog.folds.size(); ++i) {
+    if (!fold_used[i]) {
+      issues.push_back({SemaIssue::Severity::Warning,
+                        "fold register '" + prog.folds[i].name +
+                            "' is never read by another expression"});
+    }
+  }
+  return issues;
+}
+
+void check_or_throw(const Program& prog) {
+  std::string errors;
+  for (const auto& issue : analyze(prog)) {
+    if (issue.severity == SemaIssue::Severity::Error) {
+      if (!errors.empty()) errors += "; ";
+      errors += issue.message;
+    }
+  }
+  if (!errors.empty()) throw ProgramError(errors);
+}
+
+}  // namespace ccp::lang

@@ -1,0 +1,37 @@
+// Semantic analysis: the checks that make a parsed program safe to run
+// on a datapath unsupervised (§2.2, §5 "Is CCP safe to deploy?").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace ccp::lang {
+
+struct SemaIssue {
+  enum class Severity { Error, Warning };
+  Severity severity;
+  std::string message;
+};
+
+/// Returns all issues found. A program with any Error must not be
+/// installed; `check_or_throw` wraps this for callers that want failure
+/// as an exception.
+///
+/// Checks:
+///  - control block present and contains at least one Report()
+///    (a program that never reports starves the agent of measurements);
+///  - Wait/WaitRtts with a constant argument must be positive;
+///  - division by a literal zero;
+///  - ewma gain, when constant, must lie in (0, 1];
+///  - every control instruction argument expression is well-formed;
+///  - warning: fold register that no expression and no report consumer
+///    references is dead weight (still legal).
+std::vector<SemaIssue> analyze(const Program& prog);
+
+/// Throws ProgramError listing all errors if any Error-severity issue
+/// exists.
+void check_or_throw(const Program& prog);
+
+}  // namespace ccp::lang

@@ -1,0 +1,124 @@
+#include "lang/vm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ccp::lang {
+namespace {
+
+inline double safe_div(double a, double b) { return b == 0.0 ? 0.0 : a / b; }
+inline double safe_sqrt(double a) { return a <= 0.0 ? 0.0 : std::sqrt(a); }
+inline double safe_log(double a) { return a <= 0.0 ? 0.0 : std::log(a); }
+inline double safe_pow(double a, double b) {
+  // pow of a negative base with fractional exponent is NaN; clamp to 0
+  // (total arithmetic — see vm.hpp).
+  const double v = std::pow(a, b);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+}  // namespace
+
+double eval_block(const CodeBlock& block, std::span<double> fold_state,
+                  const PktInfo& pkt, std::span<const double> vars,
+                  std::vector<double>& scratch) {
+  if (scratch.size() < block.n_slots) scratch.resize(block.n_slots);
+  double* s = scratch.data();
+
+  for (const Instr& in : block.code) {
+    switch (in.op) {
+      case OpCode::LoadConst: s[in.dst] = block.consts[in.a]; break;
+      case OpCode::LoadFold: s[in.dst] = fold_state[in.a]; break;
+      case OpCode::LoadPkt: s[in.dst] = pkt.get(static_cast<PktField>(in.a)); break;
+      case OpCode::LoadVar: s[in.dst] = vars[in.a]; break;
+      case OpCode::Neg: s[in.dst] = -s[in.a]; break;
+      case OpCode::Not: s[in.dst] = s[in.a] == 0.0 ? 1.0 : 0.0; break;
+      case OpCode::Sqrt: s[in.dst] = safe_sqrt(s[in.a]); break;
+      case OpCode::Abs: s[in.dst] = std::fabs(s[in.a]); break;
+      case OpCode::Log: s[in.dst] = safe_log(s[in.a]); break;
+      case OpCode::Exp: s[in.dst] = std::exp(s[in.a]); break;
+      case OpCode::Cbrt: s[in.dst] = std::cbrt(s[in.a]); break;
+      case OpCode::Add: s[in.dst] = s[in.a] + s[in.b]; break;
+      case OpCode::Sub: s[in.dst] = s[in.a] - s[in.b]; break;
+      case OpCode::Mul: s[in.dst] = s[in.a] * s[in.b]; break;
+      case OpCode::Div: s[in.dst] = safe_div(s[in.a], s[in.b]); break;
+      case OpCode::Pow: s[in.dst] = safe_pow(s[in.a], s[in.b]); break;
+      case OpCode::Min: s[in.dst] = s[in.a] < s[in.b] ? s[in.a] : s[in.b]; break;
+      case OpCode::Max: s[in.dst] = s[in.a] > s[in.b] ? s[in.a] : s[in.b]; break;
+      case OpCode::Lt: s[in.dst] = s[in.a] < s[in.b] ? 1.0 : 0.0; break;
+      case OpCode::Le: s[in.dst] = s[in.a] <= s[in.b] ? 1.0 : 0.0; break;
+      case OpCode::Gt: s[in.dst] = s[in.a] > s[in.b] ? 1.0 : 0.0; break;
+      case OpCode::Ge: s[in.dst] = s[in.a] >= s[in.b] ? 1.0 : 0.0; break;
+      case OpCode::Eq: s[in.dst] = s[in.a] == s[in.b] ? 1.0 : 0.0; break;
+      case OpCode::Ne: s[in.dst] = s[in.a] != s[in.b] ? 1.0 : 0.0; break;
+      case OpCode::And:
+        s[in.dst] = (s[in.a] != 0.0 && s[in.b] != 0.0) ? 1.0 : 0.0;
+        break;
+      case OpCode::Or:
+        s[in.dst] = (s[in.a] != 0.0 || s[in.b] != 0.0) ? 1.0 : 0.0;
+        break;
+      case OpCode::Select: s[in.dst] = s[in.a] != 0.0 ? s[in.b] : s[in.c]; break;
+      case OpCode::Ewma:
+        s[in.dst] = (1.0 - s[in.c]) * s[in.a] + s[in.c] * s[in.b];
+        break;
+      case OpCode::StoreFold: fold_state[in.a] = s[in.b]; break;
+    }
+  }
+  return block.code.empty() ? 0.0 : s[block.result_slot];
+}
+
+void FoldMachine::install(const CompiledProgram* prog, std::vector<double> vars) {
+  if (prog == nullptr) throw std::invalid_argument("FoldMachine: null program");
+  if (vars.size() != prog->num_vars()) {
+    throw std::invalid_argument("FoldMachine: program expects " +
+                                std::to_string(prog->num_vars()) + " vars, got " +
+                                std::to_string(vars.size()));
+  }
+  prog_ = prog;
+  vars_ = std::move(vars);
+  state_.assign(prog->num_folds(), 0.0);
+  const PktInfo zero_pkt{};
+  eval_block(prog->init_block, state_, zero_pkt, vars_, scratch_);
+  init_snapshot_ = state_;
+}
+
+void FoldMachine::update_vars(std::vector<double> vars) {
+  if (prog_ == nullptr) throw std::logic_error("FoldMachine: no program installed");
+  if (vars.size() != prog_->num_vars()) {
+    throw std::invalid_argument("FoldMachine: var count mismatch");
+  }
+  vars_ = std::move(vars);
+}
+
+bool FoldMachine::on_packet(const PktInfo& pkt) {
+  if (prog_ == nullptr) return false;
+  bool urgent_changed = false;
+  if (prog_->has_urgent()) {
+    // Snapshot state so we can detect urgent-register changes. `before_`
+    // is a member so the per-ACK path stays allocation-free after warmup.
+    before_ = state_;
+    eval_block(prog_->fold_block, state_, pkt, vars_, scratch_);
+    for (size_t i = 0; i < state_.size(); ++i) {
+      if (prog_->urgent_regs[i] && state_[i] != before_[i]) {
+        urgent_changed = true;
+        break;
+      }
+    }
+  } else {
+    eval_block(prog_->fold_block, state_, pkt, vars_, scratch_);
+  }
+  return urgent_changed;
+}
+
+double FoldMachine::eval_control_arg(size_t idx, const PktInfo& pkt) {
+  if (prog_ == nullptr) throw std::logic_error("FoldMachine: no program installed");
+  return eval_block(prog_->control_args[idx], state_, pkt, vars_, scratch_);
+}
+
+void FoldMachine::reset_volatile() {
+  if (prog_ == nullptr) return;
+  for (size_t i = 0; i < state_.size(); ++i) {
+    if (prog_->volatile_regs[i]) state_[i] = init_snapshot_[i];
+  }
+}
+
+}  // namespace ccp::lang

@@ -1,0 +1,67 @@
+// The datapath virtual machine.
+//
+// Executes compiled fold blocks per ACK and evaluates control-instruction
+// argument expressions. Arithmetic is total: division by zero yields 0,
+// log/sqrt of out-of-domain values yield 0 — a misbehaving program can
+// produce garbage numbers but can never crash the datapath (§2.2, §5
+// "Is CCP safe to deploy?"). The agent-side policy layer clamps the
+// resulting rate/cwnd values.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lang/bytecode.hpp"
+#include "lang/compiler.hpp"
+#include "lang/pkt_fields.hpp"
+
+namespace ccp::lang {
+
+/// Evaluates one CodeBlock. `fold_state` is read and (for StoreFold)
+/// written in place; `vars` are the install-time bindings. Returns the
+/// value in the block's result slot (0.0 for empty blocks).
+///
+/// `scratch` is caller-provided to keep the per-ACK path allocation-free;
+/// it is resized on first use per program.
+double eval_block(const CodeBlock& block, std::span<double> fold_state,
+                  const PktInfo& pkt, std::span<const double> vars,
+                  std::vector<double>& scratch);
+
+/// Per-flow fold-machine state: owns the fold register file and scratch
+/// space, applies init/update/report-reset semantics.
+class FoldMachine {
+ public:
+  FoldMachine() = default;
+
+  /// Binds a program and variable values, and runs the init block.
+  void install(const CompiledProgram* prog, std::vector<double> vars);
+
+  /// Re-binds variable values without resetting fold state (the agent's
+  /// UpdateFields message). Lengths must match the installed program.
+  void update_vars(std::vector<double> vars);
+
+  /// Folds one ACK's measurements into the register file.
+  /// Returns true if any `urgent` register changed value.
+  bool on_packet(const PktInfo& pkt);
+
+  /// Evaluates the argument expression of control instruction `idx`.
+  double eval_control_arg(size_t idx, const PktInfo& pkt);
+
+  /// Called after a report has been emitted: volatile registers reset to
+  /// their init values (evaluated against a zero packet, as at install).
+  void reset_volatile();
+
+  const std::vector<double>& state() const { return state_; }
+  const CompiledProgram* program() const { return prog_; }
+  bool installed() const { return prog_ != nullptr; }
+
+ private:
+  const CompiledProgram* prog_ = nullptr;
+  std::vector<double> vars_;
+  std::vector<double> state_;
+  std::vector<double> init_snapshot_;  // state right after init, for volatile reset
+  std::vector<double> scratch_;
+  std::vector<double> before_;  // reused urgent-detection snapshot
+};
+
+}  // namespace ccp::lang

@@ -1,0 +1,79 @@
+#include "sim/ccp_host.hpp"
+
+#include "algorithms/registry.hpp"
+
+namespace ccp::sim {
+
+SimCcpHost::SimCcpHost(EventQueue& events, CcpHostConfig config)
+    : events_(events), config_(config), rng_(config.seed) {
+  datapath_ = std::make_unique<datapath::CcpDatapath>(
+      config_.datapath, [this](std::vector<uint8_t> frame) {
+        ++frames_dp_to_agent_;
+        events_.schedule(sample_ipc_delay(), [this, frame = std::move(frame)] {
+          agent_->handle_frame(frame);
+        });
+      });
+  agent_ = std::make_unique<agent::CcpAgent>(
+      config_.agent, [this](std::vector<uint8_t> frame) {
+        ++frames_agent_to_dp_;
+        events_.schedule(sample_ipc_delay(), [this, frame = std::move(frame)] {
+          datapath_->handle_frame(frame, events_.now());
+        });
+      });
+  algorithms::register_builtin_algorithms(*agent_);
+}
+
+Duration SimCcpHost::sample_ipc_delay() {
+  if (config_.ipc_jitter_frac <= 0) return config_.ipc_delay;
+  const double factor =
+      rng_.uniform(1.0 - config_.ipc_jitter_frac, 1.0 + config_.ipc_jitter_frac);
+  return config_.ipc_delay * factor;
+}
+
+datapath::CcpFlow& SimCcpHost::create_flow(const datapath::FlowConfig& cfg,
+                                           const std::string& alg_name) {
+  return datapath_->create_flow(cfg, alg_name, events_.now());
+}
+
+void SimCcpHost::start(TimePoint until) {
+  if (events_.now() > until) return;
+  datapath_->tick(events_.now());
+  events_.schedule(config_.datapath_tick, [this, until] { start(until); });
+}
+
+SimPrototypeHost::SimPrototypeHost(EventQueue& events, CcpHostConfig config)
+    : events_(events), config_(config), rng_(config.seed) {
+  datapath_ = std::make_unique<datapath::PrototypeDatapath>(
+      config_.datapath, [this](std::vector<uint8_t> frame) {
+        events_.schedule(sample_ipc_delay(), [this, frame = std::move(frame)] {
+          agent_->handle_frame(frame);
+        });
+      });
+  agent_ = std::make_unique<agent::CcpAgent>(
+      config_.agent, [this](std::vector<uint8_t> frame) {
+        events_.schedule(sample_ipc_delay(), [this, frame = std::move(frame)] {
+          datapath_->handle_frame(frame, events_.now());
+        });
+      });
+  algorithms::register_builtin_algorithms(*agent_);
+}
+
+Duration SimPrototypeHost::sample_ipc_delay() {
+  if (config_.ipc_jitter_frac <= 0) return config_.ipc_delay;
+  const double factor =
+      rng_.uniform(1.0 - config_.ipc_jitter_frac, 1.0 + config_.ipc_jitter_frac);
+  return config_.ipc_delay * factor;
+}
+
+datapath::PrototypeFlow& SimPrototypeHost::create_flow(
+    const datapath::FlowConfig& cfg, const std::string& alg_name) {
+  return datapath_->create_flow(cfg, alg_name, events_.now());
+}
+
+void SimPrototypeHost::start(TimePoint until) {
+  if (events_.now() > until) return;
+  datapath_->tick(events_.now());
+  events_.schedule(config_.datapath_tick, [this, until] { start(until); });
+}
+
+}  // namespace ccp::sim

@@ -1,0 +1,60 @@
+// The canonical congestion-control topology: N senders share one
+// bottleneck link toward their receivers; ACKs return over a delay-only
+// reverse path. This is the setup of the paper's Figures 3 and 4
+// (1 Gbit/s bottleneck, 10 ms RTT, 1 BDP of buffer).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "datapath/cc_module.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/link.hpp"
+#include "sim/tcp.hpp"
+
+namespace ccp::sim {
+
+struct DumbbellConfig {
+  LinkConfig bottleneck;                          // forward path
+  Duration reverse_delay = Duration::from_millis(5);  // ACK path, no queueing
+
+  /// Convenience constructor: rate, base RTT (split evenly between the
+  /// two directions), and buffer in bottleneck-BDP units.
+  static DumbbellConfig make(double rate_bps, Duration base_rtt, double buffer_bdp,
+                             uint64_t ecn_threshold_bytes = UINT64_MAX);
+};
+
+class Dumbbell {
+ public:
+  Dumbbell(EventQueue& events, DumbbellConfig config);
+
+  /// Adds a flow driven by `cc` (not owned), starting at `start`.
+  TcpSender& add_flow(const TcpSenderConfig& scfg, datapath::CcModule* cc,
+                      TimePoint start,
+                      TcpReceiverConfig rcfg = TcpReceiverConfig{});
+
+  TcpSender& sender(size_t i) { return *senders_[i]; }
+  TcpReceiver& receiver(size_t i) { return *receivers_[i]; }
+  size_t num_flows() const { return senders_.size(); }
+  Link& bottleneck() { return *bottleneck_; }
+
+  /// Bottleneck utilization over [from, to]: delivered payload bits /
+  /// (rate * time). Uses wire bytes, so it can slightly exceed payload
+  /// goodput.
+  double utilization(TimePoint from, TimePoint to) const;
+
+  /// Call at measurement boundaries to snapshot delivered bytes.
+  void mark_utilization_epoch();
+
+ private:
+  EventQueue& events_;
+  DumbbellConfig config_;
+  std::unique_ptr<Link> bottleneck_;
+  std::unique_ptr<DelayPipe> reverse_;
+  std::vector<std::unique_ptr<TcpSender>> senders_;
+  std::vector<std::unique_ptr<TcpReceiver>> receivers_;
+  uint64_t epoch_delivered_bytes_ = 0;
+  TimePoint epoch_start_{};
+};
+
+}  // namespace ccp::sim

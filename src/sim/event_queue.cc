@@ -1,0 +1,30 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace ccp::sim {
+
+void EventQueue::schedule_at(TimePoint at, Action action) {
+  if (at < now_) {
+    throw std::logic_error("EventQueue: scheduling into the past");
+  }
+  heap_.push(Event{at, next_seq_++, std::move(action)});
+}
+
+uint64_t EventQueue::run_until(TimePoint horizon) {
+  uint64_t executed = 0;
+  while (!heap_.empty() && heap_.top().at <= horizon) {
+    // Move out the action before popping so it can schedule new events.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.at;
+    ev.action();
+    ++executed;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return executed;
+}
+
+uint64_t EventQueue::run() { return run_until(TimePoint::max()); }
+
+}  // namespace ccp::sim

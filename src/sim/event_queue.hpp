@@ -1,0 +1,59 @@
+// Deterministic discrete-event simulation core.
+//
+// Events at equal timestamps fire in scheduling order (a monotone
+// sequence number breaks ties), which makes runs bit-for-bit reproducible
+// regardless of platform.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace ccp::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedules `action` to run at absolute time `at` (>= now).
+  void schedule_at(TimePoint at, Action action);
+
+  /// Schedules `action` to run `delay` from now.
+  void schedule(Duration delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Runs events until the queue is empty or the horizon is reached.
+  /// Returns the number of events executed.
+  uint64_t run_until(TimePoint horizon);
+
+  /// Runs until the queue drains completely.
+  uint64_t run();
+
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    TimePoint at;
+    uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_ = TimePoint::epoch();
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace ccp::sim

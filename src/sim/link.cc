@@ -1,0 +1,52 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+
+namespace ccp::sim {
+
+Link::Link(EventQueue& events, LinkConfig config, Sink sink)
+    : events_(events), config_(config), sink_(std::move(sink)) {}
+
+void Link::enqueue(Packet pkt) {
+  // Drop-tail on the byte budget; an empty queue always admits one
+  // packet (a real queue can hold at least one MTU regardless of its
+  // configured byte limit).
+  if (!queue_.empty() &&
+      queue_bytes_ + pkt.wire_bytes() > config_.queue_capacity_bytes) {
+    ++stats_.dropped_pkts;
+    return;
+  }
+  if (pkt.ect && queue_bytes_ >= config_.ecn_threshold_bytes) {
+    pkt.ce = true;
+    ++stats_.marked_pkts;
+  }
+  queue_bytes_ += pkt.wire_bytes();
+  stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queue_bytes_);
+  ++stats_.enqueued_pkts;
+  queue_.push_back(std::move(pkt));
+  if (!busy_) service_next();
+}
+
+void Link::service_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Packet pkt = std::move(queue_.front());
+  queue_.pop_front();
+  queue_bytes_ -= pkt.wire_bytes();
+
+  const Duration tx_time = serialization_delay(pkt.wire_bytes());
+  // The next packet starts transmitting when this one finishes...
+  events_.schedule(tx_time, [this] { service_next(); });
+  // ...and this one arrives after transmission plus propagation.
+  events_.schedule(tx_time + config_.prop_delay,
+                   [this, pkt = std::move(pkt)]() mutable {
+                     ++stats_.delivered_pkts;
+                     stats_.delivered_bytes += pkt.wire_bytes();
+                     sink_(std::move(pkt));
+                   });
+}
+
+}  // namespace ccp::sim

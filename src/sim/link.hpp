@@ -1,0 +1,90 @@
+// Bottleneck link with a drop-tail queue and optional ECN marking.
+//
+// Models the standard dumbbell bottleneck: packets enter a FIFO byte
+// queue; the link serves them at `rate_bps` and delivers each to the
+// sink after `prop_delay`. When the queue is full the arriving packet is
+// dropped (drop-tail). If an ECN threshold is set, packets that arrive
+// to a standing queue above the threshold get their CE bit set instead
+// of (not in addition to) being dropped — the DCTCP-style marking that
+// Table 1's ECN-based algorithms consume.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "sim/packet.hpp"
+
+namespace ccp::sim {
+
+struct LinkConfig {
+  double rate_bps = 1e9;                       // bits per second
+  Duration prop_delay = Duration::from_millis(5);
+  uint64_t queue_capacity_bytes = 125'000;     // 1 BDP at 1 Gbit/s x 1 ms
+  uint64_t ecn_threshold_bytes = std::numeric_limits<uint64_t>::max();
+};
+
+struct LinkStats {
+  uint64_t enqueued_pkts = 0;
+  uint64_t delivered_pkts = 0;
+  uint64_t dropped_pkts = 0;
+  uint64_t marked_pkts = 0;
+  uint64_t delivered_bytes = 0;  // wire bytes through the link
+  uint64_t max_queue_bytes = 0;
+};
+
+class Link {
+ public:
+  using Sink = std::function<void(Packet)>;
+
+  Link(EventQueue& events, LinkConfig config, Sink sink);
+
+  /// Offers a packet to the queue; may drop (drop-tail) or CE-mark it.
+  void enqueue(Packet pkt);
+
+  uint64_t queue_bytes() const { return queue_bytes_; }
+  const LinkConfig& config() const { return config_; }
+  const LinkStats& stats() const { return stats_; }
+
+  /// Serialization time of one packet at the link rate.
+  Duration serialization_delay(uint32_t wire_bytes) const {
+    return Duration::from_nanos(
+        static_cast<int64_t>(wire_bytes * 8.0 / config_.rate_bps * 1e9));
+  }
+
+ private:
+  void service_next();
+
+  EventQueue& events_;
+  LinkConfig config_;
+  Sink sink_;
+  std::deque<Packet> queue_;
+  uint64_t queue_bytes_ = 0;
+  bool busy_ = false;
+  LinkStats stats_;
+};
+
+/// A delay-only pipe (used for the reverse/ACK path: plentiful bandwidth,
+/// no queueing — the usual dumbbell assumption).
+class DelayPipe {
+ public:
+  using Sink = std::function<void(Packet)>;
+
+  DelayPipe(EventQueue& events, Duration delay, Sink sink)
+      : events_(events), delay_(delay), sink_(std::move(sink)) {}
+
+  void enqueue(Packet pkt) {
+    events_.schedule(delay_, [this, pkt = std::move(pkt)]() mutable {
+      sink_(std::move(pkt));
+    });
+  }
+
+ private:
+  EventQueue& events_;
+  Duration delay_;
+  Sink sink_;
+};
+
+}  // namespace ccp::sim

@@ -1,0 +1,59 @@
+// Time-series tracing for experiments: sample any probe on a fixed
+// interval and retrieve (t, value) series afterwards — this is how the
+// figure benches record cwnd evolution, queue depth, and throughput.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace ccp::sim {
+
+struct TracePoint {
+  double t_secs;
+  double value;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(EventQueue& events) : events_(events) {}
+
+  /// Samples `probe` every `interval` from now until `until`.
+  void sample_every(const std::string& series, Duration interval, TimePoint until,
+                    std::function<double()> probe) {
+    schedule_sample(series, interval, until, std::move(probe));
+  }
+
+  /// Records a single point immediately.
+  void record(const std::string& series, double value) {
+    series_[series].push_back({events_.now().secs(), value});
+  }
+
+  const std::vector<TracePoint>& series(const std::string& name) const {
+    static const std::vector<TracePoint> kEmpty;
+    auto it = series_.find(name);
+    return it == series_.end() ? kEmpty : it->second;
+  }
+  const std::map<std::string, std::vector<TracePoint>>& all() const {
+    return series_;
+  }
+
+ private:
+  void schedule_sample(const std::string& series, Duration interval, TimePoint until,
+                       std::function<double()> probe) {
+    if (events_.now() > until) return;
+    series_[series].push_back({events_.now().secs(), probe()});
+    events_.schedule(interval, [this, series, interval, until,
+                                probe = std::move(probe)]() mutable {
+      schedule_sample(series, interval, until, std::move(probe));
+    });
+  }
+
+  EventQueue& events_;
+  std::map<std::string, std::vector<TracePoint>> series_;
+};
+
+}  // namespace ccp::sim

@@ -1,0 +1,38 @@
+// Exponentially-weighted moving average, the workhorse filter of
+// congestion control (SRTT, rate smoothing, DCTCP's alpha, ...).
+#pragma once
+
+namespace ccp {
+
+/// EWMA with gain `g`: value <- (1-g)*value + g*sample.
+/// The first sample initializes the average exactly (no bias toward zero).
+class Ewma {
+ public:
+  explicit Ewma(double gain) : gain_(gain) {}
+
+  void update(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+      return;
+    }
+    value_ += gain_ * (sample - value_);
+  }
+
+  /// Resets to the uninitialized state; the next sample sets the value.
+  void reset() { initialized_ = false; value_ = 0.0; }
+
+  /// Force a value (used when restoring state from a report).
+  void set(double v) { value_ = v; initialized_ = true; }
+
+  double value() const { return value_; }
+  double gain() const { return gain_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  double gain_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace ccp

@@ -1,0 +1,67 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace ccp {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void init_logging_from_env() {
+  const char* env = std::getenv("CCP_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "trace") == 0) set_log_level(LogLevel::Trace);
+  else if (std::strcmp(env, "debug") == 0) set_log_level(LogLevel::Debug);
+  else if (std::strcmp(env, "info") == 0) set_log_level(LogLevel::Info);
+  else if (std::strcmp(env, "warn") == 0) set_log_level(LogLevel::Warn);
+  else if (std::strcmp(env, "error") == 0) set_log_level(LogLevel::Error);
+  else if (std::strcmp(env, "off") == 0) set_log_level(LogLevel::Off);
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const char* file, int line, const std::string& msg) {
+  // Strip leading path components for readability.
+  const char* base = std::strrchr(file, '/');
+  base = base != nullptr ? base + 1 : file;
+  std::fprintf(stderr, "[%s] %s:%d: %s\n", level_name(level), base, line, msg.c_str());
+}
+
+std::string format_log(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace detail
+}  // namespace ccp

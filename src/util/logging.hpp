@@ -1,0 +1,37 @@
+// Minimal leveled logger. Off by default so benchmarks stay quiet;
+// examples and debugging turn it up via set_log_level or CCP_LOG env var.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace ccp {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Reads CCP_LOG (trace/debug/info/warn/error/off) once at startup.
+void init_logging_from_env();
+
+namespace detail {
+void log_line(LogLevel level, const char* file, int line, const std::string& msg);
+std::string format_log(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define CCP_LOG(level, ...)                                                     \
+  do {                                                                          \
+    if (static_cast<int>(level) >= static_cast<int>(::ccp::log_level())) {      \
+      ::ccp::detail::log_line(level, __FILE__, __LINE__,                        \
+                              ::ccp::detail::format_log(__VA_ARGS__));          \
+    }                                                                           \
+  } while (0)
+
+#define CCP_TRACE(...) CCP_LOG(::ccp::LogLevel::Trace, __VA_ARGS__)
+#define CCP_DEBUG(...) CCP_LOG(::ccp::LogLevel::Debug, __VA_ARGS__)
+#define CCP_INFO(...) CCP_LOG(::ccp::LogLevel::Info, __VA_ARGS__)
+#define CCP_WARN(...) CCP_LOG(::ccp::LogLevel::Warn, __VA_ARGS__)
+#define CCP_ERROR(...) CCP_LOG(::ccp::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace ccp

@@ -1,0 +1,142 @@
+#include "util/quantiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ccp {
+
+void SampleSet::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+std::vector<double> SampleSet::cdf(size_t points) const {
+  std::vector<double> out;
+  out.reserve(points);
+  for (size_t i = 1; i <= points; ++i) {
+    out.push_back(quantile(static_cast<double>(i) / static_cast<double>(points)));
+  }
+  return out;
+}
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (q <= 0.0 || q >= 1.0) throw std::invalid_argument("P2Quantile: q must be in (0,1)");
+  desired_ = {1, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5};
+  increments_ = {0, q / 2, q, (1 + q) / 2, 1};
+}
+
+void P2Quantile::add(double sample) {
+  if (count_ < 5) {
+    heights_[count_++] = sample;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+    }
+    return;
+  }
+  ++count_;
+
+  int k;
+  if (sample < heights_[0]) {
+    heights_[0] = sample;
+    k = 0;
+  } else if (sample >= heights_[4]) {
+    heights_[4] = sample;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && sample >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+        (d <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, sign);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = linear(i, static_cast<int>(sign));
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const auto& n = positions_;
+  const auto& h = heights_;
+  return h[i] + d / (n[i + 1] - n[i - 1]) *
+                    ((n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i]) +
+                     (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]));
+}
+
+double P2Quantile::linear(int i, int d) const {
+  return heights_[i] + static_cast<double>(d) * (heights_[i + d] - heights_[i]) /
+                           (positions_[i + d] - positions_[i]);
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile.
+    std::array<double, 5> tmp{};
+    std::copy(heights_.begin(), heights_.begin() + count_, tmp.begin());
+    std::sort(tmp.begin(), tmp.begin() + count_);
+    const double rank = q_ * static_cast<double>(count_ - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, count_ - 1);
+    return tmp[lo] + (rank - static_cast<double>(lo)) * (tmp[hi] - tmp[lo]);
+  }
+  return heights_[2];
+}
+
+}  // namespace ccp

@@ -1,0 +1,67 @@
+// Quantile computation for benchmark reporting.
+//
+// `SampleSet` stores every sample and computes exact quantiles — right for
+// the Figure 2 reproduction (60k IPC latency samples, CDF output).
+// `P2Quantile` is the constant-memory P² estimator for long-running
+// online use inside the datapath.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace ccp {
+
+/// Exact quantiles over an in-memory sample set.
+class SampleSet {
+ public:
+  void add(double sample);
+  void reserve(size_t n) { samples_.reserve(n); }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+
+  /// Quantile by linear interpolation between closest ranks; q in [0,1].
+  double quantile(double q) const;
+
+  /// Evenly spaced CDF points: returns {value at q} for q = 1/n, 2/n, ... 1.
+  std::vector<double> cdf(size_t points) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// P² (Jain & Chlamtac 1985) online quantile estimator: tracks one
+/// quantile with five markers and no stored samples.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double sample);
+  /// Current estimate. Exact while fewer than 5 samples have been seen.
+  double value() const;
+  size_t count() const { return count_; }
+
+ private:
+  double parabolic(int i, double d) const;
+  double linear(int i, int d) const;
+
+  double q_;
+  size_t count_ = 0;
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace ccp

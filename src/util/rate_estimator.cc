@@ -1,0 +1,57 @@
+#include "util/rate_estimator.hpp"
+
+namespace ccp {
+
+RateEstimator::RateEstimator(Duration window) : window_(window) {}
+
+void RateEstimator::set_window(Duration window) { window_ = window; }
+
+void RateEstimator::on_bytes(uint64_t bytes, TimePoint now) {
+  events_.push_back({now, bytes});
+  bytes_in_window_ += bytes;
+  total_bytes_ += bytes;
+  expire(now);
+}
+
+void RateEstimator::expire(TimePoint now) const {
+  const TimePoint cutoff = now - window_;
+  while (!events_.empty() && events_.front().time < cutoff) {
+    bytes_in_window_ -= events_.front().bytes;
+    anchor_time_ = events_.front().time;
+    anchor_valid_ = true;
+    events_.pop_front();
+  }
+}
+
+double RateEstimator::rate_bps(TimePoint now) const {
+  expire(now);
+  if (events_.empty()) return 0.0;
+  if (anchor_valid_) {
+    // The window has been rolling: measure everything in it against the
+    // window edge (or the last expired event, whichever is later). A
+    // burst after a quiet gap is thus averaged over the gap — the bytes
+    // really were delivered across that whole period — instead of being
+    // divided by the burst's own microseconds.
+    const TimePoint window_edge = now - window_;
+    const TimePoint anchor =
+        anchor_time_ > window_edge ? anchor_time_ : window_edge;
+    const Duration span = now - anchor;
+    if (span <= Duration::zero()) return 0.0;
+    return static_cast<double>(bytes_in_window_) / span.secs();
+  }
+  // Startup (nothing expired yet): measure from the first event, whose
+  // own bytes arrived "at time zero" of the interval and are excluded.
+  if (events_.size() < 2) return 0.0;
+  const Duration span = now - events_.front().time;
+  if (span <= Duration::zero()) return 0.0;
+  const uint64_t bytes = bytes_in_window_ - events_.front().bytes;
+  return static_cast<double>(bytes) / span.secs();
+}
+
+void RateEstimator::reset() {
+  events_.clear();
+  bytes_in_window_ = 0;
+  anchor_valid_ = false;
+}
+
+}  // namespace ccp

@@ -1,0 +1,58 @@
+// Sliding-window rate estimation for sending and delivery rates.
+//
+// The paper's datapath primitive (3) requires "statistics on ... packet
+// delivery rates". This estimator counts bytes over a sliding time window
+// and reports bytes/sec; it is the source of Pkt.snd_rate / Pkt.rcv_rate
+// presented to fold functions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "util/time.hpp"
+
+namespace ccp {
+
+class RateEstimator {
+ public:
+  /// `window`: how much history contributes to the estimate. Congestion
+  /// control wants roughly an RTT; callers may retune via set_window().
+  explicit RateEstimator(Duration window = Duration::from_millis(100));
+
+  void set_window(Duration window);
+  Duration window() const { return window_; }
+
+  /// Record that `bytes` were sent/delivered at `now`.
+  void on_bytes(uint64_t bytes, TimePoint now);
+
+  /// Estimated rate in bytes per second over the trailing window.
+  /// Returns 0 until at least two events span a measurable interval.
+  double rate_bps(TimePoint now) const;
+
+  /// Total bytes recorded since construction (monotone counter).
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  void reset();
+
+ private:
+  struct Event {
+    TimePoint time;
+    uint64_t bytes;
+  };
+
+  void expire(TimePoint now) const;
+
+  Duration window_;
+  // mutable: expire() trims history from const accessors.
+  mutable std::deque<Event> events_;
+  mutable uint64_t bytes_in_window_ = 0;
+  // Time of the most recently expired event: once events start aging
+  // out, the measurement interval is anchored at the window edge, so an
+  // ACK burst after a quiet gap is averaged over the gap rather than
+  // over the burst's own microseconds.
+  mutable TimePoint anchor_time_{};
+  mutable bool anchor_valid_ = false;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace ccp

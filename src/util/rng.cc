@@ -1,0 +1,84 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace ccp {
+namespace {
+
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64, used to expand the seed into the xoshiro state.
+inline uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  for (auto& word : s_) word = splitmix64(seed);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::next_below(uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+double Rng::exponential(double mean) {
+  // Avoid log(0); next_double() is in [0,1) so 1-u is in (0,1].
+  return -mean * std::log(1.0 - next_double());
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  if (have_spare_gaussian_) {
+    have_spare_gaussian_ = false;
+    return mean + stddev * spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double k = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * k;
+  have_spare_gaussian_ = true;
+  return mean + stddev * u * k;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace ccp

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation (xoshiro256++).
+//
+// The simulator must be bit-for-bit reproducible across platforms, so we
+// avoid std::mt19937/std::uniform_* (whose distributions are
+// implementation-defined) and implement the generator and distributions
+// ourselves.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ccp {
+
+/// xoshiro256++ by Blackman & Vigna. Fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform in [0, 2^64).
+  uint64_t next_u64();
+
+  /// Uniform in [0, bound). Debiased via rejection sampling.
+  uint64_t next_below(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard exponential with the given mean (inverse-CDF method).
+  double exponential(double mean);
+
+  /// Gaussian via Marsaglia polar method.
+  double gaussian(double mean, double stddev);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Fork a statistically independent child stream (used to give each
+  /// simulated component its own stream while keeping one master seed).
+  Rng split();
+
+ private:
+  std::array<uint64_t, 4> s_{};
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace ccp

@@ -1,0 +1,141 @@
+#include "util/units.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ccp {
+namespace {
+
+struct NumberAndSuffix {
+  double value;
+  std::string suffix;  // lower-cased, whitespace stripped
+};
+
+NumberAndSuffix split(std::string_view text) {
+  size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  const size_t start = i;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) || text[i] == '.' ||
+          text[i] == '+' || text[i] == '-' || text[i] == 'e' || text[i] == 'E')) {
+    // Don't swallow unit letters that happen to be 'e' without digits after.
+    if ((text[i] == 'e' || text[i] == 'E') &&
+        (i + 1 >= text.size() ||
+         (!std::isdigit(static_cast<unsigned char>(text[i + 1])) && text[i + 1] != '+' &&
+          text[i + 1] != '-'))) {
+      break;
+    }
+    ++i;
+  }
+  if (i == start) throw std::invalid_argument("no number in: " + std::string(text));
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(text.data() + start, text.data() + i, value);
+  if (ec != std::errc() || ptr != text.data() + i) {
+    throw std::invalid_argument("bad number in: " + std::string(text));
+  }
+  std::string suffix;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      suffix.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return {value, suffix};
+}
+
+}  // namespace
+
+double parse_bandwidth_bps(std::string_view text) {
+  auto [value, suffix] = split(text);
+  double scale;
+  if (suffix == "bps" || suffix == "bit" || suffix == "bit/s" || suffix.empty()) {
+    scale = 1.0;
+  } else if (suffix == "kbps" || suffix == "kbit" || suffix == "kbit/s") {
+    scale = 1e3;
+  } else if (suffix == "mbps" || suffix == "mbit" || suffix == "mbit/s") {
+    scale = 1e6;
+  } else if (suffix == "gbps" || suffix == "gbit" || suffix == "gbit/s") {
+    scale = 1e9;
+  } else {
+    throw std::invalid_argument("unknown bandwidth unit: " + suffix);
+  }
+  return value * scale;
+}
+
+Duration parse_duration(std::string_view text) {
+  auto [value, suffix] = split(text);
+  double ns;
+  if (suffix == "ns") {
+    ns = value;
+  } else if (suffix == "us") {
+    ns = value * 1e3;
+  } else if (suffix == "ms") {
+    ns = value * 1e6;
+  } else if (suffix == "s" || suffix.empty()) {
+    ns = value * 1e9;
+  } else {
+    throw std::invalid_argument("unknown duration unit: " + suffix);
+  }
+  return Duration::from_nanos(static_cast<int64_t>(std::llround(ns)));
+}
+
+uint64_t parse_bytes(std::string_view text) {
+  auto [value, suffix] = split(text);
+  double scale;
+  if (suffix == "b" || suffix.empty()) {
+    scale = 1.0;
+  } else if (suffix == "kb") {
+    scale = 1e3;
+  } else if (suffix == "mb") {
+    scale = 1e6;
+  } else if (suffix == "gb") {
+    scale = 1e9;
+  } else {
+    throw std::invalid_argument("unknown byte unit: " + suffix);
+  }
+  return static_cast<uint64_t>(std::llround(value * scale));
+}
+
+namespace {
+std::string format_scaled(double v, const char* const* prefixes, int count, double base,
+                          const char* unit) {
+  int idx = 0;
+  while (idx + 1 < count && std::abs(v) >= base) {
+    v /= base;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s%s", v, prefixes[idx], unit);
+  return buf;
+}
+}  // namespace
+
+std::string format_bandwidth(double bits_per_sec) {
+  static const char* kPrefixes[] = {"", "K", "M", "G", "T"};
+  return format_scaled(bits_per_sec, kPrefixes, 5, 1000.0, "bit/s");
+}
+
+std::string format_duration(Duration d) {
+  const double ns = static_cast<double>(d.nanos());
+  char buf[64];
+  if (std::abs(ns) < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+  } else if (std::abs(ns) < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", ns / 1e3);
+  } else if (std::abs(ns) < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ns / 1e9);
+  }
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  static const char* kPrefixes[] = {"", "K", "M", "G", "T"};
+  return format_scaled(bytes, kPrefixes, 5, 1000.0, "B");
+}
+
+}  // namespace ccp

@@ -1,0 +1,32 @@
+// Parsing and formatting of human-friendly units used throughout the
+// benches and examples: "10Gbps", "1500B", "10ms", "1.5s".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace ccp {
+
+/// Parses a bandwidth like "10Gbps", "250Mbit", "1e9bps" into bits/sec.
+/// Throws std::invalid_argument on malformed input.
+double parse_bandwidth_bps(std::string_view text);
+
+/// Parses a duration like "10ms", "48us", "2s", "100ns".
+Duration parse_duration(std::string_view text);
+
+/// Parses a byte size like "1500B", "64KB", "1MB" (powers of 10 for K/M/G).
+uint64_t parse_bytes(std::string_view text);
+
+/// "9.41 Gbit/s", "250.0 Mbit/s", ... chooses the natural prefix.
+std::string format_bandwidth(double bits_per_sec);
+
+/// "48.0 us", "10.0 ms", ...
+std::string format_duration(Duration d);
+
+/// "1.50 KB", "9.20 MB", ...
+std::string format_bytes(double bytes);
+
+}  // namespace ccp

@@ -1,0 +1,82 @@
+// Time-windowed min/max filter, after the Kathleen Nichols design used by
+// BBR and the Linux kernel (lib/win_minmax.c): tracks the best (min or
+// max) sample over a sliding time window using three estimates, in O(1)
+// per update and O(1) memory.
+#pragma once
+
+#include <array>
+
+#include "util/time.hpp"
+
+namespace ccp {
+
+/// Compare tells the filter which direction is "best": Min keeps the
+/// smallest sample in the window, Max the largest.
+enum class FilterKind { Min, Max };
+
+template <typename T>
+class WindowedFilter {
+ public:
+  WindowedFilter(FilterKind kind, Duration window) : kind_(kind), window_(window) {}
+
+  /// Record `sample` observed at `now`; returns the current best estimate.
+  T update(T sample, TimePoint now) {
+    if (!initialized_ || better(sample, estimates_[0].value) ||
+        now - estimates_[2].time > window_) {
+      reset(sample, now);
+      return estimates_[0].value;
+    }
+    if (better(sample, estimates_[1].value)) {
+      estimates_[1] = {sample, now};
+      estimates_[2] = estimates_[1];
+    } else if (better(sample, estimates_[2].value)) {
+      estimates_[2] = {sample, now};
+    }
+    // Expire the front estimate if it has aged out of the window.
+    if (now - estimates_[0].time > window_) {
+      estimates_[0] = estimates_[1];
+      estimates_[1] = estimates_[2];
+      estimates_[2] = {sample, now};
+      if (now - estimates_[0].time > window_) {
+        estimates_[0] = estimates_[1];
+        estimates_[1] = estimates_[2];
+      }
+    } else if (estimates_[1].time == estimates_[0].time &&
+               now - estimates_[1].time > window_ / 4) {
+      // Passed a quarter of the window without a better sample: refresh
+      // the 2nd choice so the filter keeps adapting.
+      estimates_[1] = {sample, now};
+      estimates_[2] = estimates_[1];
+    } else if (estimates_[2].time == estimates_[1].time &&
+               now - estimates_[2].time > window_ / 2) {
+      estimates_[2] = {sample, now};
+    }
+    return estimates_[0].value;
+  }
+
+  /// Best estimate currently in the window. Undefined before first update.
+  T get() const { return estimates_[0].value; }
+  bool initialized() const { return initialized_; }
+
+  void reset(T sample, TimePoint now) {
+    estimates_.fill({sample, now});
+    initialized_ = true;
+  }
+
+ private:
+  struct Estimate {
+    T value{};
+    TimePoint time{};
+  };
+
+  bool better(T candidate, T incumbent) const {
+    return kind_ == FilterKind::Min ? candidate < incumbent : candidate > incumbent;
+  }
+
+  FilterKind kind_;
+  Duration window_;
+  std::array<Estimate, 3> estimates_{};
+  bool initialized_ = false;
+};
+
+}  // namespace ccp

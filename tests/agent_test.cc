@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "agent/agent.hpp"
+#include "lang/parser.hpp"
+
+namespace ccp::agent {
+namespace {
+
+/// A scripted algorithm that records every callback.
+class Probe final : public Algorithm {
+ public:
+  struct Shared {
+    int inits = 0;
+    int measurements = 0;
+    int urgents = 0;
+    std::vector<double> last_acked;
+    ipc::UrgentKind last_kind{};
+  };
+
+  Probe(Shared* shared, std::string program,
+        std::vector<std::pair<std::string, double>> vars)
+      : shared_(shared), program_(std::move(program)), vars_(std::move(vars)) {}
+
+  std::string_view name() const override { return "probe"; }
+  AlgorithmTraits traits() const override { return {{"ACKs"}, {"CWND"}}; }
+
+  void init(FlowControl& flow) override {
+    ++shared_->inits;
+    flow.install_text(program_, vars_);
+  }
+  void on_measurement(FlowControl&, const Measurement& m) override {
+    ++shared_->measurements;
+    shared_->last_acked.push_back(m.get("acked", -1));
+  }
+  void on_urgent(FlowControl&, ipc::UrgentKind kind, const Measurement&) override {
+    ++shared_->urgents;
+    shared_->last_kind = kind;
+  }
+
+ private:
+  Shared* shared_;
+  std::string program_;
+  std::vector<std::pair<std::string, double>> vars_;
+};
+
+struct Harness {
+  std::vector<std::vector<ipc::Message>> sent;
+  Probe::Shared probe;
+  AgentConfig config;
+  std::unique_ptr<CcpAgent> agent;
+
+  explicit Harness(AgentConfig cfg = {}) : config(std::move(cfg)) {
+    config.default_algorithm = "probe";
+    agent = std::make_unique<CcpAgent>(config, [this](std::vector<uint8_t> frame) {
+      sent.push_back(ipc::decode_frame(frame));
+    });
+  }
+
+  void register_probe(
+      std::string program =
+          "fold { volatile acked := acked + Pkt.bytes_acked init 0; }\n"
+          "control { Cwnd($cwnd); WaitRtts(1.0); Report(); }",
+      std::vector<std::pair<std::string, double>> vars = {{"cwnd", 14600.0}}) {
+    agent->register_algorithm("probe", [this, program, vars](const FlowInfo&) {
+      return std::make_unique<Probe>(&probe, program, vars);
+    });
+  }
+
+  void deliver(const ipc::Message& msg) {
+    agent->handle_frame(ipc::encode_frame(msg));
+  }
+
+  template <typename T>
+  std::vector<T> sent_of() const {
+    std::vector<T> out;
+    for (const auto& frame : sent) {
+      for (const auto& msg : frame) {
+        if (auto* m = std::get_if<T>(&msg)) out.push_back(*m);
+      }
+    }
+    return out;
+  }
+};
+
+ipc::CreateMsg create(ipc::FlowId id, const std::string& hint = "") {
+  ipc::CreateMsg m;
+  m.flow_id = id;
+  m.mss = 1460;
+  m.init_cwnd_bytes = 14600;
+  m.alg_hint = hint;
+  return m;
+}
+
+TEST(Agent, CreateInstantiatesAlgorithmAndInstalls) {
+  Harness h;
+  h.register_probe();
+  h.deliver(create(1));
+  EXPECT_EQ(h.probe.inits, 1);
+  EXPECT_EQ(h.agent->num_flows(), 1u);
+  auto installs = h.sent_of<ipc::InstallMsg>();
+  ASSERT_EQ(installs.size(), 1u);
+  EXPECT_EQ(installs[0].flow_id, 1u);
+  EXPECT_NO_THROW(lang::parse_program(installs[0].program_text));
+}
+
+TEST(Agent, MeasurementDispatchedByFieldName) {
+  Harness h;
+  h.register_probe();
+  h.deliver(create(1));
+  ipc::MeasurementMsg m;
+  m.flow_id = 1;
+  m.fields = {4321.0};  // positional: 'acked' is the only register
+  h.deliver(m);
+  EXPECT_EQ(h.probe.measurements, 1);
+  ASSERT_EQ(h.probe.last_acked.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.probe.last_acked[0], 4321.0);
+}
+
+TEST(Agent, UrgentDispatched) {
+  Harness h;
+  h.register_probe();
+  h.deliver(create(1));
+  ipc::UrgentMsg u;
+  u.flow_id = 1;
+  u.kind = ipc::UrgentKind::Timeout;
+  h.deliver(u);
+  EXPECT_EQ(h.probe.urgents, 1);
+  EXPECT_EQ(h.probe.last_kind, ipc::UrgentKind::Timeout);
+}
+
+TEST(Agent, UnknownFlowMessagesCounted) {
+  Harness h;
+  h.register_probe();
+  ipc::MeasurementMsg m;
+  m.flow_id = 404;
+  h.deliver(m);
+  EXPECT_EQ(h.agent->stats().unknown_flow_msgs, 1u);
+  EXPECT_EQ(h.probe.measurements, 0);
+}
+
+TEST(Agent, UnknownAlgorithmCounted) {
+  Harness h;
+  h.register_probe();
+  h.deliver(create(1, "quantum_tcp"));
+  EXPECT_EQ(h.agent->stats().unknown_algorithm, 1u);
+  EXPECT_EQ(h.agent->num_flows(), 0u);
+}
+
+TEST(Agent, FlowCloseDestroysState) {
+  Harness h;
+  h.register_probe();
+  h.deliver(create(1));
+  h.deliver(ipc::Message(ipc::FlowCloseMsg{1}));
+  EXPECT_EQ(h.agent->num_flows(), 0u);
+  // Subsequent measurements are orphaned, not crashes.
+  ipc::MeasurementMsg m;
+  m.flow_id = 1;
+  h.deliver(m);
+  EXPECT_EQ(h.agent->stats().unknown_flow_msgs, 1u);
+}
+
+TEST(Agent, MalformedFrameCounted) {
+  Harness h;
+  h.register_probe();
+  std::vector<uint8_t> junk = {1, 2, 3};
+  h.agent->handle_frame(junk);
+  EXPECT_EQ(h.agent->stats().decode_errors, 1u);
+}
+
+TEST(Agent, PolicyCapsRateInInstalledProgram) {
+  AgentConfig cfg;
+  cfg.policy.max_rate_bps = 1e6;
+  Harness h(cfg);
+  h.register_probe("control { Rate($r); WaitRtts(1.0); Report(); }",
+                   {{"r", 5e9}});
+  h.deliver(create(1));
+  auto installs = h.sent_of<ipc::InstallMsg>();
+  ASSERT_EQ(installs.size(), 1u);
+  // The cap must be baked into the program text as min(..., cap).
+  EXPECT_NE(installs[0].program_text.find("min"), std::string::npos);
+  EXPECT_NE(installs[0].program_text.find("1000000"), std::string::npos);
+}
+
+TEST(Agent, PolicyClampsCwndBothWays) {
+  AgentConfig cfg;
+  cfg.policy.min_cwnd_bytes = 3000;
+  cfg.policy.max_cwnd_bytes = 50000;
+  Harness h(cfg);
+  h.register_probe();
+  h.deliver(create(1));
+  auto installs = h.sent_of<ipc::InstallMsg>();
+  ASSERT_EQ(installs.size(), 1u);
+  EXPECT_NE(installs[0].program_text.find("max"), std::string::npos);
+  EXPECT_NE(installs[0].program_text.find("50000"), std::string::npos);
+}
+
+// Regression test for the positional update_fields bug: bindings given
+// in a different order than the program's $-variable order must still
+// land on the right variables.
+TEST(Agent, UpdateFieldsUsesProgramVariableOrder) {
+  Harness h;
+  // Program order: $b first (in fold), then $a.
+  h.register_probe(
+      "fold { x := $b init 0; }\n"
+      "control { Cwnd($a); WaitRtts(1.0); Report(); }",
+      {{"a", 111.0}, {"b", 222.0}});
+
+  class Updater final : public Algorithm {
+   public:
+    std::string_view name() const override { return "updater"; }
+    AlgorithmTraits traits() const override { return {}; }
+    void init(FlowControl& flow) override {
+      flow.install_text(
+          "fold { x := $b init 0; }\n"
+          "control { Cwnd($a); WaitRtts(1.0); Report(); }",
+          std::vector<std::pair<std::string, double>>{{"a", 111.0}, {"b", 222.0}});
+    }
+    void on_measurement(FlowControl& flow, const Measurement&) override {
+      // Update only $a; $b must keep its old value.
+      flow.update_fields(
+          std::vector<std::pair<std::string, double>>{{"a", 333.0}});
+    }
+    void on_urgent(FlowControl&, ipc::UrgentKind, const Measurement&) override {}
+  };
+  h.agent->register_algorithm(
+      "updater", [](const FlowInfo&) { return std::make_unique<Updater>(); });
+  h.deliver(create(7, "updater"));
+  ipc::MeasurementMsg m;
+  m.flow_id = 7;
+  m.fields = {0.0};
+  h.deliver(m);
+
+  auto updates = h.sent_of<ipc::UpdateFieldsMsg>();
+  ASSERT_EQ(updates.size(), 1u);
+  // Program variable order is [b, a] (b appears first in the fold).
+  ASSERT_EQ(updates[0].var_values.size(), 2u);
+  EXPECT_DOUBLE_EQ(updates[0].var_values[0], 222.0);  // $b preserved
+  EXPECT_DOUBLE_EQ(updates[0].var_values[1], 333.0);  // $a updated
+}
+
+TEST(Agent, AlgorithmAccessorWorks) {
+  Harness h;
+  h.register_probe();
+  h.deliver(create(1));
+  ASSERT_NE(h.agent->algorithm(1), nullptr);
+  EXPECT_EQ(h.agent->algorithm(1)->name(), "probe");
+  EXPECT_EQ(h.agent->algorithm(2), nullptr);
+}
+
+TEST(Agent, VectorMeasurementSamplesDecoded) {
+  Harness h;
+  h.register_probe();
+  h.deliver(create(1));
+  ipc::MeasurementMsg m;
+  m.flow_id = 1;
+  m.is_vector = true;
+  m.num_acks_folded = 2;
+  m.fields = {100, 1460, 0, 0, 5e6, 6e6,   // sample 1
+              200, 2920, 1, 1, 7e6, 8e6};  // sample 2
+  Measurement meas(nullptr, &m);
+  auto samples = meas.samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[0].rtt_us, 100);
+  EXPECT_DOUBLE_EQ(samples[1].bytes_acked, 2920);
+  EXPECT_DOUBLE_EQ(samples[1].lost, 1);
+}
+
+}  // namespace
+}  // namespace ccp::agent

@@ -1,0 +1,497 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/cubic.hpp"
+#include "algorithms/dctcp.hpp"
+#include "algorithms/htcp.hpp"
+#include "algorithms/native/kernel_cbrt.hpp"
+#include "algorithms/pcc.hpp"
+#include "algorithms/registry.hpp"
+#include "algorithms/reno.hpp"
+#include "algorithms/sprout.hpp"
+#include "algorithms/timely.hpp"
+#include "algorithms/vegas.hpp"
+#include "lang/parser.hpp"
+#include "util/rng.hpp"
+
+namespace ccp::algorithms {
+namespace {
+
+/// Stand-in FlowControl that records commands instead of sending them.
+class FakeFlow final : public agent::FlowControl {
+ public:
+  explicit FakeFlow(agent::FlowInfo info) : info_(info) {}
+
+  const agent::FlowInfo& info() const override { return info_; }
+  void install(const lang::Program&,
+               std::span<const std::pair<std::string, double>> vars) override {
+    ++installs;
+    capture(vars);
+  }
+  void install_text(std::string program_text,
+                    std::span<const std::pair<std::string, double>> vars) override {
+    ++installs;
+    last_program = std::move(program_text);
+    // Programs written by algorithms must always parse.
+    EXPECT_NO_THROW(lang::parse_program(last_program));
+    capture(vars);
+  }
+  void update_fields(std::span<const std::pair<std::string, double>> vars) override {
+    ++updates;
+    capture(vars);
+  }
+  void set_cwnd(double bytes) override { direct_cwnd = bytes; }
+  void set_rate(double bps) override { direct_rate = bps; }
+  void set_vector_mode(bool enabled) override { vector_mode = enabled; }
+
+  double var(const std::string& name, double fallback = -1) const {
+    auto it = vars_seen.find(name);
+    return it == vars_seen.end() ? fallback : it->second;
+  }
+
+  int installs = 0;
+  int updates = 0;
+  double direct_cwnd = -1;
+  double direct_rate = -1;
+  bool vector_mode = false;
+  std::string last_program;
+  std::map<std::string, double> vars_seen;
+
+ private:
+  void capture(std::span<const std::pair<std::string, double>> vars) {
+    for (const auto& [name, value] : vars) vars_seen[name] = value;
+  }
+
+  agent::FlowInfo info_;
+};
+
+agent::FlowInfo info() {
+  agent::FlowInfo i;
+  i.id = 1;
+  i.mss = 1000;
+  i.init_cwnd_bytes = 10000;
+  return i;
+}
+
+/// Builds a MeasurementMsg matching kWindowProgram's register order.
+ipc::MeasurementMsg window_report(double acked, double rtt_us, double now_us,
+                                  double loss = 0) {
+  ipc::MeasurementMsg m;
+  m.flow_id = 1;
+  // acked, loss, timeout, rtt, minrtt, now, inflight
+  m.fields = {acked, loss, 0, rtt_us, rtt_us, now_us, 0};
+  return m;
+}
+
+const std::vector<std::string> kWindowFields = {"acked", "loss",    "timeout", "rtt",
+                                                "minrtt", "now", "inflight"};
+
+TEST(Reno, SlowStartDoublesPerWindow) {
+  FakeFlow flow(info());
+  Reno reno(info());
+  reno.init(flow);
+  EXPECT_EQ(flow.installs, 1);
+  auto msg = window_report(10000, 10000, 1e6);
+  agent::Measurement m(&kWindowFields, &msg);
+  reno.on_measurement(flow, m);
+  EXPECT_DOUBLE_EQ(reno.cwnd_bytes(), 20000.0);  // doubled
+  EXPECT_TRUE(reno.in_slow_start());
+}
+
+TEST(Reno, LossHalvesOncePerEpisode) {
+  FakeFlow flow(info());
+  Reno reno(info());
+  reno.init(flow);
+  ipc::MeasurementMsg empty;
+  agent::Measurement m(&kWindowFields, &empty);
+  reno.on_urgent(flow, ipc::UrgentKind::Loss, m);
+  const double after_first = reno.cwnd_bytes();
+  EXPECT_LT(after_first, 10000.0 + 3001.0);  // halved (+3 MSS inflate)
+  reno.on_urgent(flow, ipc::UrgentKind::Loss, m);
+  EXPECT_DOUBLE_EQ(reno.cwnd_bytes(), after_first);  // same episode: no-op
+}
+
+TEST(Reno, TimeoutCollapsesToOneMss) {
+  FakeFlow flow(info());
+  Reno reno(info());
+  reno.init(flow);
+  ipc::MeasurementMsg empty;
+  agent::Measurement m(&kWindowFields, &empty);
+  reno.on_urgent(flow, ipc::UrgentKind::Timeout, m);
+  EXPECT_DOUBLE_EQ(reno.cwnd_bytes(), 1000.0);
+  EXPECT_TRUE(reno.in_slow_start());
+}
+
+TEST(Reno, CongestionAvoidanceLinearGrowth) {
+  FakeFlow flow(info());
+  Reno reno(info());
+  reno.init(flow);
+  ipc::MeasurementMsg empty;
+  agent::Measurement urgent(&kWindowFields, &empty);
+  reno.on_urgent(flow, ipc::UrgentKind::Loss, urgent);  // exit slow start
+  const double w0 = reno.cwnd_bytes();
+  auto msg = window_report(w0, 10000, 1e6);
+  agent::Measurement m(&kWindowFields, &msg);
+  reno.on_measurement(flow, m);  // one full window acked
+  EXPECT_NEAR(reno.cwnd_bytes(), w0 + 1000.0, 1.0);  // +1 MSS per RTT
+}
+
+TEST(Cubic, CubeRootMatchesKernelFixedPoint) {
+  // §2.2: user-space float math vs the kernel's Newton-Raphson table.
+  for (uint64_t v : {1ull, 8ull, 27ull, 64ull, 1000ull, 123456ull,
+                     99999999ull, 1ull << 40}) {
+    const double exact = std::cbrt(static_cast<double>(v));
+    const double kernel = native::kernel_cubic_root(v);
+    EXPECT_NEAR(kernel, exact, std::max(1.0, exact * 0.005)) << "v=" << v;
+  }
+}
+
+TEST(Cubic, WindowFunctionShape) {
+  // W(t) = C(t-K)^3 + Wmax: at t=K the window equals Wmax; it is concave
+  // below and convex above.
+  const double wmax = 100.0;
+  const double k = Cubic::cubic_k(wmax, 70.0);  // after beta reduction
+  EXPECT_NEAR(Cubic::cubic_window(k, wmax, k), wmax, 1e-9);
+  EXPECT_LT(Cubic::cubic_window(k * 0.5, wmax, k), wmax);
+  EXPECT_GT(Cubic::cubic_window(k * 1.5, wmax, k), wmax);
+  // K = cbrt(Wmax*(1-beta)/C).
+  EXPECT_NEAR(k, std::cbrt((wmax - 70.0) / 0.4), 1e-9);
+}
+
+TEST(Cubic, LossSetsEpochAndReducesWindow) {
+  FakeFlow flow(info());
+  Cubic cubic(info());
+  cubic.init(flow);
+  ipc::MeasurementMsg empty;
+  agent::Measurement m(&kWindowFields, &empty);
+  const double w0 = cubic.cwnd_bytes();
+  cubic.on_urgent(flow, ipc::UrgentKind::Loss, m);
+  EXPECT_NEAR(cubic.cwnd_bytes(), w0 * Cubic::kBeta, 1.0);
+}
+
+TEST(Cubic, GrowsTowardWmaxAfterLoss) {
+  FakeFlow flow(info());
+  Cubic cubic(info());
+  cubic.init(flow);
+  ipc::MeasurementMsg empty;
+  agent::Measurement urgent(&kWindowFields, &empty);
+  // Build some window first.
+  double now_us = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto msg = window_report(cubic.cwnd_bytes(), 10000, now_us += 10000);
+    agent::Measurement m(&kWindowFields, &msg);
+    cubic.on_measurement(flow, m);
+  }
+  cubic.on_urgent(flow, ipc::UrgentKind::Loss, urgent);
+  const double after_loss = cubic.cwnd_bytes();
+  for (int i = 0; i < 60; ++i) {
+    auto msg = window_report(cubic.cwnd_bytes(), 10000, now_us += 10000);
+    agent::Measurement m(&kWindowFields, &msg);
+    cubic.on_measurement(flow, m);
+  }
+  EXPECT_GT(cubic.cwnd_bytes(), after_loss * 1.1);
+}
+
+TEST(Dctcp, AlphaTracksMarkingRate) {
+  FakeFlow flow(info());
+  Dctcp dctcp(info());
+  dctcp.init(flow);
+  // Deliver windows with 50% marking; alpha converges toward 0.5.
+  const std::vector<std::string> fields = {"acked", "acked_pkts", "marked",
+                                           "loss", "timeout", "rtt"};
+  for (int i = 0; i < 200; ++i) {
+    ipc::MeasurementMsg msg;
+    msg.fields = {10000, 10, 5, 0, 0, 100};
+    agent::Measurement m(&fields, &msg);
+    dctcp.on_measurement(flow, m);
+  }
+  EXPECT_NEAR(dctcp.alpha(), 0.5, 0.05);
+}
+
+TEST(Dctcp, NoMarksGrowsLikeReno) {
+  FakeFlow flow(info());
+  Dctcp dctcp(info());
+  dctcp.init(flow);
+  const std::vector<std::string> fields = {"acked", "acked_pkts", "marked",
+                                           "loss", "timeout", "rtt"};
+  const double w0 = dctcp.cwnd_bytes();
+  ipc::MeasurementMsg msg;
+  msg.fields = {w0, 10, 0, 0, 0, 100};
+  agent::Measurement m(&fields, &msg);
+  dctcp.on_measurement(flow, m);
+  EXPECT_GT(dctcp.cwnd_bytes(), w0);
+}
+
+TEST(Dctcp, FullMarkingHalves) {
+  FakeFlow flow(info());
+  Dctcp dctcp(info());
+  dctcp.init(flow);
+  const std::vector<std::string> fields = {"acked", "acked_pkts", "marked",
+                                           "loss", "timeout", "rtt"};
+  const double w0 = dctcp.cwnd_bytes();
+  ipc::MeasurementMsg msg;
+  msg.fields = {w0, 10, 10, 0, 0, 100};  // 100% marked, alpha starts at 1
+  agent::Measurement m(&fields, &msg);
+  dctcp.on_measurement(flow, m);
+  EXPECT_NEAR(dctcp.cwnd_bytes(), w0 * 0.5, w0 * 0.05);
+}
+
+TEST(Timely, GradientControlsDirection) {
+  FakeFlow flow(info());
+  TimelyParams params;
+  params.t_low_us = 50;
+  params.t_high_us = 1e6;
+  Timely timely(info(), params);
+  timely.init(flow);
+  const std::vector<std::string> fields = {"rtt", "minrtt", "loss", "timeout"};
+  auto report = [&](double rtt) {
+    ipc::MeasurementMsg msg;
+    msg.fields = {rtt, 100, 0, 0};
+    agent::Measurement m(&fields, &msg);
+    timely.on_measurement(flow, m);
+  };
+  report(200);  // primes prev_rtt
+  const double r0 = timely.rate_bps();
+  report(150);  // falling RTT: increase
+  EXPECT_GT(timely.rate_bps(), r0);
+  const double r1 = timely.rate_bps();
+  report(400);
+  report(800);  // rising RTT: decrease
+  EXPECT_LT(timely.rate_bps(), r1 + 2 * params.add_step_bps);
+}
+
+TEST(Timely, BelowTlowAlwaysIncreases) {
+  FakeFlow flow(info());
+  Timely timely(info());
+  timely.init(flow);
+  const std::vector<std::string> fields = {"rtt", "minrtt", "loss", "timeout"};
+  auto report = [&](double rtt) {
+    ipc::MeasurementMsg msg;
+    msg.fields = {rtt, 50, 0, 0};
+    agent::Measurement m(&fields, &msg);
+    timely.on_measurement(flow, m);
+  };
+  report(100);
+  const double r0 = timely.rate_bps();
+  report(400);  // rising but still below t_low (500): additive increase
+  EXPECT_GT(timely.rate_bps(), r0);
+}
+
+TEST(Pcc, UtilityPenalizesLoss) {
+  const double t = 1e9;
+  EXPECT_GT(Pcc::utility(t, 0.0, 11.35), Pcc::utility(t, 0.1, 11.35));
+  EXPECT_GT(Pcc::utility(t, 0.0, 11.35), 0);
+  EXPECT_LT(Pcc::utility(t, 0.5, 11.35), 0);
+  // More throughput is better at equal loss.
+  EXPECT_GT(Pcc::utility(2 * t, 0.01, 11.35), Pcc::utility(t, 0.01, 11.35));
+}
+
+TEST(Pcc, MovesTowardBetterUtility)  {
+  FakeFlow flow(info());
+  Pcc pcc(info());
+  pcc.init(flow);
+  const std::vector<std::string> fields = {"acked", "lost", "timeout",
+                                           "interval", "rcv"};
+  const double r0 = pcc.rate_bps();
+  // Up-probe delivers more without loss; down-probe delivers less:
+  // the rate must move up.
+  for (int i = 0; i < 10; ++i) {
+    ipc::MeasurementMsg up;
+    up.fields = {100000, 0, 0, 10000, pcc.rate_bps() * 1.05};
+    agent::Measurement mu(&fields, &up);
+    pcc.on_measurement(flow, mu);  // consumes the up phase
+    ipc::MeasurementMsg down;
+    down.fields = {100000, 0, 0, 10000, pcc.rate_bps() * 0.95};
+    agent::Measurement md(&fields, &down);
+    pcc.on_measurement(flow, md);  // consumes the down phase, decides
+  }
+  EXPECT_GT(pcc.rate_bps(), r0);
+}
+
+TEST(VegasBothVariants, AgreeOnIdenticalTraces) {
+  // §2.4: fold and vector batching must implement the same algorithm.
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    FakeFlow flow_f(info());
+    FakeFlow flow_v(info());
+    VegasFold fold_alg(info());
+    VegasVector vec_alg(info());
+    fold_alg.init(flow_f);
+    vec_alg.init(flow_v);
+    EXPECT_TRUE(flow_v.vector_mode);
+
+    const std::vector<std::string> fold_fields = {"baseRtt", "delta", "loss",
+                                                  "timeout"};
+    double base = rng.uniform(5000, 20000);
+
+    for (int round = 0; round < 30; ++round) {
+      // Generate one RTT worth of per-ACK samples.
+      const int n_acks = 1 + static_cast<int>(rng.next_below(10));
+      std::vector<double> rtts;
+      for (int i = 0; i < n_acks; ++i) {
+        rtts.push_back(base + rng.uniform(0, 3000));
+      }
+
+      // Vector variant sees raw samples.
+      ipc::MeasurementMsg vec_msg;
+      vec_msg.is_vector = true;
+      vec_msg.num_acks_folded = n_acks;
+      for (double rtt : rtts) {
+        vec_msg.fields.insert(vec_msg.fields.end(), {rtt, 1000, 0, 0, 0, 0});
+      }
+      agent::Measurement mv(nullptr, &vec_msg);
+      vec_alg.on_measurement(flow_v, mv);
+
+      // Fold variant: emulate the datapath fold (sequential semantics,
+      // using the fold program's own cwnd binding from the last update).
+      double fold_base = fold_alg.base_rtt_us();
+      double delta = 0;
+      const double cwnd_pkts = fold_alg.cwnd_bytes() / 1000.0;
+      for (double rtt : rtts) {
+        fold_base = std::min(fold_base, rtt);
+        const double in_queue = (rtt - fold_base) * cwnd_pkts / fold_base;
+        if (in_queue < 2) {
+          delta += 1;
+        } else if (in_queue > 4) {
+          delta -= 1;
+        }
+      }
+      ipc::MeasurementMsg fold_msg;
+      fold_msg.fields = {fold_base, delta, 0, 0};
+      agent::Measurement mf(&fold_fields, &fold_msg);
+      fold_alg.on_measurement(flow_f, mf);
+    }
+    // The two batching styles are *semantically close but not identical*
+    // (§2.4: the vector loop sees its own within-batch cwnd updates,
+    // the fold uses the install-time binding). Identical traces must
+    // produce the same base RTT and windows within a small drift.
+    EXPECT_NEAR(fold_alg.base_rtt_us(), vec_alg.base_rtt_us(), 1e-6);
+    const double rel_gap =
+        std::fabs(fold_alg.cwnd_bytes() - vec_alg.cwnd_bytes()) /
+        std::max(fold_alg.cwnd_bytes(), vec_alg.cwnd_bytes());
+    EXPECT_LT(rel_gap, 0.25) << "trial " << trial << " fold="
+                             << fold_alg.cwnd_bytes()
+                             << " vec=" << vec_alg.cwnd_bytes();
+  }
+}
+
+TEST(Htcp, AlphaGrowsWithTimeSinceLoss) {
+  EXPECT_DOUBLE_EQ(Htcp::alpha(0.5), 1.0);   // low-speed regime: plain AIMD
+  EXPECT_DOUBLE_EQ(Htcp::alpha(1.0), 1.0);
+  EXPECT_GT(Htcp::alpha(2.0), 10.0);         // 1 + 10*1 + 0.25
+  EXPECT_GT(Htcp::alpha(5.0), Htcp::alpha(2.0));
+}
+
+TEST(Htcp, IncreaseAcceleratesOverTime) {
+  FakeFlow flow(info());
+  Htcp htcp(info());
+  htcp.init(flow);
+  ipc::MeasurementMsg empty;
+  agent::Measurement urgent(&kWindowFields, &empty);
+  htcp.on_urgent(flow, ipc::UrgentKind::Loss, urgent);  // leave slow start
+
+  auto growth_at = [&](double t_us) {
+    const double before = htcp.cwnd_bytes();
+    auto msg = window_report(before, 10000, t_us);
+    agent::Measurement m(&kWindowFields, &msg);
+    htcp.on_measurement(flow, m);
+    return htcp.cwnd_bytes() - before;
+  };
+  const double early = growth_at(0.5e6);   // 0.5 s after loss epoch starts
+  const double late = growth_at(4e6);      // 4 s after
+  EXPECT_GT(late, early * 5);
+}
+
+TEST(Htcp, AdaptiveBackoffUsesRttRatio) {
+  FakeFlow flow(info());
+  Htcp htcp(info());
+  htcp.init(flow);
+  // Short-queue regime: rtt stays near minrtt -> beta clamps to 0.8.
+  const std::vector<std::string>& fields = kWindowFields;
+  for (int i = 0; i < 3; ++i) {
+    ipc::MeasurementMsg msg;
+    msg.fields = {10000, 0, 0, 10500, 10000, 1e6 * (i + 1), 0};
+    agent::Measurement m(&fields, &msg);
+    htcp.on_measurement(flow, m);
+  }
+  const double before = htcp.cwnd_bytes();
+  ipc::MeasurementMsg empty;
+  agent::Measurement urgent(&fields, &empty);
+  htcp.on_urgent(flow, ipc::UrgentKind::Loss, urgent);
+  EXPECT_NEAR(htcp.cwnd_bytes(), before * 0.8, before * 0.02);
+}
+
+TEST(Sprout, ForecastTracksCapacity) {
+  FakeFlow flow(info());
+  Sprout sprout(info());
+  sprout.init(flow);
+  // The install must use Wait (fixed grid), not WaitRtts.
+  EXPECT_NE(flow.last_program.find("Wait($tick)"), std::string::npos);
+
+  const std::vector<std::string> fields = {"delivered", "loss", "timeout",
+                                           "rtt", "minrtt"};
+  // Steady 10 Mbit/s delivery at low delay: the model converges near it
+  // and probes above.
+  const double tick_s = 0.02;
+  for (int i = 0; i < 60; ++i) {
+    ipc::MeasurementMsg msg;
+    msg.fields = {10e6 / 8 * tick_s, 0, 0, 10000, 10000};
+    agent::Measurement m(&fields, &msg);
+    sprout.on_measurement(flow, m);
+  }
+  EXPECT_NEAR(sprout.forecast_mean_bps(), 10e6 / 8, 10e6 / 8 * 0.1);
+  EXPECT_GT(sprout.rate_bps(), 10e6 / 8);  // low delay: probing upward
+}
+
+TEST(Sprout, HighDelayStopsProbing) {
+  FakeFlow flow(info());
+  Sprout sprout(info());
+  sprout.init(flow);
+  const std::vector<std::string> fields = {"delivered", "loss", "timeout",
+                                           "rtt", "minrtt"};
+  const double tick_s = 0.02;
+  for (int i = 0; i < 60; ++i) {
+    ipc::MeasurementMsg msg;
+    // RTT 2x the minimum: a standing queue; no probe allowed.
+    msg.fields = {10e6 / 8 * tick_s, 0, 0, 20000, 10000};
+    agent::Measurement m(&fields, &msg);
+    sprout.on_measurement(flow, m);
+  }
+  EXPECT_LE(sprout.rate_bps(), 10e6 / 8 * 1.05);
+}
+
+TEST(Sprout, LossDampsTheModel) {
+  FakeFlow flow(info());
+  Sprout sprout(info());
+  sprout.init(flow);
+  const std::vector<std::string> fields = {"delivered", "loss", "timeout",
+                                           "rtt", "minrtt"};
+  ipc::MeasurementMsg msg;
+  msg.fields = {10e6 / 8 * 0.02, 0, 0, 10000, 10000};
+  agent::Measurement m(&fields, &msg);
+  sprout.on_measurement(flow, m);
+  const double before = sprout.forecast_mean_bps();
+  sprout.on_urgent(flow, ipc::UrgentKind::Loss, m);
+  EXPECT_LT(sprout.forecast_mean_bps(), before);
+}
+
+TEST(Registry, AllBuiltinsInstantiate) {
+  for (const auto& name : builtin_algorithm_names()) {
+    auto alg = make_algorithm(name, info());
+    ASSERT_NE(alg, nullptr) << name;
+    EXPECT_EQ(alg->name(), name == "vegas" ? "vegas" : alg->name());
+    // Every algorithm declares its Table 1 row.
+    const auto traits = alg->traits();
+    EXPECT_FALSE(traits.measurements.empty()) << name;
+    EXPECT_FALSE(traits.control_knobs.empty()) << name;
+    // And can initialize against a fake flow without crashing.
+    FakeFlow flow(info());
+    EXPECT_NO_THROW(alg->init(flow)) << name;
+    EXPECT_GE(flow.installs, 1) << name;
+  }
+  EXPECT_THROW(make_algorithm("nope", info()), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ccp::algorithms

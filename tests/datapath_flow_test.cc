@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include "datapath/flow.hpp"
+#include "lang/error.hpp"
+
+namespace ccp::datapath {
+namespace {
+
+/// Collects everything a flow emits.
+struct SinkLog {
+  std::vector<ipc::MeasurementMsg> reports;
+  std::vector<ipc::UrgentMsg> urgents;
+
+  MessageSink sink() {
+    return [this](ipc::Message msg, bool) {
+      if (auto* m = std::get_if<ipc::MeasurementMsg>(&msg)) reports.push_back(*m);
+      if (auto* u = std::get_if<ipc::UrgentMsg>(&msg)) urgents.push_back(*u);
+    };
+  }
+};
+
+FlowConfig config() {
+  FlowConfig cfg;
+  cfg.mss = 1000;
+  cfg.init_cwnd_bytes = 10000;
+  cfg.min_cwnd_bytes = 2000;
+  return cfg;
+}
+
+AckEvent ack_at(TimePoint now, uint64_t bytes = 1000,
+                Duration rtt = Duration::from_millis(10)) {
+  AckEvent ev;
+  ev.now = now;
+  ev.bytes_acked = bytes;
+  ev.packets_acked = 1;
+  ev.rtt_sample = rtt;
+  return ev;
+}
+
+TimePoint at_ms(int64_t ms) { return TimePoint::epoch() + Duration::from_millis(ms); }
+
+ipc::InstallMsg install_msg(ipc::FlowId id, const std::string& text,
+                            std::vector<std::string> names = {},
+                            std::vector<double> values = {}) {
+  ipc::InstallMsg msg;
+  msg.flow_id = id;
+  msg.program_text = text;
+  msg.var_names = std::move(names);
+  msg.var_values = std::move(values);
+  return msg;
+}
+
+TEST(CcpFlow, DefaultProgramReportsOncePerRtt) {
+  SinkLog log;
+  CcpFlow flow(1, config(), log.sink());
+  // Feed one ACK per ms for 50 ms at RTT 10 ms.
+  for (int ms = 1; ms <= 50; ++ms) {
+    flow.on_ack(ack_at(at_ms(ms)));
+  }
+  // ~5 RTTs elapsed: expect roughly 4-6 reports.
+  EXPECT_GE(log.reports.size(), 3u);
+  EXPECT_LE(log.reports.size(), 7u);
+  // Reports carry the default program's fields; acked sums ~10 ACKs.
+  EXPECT_GT(log.reports.back().num_acks_folded, 5u);
+}
+
+TEST(CcpFlow, ReportSeqIncrements) {
+  SinkLog log;
+  CcpFlow flow(1, config(), log.sink());
+  for (int ms = 1; ms <= 100; ++ms) flow.on_ack(ack_at(at_ms(ms)));
+  ASSERT_GE(log.reports.size(), 2u);
+  for (size_t i = 1; i < log.reports.size(); ++i) {
+    EXPECT_EQ(log.reports[i].report_seq, log.reports[i - 1].report_seq + 1);
+  }
+}
+
+TEST(CcpFlow, LossTriggersUrgent) {
+  SinkLog log;
+  CcpFlow flow(1, config(), log.sink());
+  flow.on_ack(ack_at(at_ms(1)));
+  LossEvent loss;
+  loss.now = at_ms(2);
+  loss.lost_packets = 1;
+  flow.on_loss(loss);
+  ASSERT_EQ(log.urgents.size(), 1u);
+  EXPECT_EQ(log.urgents[0].kind, ipc::UrgentKind::Loss);
+}
+
+TEST(CcpFlow, TimeoutTriggersUrgent) {
+  SinkLog log;
+  CcpFlow flow(1, config(), log.sink());
+  flow.on_ack(ack_at(at_ms(1)));
+  flow.on_timeout(TimeoutEvent{at_ms(300)});
+  ASSERT_GE(log.urgents.size(), 1u);
+  EXPECT_EQ(log.urgents.back().kind, ipc::UrgentKind::Timeout);
+}
+
+TEST(CcpFlow, InstallAppliesCwndImmediately) {
+  SinkLog log;
+  FlowConfig cfg = config();
+  cfg.smooth_cwnd = false;
+  CcpFlow flow(1, cfg, log.sink());
+  flow.install(install_msg(1, R"(
+    control { Cwnd($c); WaitRtts(1.0); Report(); }
+  )", {"c"}, {50000.0}), at_ms(1));
+  EXPECT_EQ(flow.cwnd_bytes(), 50000u);
+}
+
+TEST(CcpFlow, SmoothCwndRampsAckClocked) {
+  SinkLog log;
+  CcpFlow flow(1, config(), log.sink());  // smooth_cwnd default on
+  flow.install(install_msg(1, R"(
+    control { Cwnd($c); WaitRtts(1.0); Report(); }
+  )", {"c"}, {50000.0}), at_ms(1));
+  // Increase is a target, not a jump.
+  EXPECT_EQ(flow.cwnd_bytes(), 10000u);
+  flow.on_ack(ack_at(at_ms(2), 3000));
+  EXPECT_EQ(flow.cwnd_bytes(), 13000u);
+  flow.on_ack(ack_at(at_ms(3), 40000));
+  EXPECT_EQ(flow.cwnd_bytes(), 50000u);  // clamped at target
+}
+
+TEST(CcpFlow, CwndDecreaseIsImmediate) {
+  SinkLog log;
+  CcpFlow flow(1, config(), log.sink());
+  flow.install(install_msg(1, R"(
+    control { Cwnd($c); WaitRtts(1.0); Report(); }
+  )", {"c"}, {4000.0}), at_ms(1));
+  EXPECT_EQ(flow.cwnd_bytes(), 4000u);
+}
+
+TEST(CcpFlow, CwndClampsToConfiguredBounds) {
+  SinkLog log;
+  CcpFlow flow(1, config(), log.sink());
+  flow.install(install_msg(1, R"(
+    control { Cwnd(1); WaitRtts(1.0); Report(); }
+  )"), at_ms(1));
+  EXPECT_EQ(flow.cwnd_bytes(), 2000u);  // min_cwnd_bytes
+}
+
+TEST(CcpFlow, RateApplied) {
+  SinkLog log;
+  CcpFlow flow(1, config(), log.sink());
+  flow.install(install_msg(1, R"(
+    control { Rate($r); WaitRtts(1.0); Report(); }
+  )", {"r"}, {1.25e6}), at_ms(1));
+  EXPECT_DOUBLE_EQ(flow.pacing_rate_bps(), 1.25e6);
+}
+
+TEST(CcpFlow, BadProgramRejectedOldKeepsRunning) {
+  SinkLog log;
+  FlowConfig cfg = config();
+  cfg.smooth_cwnd = false;
+  CcpFlow flow(1, cfg, log.sink());
+  flow.install(install_msg(1, "control { Cwnd(30000); WaitRtts(1.0); Report(); }"),
+               at_ms(1));
+  EXPECT_EQ(flow.cwnd_bytes(), 30000u);
+  EXPECT_THROW(flow.install(install_msg(1, "control { Cwnd(1 }"), at_ms(2)),
+               lang::ProgramError);
+  EXPECT_THROW(flow.install(install_msg(1, "control { Cwnd(9999999); }"), at_ms(2)),
+               lang::ProgramError);  // no Report
+  // Old program still enforced.
+  EXPECT_EQ(flow.cwnd_bytes(), 30000u);
+  for (int ms = 2; ms < 30; ++ms) flow.on_ack(ack_at(at_ms(ms)));
+  EXPECT_FALSE(log.reports.empty());
+}
+
+TEST(CcpFlow, UnboundVariableRejected) {
+  SinkLog log;
+  CcpFlow flow(1, config(), log.sink());
+  EXPECT_THROW(
+      flow.install(install_msg(1, "control { Cwnd($c); WaitRtts(1.0); Report(); }"),
+                   at_ms(1)),
+      lang::ProgramError);
+  EXPECT_THROW(
+      flow.install(install_msg(1, "control { Cwnd($c); WaitRtts(1.0); Report(); }",
+                               {"nope"}, {1.0}),
+                   at_ms(1)),
+      lang::ProgramError);
+}
+
+TEST(CcpFlow, WaitUsesAbsoluteTime) {
+  SinkLog log;
+  CcpFlow flow(1, config(), log.sink());
+  flow.install(install_msg(1, R"(
+    control { Wait(5000); Report(); }
+  )"), at_ms(0));  // 5 ms wait
+  flow.tick(at_ms(4));
+  EXPECT_TRUE(log.reports.empty());
+  flow.tick(at_ms(6));
+  EXPECT_EQ(log.reports.size(), 1u);
+  // Program loops: another report ~5 ms later.
+  flow.tick(at_ms(12));
+  EXPECT_EQ(log.reports.size(), 2u);
+}
+
+TEST(CcpFlow, WaitRttsScalesWithMeasuredRtt) {
+  SinkLog log;
+  CcpFlow flow(1, config(), log.sink());
+  // Prime the RTT estimate at 20 ms.
+  for (int i = 1; i <= 5; ++i) {
+    flow.on_ack(ack_at(at_ms(i), 1000, Duration::from_millis(20)));
+  }
+  log.reports.clear();
+  flow.install(install_msg(1, R"(
+    control { WaitRtts(2.0); Report(); }
+  )"), at_ms(10));
+  flow.tick(at_ms(30));  // 20 ms < 2 RTTs (40 ms)
+  EXPECT_TRUE(log.reports.empty());
+  flow.tick(at_ms(55));
+  EXPECT_EQ(log.reports.size(), 1u);
+}
+
+TEST(CcpFlow, ControlProgramPulsePattern) {
+  // The paper's BBR pulse: verify rates actually alternate in the
+  // datapath without agent involvement.
+  SinkLog log;
+  CcpFlow flow(1, config(), log.sink());
+  flow.install(install_msg(1, R"(
+    control {
+      Rate(1.25 * $r); WaitRtts(1.0); Report();
+      Rate(0.75 * $r); WaitRtts(1.0); Report();
+      Rate($r);        WaitRtts(6.0); Report();
+    }
+  )", {"r"}, {1e6}), at_ms(0));
+  // RTT defaults to 10 ms (default_report_interval) before samples.
+  EXPECT_DOUBLE_EQ(flow.pacing_rate_bps(), 1.25e6);
+  flow.tick(at_ms(11));
+  EXPECT_DOUBLE_EQ(flow.pacing_rate_bps(), 0.75e6);
+  EXPECT_EQ(log.reports.size(), 1u);
+  flow.tick(at_ms(22));
+  EXPECT_DOUBLE_EQ(flow.pacing_rate_bps(), 1e6);
+  EXPECT_EQ(log.reports.size(), 2u);
+  flow.tick(at_ms(83));  // 6 RTTs later
+  EXPECT_DOUBLE_EQ(flow.pacing_rate_bps(), 1.25e6);  // looped
+  EXPECT_EQ(log.reports.size(), 3u);
+}
+
+TEST(CcpFlow, UpdateFieldsTakesEffect) {
+  SinkLog log;
+  FlowConfig cfg = config();
+  cfg.smooth_cwnd = false;
+  CcpFlow flow(1, cfg, log.sink());
+  flow.install(install_msg(1, R"(
+    control { Cwnd($c); WaitRtts(1.0); Report(); }
+  )", {"c"}, {20000.0}), at_ms(0));
+  EXPECT_EQ(flow.cwnd_bytes(), 20000u);
+  ipc::UpdateFieldsMsg upd;
+  upd.flow_id = 1;
+  upd.var_values = {40000.0};
+  flow.update_fields(upd, at_ms(10));
+  // Applied at the next control-loop pass (per-RTT cadence).
+  flow.tick(at_ms(15));
+  EXPECT_EQ(flow.cwnd_bytes(), 40000u);
+}
+
+TEST(CcpFlow, DirectControlOverrides) {
+  SinkLog log;
+  FlowConfig cfg = config();
+  cfg.smooth_cwnd = false;
+  CcpFlow flow(1, cfg, log.sink());
+  ipc::DirectControlMsg msg;
+  msg.flow_id = 1;
+  msg.cwnd_bytes = 123000.0;
+  msg.rate_bps = 5e6;
+  flow.direct_control(msg, at_ms(1));
+  EXPECT_EQ(flow.cwnd_bytes(), 123000u);
+  EXPECT_DOUBLE_EQ(flow.pacing_rate_bps(), 5e6);
+}
+
+TEST(CcpFlow, VectorModeShipsRawSamples) {
+  SinkLog log;
+  CcpFlow flow(1, config(), log.sink());
+  auto msg = install_msg(1, R"(
+    control { Cwnd($c); WaitRtts(1.0); Report(); }
+  )", {"c"}, {20000.0});
+  msg.vector_mode = true;
+  flow.install(msg, at_ms(0));
+  for (int ms = 1; ms <= 12; ++ms) flow.on_ack(ack_at(at_ms(ms)));
+  ASSERT_FALSE(log.reports.empty());
+  const auto& report = log.reports[0];
+  EXPECT_TRUE(report.is_vector);
+  EXPECT_EQ(report.fields.size(),
+            report.num_acks_folded * CcpFlow::kVectorFieldsPerPkt);
+}
+
+TEST(CcpFlow, UrgentFoldRegisterFires) {
+  SinkLog log;
+  CcpFlow flow(1, config(), log.sink());
+  flow.install(install_msg(1, R"(
+    fold { ecn := ecn + Pkt.ecn init 0 urgent; }
+    control { Cwnd(20000); WaitRtts(1.0); Report(); }
+  )"), at_ms(0));
+  AckEvent ev = ack_at(at_ms(1));
+  ev.ecn = true;
+  flow.on_ack(ev);
+  ASSERT_EQ(log.urgents.size(), 1u);
+  EXPECT_EQ(log.urgents[0].kind, ipc::UrgentKind::Ecn);
+}
+
+TEST(CcpFlow, SrttTracksSamples) {
+  SinkLog log;
+  CcpFlow flow(1, config(), log.sink());
+  for (int i = 1; i <= 30; ++i) {
+    flow.on_ack(ack_at(at_ms(i), 1000, Duration::from_millis(25)));
+  }
+  EXPECT_NEAR(flow.srtt().millis(), 25, 2);
+}
+
+TEST(CcpFlowWatchdog, FallsBackWhenAgentGoesSilent) {
+  SinkLog log;
+  FlowConfig cfg = config();
+  cfg.agent_timeout = Duration::from_millis(100);
+  CcpFlow flow(1, cfg, log.sink());
+  // Agent programs the flow once...
+  flow.install(install_msg(1, R"(
+    control { Cwnd($c); WaitRtts(1.0); Report(); }
+  )", {"c"}, {50000.0}), at_ms(0));
+  EXPECT_FALSE(flow.in_fallback());
+  // ...then goes silent while ACKs keep arriving.
+  for (int ms = 1; ms <= 150; ++ms) flow.on_ack(ack_at(at_ms(ms)));
+  EXPECT_TRUE(flow.in_fallback());
+}
+
+TEST(CcpFlowWatchdog, FallbackRunsAimdWithoutAgent) {
+  SinkLog log;
+  FlowConfig cfg = config();
+  cfg.agent_timeout = Duration::from_millis(50);
+  cfg.smooth_cwnd = false;
+  CcpFlow flow(1, cfg, log.sink());
+  flow.install(install_msg(1, R"(
+    control { Cwnd($c); WaitRtts(1.0); Report(); }
+  )", {"c"}, {40000.0}), at_ms(0));
+  for (int ms = 1; ms <= 80; ++ms) flow.on_ack(ack_at(at_ms(ms)));
+  ASSERT_TRUE(flow.in_fallback());
+  const uint64_t before_growth = flow.cwnd_bytes();
+  // The fallback grows additively on clean ACKs, applied once per RTT.
+  for (int ms = 81; ms <= 130; ++ms) flow.on_ack(ack_at(at_ms(ms)));
+  EXPECT_GT(flow.cwnd_bytes(), before_growth);
+  // ...and halves (at the next control pass) after loss.
+  const uint64_t before_loss = flow.cwnd_bytes();
+  LossEvent loss;
+  loss.now = at_ms(131);
+  loss.lost_packets = 3;
+  flow.on_loss(loss);
+  for (int ms = 132; ms <= 155; ++ms) flow.on_ack(ack_at(at_ms(ms)));
+  EXPECT_LT(flow.cwnd_bytes(), before_loss);
+}
+
+TEST(CcpFlowWatchdog, AgentContactClearsFallback) {
+  SinkLog log;
+  FlowConfig cfg = config();
+  cfg.agent_timeout = Duration::from_millis(50);
+  cfg.smooth_cwnd = false;
+  CcpFlow flow(1, cfg, log.sink());
+  flow.install(install_msg(1, R"(
+    control { Cwnd($c); WaitRtts(1.0); Report(); }
+  )", {"c"}, {40000.0}), at_ms(0));
+  for (int ms = 1; ms <= 80; ++ms) flow.on_ack(ack_at(at_ms(ms)));
+  ASSERT_TRUE(flow.in_fallback());
+  // The agent comes back and reinstalls: fallback ends.
+  flow.install(install_msg(1, R"(
+    control { Cwnd($c); WaitRtts(1.0); Report(); }
+  )", {"c"}, {30000.0}), at_ms(90));
+  EXPECT_FALSE(flow.in_fallback());
+  EXPECT_EQ(flow.cwnd_bytes(), 30000u);
+}
+
+TEST(CcpFlowWatchdog, NeverTriggersBeforeFirstProgram) {
+  // The default program is agentless by design; the watchdog must not
+  // "fall back" from it.
+  SinkLog log;
+  FlowConfig cfg = config();
+  cfg.agent_timeout = Duration::from_millis(50);
+  CcpFlow flow(1, cfg, log.sink());
+  for (int ms = 1; ms <= 200; ++ms) flow.on_ack(ack_at(at_ms(ms)));
+  EXPECT_FALSE(flow.in_fallback());
+}
+
+TEST(CcpFlowWatchdog, DisabledByDefault) {
+  SinkLog log;
+  CcpFlow flow(1, config(), log.sink());
+  flow.install(install_msg(1, R"(
+    control { Cwnd($c); WaitRtts(1.0); Report(); }
+  )", {"c"}, {40000.0}), at_ms(0));
+  for (int ms = 1; ms <= 10000; ms += 10) flow.on_ack(ack_at(at_ms(ms)));
+  EXPECT_FALSE(flow.in_fallback());
+}
+
+}  // namespace
+}  // namespace ccp::datapath

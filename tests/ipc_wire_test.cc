@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "ipc/wire.hpp"
+#include "util/rng.hpp"
+
+namespace ccp::ipc {
+namespace {
+
+template <typename T>
+T roundtrip(const T& msg) {
+  auto frame = encode_frame(Message(msg));
+  auto decoded = decode_frame(frame);
+  EXPECT_EQ(decoded.size(), 1u);
+  return std::get<T>(decoded[0]);
+}
+
+TEST(Wire, CreateRoundTrip) {
+  CreateMsg m;
+  m.flow_id = 42;
+  m.init_cwnd_bytes = 14600;
+  m.mss = 1460;
+  m.src_port = 1234;
+  m.dst_port = 80;
+  m.alg_hint = "cubic";
+  auto r = roundtrip(m);
+  EXPECT_EQ(r.flow_id, 42u);
+  EXPECT_EQ(r.init_cwnd_bytes, 14600u);
+  EXPECT_EQ(r.mss, 1460u);
+  EXPECT_EQ(r.src_port, 1234u);
+  EXPECT_EQ(r.dst_port, 80u);
+  EXPECT_EQ(r.alg_hint, "cubic");
+}
+
+TEST(Wire, MeasurementRoundTrip) {
+  MeasurementMsg m;
+  m.flow_id = 7;
+  m.report_seq = 123456789012345ull;
+  m.num_acks_folded = 250;
+  m.is_vector = true;
+  m.fields = {1.5, -2.25, 0.0, 1e300, -1e-300};
+  auto r = roundtrip(m);
+  EXPECT_EQ(r.flow_id, 7u);
+  EXPECT_EQ(r.report_seq, 123456789012345ull);
+  EXPECT_EQ(r.num_acks_folded, 250u);
+  EXPECT_TRUE(r.is_vector);
+  EXPECT_EQ(r.fields, m.fields);
+}
+
+TEST(Wire, UrgentRoundTrip) {
+  for (auto kind : {UrgentKind::Loss, UrgentKind::Timeout, UrgentKind::Ecn,
+                    UrgentKind::FoldUrgent}) {
+    UrgentMsg m;
+    m.flow_id = 3;
+    m.kind = kind;
+    m.fields = {42.0};
+    auto r = roundtrip(m);
+    EXPECT_EQ(r.kind, kind);
+    EXPECT_EQ(r.fields, m.fields);
+  }
+}
+
+TEST(Wire, InstallRoundTrip) {
+  InstallMsg m;
+  m.flow_id = 9;
+  m.program_text = "fold { x := x + 1 init 0; }\ncontrol { Report(); }";
+  m.var_names = {"cwnd", "rate"};
+  m.var_values = {14600.0, 1.25e9};
+  m.vector_mode = true;
+  auto r = roundtrip(m);
+  EXPECT_EQ(r.program_text, m.program_text);
+  EXPECT_EQ(r.var_names, m.var_names);
+  EXPECT_EQ(r.var_values, m.var_values);
+  EXPECT_TRUE(r.vector_mode);
+}
+
+TEST(Wire, UpdateFieldsRoundTrip) {
+  UpdateFieldsMsg m;
+  m.flow_id = 1;
+  m.var_values = {1.0, 2.0, 3.0};
+  auto r = roundtrip(m);
+  EXPECT_EQ(r.var_values, m.var_values);
+}
+
+TEST(Wire, DirectControlRoundTrip) {
+  DirectControlMsg m;
+  m.flow_id = 5;
+  m.cwnd_bytes = 29200.0;
+  auto r = roundtrip(m);
+  EXPECT_TRUE(r.cwnd_bytes.has_value());
+  EXPECT_DOUBLE_EQ(*r.cwnd_bytes, 29200.0);
+  EXPECT_FALSE(r.rate_bps.has_value());
+
+  DirectControlMsg m2;
+  m2.rate_bps = 1e9;
+  auto r2 = roundtrip(m2);
+  EXPECT_FALSE(r2.cwnd_bytes.has_value());
+  EXPECT_DOUBLE_EQ(*r2.rate_bps, 1e9);
+}
+
+TEST(Wire, FlowCloseRoundTrip) {
+  FlowCloseMsg m;
+  m.flow_id = 77;
+  EXPECT_EQ(roundtrip(m).flow_id, 77u);
+}
+
+TEST(Wire, MultiMessageFrame) {
+  std::vector<Message> msgs;
+  msgs.push_back(CreateMsg{1, 100, 1460, 0, 0, "reno"});
+  MeasurementMsg meas;
+  meas.flow_id = 1;
+  meas.fields = {1.0, 2.0};
+  msgs.push_back(meas);
+  msgs.push_back(FlowCloseMsg{1});
+  auto frame = encode_frame(msgs);
+  auto decoded = decode_frame(frame);
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(message_type(decoded[0]), MsgType::Create);
+  EXPECT_EQ(message_type(decoded[1]), MsgType::Measurement);
+  EXPECT_EQ(message_type(decoded[2]), MsgType::FlowClose);
+}
+
+TEST(Wire, EmptyFrame) {
+  auto frame = encode_frame(std::span<const Message>{});
+  EXPECT_TRUE(decode_frame(frame).empty());
+}
+
+TEST(Wire, RejectsTruncatedFrame) {
+  auto frame = encode_frame(Message(FlowCloseMsg{1}));
+  for (size_t cut = 1; cut < frame.size(); ++cut) {
+    std::span<const uint8_t> prefix(frame.data(), frame.size() - cut);
+    EXPECT_THROW(decode_frame(prefix), WireError) << "cut=" << cut;
+  }
+}
+
+TEST(Wire, RejectsTrailingGarbage) {
+  auto frame = encode_frame(Message(FlowCloseMsg{1}));
+  frame.push_back(0xab);
+  EXPECT_THROW(decode_frame(frame), WireError);
+}
+
+TEST(Wire, RejectsBadMessageType) {
+  auto frame = encode_frame(Message(FlowCloseMsg{1}));
+  frame[6] = 0xee;  // type byte of the first message
+  EXPECT_THROW(decode_frame(frame), WireError);
+}
+
+TEST(Wire, RejectsBadUrgentKind) {
+  UrgentMsg m;
+  m.kind = UrgentKind::Loss;
+  auto frame = encode_frame(Message(m));
+  // Patch the kind byte (2 frame hdr + 4 len + 1 type + 4 flow_id).
+  frame[11] = 200;
+  EXPECT_THROW(decode_frame(frame), WireError);
+}
+
+TEST(Wire, RejectsAbsurdLengths) {
+  // Hand-craft a frame claiming a giant string.
+  Encoder e;
+  e.u16(1);
+  const size_t len_at = e.size();
+  e.u32(0);
+  e.u8(static_cast<uint8_t>(MsgType::Create));
+  e.u32(1);            // flow
+  e.u32(0);            // init cwnd
+  e.u32(0);            // mss
+  e.u32(0);            // src
+  e.u32(0);            // dst
+  e.u32(0x7fffffff);   // alg_hint length: absurd
+  e.patch_u32(len_at, static_cast<uint32_t>(e.size() - len_at));
+  EXPECT_THROW(decode_frame(e.buffer()), WireError);
+}
+
+TEST(Wire, FuzzRandomBytesNeverCrash) {
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> junk(rng.next_below(200));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.next_below(256));
+    try {
+      (void)decode_frame(junk);
+    } catch (const WireError&) {
+      // expected for most inputs
+    }
+  }
+}
+
+TEST(Wire, FuzzBitFlipsNeverCrash) {
+  MeasurementMsg m;
+  m.flow_id = 1;
+  m.fields = {1, 2, 3, 4};
+  auto frame = encode_frame(Message(m));
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto copy = frame;
+    copy[rng.next_below(copy.size())] ^=
+        static_cast<uint8_t>(1u << rng.next_below(8));
+    try {
+      (void)decode_frame(copy);
+    } catch (const WireError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccp::ipc

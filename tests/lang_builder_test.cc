@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "lang/builder.hpp"
+#include "lang/compiler.hpp"
+#include "lang/error.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "lang/vm.hpp"
+
+namespace ccp::lang {
+namespace {
+
+TEST(Builder, BuildsPaperBbrPulseProgram) {
+  // The §2.1 example: Rate(1.25*r).WaitRtts(1.0).Report(). ...
+  Program prog = ProgramBuilder()
+                     .def("rate", Expr::c(0), max(f("rate"), pkt(PktField::RcvRateBps)),
+                          ProgramBuilder::DefOpts{/*is_volatile=*/true, false})
+                     .rate(1.25 * v("r"))
+                     .wait_rtts(1.0)
+                     .report()
+                     .rate(0.75 * v("r"))
+                     .wait_rtts(1.0)
+                     .report()
+                     .rate(v("r"))
+                     .wait_rtts(6.0)
+                     .report()
+                     .build();
+  ASSERT_EQ(prog.control.size(), 9u);
+  EXPECT_EQ(prog.control[0].op, ControlInstr::Op::SetRate);
+  EXPECT_EQ(prog.folds.size(), 1u);
+  EXPECT_TRUE(prog.folds[0].is_volatile);
+  EXPECT_NO_THROW(compile(prog));
+}
+
+TEST(Builder, EquivalentToParsedText) {
+  // Build the same program both ways; they must print identically.
+  const char* text = R"(
+fold {
+  volatile acked := acked + Pkt.bytes_acked init 0;
+  minrtt := min(minrtt, Pkt.rtt) init 1000000;
+}
+control {
+  Cwnd((2 * $cwnd));
+  WaitRtts(1.0);
+  Report();
+}
+)";
+  Program from_text = parse_program(text);
+
+  Program from_builder =
+      ProgramBuilder()
+          .def_counter("acked", f("acked") + pkt(PktField::BytesAcked))
+          .def("minrtt", Expr::c(1000000), min(f("minrtt"), pkt(PktField::RttUs)))
+          .cwnd(2 * v("cwnd"))
+          .wait_rtts(1.0)
+          .report()
+          .build();
+
+  EXPECT_EQ(print_program(from_text), print_program(from_builder));
+}
+
+TEST(Builder, NumericLiteralsPromote) {
+  Program prog = ProgramBuilder()
+                     .def("x", 0, f("x") + 1)
+                     .cwnd(1.5 * v("c") + 2)
+                     .wait_rtts(0.5)
+                     .report()
+                     .build();
+  EXPECT_NO_THROW(compile(prog));
+}
+
+TEST(Builder, RejectsUnknownFoldReference) {
+  ProgramBuilder b;
+  b.cwnd(f("nope")).report();
+  EXPECT_THROW(b.build(), ProgramError);
+}
+
+TEST(Builder, RejectsDuplicateRegister) {
+  ProgramBuilder b;
+  b.def("x", 0, 1).def("x", 0, 2).report();
+  EXPECT_THROW(b.build(), ProgramError);
+}
+
+TEST(Builder, DefCounterIsVolatile) {
+  Program prog = ProgramBuilder()
+                     .def_counter("loss", f("loss") + pkt(PktField::LostPackets),
+                                  /*urgent=*/true)
+                     .cwnd(v("c"))
+                     .wait_rtts(1.0)
+                     .report()
+                     .build();
+  ASSERT_EQ(prog.folds.size(), 1u);
+  EXPECT_TRUE(prog.folds[0].is_volatile);
+  EXPECT_TRUE(prog.folds[0].urgent);
+}
+
+TEST(Builder, AllOperatorsCompileAndRun) {
+  Program prog =
+      ProgramBuilder()
+          .def("a", 1,
+               if_((f("a") > 0 && f("a") != 3) || f("a") <= -1,
+                   sqrt(abs(f("a"))) + cbrt(pow(f("a"), 2)) - log(exp(f("a"))),
+                   ewma(f("a"), pkt(PktField::RttUs), 0.5)))
+          .cwnd(-v("c"))
+          .wait(1000)
+          .report()
+          .build();
+  CompiledProgram compiled = compile(prog);
+  FoldMachine fm;
+  fm.install(&compiled, {10000.0});
+  PktInfo info;
+  info.rtt_us = 500;
+  EXPECT_NO_THROW(fm.on_packet(info));
+}
+
+}  // namespace
+}  // namespace ccp::lang

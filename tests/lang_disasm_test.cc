@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "lang/compiler.hpp"
+#include "lang/disasm.hpp"
+
+namespace ccp::lang {
+namespace {
+
+TEST(Disasm, CoversEveryOpcode) {
+  // A program whose expressions exercise every opcode the compiler can
+  // emit; the disassembler must render all of them without "?".
+  auto compiled = compile_text(R"(
+    fold {
+      a := if(((1 < 2) && (3 > 2)) || ((4 <= 4) == (5 >= 5)),
+              min(1, max(2, abs(-3))) + sqrt(4) * cbrt(8) - log(2) / exp(1),
+              pow(2, 3) + ewma(a, Pkt.rtt, 0.5)) init 0;
+      b := if((a != 0) && !(a == 1), $v, Pkt.bytes_acked) init $v;
+    }
+    control { Cwnd(a); Rate(b); Wait(100); WaitRtts(1.0); Report(); }
+  )");
+  const std::string listing = disassemble(compiled);
+  EXPECT_EQ(listing.find('?'), std::string::npos) << listing;
+  // Key forms present.
+  for (const char* needle :
+       {"init", "fold (per ACK)", "control[0] Cwnd", "control[4] Report",
+        "Pkt.rtt", "$var[0]", "fold[0] <-", "select", "ewma", "min", "max",
+        "sqrt", "cbrt", "pow"}) {
+    EXPECT_NE(listing.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Disasm, InstructionCountsMatch) {
+  auto compiled = compile_text(R"(
+    fold { x := x + Pkt.bytes_acked init 0; }
+    control { WaitRtts(1.0); Report(); }
+  )");
+  const std::string fold = disassemble_block("fold", compiled.fold_block);
+  // Header + one line per instruction.
+  const size_t lines = std::count(fold.begin(), fold.end(), '\n');
+  EXPECT_EQ(lines, compiled.fold_block.code.size() + 1);
+}
+
+TEST(Disasm, ConstantsRenderedWithValues) {
+  auto compiled = compile_text(R"(
+    control { Cwnd(14600); WaitRtts(0.5); Report(); }
+  )");
+  const std::string listing = disassemble(compiled);
+  EXPECT_NE(listing.find("const 14600"), std::string::npos);
+  EXPECT_NE(listing.find("const 0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccp::lang

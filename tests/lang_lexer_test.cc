@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "lang/error.hpp"
+#include "lang/lexer.hpp"
+
+namespace ccp::lang {
+namespace {
+
+std::vector<TokKind> kinds(const std::string& src) {
+  std::vector<TokKind> out;
+  for (const auto& t : tokenize(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInput) {
+  auto toks = tokenize("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::End);
+}
+
+TEST(Lexer, Identifiers) {
+  auto toks = tokenize("foo _bar baz123");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "foo");
+  EXPECT_EQ(toks[1].text, "_bar");
+  EXPECT_EQ(toks[2].text, "baz123");
+}
+
+TEST(Lexer, Numbers) {
+  auto toks = tokenize("1 0.4 1e6 2.5e-3 0x7fffffff");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_DOUBLE_EQ(toks[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(toks[1].number, 0.4);
+  EXPECT_DOUBLE_EQ(toks[2].number, 1e6);
+  EXPECT_DOUBLE_EQ(toks[3].number, 2.5e-3);
+  EXPECT_DOUBLE_EQ(toks[4].number, 2147483647.0);
+}
+
+TEST(Lexer, DollarVariables) {
+  auto toks = tokenize("$rate $cwnd_cap");
+  EXPECT_EQ(toks[0].kind, TokKind::Dollar);
+  EXPECT_EQ(toks[0].text, "rate");
+  EXPECT_EQ(toks[1].text, "cwnd_cap");
+  EXPECT_THROW(tokenize("$ rate"), ProgramError);
+  EXPECT_THROW(tokenize("$1"), ProgramError);
+}
+
+TEST(Lexer, Operators) {
+  EXPECT_EQ(kinds("+ - * / < <= > >= == != && || ! := ( ) { } ; , ."),
+            (std::vector<TokKind>{
+                TokKind::Plus, TokKind::Minus, TokKind::Star, TokKind::Slash,
+                TokKind::Lt, TokKind::Le, TokKind::Gt, TokKind::Ge,
+                TokKind::EqEq, TokKind::Ne, TokKind::AndAnd, TokKind::OrOr,
+                TokKind::Bang, TokKind::Assign, TokKind::LParen,
+                TokKind::RParen, TokKind::LBrace, TokKind::RBrace,
+                TokKind::Semi, TokKind::Comma, TokKind::Dot, TokKind::End}));
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto toks = tokenize("a // comment with $stuff := ;\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  auto toks = tokenize("a\n  b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].col, 3);
+}
+
+TEST(Lexer, RejectsBadCharacters) {
+  EXPECT_THROW(tokenize("a @ b"), ProgramError);
+  EXPECT_THROW(tokenize("a # b"), ProgramError);
+  EXPECT_THROW(tokenize("= b"), ProgramError);   // lone '='
+  EXPECT_THROW(tokenize("a & b"), ProgramError);  // lone '&'
+  EXPECT_THROW(tokenize("a | b"), ProgramError);  // lone '|'
+  EXPECT_THROW(tokenize("a : b"), ProgramError);  // ':' without '='
+}
+
+TEST(Lexer, ErrorCarriesPosition) {
+  try {
+    tokenize("ok\n  @");
+    FAIL() << "expected ProgramError";
+  } catch (const ProgramError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.col(), 3);
+  }
+}
+
+}  // namespace
+}  // namespace ccp::lang

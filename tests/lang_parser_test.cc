@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "lang/error.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+
+namespace ccp::lang {
+namespace {
+
+TEST(Parser, MinimalProgram) {
+  auto prog = parse_program("control { Report(); }");
+  EXPECT_TRUE(prog.folds.empty());
+  ASSERT_EQ(prog.control.size(), 1u);
+  EXPECT_EQ(prog.control[0].op, ControlInstr::Op::Report);
+}
+
+TEST(Parser, FoldRegisters) {
+  auto prog = parse_program(R"(
+    fold {
+      volatile acked := acked + Pkt.bytes_acked init 0;
+      minrtt := min(minrtt, Pkt.rtt) init 0x7fffffff;
+      loss := loss + Pkt.lost init 0 urgent;
+    }
+    control { Report(); }
+  )");
+  ASSERT_EQ(prog.folds.size(), 3u);
+  EXPECT_EQ(prog.folds[0].name, "acked");
+  EXPECT_TRUE(prog.folds[0].is_volatile);
+  EXPECT_FALSE(prog.folds[0].urgent);
+  EXPECT_EQ(prog.folds[1].name, "minrtt");
+  EXPECT_FALSE(prog.folds[1].is_volatile);
+  EXPECT_TRUE(prog.folds[2].urgent);
+}
+
+TEST(Parser, ControlInstructions) {
+  auto prog = parse_program(R"(
+    control {
+      Rate(1.25 * $r);
+      Cwnd($c);
+      Wait(100);
+      WaitRtts(6.0);
+      Report();
+    }
+  )");
+  ASSERT_EQ(prog.control.size(), 5u);
+  EXPECT_EQ(prog.control[0].op, ControlInstr::Op::SetRate);
+  EXPECT_EQ(prog.control[1].op, ControlInstr::Op::SetCwnd);
+  EXPECT_EQ(prog.control[2].op, ControlInstr::Op::Wait);
+  EXPECT_EQ(prog.control[3].op, ControlInstr::Op::WaitRtts);
+  EXPECT_EQ(prog.control[4].op, ControlInstr::Op::Report);
+  ASSERT_EQ(prog.vars.size(), 2u);
+  EXPECT_EQ(prog.vars[0], "r");
+  EXPECT_EQ(prog.vars[1], "c");
+}
+
+TEST(Parser, ForwardReferencesBetweenRegisters) {
+  // `a` references `b`, declared later.
+  auto prog = parse_program(R"(
+    fold {
+      a := b + 1 init 0;
+      b := Pkt.bytes_acked init 0;
+    }
+    control { Report(); }
+  )");
+  ASSERT_EQ(prog.folds.size(), 2u);
+  // a's update should reference fold index 1.
+  const ExprNode& update = prog.arena.at(prog.folds[0].update);
+  ASSERT_EQ(update.kind, ExprKind::Binary);
+  const ExprNode& lhs = prog.arena.at(update.child[0]);
+  EXPECT_EQ(lhs.kind, ExprKind::FoldRef);
+  EXPECT_EQ(lhs.index, 1u);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  auto prog = parse_program("control { Rate(1 + 2 * 3); Report(); }");
+  const ExprNode& root = prog.arena.at(prog.control[0].arg);
+  ASSERT_EQ(root.kind, ExprKind::Binary);
+  EXPECT_EQ(root.binary_op, BinaryOp::Add);
+  const ExprNode& rhs = prog.arena.at(root.child[1]);
+  EXPECT_EQ(rhs.binary_op, BinaryOp::Mul);
+}
+
+TEST(Parser, PrecedenceComparisonOverAnd) {
+  auto prog =
+      parse_program("control { Rate(if(1 < 2 && 3 > 2, 5, 6)); Report(); }");
+  const ExprNode& cond =
+      prog.arena.at(prog.arena.at(prog.control[0].arg).child[0]);
+  EXPECT_EQ(cond.binary_op, BinaryOp::And);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  auto prog = parse_program("control { Rate((1 + 2) * 3); Report(); }");
+  const ExprNode& root = prog.arena.at(prog.control[0].arg);
+  EXPECT_EQ(root.binary_op, BinaryOp::Mul);
+}
+
+TEST(Parser, UnaryMinusAndNot) {
+  auto prog = parse_program("control { Rate(-$r + !0); Report(); }");
+  const ExprNode& add = prog.arena.at(prog.control[0].arg);
+  EXPECT_EQ(prog.arena.at(add.child[0]).kind, ExprKind::Unary);
+  EXPECT_EQ(prog.arena.at(add.child[0]).unary_op, UnaryOp::Neg);
+  EXPECT_EQ(prog.arena.at(add.child[1]).unary_op, UnaryOp::Not);
+}
+
+TEST(Parser, AllFunctions) {
+  EXPECT_NO_THROW(parse_program(R"(
+    fold {
+      a := min(1, max(2, abs(-3))) + sqrt(4) + cbrt(8) + log(2) + exp(1)
+           + pow(2, 3) + ewma(a, Pkt.rtt, 0.1) + if(1 < 2, 1, 0) init 0;
+    }
+    control { Report(); }
+  )"));
+}
+
+TEST(Parser, AllPacketFields) {
+  EXPECT_NO_THROW(parse_program(R"(
+    fold {
+      x := Pkt.rtt + Pkt.bytes_acked + Pkt.packets_acked + Pkt.lost
+         + Pkt.ecn + Pkt.was_timeout + Pkt.snd_rate + Pkt.rcv_rate
+         + Pkt.bytes_in_flight + Pkt.packets_in_flight + Pkt.bytes_pending
+         + Pkt.now + Pkt.mss + Pkt.cwnd + Pkt.rate init 0;
+    }
+    control { Report(); }
+  )"));
+}
+
+TEST(Parser, Errors) {
+  // Unknown packet field.
+  EXPECT_THROW(parse_program("fold { a := Pkt.bogus init 0; } control { Report(); }"),
+               ProgramError);
+  // Unknown function.
+  EXPECT_THROW(parse_program("fold { a := frobnicate(1) init 0; } control { Report(); }"),
+               ProgramError);
+  // Wrong arity.
+  EXPECT_THROW(parse_program("fold { a := min(1) init 0; } control { Report(); }"),
+               ProgramError);
+  // Unknown identifier.
+  EXPECT_THROW(parse_program("fold { a := nonexistent init 0; } control { Report(); }"),
+               ProgramError);
+  // Duplicate register.
+  EXPECT_THROW(parse_program("fold { a := 1 init 0; a := 2 init 0; } control { Report(); }"),
+               ProgramError);
+  // Duplicate fold block.
+  EXPECT_THROW(
+      parse_program("fold { a := 1 init 0; } fold { b := 1 init 0; } control { Report(); }"),
+      ProgramError);
+  // Missing init.
+  EXPECT_THROW(parse_program("fold { a := 1; } control { Report(); }"), ProgramError);
+  // Unknown control primitive.
+  EXPECT_THROW(parse_program("control { Fire(1); }"), ProgramError);
+  // Missing semicolon.
+  EXPECT_THROW(parse_program("control { Report() }"), ProgramError);
+  // Garbage at top level.
+  EXPECT_THROW(parse_program("hello { }"), ProgramError);
+}
+
+TEST(Parser, PrinterRoundTrip) {
+  const char* src = R"(
+    fold {
+      volatile acked := acked + Pkt.bytes_acked init 0;
+      rtt := ewma(rtt, Pkt.rtt, 0.125) init 0;
+      loss := loss + Pkt.lost init 0 urgent;
+    }
+    control {
+      Rate(1.25 * $r);
+      WaitRtts(1.0);
+      Report();
+      Cwnd(min($c, 1000000));
+      Wait(5000);
+      Report();
+    }
+  )";
+  auto prog = parse_program(src);
+  const std::string printed = print_program(prog);
+  auto reparsed = parse_program(printed);
+  // Round trip must preserve structure exactly.
+  EXPECT_EQ(print_program(reparsed), printed);
+  ASSERT_EQ(reparsed.folds.size(), prog.folds.size());
+  ASSERT_EQ(reparsed.control.size(), prog.control.size());
+  for (size_t i = 0; i < prog.folds.size(); ++i) {
+    EXPECT_EQ(reparsed.folds[i].name, prog.folds[i].name);
+    EXPECT_EQ(reparsed.folds[i].is_volatile, prog.folds[i].is_volatile);
+    EXPECT_EQ(reparsed.folds[i].urgent, prog.folds[i].urgent);
+  }
+}
+
+TEST(Parser, PaperBbrPulseProgram) {
+  // The §2.1 example, adapted to the text syntax.
+  auto prog = parse_program(R"(
+    fold { rate := max(rate, Pkt.rcv_rate) init 0; }
+    control {
+      Rate(1.25 * $r); WaitRtts(1.0); Report();
+      Rate(0.75 * $r); WaitRtts(1.0); Report();
+      Rate($r);        WaitRtts(6.0); Report();
+    }
+  )");
+  EXPECT_EQ(prog.control.size(), 9u);
+  EXPECT_EQ(prog.vars.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ccp::lang

@@ -1,0 +1,190 @@
+// Property tests over the whole language pipeline: random programs must
+// round-trip through the printer, compile deterministically, disassemble
+// without crashing, and never crash the parser even on mangled input.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lang/builder.hpp"
+#include "lang/compiler.hpp"
+#include "lang/disasm.hpp"
+#include "lang/error.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "lang/vm.hpp"
+#include "util/rng.hpp"
+
+namespace ccp::lang {
+namespace {
+
+/// Random expression over `n_regs` fold registers and two variables.
+Expr random_expr(ccp::Rng& rng, int depth, int n_regs) {
+  if (depth <= 0 || rng.chance(0.35)) {
+    switch (rng.next_below(4)) {
+      case 0: return Expr::c(rng.uniform(-1000, 1000));
+      case 1: return f("r" + std::to_string(rng.next_below(n_regs)));
+      case 2: return rng.chance(0.5) ? v("x") : v("y");
+      default:
+        return pkt(static_cast<PktField>(rng.next_below(kNumPktFields)));
+    }
+  }
+  switch (rng.next_below(8)) {
+    case 0: return random_expr(rng, depth - 1, n_regs) + random_expr(rng, depth - 1, n_regs);
+    case 1: return random_expr(rng, depth - 1, n_regs) - random_expr(rng, depth - 1, n_regs);
+    case 2: return random_expr(rng, depth - 1, n_regs) * random_expr(rng, depth - 1, n_regs);
+    case 3: return random_expr(rng, depth - 1, n_regs) / random_expr(rng, depth - 1, n_regs);
+    case 4: return min(random_expr(rng, depth - 1, n_regs), random_expr(rng, depth - 1, n_regs));
+    case 5: return max(random_expr(rng, depth - 1, n_regs), random_expr(rng, depth - 1, n_regs));
+    case 6:
+      return if_(random_expr(rng, depth - 1, n_regs) <
+                     random_expr(rng, depth - 1, n_regs),
+                 random_expr(rng, depth - 1, n_regs),
+                 random_expr(rng, depth - 1, n_regs));
+    default:
+      return ewma(random_expr(rng, depth - 1, n_regs),
+                  random_expr(rng, depth - 1, n_regs), Expr::c(0.25));
+  }
+}
+
+Program random_program(ccp::Rng& rng) {
+  const int n_regs = 1 + static_cast<int>(rng.next_below(4));
+  ProgramBuilder b;
+  for (int i = 0; i < n_regs; ++i) {
+    b.def("r" + std::to_string(i), Expr::c(rng.uniform(-10, 10)),
+          random_expr(rng, 3, n_regs),
+          ProgramBuilder::DefOpts{rng.chance(0.5), rng.chance(0.2)});
+  }
+  const int steps = 1 + static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < steps; ++i) {
+    switch (rng.next_below(3)) {
+      case 0: b.cwnd(random_expr(rng, 2, n_regs)); break;
+      case 1: b.rate(random_expr(rng, 2, n_regs)); break;
+      default: b.wait_rtts(Expr::c(rng.uniform(0.25, 4.0))); break;
+    }
+  }
+  b.report();
+  return b.build();
+}
+
+class LangProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LangProperty, PrinterRoundTripIsStable) {
+  ccp::Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    Program prog = random_program(rng);
+    const std::string once = print_program(prog);
+    Program reparsed = parse_program(once);
+    const std::string twice = print_program(reparsed);
+    EXPECT_EQ(once, twice) << "trial " << trial;
+  }
+}
+
+TEST_P(LangProperty, RoundTripPreservesSemantics) {
+  ccp::Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    Program prog = random_program(rng);
+    Program reparsed = parse_program(print_program(prog));
+    CompiledProgram a = compile(prog);
+    CompiledProgram b = compile(reparsed);
+    ASSERT_EQ(a.num_folds(), b.num_folds());
+    ASSERT_EQ(a.num_vars(), b.num_vars());
+
+    // Execute both on the same random packet stream; states must match
+    // exactly at every step.
+    FoldMachine ma, mb;
+    std::vector<double> vars(a.num_vars());
+    for (auto& value : vars) value = rng.uniform(-100, 100);
+    // Variable order can differ; bind by name.
+    std::vector<double> vars_b(b.num_vars());
+    for (size_t i = 0; i < a.var_names.size(); ++i) {
+      vars_b[static_cast<size_t>(b.var_index(a.var_names[i]))] = vars[i];
+    }
+    ma.install(&a, vars);
+    mb.install(&b, vars_b);
+    for (int step = 0; step < 20; ++step) {
+      PktInfo pkt;
+      pkt.rtt_us = rng.uniform(0, 1e5);
+      pkt.bytes_acked = rng.uniform(0, 1e5);
+      pkt.lost_packets = rng.chance(0.2) ? 1 : 0;
+      pkt.rcv_rate_bps = rng.uniform(0, 1e9);
+      ma.on_packet(pkt);
+      mb.on_packet(pkt);
+      for (size_t r = 0; r < ma.state().size(); ++r) {
+        const double va = ma.state()[r];
+        const double vb = mb.state()[r];
+        if (std::isnan(va)) {
+          EXPECT_TRUE(std::isnan(vb));
+        } else {
+          ASSERT_DOUBLE_EQ(va, vb) << "trial " << trial << " step " << step;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(LangProperty, DisassemblerNeverEmitsUnknown) {
+  ccp::Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 30; ++trial) {
+    CompiledProgram compiled = compile(random_program(rng));
+    const std::string listing = disassemble(compiled);
+    EXPECT_EQ(listing.find("= ? "), std::string::npos);
+    EXPECT_FALSE(listing.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LangProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+TEST(LangFuzz, MangledProgramsThrowCleanly) {
+  const std::string base = R"(
+fold {
+  volatile acked := acked + Pkt.bytes_acked init 0;
+  rtt := ewma(rtt, Pkt.rtt, 0.125) init 0;
+}
+control { Cwnd($c); WaitRtts(1.0); Report(); }
+)";
+  ccp::Rng rng(99);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string mangled = base;
+    const int edits = 1 + static_cast<int>(rng.next_below(4));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.next_below(mangled.size());
+      switch (rng.next_below(3)) {
+        case 0: mangled[pos] = static_cast<char>(32 + rng.next_below(95)); break;
+        case 1: mangled.erase(pos, 1); break;
+        default:
+          mangled.insert(pos, 1, static_cast<char>(32 + rng.next_below(95)));
+          break;
+      }
+    }
+    try {
+      (void)compile_text(mangled);  // often still valid; that's fine
+    } catch (const ProgramError&) {
+      // the only acceptable failure mode
+    }
+  }
+}
+
+TEST(LangFuzz, RandomTokenSoupThrowsCleanly) {
+  static const char* kTokens[] = {"fold",  "control", "{",    "}",    "(",
+                                  ")",     ";",       ":=",   "init", "volatile",
+                                  "urgent", "Pkt.rtt", "$x",  "min",  "ewma",
+                                  "Cwnd",  "Rate",    "Wait", "Report", "1.5",
+                                  "+",     "*",       "/",    "<",    "&&"};
+  ccp::Rng rng(7);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string soup;
+    const int n = 1 + static_cast<int>(rng.next_below(40));
+    for (int i = 0; i < n; ++i) {
+      soup += kTokens[rng.next_below(std::size(kTokens))];
+      soup += ' ';
+    }
+    try {
+      (void)compile_text(soup);
+    } catch (const ProgramError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccp::lang

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "lang/error.hpp"
+#include "lang/parser.hpp"
+#include "lang/sema.hpp"
+
+namespace ccp::lang {
+namespace {
+
+bool has_error(const std::vector<SemaIssue>& issues) {
+  for (const auto& i : issues) {
+    if (i.severity == SemaIssue::Severity::Error) return true;
+  }
+  return false;
+}
+
+TEST(Sema, AcceptsWellFormedProgram) {
+  auto prog = parse_program(R"(
+    fold { acked := acked + Pkt.bytes_acked init 0; }
+    control { Cwnd(acked * 2); WaitRtts(1.0); Report(); }
+  )");
+  EXPECT_FALSE(has_error(analyze(prog)));
+  EXPECT_NO_THROW(check_or_throw(prog));
+}
+
+TEST(Sema, RejectsMissingControl) {
+  auto prog = parse_program("fold { a := 1 init 0; }");
+  EXPECT_TRUE(has_error(analyze(prog)));
+  EXPECT_THROW(check_or_throw(prog), ProgramError);
+}
+
+TEST(Sema, RejectsControlWithoutReport) {
+  auto prog = parse_program("control { Cwnd(10000); WaitRtts(1.0); }");
+  EXPECT_TRUE(has_error(analyze(prog)));
+}
+
+TEST(Sema, RejectsNonPositiveConstantWaits) {
+  EXPECT_THROW(check_or_throw(parse_program("control { Wait(0); Report(); }")),
+               ProgramError);
+  EXPECT_THROW(check_or_throw(parse_program("control { WaitRtts(-1); Report(); }")),
+               ProgramError);
+  EXPECT_NO_THROW(check_or_throw(parse_program("control { Wait(100); Report(); }")));
+  // Non-constant waits are fine (checked at runtime by the VM clamp).
+  EXPECT_NO_THROW(check_or_throw(parse_program("control { WaitRtts($a); Report(); }")));
+}
+
+TEST(Sema, RejectsDivisionByLiteralZero) {
+  EXPECT_THROW(check_or_throw(parse_program("control { Rate(5 / 0); Report(); }")),
+               ProgramError);
+  // Division by an expression that might be zero is legal (VM yields 0).
+  EXPECT_NO_THROW(
+      check_or_throw(parse_program("control { Rate(5 / $x); Report(); }")));
+}
+
+TEST(Sema, RejectsBadEwmaGain) {
+  EXPECT_THROW(check_or_throw(parse_program(
+                   "fold { a := ewma(a, Pkt.rtt, 0) init 0; } control { Report(); }")),
+               ProgramError);
+  EXPECT_THROW(check_or_throw(parse_program(
+                   "fold { a := ewma(a, Pkt.rtt, 1.5) init 0; } control { Report(); }")),
+               ProgramError);
+  EXPECT_NO_THROW(check_or_throw(parse_program(
+      "fold { a := ewma(a, Pkt.rtt, 0.125) init 0; } control { Report(); }")));
+}
+
+TEST(Sema, WarnsOnUnreadRegister) {
+  auto prog = parse_program(R"(
+    fold { lonely := Pkt.rtt init 0; }
+    control { Report(); }
+  )");
+  const auto issues = analyze(prog);
+  bool warned = false;
+  for (const auto& i : issues) {
+    if (i.severity == SemaIssue::Severity::Warning &&
+        i.message.find("lonely") != std::string::npos) {
+      warned = true;
+    }
+  }
+  EXPECT_TRUE(warned);
+  EXPECT_FALSE(has_error(issues));  // warning only
+}
+
+TEST(Sema, ErrorsAccumulate) {
+  auto prog = parse_program("control { Wait(0); Rate(1/0); }");
+  int errors = 0;
+  for (const auto& i : analyze(prog)) {
+    if (i.severity == SemaIssue::Severity::Error) ++errors;
+  }
+  EXPECT_GE(errors, 3);  // no Report, bad Wait, div by zero
+}
+
+}  // namespace
+}  // namespace ccp::lang

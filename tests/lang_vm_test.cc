@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lang/builder.hpp"
+#include "lang/compiler.hpp"
+#include "lang/parser.hpp"
+#include "lang/vm.hpp"
+#include "util/rng.hpp"
+
+namespace ccp::lang {
+namespace {
+
+/// Compiles a single-register program whose update is `expr_text` and
+/// evaluates it once against `pkt` and `vars`.
+double eval_expr(const std::string& expr_text, const PktInfo& pkt = {},
+                 const std::vector<std::pair<std::string, double>>& vars = {}) {
+  std::string src = "fold { result := " + expr_text + " init 0; }\n";
+  src += "control { Report(); }";
+  auto compiled = compile_text(src);
+  std::vector<double> var_values(compiled.num_vars(), 0.0);
+  for (const auto& [name, value] : vars) {
+    const int idx = compiled.var_index(name);
+    if (idx >= 0) var_values[static_cast<size_t>(idx)] = value;
+  }
+  FoldMachine fm;
+  fm.install(&compiled, var_values);
+  fm.on_packet(pkt);
+  return fm.state()[0];
+}
+
+TEST(Vm, Arithmetic) {
+  EXPECT_DOUBLE_EQ(eval_expr("1 + 2"), 3.0);
+  EXPECT_DOUBLE_EQ(eval_expr("10 - 4"), 6.0);
+  EXPECT_DOUBLE_EQ(eval_expr("6 * 7"), 42.0);
+  EXPECT_DOUBLE_EQ(eval_expr("10 / 4"), 2.5);
+  EXPECT_DOUBLE_EQ(eval_expr("-(3)"), -3.0);
+  EXPECT_DOUBLE_EQ(eval_expr("2 + 3 * 4"), 14.0);
+  EXPECT_DOUBLE_EQ(eval_expr("(2 + 3) * 4"), 20.0);
+}
+
+TEST(Vm, TotalArithmeticNeverCrashes) {
+  // §2.2: "exceptions from common errors (e.g., division by zero) will
+  // crash the operating system" — our VM is total instead.
+  EXPECT_DOUBLE_EQ(eval_expr("5 / $zero", {}, {{"zero", 0.0}}), 0.0);
+  EXPECT_DOUBLE_EQ(eval_expr("sqrt(-4)"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_expr("log(-1)"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_expr("log($zero)", {}, {{"zero", 0.0}}), 0.0);
+  EXPECT_DOUBLE_EQ(eval_expr("pow(-8, 0.5)"), 0.0);  // NaN clamped
+}
+
+TEST(Vm, Functions) {
+  EXPECT_DOUBLE_EQ(eval_expr("min(3, 5)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval_expr("max(3, 5)"), 5.0);
+  EXPECT_DOUBLE_EQ(eval_expr("abs(-7)"), 7.0);
+  EXPECT_DOUBLE_EQ(eval_expr("sqrt(16)"), 4.0);
+  EXPECT_DOUBLE_EQ(eval_expr("cbrt(27)"), 3.0);
+  EXPECT_NEAR(eval_expr("log(exp(1))"), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(eval_expr("pow(2, 10)"), 1024.0);
+  EXPECT_DOUBLE_EQ(eval_expr("ewma(10, 20, 0.25)"), 12.5);
+  EXPECT_DOUBLE_EQ(eval_expr("if(1 < 2, 111, 222)"), 111.0);
+  EXPECT_DOUBLE_EQ(eval_expr("if(2 < 1, 111, 222)"), 222.0);
+}
+
+TEST(Vm, Comparisons) {
+  EXPECT_DOUBLE_EQ(eval_expr("3 < 4"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_expr("4 < 3"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_expr("3 <= 3"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_expr("3 >= 4"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_expr("3 == 3"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_expr("3 != 3"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_expr("1 && 0"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_expr("1 || 0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_expr("!0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_expr("!5"), 0.0);
+}
+
+TEST(Vm, PacketFieldAccess) {
+  PktInfo pkt;
+  pkt.rtt_us = 1234;
+  pkt.bytes_acked = 2920;
+  pkt.mss = 1460;
+  EXPECT_DOUBLE_EQ(eval_expr("Pkt.rtt", pkt), 1234.0);
+  EXPECT_DOUBLE_EQ(eval_expr("Pkt.bytes_acked / Pkt.mss", pkt), 2.0);
+}
+
+TEST(Vm, InstallVars) {
+  EXPECT_DOUBLE_EQ(eval_expr("1.25 * $r", {}, {{"r", 8.0}}), 10.0);
+}
+
+// --- property test: VM vs a reference tree-walking evaluator ---
+
+struct RefEval {
+  const Program& prog;
+  const PktInfo& pkt;
+  const std::vector<double>& vars;
+  const std::vector<double>& folds;
+
+  double eval(ExprId id) const {
+    const ExprNode& n = prog.arena.at(id);
+    switch (n.kind) {
+      case ExprKind::Const: return n.constant;
+      case ExprKind::FoldRef: return folds[n.index];
+      case ExprKind::PktRef: return pkt.get(n.field);
+      case ExprKind::VarRef: return vars[n.index];
+      case ExprKind::Unary: {
+        const double a = eval(n.child[0]);
+        switch (n.unary_op) {
+          case UnaryOp::Neg: return -a;
+          case UnaryOp::Not: return a == 0 ? 1 : 0;
+          case UnaryOp::Sqrt: return a <= 0 ? 0 : std::sqrt(a);
+          case UnaryOp::Abs: return std::fabs(a);
+          case UnaryOp::Log: return a <= 0 ? 0 : std::log(a);
+          case UnaryOp::Exp: return std::exp(a);
+          case UnaryOp::Cbrt: return std::cbrt(a);
+        }
+        return 0;
+      }
+      case ExprKind::Binary: {
+        const double a = eval(n.child[0]);
+        const double b = eval(n.child[1]);
+        switch (n.binary_op) {
+          case BinaryOp::Add: return a + b;
+          case BinaryOp::Sub: return a - b;
+          case BinaryOp::Mul: return a * b;
+          case BinaryOp::Div: return b == 0 ? 0 : a / b;
+          case BinaryOp::Pow: {
+            const double v = std::pow(a, b);
+            return std::isfinite(v) ? v : 0;
+          }
+          case BinaryOp::Min: return std::min(a, b);
+          case BinaryOp::Max: return std::max(a, b);
+          case BinaryOp::Lt: return a < b;
+          case BinaryOp::Le: return a <= b;
+          case BinaryOp::Gt: return a > b;
+          case BinaryOp::Ge: return a >= b;
+          case BinaryOp::Eq: return a == b;
+          case BinaryOp::Ne: return a != b;
+          case BinaryOp::And: return (a != 0 && b != 0) ? 1 : 0;
+          case BinaryOp::Or: return (a != 0 || b != 0) ? 1 : 0;
+        }
+        return 0;
+      }
+      case ExprKind::Ternary: {
+        const double a = eval(n.child[0]);
+        const double b = eval(n.child[1]);
+        const double c = eval(n.child[2]);
+        return n.ternary_op == TernaryOp::If ? (a != 0 ? b : c)
+                                             : (1 - c) * a + c * b;
+      }
+    }
+    return 0;
+  }
+};
+
+/// Builds a random expression over one fold register, two vars, and
+/// packet fields, with bounded depth.
+Expr random_expr(ccp::Rng& rng, int depth) {
+  if (depth <= 0 || rng.chance(0.3)) {
+    switch (rng.next_below(4)) {
+      case 0: return Expr::c(rng.uniform(-100.0, 100.0));
+      case 1: return f("reg");
+      case 2: return rng.chance(0.5) ? v("x") : v("y");
+      default:
+        return pkt(static_cast<PktField>(rng.next_below(kNumPktFields)));
+    }
+  }
+  switch (rng.next_below(10)) {
+    case 0: return random_expr(rng, depth - 1) + random_expr(rng, depth - 1);
+    case 1: return random_expr(rng, depth - 1) - random_expr(rng, depth - 1);
+    case 2: return random_expr(rng, depth - 1) * random_expr(rng, depth - 1);
+    case 3: return random_expr(rng, depth - 1) / random_expr(rng, depth - 1);
+    case 4: return min(random_expr(rng, depth - 1), random_expr(rng, depth - 1));
+    case 5: return max(random_expr(rng, depth - 1), random_expr(rng, depth - 1));
+    case 6: return abs(random_expr(rng, depth - 1));
+    case 7: return random_expr(rng, depth - 1) < random_expr(rng, depth - 1);
+    case 8:
+      return if_(random_expr(rng, depth - 1), random_expr(rng, depth - 1),
+                 random_expr(rng, depth - 1));
+    default:
+      return ewma(random_expr(rng, depth - 1), random_expr(rng, depth - 1),
+                  Expr::c(0.25));
+  }
+}
+
+class VmRandomized : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VmRandomized, MatchesReferenceEvaluator) {
+  ccp::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    ProgramBuilder b;
+    b.def("reg", Expr::c(rng.uniform(-10, 10)), random_expr(rng, 4));
+    b.cwnd(v("x")).wait_rtts(1.0).report();
+    Program prog = b.build();
+    CompiledProgram compiled = compile(prog);
+
+    PktInfo pkt_info;
+    pkt_info.rtt_us = rng.uniform(0, 1e5);
+    pkt_info.bytes_acked = rng.uniform(0, 1e5);
+    pkt_info.snd_rate_bps = rng.uniform(0, 1e9);
+    pkt_info.rcv_rate_bps = rng.uniform(0, 1e9);
+    pkt_info.now_us = rng.uniform(0, 1e7);
+
+    std::vector<double> vars(compiled.num_vars());
+    for (auto& value : vars) value = rng.uniform(-50, 50);
+
+    // Reference: evaluate init then update by tree walking.
+    std::vector<double> ref_folds(1, 0.0);
+    const PktInfo zero_pkt{};
+    RefEval ref_init{prog, zero_pkt, vars, ref_folds};
+    ref_folds[0] = ref_init.eval(prog.folds[0].init);
+    RefEval ref_update{prog, pkt_info, vars, ref_folds};
+    const double expected = ref_update.eval(prog.folds[0].update);
+
+    FoldMachine fm;
+    fm.install(&compiled, vars);
+    fm.on_packet(pkt_info);
+    const double actual = fm.state()[0];
+
+    if (std::isnan(expected)) {
+      EXPECT_TRUE(std::isnan(actual));
+    } else {
+      EXPECT_DOUBLE_EQ(actual, expected) << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmRandomized,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 77u, 1234u));
+
+}  // namespace
+}  // namespace ccp::lang

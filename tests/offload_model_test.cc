@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "offload/model.hpp"
+
+namespace ccp::offload {
+namespace {
+
+TEST(OffloadModel, AllOffloadsOnSaturatesLink) {
+  OffloadModel m;
+  const auto kernel = m.evaluate({true, true}, CcArch::InDatapath);
+  const auto ccp = m.evaluate({true, true}, CcArch::Ccp);
+  EXPECT_EQ(kernel.bottleneck, "link");
+  EXPECT_EQ(ccp.bottleneck, "link");
+  EXPECT_NEAR(kernel.throughput_bps, 9.41e9, 0.05e9);
+  EXPECT_DOUBLE_EQ(kernel.throughput_bps, ccp.throughput_bps);
+}
+
+TEST(OffloadModel, TsoOffCcpBeatsKernel) {
+  // Figure 5's middle group: sender segmentation in software; CCP's
+  // longer trains aggregate better and cut the ACK rate.
+  OffloadModel m;
+  const auto kernel = m.evaluate({false, true}, CcArch::InDatapath);
+  const auto ccp = m.evaluate({false, true}, CcArch::Ccp);
+  EXPECT_LT(kernel.throughput_bps, 9.41e9);
+  EXPECT_GT(ccp.throughput_bps, kernel.throughput_bps);
+  EXPECT_LT(ccp.throughput_bps / kernel.throughput_bps, 1.25);  // modest edge
+}
+
+TEST(OffloadModel, AllOffComparable) {
+  OffloadModel m;
+  const auto kernel = m.evaluate({false, false}, CcArch::InDatapath);
+  const auto ccp = m.evaluate({false, false}, CcArch::Ccp);
+  EXPECT_LT(kernel.throughput_bps, m.evaluate({false, true},
+                                              CcArch::InDatapath).throughput_bps *
+                                       1.05);
+  EXPECT_NEAR(ccp.throughput_bps / kernel.throughput_bps, 1.0, 0.05);
+}
+
+TEST(OffloadModel, OrderingAcrossConfigs) {
+  // More offloads can only help, for both architectures.
+  OffloadModel m;
+  for (auto arch : {CcArch::InDatapath, CcArch::Ccp}) {
+    const double all_on = m.evaluate({true, true}, arch).throughput_bps;
+    const double tso_off = m.evaluate({false, true}, arch).throughput_bps;
+    const double all_off = m.evaluate({false, false}, arch).throughput_bps;
+    EXPECT_GE(all_on, tso_off);
+    EXPECT_GE(tso_off, all_off);
+  }
+}
+
+TEST(OffloadModel, TrainLengths) {
+  OffloadModel m;
+  // TSO trains are hardware sized, identical for both architectures.
+  EXPECT_DOUBLE_EQ(m.sender_train_packets({true, true}, CcArch::InDatapath),
+                   m.sender_train_packets({true, true}, CcArch::Ccp));
+  // Without TSO, CCP's per-RTT updates emit longer trains.
+  EXPECT_GT(m.sender_train_packets({false, true}, CcArch::Ccp),
+            m.sender_train_packets({false, true}, CcArch::InDatapath));
+}
+
+TEST(OffloadModel, GroAggregationBounded) {
+  OffloadModel m;
+  const auto r = m.evaluate({true, true}, CcArch::Ccp);
+  EXPECT_LE(r.gro_packets_per_event, m.config().gro_max_packets);
+  EXPECT_GE(r.gro_packets_per_event, 1.0);
+}
+
+TEST(OffloadModel, CcpIpcCostIsNegligibleAtHighBandwidth) {
+  // §2.3: per-RTT batching makes the IPC term vanish relative to
+  // per-packet work. Compare CCP against a hypothetical zero-cost CC.
+  CpuModelConfig cfg;
+  cfg.cc_per_ack = 0;
+  cfg.fold_per_ack = 0;
+  cfg.ipc_per_report = 0;
+  cfg.agent_per_report = 0;
+  OffloadModel free_cc(cfg);
+  OffloadModel real;
+  const double free_tput =
+      free_cc.evaluate({false, true}, CcArch::Ccp).throughput_bps;
+  const double ccp_tput = real.evaluate({false, true}, CcArch::Ccp).throughput_bps;
+  EXPECT_GT(ccp_tput / free_tput, 0.95);
+}
+
+TEST(OffloadModel, FasterCpuShiftsBottleneckToLink) {
+  CpuModelConfig cfg;
+  cfg.cycles_per_sec = 100e9;  // absurd CPU
+  OffloadModel m(cfg);
+  for (auto arch : {CcArch::InDatapath, CcArch::Ccp}) {
+    EXPECT_EQ(m.evaluate({false, false}, arch).bottleneck, "link");
+  }
+}
+
+}  // namespace
+}  // namespace ccp::offload

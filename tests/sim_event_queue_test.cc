@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace ccp::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Duration::from_millis(30), [&] { order.push_back(3); });
+  q.schedule(Duration::from_millis(10), [&] { order.push_back(1); });
+  q.schedule(Duration::from_millis(20), [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  const TimePoint t = q.now() + Duration::from_millis(5);
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(t, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue q;
+  TimePoint seen{};
+  q.schedule(Duration::from_millis(7), [&] { seen = q.now(); });
+  q.run();
+  EXPECT_EQ(seen, TimePoint::epoch() + Duration::from_millis(7));
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(Duration::from_millis(5), [&] { ++fired; });
+  q.schedule(Duration::from_millis(15), [&] { ++fired; });
+  const uint64_t executed = q.run_until(TimePoint::epoch() + Duration::from_millis(10));
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), TimePoint::epoch() + Duration::from_millis(10));
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) q.schedule(Duration::from_micros(1), recurse);
+  };
+  q.schedule(Duration::from_micros(1), recurse);
+  q.run();
+  EXPECT_EQ(depth, 100);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule(Duration::from_millis(10), [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(TimePoint::epoch(), [] {}), std::logic_error);
+}
+
+TEST(EventQueue, DeterministicUnderRandomLoad) {
+  auto run_once = [](uint64_t seed) {
+    EventQueue q;
+    Rng rng(seed);
+    std::vector<uint64_t> trace;
+    std::function<void(int)> spawn = [&](int depth) {
+      trace.push_back(q.now().nanos());
+      if (depth > 0) {
+        const int children = 1 + static_cast<int>(rng.next_below(3));
+        for (int i = 0; i < children; ++i) {
+          q.schedule(Duration::from_nanos(static_cast<int64_t>(rng.next_below(1000))),
+                     [&spawn, depth] { spawn(depth - 1); });
+        }
+      }
+    };
+    q.schedule(Duration::zero(), [&] { spawn(6); });
+    q.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(77), run_once(77));
+  EXPECT_NE(run_once(77), run_once(78));
+}
+
+}  // namespace
+}  // namespace ccp::sim

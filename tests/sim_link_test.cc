@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "sim/link.hpp"
+
+namespace ccp::sim {
+namespace {
+
+Packet data_pkt(uint32_t flow, uint64_t seq, uint32_t len, bool ect = false) {
+  Packet p;
+  p.flow = flow;
+  p.seq = seq;
+  p.len = len;
+  p.ect = ect;
+  p.header_bytes = 40;
+  return p;
+}
+
+TEST(Link, DeliversAfterSerializationPlusPropagation) {
+  EventQueue q;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;  // 1 byte per microsecond
+  cfg.prop_delay = Duration::from_millis(1);
+  std::vector<TimePoint> arrivals;
+  Link link(q, cfg, [&](Packet) { arrivals.push_back(q.now()); });
+  link.enqueue(data_pkt(0, 0, 960));  // 1000 wire bytes -> 1 ms tx
+  q.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ((arrivals[0] - TimePoint::epoch()).micros(), 2000);  // 1ms tx + 1ms prop
+}
+
+TEST(Link, BackToBackPacketsSpacedByServiceTime) {
+  EventQueue q;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;
+  cfg.prop_delay = Duration::zero();
+  std::vector<TimePoint> arrivals;
+  Link link(q, cfg, [&](Packet) { arrivals.push_back(q.now()); });
+  for (int i = 0; i < 3; ++i) link.enqueue(data_pkt(0, i * 960, 960));
+  q.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ((arrivals[1] - arrivals[0]).micros(), 1000);
+  EXPECT_EQ((arrivals[2] - arrivals[1]).micros(), 1000);
+}
+
+TEST(Link, PreservesFifoOrder) {
+  EventQueue q;
+  LinkConfig cfg;
+  std::vector<uint64_t> seqs;
+  Link link(q, cfg, [&](Packet p) { seqs.push_back(p.seq); });
+  for (uint64_t i = 0; i < 50; ++i) link.enqueue(data_pkt(0, i, 100));
+  q.run();
+  ASSERT_EQ(seqs.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(seqs.begin(), seqs.end()));
+}
+
+TEST(Link, DropTailWhenFull) {
+  EventQueue q;
+  LinkConfig cfg;
+  cfg.rate_bps = 1e3;  // very slow: everything queues
+  cfg.queue_capacity_bytes = 3000;
+  int delivered = 0;
+  Link link(q, cfg, [&](Packet) { ++delivered; });
+  for (int i = 0; i < 10; ++i) link.enqueue(data_pkt(0, i, 960));  // 1000 wire
+  EXPECT_GT(link.stats().dropped_pkts, 0u);
+  // Capacity admits 3 packets; the first starts transmitting immediately
+  // so a 4th may slip in as the queue drains — but never more than the
+  // byte budget allows at once.
+  EXPECT_LE(link.queue_bytes(), cfg.queue_capacity_bytes);
+}
+
+TEST(Link, EcnMarksAboveThreshold) {
+  EventQueue q;
+  LinkConfig cfg;
+  cfg.rate_bps = 1e3;
+  cfg.queue_capacity_bytes = 100000;
+  cfg.ecn_threshold_bytes = 2000;
+  std::vector<bool> ce;
+  Link link(q, cfg, [&](Packet p) { ce.push_back(p.ce); });
+  for (int i = 0; i < 5; ++i) link.enqueue(data_pkt(0, i, 960, /*ect=*/true));
+  q.run();
+  ASSERT_EQ(ce.size(), 5u);
+  EXPECT_FALSE(ce[0]);  // queue below threshold on arrival
+  EXPECT_TRUE(ce[3]);   // standing queue above threshold
+  EXPECT_TRUE(ce[4]);
+  EXPECT_GT(link.stats().marked_pkts, 0u);
+}
+
+TEST(Link, NonEctPacketsAreNotMarked) {
+  EventQueue q;
+  LinkConfig cfg;
+  cfg.rate_bps = 1e3;
+  cfg.ecn_threshold_bytes = 500;
+  cfg.queue_capacity_bytes = 100000;
+  std::vector<bool> ce;
+  Link link(q, cfg, [&](Packet p) { ce.push_back(p.ce); });
+  for (int i = 0; i < 5; ++i) link.enqueue(data_pkt(0, i, 960, /*ect=*/false));
+  q.run();
+  for (bool marked : ce) EXPECT_FALSE(marked);
+}
+
+TEST(Link, StatsAccounting) {
+  EventQueue q;
+  LinkConfig cfg;
+  Link link(q, cfg, [](Packet) {});
+  link.enqueue(data_pkt(0, 0, 960));
+  link.enqueue(data_pkt(0, 960, 960));
+  q.run();
+  EXPECT_EQ(link.stats().enqueued_pkts, 2u);
+  EXPECT_EQ(link.stats().delivered_pkts, 2u);
+  EXPECT_EQ(link.stats().delivered_bytes, 2000u);
+}
+
+TEST(DelayPipe, PureDelay) {
+  EventQueue q;
+  std::vector<TimePoint> arrivals;
+  DelayPipe pipe(q, Duration::from_millis(5), [&](Packet) { arrivals.push_back(q.now()); });
+  pipe.enqueue(data_pkt(0, 0, 100));
+  pipe.enqueue(data_pkt(0, 100, 100));
+  q.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ((arrivals[0] - TimePoint::epoch()).millis(), 5);
+  EXPECT_EQ((arrivals[1] - TimePoint::epoch()).millis(), 5);  // no serialization
+}
+
+}  // namespace
+}  // namespace ccp::sim

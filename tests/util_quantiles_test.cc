@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/quantiles.hpp"
+#include "util/rng.hpp"
+
+namespace ccp {
+namespace {
+
+TEST(SampleSet, EmptyIsSafe) {
+  SampleSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleSet, ExactQuantiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.99), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, StddevOfConstant) {
+  SampleSet s;
+  for (int i = 0; i < 10; ++i) s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleSet, CdfIsMonotone) {
+  SampleSet s;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) s.add(rng.uniform(0, 100));
+  auto cdf = s.cdf(50);
+  ASSERT_EQ(cdf.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(cdf.begin(), cdf.end()));
+  EXPECT_DOUBLE_EQ(cdf.back(), s.max());
+}
+
+TEST(SampleSet, InterleavedAddAndQuery) {
+  SampleSet s;
+  s.add(3);
+  s.add(1);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  s.add(2);  // must re-sort transparently
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 2.0);
+}
+
+TEST(P2Quantile, RejectsBadQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+TEST(P2Quantile, ExactForSmallSamples) {
+  P2Quantile p(0.5);
+  p.add(5);
+  EXPECT_DOUBLE_EQ(p.value(), 5.0);
+  p.add(1);
+  p.add(9);
+  EXPECT_DOUBLE_EQ(p.value(), 5.0);
+}
+
+class P2Accuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2Accuracy, TracksExactQuantileOnUniform) {
+  const double q = GetParam();
+  P2Quantile p2(q);
+  SampleSet exact;
+  Rng rng(71);
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.uniform(0.0, 1000.0);
+    p2.add(v);
+    exact.add(v);
+  }
+  // P² is an approximation; 2% of the range is a comfortable bound on
+  // uniform data.
+  EXPECT_NEAR(p2.value(), exact.quantile(q), 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2Accuracy,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.99));
+
+class P2Distributions : public ::testing::TestWithParam<int> {};
+
+TEST_P(P2Distributions, MedianOnExponential) {
+  Rng rng(100 + GetParam());
+  P2Quantile p2(0.5);
+  SampleSet exact;
+  for (int i = 0; i < 30000; ++i) {
+    const double v = rng.exponential(10.0);
+    p2.add(v);
+    exact.add(v);
+  }
+  EXPECT_NEAR(p2.value(), exact.quantile(0.5), exact.quantile(0.5) * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, P2Distributions, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace ccp

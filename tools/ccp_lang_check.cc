@@ -1,0 +1,99 @@
+// ccp_lang_check — compiler front-end for the datapath program language.
+//
+// Usage:
+//   ccp_lang_check <program.ccp>       check + pretty-print + disassemble
+//   ccp_lang_check -                   read the program from stdin
+//   ccp_lang_check --print <file>      canonical pretty-print only
+//   ccp_lang_check --disasm <file>     bytecode listing only
+//
+// Exit status: 0 if the program compiles cleanly, 1 on any error —
+// suitable for CI checks of algorithm program strings.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "lang/compiler.hpp"
+#include "lang/disasm.hpp"
+#include "lang/error.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "lang/sema.hpp"
+
+namespace {
+
+std::string read_all(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "ccp_lang_check: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool print_only = false;
+  bool disasm_only = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--print") == 0) print_only = true;
+    else if (std::strcmp(argv[i], "--disasm") == 0) disasm_only = true;
+    else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: ccp_lang_check [--print|--disasm] <program.ccp | ->\n");
+      return 0;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: ccp_lang_check [--print|--disasm] <program.ccp | ->\n");
+    return 1;
+  }
+
+  const std::string src = read_all(path);
+  try {
+    ccp::lang::Program prog = ccp::lang::parse_program(src);
+
+    int warnings = 0;
+    for (const auto& issue : ccp::lang::analyze(prog)) {
+      const bool is_error = issue.severity == ccp::lang::SemaIssue::Severity::Error;
+      std::fprintf(stderr, "%s: %s\n", is_error ? "error" : "warning",
+                   issue.message.c_str());
+      if (!is_error) ++warnings;
+    }
+
+    auto compiled = ccp::lang::compile(prog);  // throws on sema errors
+
+    if (print_only) {
+      std::printf("%s", ccp::lang::print_program(prog).c_str());
+      return 0;
+    }
+    if (disasm_only) {
+      std::printf("%s", ccp::lang::disassemble(compiled).c_str());
+      return 0;
+    }
+    std::printf("OK: %zu fold register(s), %zu control step(s), %zu variable(s), "
+                "%zu fold instr(s)%s\n",
+                compiled.num_folds(), compiled.control_ops.size(),
+                compiled.num_vars(), compiled.fold_block.code.size(),
+                warnings > 0 ? " (with warnings)" : "");
+    std::printf("\n-- canonical form --\n%s",
+                ccp::lang::print_program(prog).c_str());
+    std::printf("\n-- bytecode --\n%s", ccp::lang::disassemble(compiled).c_str());
+    return 0;
+  } catch (const ccp::lang::ProgramError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,265 @@
+// ccp_sim — command-line experiment driver.
+//
+// Runs N flows over a single bottleneck with per-flow congestion control
+// (any registered CCP algorithm, or native:<reno|cubic|vegas|dctcp>
+// baselines), and emits either a human summary or CSV time series for
+// plotting.
+//
+// Examples:
+//   ccp_sim --rate 1Gbps --rtt 10ms --buffer 1.0 --time 30
+//           --flow cubic --flow native:cubic
+//   ccp_sim --rate 50Mbps --rtt 20ms --flow bbr --flow reno@5 --csv cwnd
+//   ccp_sim --list
+//
+// Flow syntax: <alg>[@start_secs]. CSV series: cwnd | tput | queue.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/native/native_cubic.hpp"
+#include "algorithms/native/native_dctcp.hpp"
+#include "algorithms/native/native_reno.hpp"
+#include "algorithms/native/native_vegas.hpp"
+#include "algorithms/registry.hpp"
+#include "sim/ccp_host.hpp"
+#include "sim/dumbbell.hpp"
+#include "sim/trace.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace ccp;
+using namespace ccp::sim;
+
+struct FlowSpec {
+  std::string alg;
+  double start_secs = 0;
+  bool native = false;
+};
+
+struct Options {
+  double rate_bps = 100e6;
+  Duration rtt = Duration::from_millis(10);
+  double buffer_bdp = 1.0;
+  double ecn_threshold_bdp = -1;  // <0: ECN off
+  double secs = 20;
+  Duration ipc_delay = Duration::from_micros(15);
+  std::vector<FlowSpec> flows;
+  std::string csv;  // empty = human summary
+  uint64_t seed = 42;
+};
+
+[[noreturn]] void usage(int code) {
+  std::printf(R"(usage: ccp_sim [options] --flow <alg>[@start] [--flow ...]
+
+options:
+  --rate <bw>         bottleneck rate, e.g. 100Mbps, 1Gbps   [100Mbps]
+  --rtt <dur>         base round-trip time, e.g. 10ms        [10ms]
+  --buffer <bdp>      queue size in BDP units                [1.0]
+  --ecn <bdp>         ECN marking threshold in BDP (enables ECN)
+  --time <secs>       simulated seconds                      [20]
+  --ipc <dur>         simulated agent IPC delay              [15us]
+  --seed <n>          RNG seed                               [42]
+  --flow <spec>       algorithm name (repeatable); prefix "native:" for
+                      in-datapath baselines; optional @start_secs
+  --csv <series>      emit CSV instead of a summary: cwnd | tput | queue
+  --list              list available algorithms and exit
+)");
+  std::exit(code);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(1);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    try {
+      if (std::strcmp(arg, "--rate") == 0) {
+        opt.rate_bps = parse_bandwidth_bps(need_value(i));
+      } else if (std::strcmp(arg, "--rtt") == 0) {
+        opt.rtt = parse_duration(need_value(i));
+      } else if (std::strcmp(arg, "--buffer") == 0) {
+        opt.buffer_bdp = std::stod(need_value(i));
+      } else if (std::strcmp(arg, "--ecn") == 0) {
+        opt.ecn_threshold_bdp = std::stod(need_value(i));
+      } else if (std::strcmp(arg, "--time") == 0) {
+        opt.secs = std::stod(need_value(i));
+      } else if (std::strcmp(arg, "--ipc") == 0) {
+        opt.ipc_delay = parse_duration(need_value(i));
+      } else if (std::strcmp(arg, "--seed") == 0) {
+        opt.seed = std::stoull(need_value(i));
+      } else if (std::strcmp(arg, "--csv") == 0) {
+        opt.csv = need_value(i);
+      } else if (std::strcmp(arg, "--flow") == 0) {
+        std::string spec = need_value(i);
+        FlowSpec flow;
+        if (const auto at = spec.find('@'); at != std::string::npos) {
+          flow.start_secs = std::stod(spec.substr(at + 1));
+          spec = spec.substr(0, at);
+        }
+        if (spec.rfind("native:", 0) == 0) {
+          flow.native = true;
+          spec = spec.substr(7);
+        }
+        flow.alg = spec;
+        opt.flows.push_back(flow);
+      } else if (std::strcmp(arg, "--list") == 0) {
+        std::printf("CCP algorithms:");
+        for (const auto& name : algorithms::builtin_algorithm_names()) {
+          std::printf(" %s", name.c_str());
+        }
+        std::printf("\nnative baselines: native:reno native:cubic native:vegas "
+                    "native:dctcp\n");
+        std::exit(0);
+      } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+        usage(0);
+      } else {
+        std::fprintf(stderr, "unknown option: %s\n", arg);
+        usage(1);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad value for %s: %s\n", arg, e.what());
+      std::exit(1);
+    }
+  }
+  if (opt.flows.empty()) usage(1);
+  return opt;
+}
+
+std::unique_ptr<datapath::CcModule> make_native(const std::string& name,
+                                                uint32_t mss, uint64_t init_cwnd) {
+  if (name == "reno") {
+    return std::make_unique<algorithms::native::NativeReno>(mss, init_cwnd);
+  }
+  if (name == "cubic") {
+    return std::make_unique<algorithms::native::NativeCubic>(mss, init_cwnd);
+  }
+  if (name == "vegas") {
+    return std::make_unique<algorithms::native::NativeVegas>(mss, init_cwnd);
+  }
+  if (name == "dctcp") {
+    return std::make_unique<algorithms::native::NativeDctcp>(mss, init_cwnd);
+  }
+  std::fprintf(stderr, "unknown native baseline: %s\n", name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+
+  EventQueue events;
+  const double bdp_bytes = opt.rate_bps / 8.0 * opt.rtt.secs();
+  auto net_cfg = DumbbellConfig::make(
+      opt.rate_bps, opt.rtt, opt.buffer_bdp,
+      opt.ecn_threshold_bdp >= 0
+          ? static_cast<uint64_t>(bdp_bytes * opt.ecn_threshold_bdp)
+          : UINT64_MAX);
+  Dumbbell net(events, net_cfg);
+
+  CcpHostConfig host_cfg;
+  host_cfg.ipc_delay = opt.ipc_delay;
+  host_cfg.seed = opt.seed;
+  SimCcpHost host(events, host_cfg);
+
+  const TimePoint end = TimePoint::epoch() + Duration::from_secs_f(opt.secs);
+  host.start(end);
+
+  std::vector<std::unique_ptr<datapath::CcModule>> natives;
+  std::vector<datapath::CcModule*> ccs;
+  std::vector<TcpSender*> senders;
+  for (const auto& spec : opt.flows) {
+    datapath::CcModule* cc;
+    if (spec.native) {
+      natives.push_back(make_native(spec.alg, 1460, 10 * 1460));
+      cc = natives.back().get();
+    } else {
+      cc = &host.create_flow(datapath::FlowConfig{1460, 10 * 1460}, spec.alg);
+    }
+    ccs.push_back(cc);
+    TcpSenderConfig scfg;
+    scfg.record_rtt_samples = true;
+    scfg.ecn_enabled = opt.ecn_threshold_bdp >= 0;
+    senders.push_back(&net.add_flow(
+        scfg, cc, TimePoint::epoch() + Duration::from_secs_f(spec.start_secs)));
+  }
+
+  Tracer tracer(events);
+  if (!opt.csv.empty()) {
+    for (size_t i = 0; i < ccs.size(); ++i) {
+      if (opt.csv == "cwnd") {
+        tracer.sample_every("f" + std::to_string(i), Duration::from_millis(50), end,
+                            [cc = ccs[i]] { return cc->cwnd_bytes() / 1460.0; });
+      } else if (opt.csv == "tput") {
+        tracer.sample_every(
+            "f" + std::to_string(i), Duration::from_millis(250), end,
+            [snd = senders[i], last = uint64_t{0}]() mutable {
+              const uint64_t now_bytes = snd->delivered_bytes();
+              const double mbps = (now_bytes - last) * 8.0 / 0.25 / 1e6;
+              last = now_bytes;
+              return mbps;
+            });
+      } else if (opt.csv == "queue") {
+        tracer.sample_every("queue", Duration::from_millis(50), end,
+                            [&net] { return net.bottleneck().queue_bytes() / 1500.0; });
+      } else {
+        std::fprintf(stderr, "unknown csv series: %s\n", opt.csv.c_str());
+        return 1;
+      }
+    }
+  }
+
+  events.run_until(end);
+
+  if (!opt.csv.empty()) {
+    // Column per series, aligned on sample index.
+    const auto& all = tracer.all();
+    std::printf("t_secs");
+    for (const auto& [name, series] : all) std::printf(",%s", name.c_str());
+    std::printf("\n");
+    size_t longest = 0;
+    for (const auto& [name, series] : all) longest = std::max(longest, series.size());
+    for (size_t row = 0; row < longest; ++row) {
+      bool first = true;
+      for (const auto& [name, series] : all) {
+        if (first) {
+          std::printf("%.3f", row < series.size() ? series[row].t_secs : 0.0);
+          first = false;
+        }
+        if (row < series.size()) std::printf(",%.3f", series[row].value);
+        else std::printf(",");
+      }
+      std::printf("\n");
+    }
+    return 0;
+  }
+
+  std::printf("%-4s %-14s %-8s %12s %12s %10s %9s %8s\n", "id", "algorithm",
+              "start", "goodput", "medianRTT", "p95RTT", "rexmits", "timeouts");
+  for (size_t i = 0; i < senders.size(); ++i) {
+    const auto& spec = opt.flows[i];
+    const double active = opt.secs - spec.start_secs;
+    std::printf("%-4zu %-14s %6.1fs %12s %10.2fms %8.2fms %9llu %8llu\n", i,
+                (spec.native ? "native:" + spec.alg : spec.alg).c_str(),
+                spec.start_secs,
+                format_bandwidth(senders[i]->delivered_bytes() * 8.0 / active).c_str(),
+                senders[i]->rtt_samples().quantile(0.5) / 1000.0,
+                senders[i]->rtt_samples().quantile(0.95) / 1000.0,
+                static_cast<unsigned long long>(senders[i]->stats().retransmits),
+                static_cast<unsigned long long>(senders[i]->stats().timeouts));
+  }
+  const auto& link = net.bottleneck().stats();
+  std::printf("\nbottleneck: %llu pkts delivered, %llu dropped, %llu ECN-marked, "
+              "max queue %.1f pkts\n",
+              static_cast<unsigned long long>(link.delivered_pkts),
+              static_cast<unsigned long long>(link.dropped_pkts),
+              static_cast<unsigned long long>(link.marked_pkts),
+              link.max_queue_bytes / 1500.0);
+  return 0;
+}
