@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 #include "ipc/wire.hpp"
 #include "lang/compiler.hpp"
 #include "lang/vm.hpp"
@@ -96,5 +97,10 @@ int main() {
   std::printf("=> per-RTT reporting at 10 us RTTs (1e5/s) costs ~%.2f%% of a "
               "core.\n",
               1e5 / report_rate * 100.0);
+
+  bench::update_json_section(
+      bench::bench_json_path(), "batching_rates",
+      {{"fold_acks_per_sec", bench::json_num(fold_rate)},
+       {"report_roundtrips_per_sec", bench::json_num(report_rate)}});
   return 0;
 }

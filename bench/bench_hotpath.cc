@@ -1,0 +1,160 @@
+// End-to-end hot-path throughput: ACK -> per-flow demux -> fold/counters
+// -> batched report -> IPC frame -> agent -> control command -> datapath.
+//
+// This is the steady-state loop the paper's §2.3 scalability argument
+// rests on: the datapath must fold millions of ACKs per second locally
+// while the agent only sees batched reports. The bench drives both
+// datapath implementations against a real CcpAgent over the inproc
+// transport, with a per-packet flow-table lookup on every ACK (the demux
+// a real stack performs), and reports end-to-end ACKs/sec.
+//
+// Results land in BENCH_hotpath.json at the repo root. Run once with
+// --baseline before a hot-path change to record the "before" numbers,
+// then plain afterwards; the JSON keeps both for regression tracking.
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "algorithms/registry.hpp"
+#include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
+#include "datapath/datapath.hpp"
+#include "datapath/prototype_datapath.hpp"
+#include "ipc/transport.hpp"
+#include "util/time.hpp"
+
+namespace {
+
+using namespace ccp;
+
+constexpr size_t kFlows = 64;
+constexpr uint64_t kAcks = 4'000'000;
+
+/// Delivers every frame currently queued on `t` to `fn` in one batched
+/// drain (single synchronization round-trip per pump).
+void pump(ipc::Transport& t, const ipc::FrameSink& fn) { t.drain_frames(fn); }
+
+struct RunResult {
+  double acks_per_sec = 0;
+  uint64_t frames_to_agent = 0;
+};
+
+/// Round-robins ACKs across `n_flows` flows on a virtual clock (1 us per
+/// ACK, 10 ms RTT => ~156 ACKs folded per report per flow), pumping both
+/// IPC directions as a single-threaded event loop would.
+template <typename Datapath>
+RunResult drive(Datapath& dp, ipc::Transport& dp_end, agent::CcpAgent& agent,
+                ipc::Transport& agent_end, size_t n_flows, uint64_t total_acks,
+                uint64_t* frames_to_agent) {
+  datapath::FlowConfig fcfg;
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  std::vector<ipc::FlowId> ids;
+  for (size_t i = 0; i < n_flows; ++i) {
+    ids.push_back(dp.create_flow(fcfg, "reno", now).id());
+  }
+  const ipc::FrameSink agent_rx = [&](std::span<const uint8_t> f) {
+    agent.handle_frame(f);
+  };
+  const ipc::FrameSink dp_rx = [&](std::span<const uint8_t> f) {
+    dp.handle_frame(f, now);
+  };
+  pump(agent_end, agent_rx);
+  pump(dp_end, dp_rx);
+
+  const Duration kAckGap = Duration::from_micros(1);
+  const Duration kRtt = Duration::from_millis(10);
+  datapath::AckEvent ev;
+  ev.bytes_acked = 1500;
+  ev.packets_acked = 1;
+  ev.bytes_in_flight = 64 * 1500;
+  ev.packets_in_flight = 64;
+
+  auto run = [&](uint64_t acks) {
+    for (uint64_t i = 0; i < acks; ++i) {
+      now += kAckGap;
+      auto* fl = dp.flow(ids[i % n_flows]);  // per-packet demux
+      ev.now = now;
+      ev.rtt_sample = kRtt + Duration::from_nanos(static_cast<int64_t>(i % 1024) * 1000);
+      fl->on_send(datapath::SendEvent{now, 1500});
+      fl->on_ack(ev);
+      if ((i & 255) == 255) {
+        dp.tick(now);
+        pump(agent_end, agent_rx);
+        pump(dp_end, dp_rx);
+      }
+    }
+  };
+
+  run(total_acks / 10);  // warm-up: programs installed, capacities settled
+  const TimePoint t0 = monotonic_now();
+  run(total_acks);
+  const TimePoint t1 = monotonic_now();
+
+  RunResult r;
+  r.acks_per_sec = static_cast<double>(total_acks) / (t1 - t0).secs();
+  if (frames_to_agent != nullptr) r.frames_to_agent = *frames_to_agent;
+  return r;
+}
+
+RunResult run_full() {
+  auto pair = ipc::make_inproc_pair();
+  uint64_t frames = 0;
+  datapath::DatapathConfig dcfg;
+  dcfg.flush_interval = Duration::from_millis(1);
+  dcfg.max_batch_msgs = 32;
+  datapath::CcpDatapath dp(dcfg, [&](std::span<const uint8_t> f) {
+    ++frames;
+    pair.a->send_frame(f);
+  });
+  agent::AgentConfig acfg;
+  agent::CcpAgent agent(acfg, [&](std::span<const uint8_t> f) { pair.b->send_frame(f); });
+  algorithms::register_builtin_algorithms(agent);
+  return drive(dp, *pair.a, agent, *pair.b, kFlows, kAcks, &frames);
+}
+
+RunResult run_proto() {
+  auto pair = ipc::make_inproc_pair();
+  uint64_t frames = 0;
+  datapath::DatapathConfig dcfg;
+  datapath::PrototypeDatapath dp(dcfg, [&](std::span<const uint8_t> f) {
+    ++frames;
+    pair.a->send_frame(f);
+  });
+  agent::AgentConfig acfg;
+  agent::CcpAgent agent(acfg, [&](std::span<const uint8_t> f) { pair.b->send_frame(f); });
+  algorithms::register_builtin_algorithms(agent);
+  return drive(dp, *pair.a, agent, *pair.b, kFlows, kAcks, &frames);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool baseline = argc > 1 && std::string_view(argv[1]) == "--baseline";
+  bench::banner("hot path (end-to-end)",
+                "ACK -> demux -> fold -> batched report -> agent -> control");
+
+  bench::section("full datapath (CcpDatapath, installed programs)");
+  const RunResult full = run_full();
+  std::printf("%zu flows, %llu ACKs: %.2f M ACKs/sec (%llu frames to agent)\n",
+              kFlows, static_cast<unsigned long long>(kAcks),
+              full.acks_per_sec / 1e6,
+              static_cast<unsigned long long>(full.frames_to_agent));
+
+  bench::section("prototype datapath (fixed measurements, DirectControl)");
+  const RunResult proto = run_proto();
+  std::printf("%zu flows, %llu ACKs: %.2f M ACKs/sec (%llu frames to agent)\n",
+              kFlows, static_cast<unsigned long long>(kAcks),
+              proto.acks_per_sec / 1e6,
+              static_cast<unsigned long long>(proto.frames_to_agent));
+
+  const char* full_key = baseline ? "before_full_acks_per_sec" : "full_acks_per_sec";
+  const char* proto_key = baseline ? "before_proto_acks_per_sec" : "proto_acks_per_sec";
+  bench::update_json_section(
+      bench::bench_json_path(), "hotpath",
+      {{full_key, bench::json_num(full.acks_per_sec)},
+       {proto_key, bench::json_num(proto.acks_per_sec)},
+       {"n_flows", bench::json_num(static_cast<double>(kFlows))},
+       {"acks", bench::json_num(static_cast<double>(kAcks))}});
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Machine-readable bench output: BENCH_hotpath.json at the repo root.
+//
+// The file is one JSON object with one section per bench:
+//
+//   {
+//     "hotpath": { "full_acks_per_sec": 1.23e7, ... },
+//     "batching_rates": { ... }
+//   }
+//
+// Each bench rewrites only its own keys and preserves everything else,
+// so successive runs (and different benches) accumulate into one file
+// that future PRs can diff for regressions. The parser below only needs
+// to understand the canonical format this writer produces.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ccp::bench {
+
+#ifndef CCP_REPO_ROOT
+#define CCP_REPO_ROOT "."
+#endif
+
+inline std::string bench_json_path() {
+  return std::string(CCP_REPO_ROOT) + "/BENCH_hotpath.json";
+}
+
+namespace detail {
+
+using Section = std::vector<std::pair<std::string, std::string>>;
+using Sections = std::vector<std::pair<std::string, Section>>;
+
+inline std::string trim(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t\r\n,");
+  return s.substr(b, e - b + 1);
+}
+
+/// Parses the canonical two-level format written by write_sections().
+inline Sections parse_sections(std::istream& in) {
+  Sections out;
+  std::string line;
+  Section* current = nullptr;
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty() || t == "{" || t == "}") continue;
+    if (t == "},") { current = nullptr; continue; }
+    const size_t q1 = t.find('"');
+    const size_t q2 = t.find('"', q1 + 1);
+    if (q1 == std::string::npos || q2 == std::string::npos) continue;
+    const std::string key = t.substr(q1 + 1, q2 - q1 - 1);
+    const size_t colon = t.find(':', q2);
+    if (colon == std::string::npos) continue;
+    const std::string value = trim(t.substr(colon + 1));
+    if (value == "{") {
+      out.emplace_back(key, Section{});
+      current = &out.back().second;
+    } else if (current != nullptr) {
+      current->emplace_back(key, value);
+    }
+  }
+  return out;
+}
+
+inline void write_sections(std::ostream& os, const Sections& sections) {
+  os << "{\n";
+  for (size_t i = 0; i < sections.size(); ++i) {
+    os << "  \"" << sections[i].first << "\": {\n";
+    const Section& sec = sections[i].second;
+    for (size_t j = 0; j < sec.size(); ++j) {
+      os << "    \"" << sec[j].first << "\": " << sec[j].second
+         << (j + 1 < sec.size() ? "," : "") << "\n";
+    }
+    os << "  }" << (i + 1 < sections.size() ? "," : "") << "\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace detail
+
+/// Formats a double as a JSON number.
+inline std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Upserts `kv` into `section` of the bench JSON file, preserving every
+/// other section and any keys in this section not being rewritten.
+inline void update_json_section(
+    const std::string& path, const std::string& section,
+    const std::vector<std::pair<std::string, std::string>>& kv) {
+  detail::Sections sections;
+  {
+    std::ifstream in(path);
+    if (in.good()) sections = detail::parse_sections(in);
+  }
+  detail::Section* target = nullptr;
+  for (auto& [name, sec] : sections) {
+    if (name == section) { target = &sec; break; }
+  }
+  if (target == nullptr) {
+    sections.emplace_back(section, detail::Section{});
+    target = &sections.back().second;
+  }
+  for (const auto& [k, v] : kv) {
+    bool found = false;
+    for (auto& [ek, ev] : *target) {
+      if (ek == k) { ev = v; found = true; break; }
+    }
+    if (!found) target->emplace_back(k, v);
+  }
+  std::ofstream os(path, std::ios::trunc);
+  detail::write_sections(os, sections);
+  std::printf("[bench json] updated %s section '%s'\n", path.c_str(),
+              section.c_str());
+}
+
+}  // namespace ccp::bench

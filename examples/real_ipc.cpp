@@ -22,7 +22,7 @@ int main() {
   // --- agent side (its own thread, as in a real deployment) ---
   agent::AgentConfig agent_cfg;
   agent_cfg.default_algorithm = "reno";
-  agent::CcpAgent the_agent(agent_cfg, [&](std::vector<uint8_t> frame) {
+  agent::CcpAgent the_agent(agent_cfg, [&](std::span<const uint8_t> frame) {
     channel.b->send_frame(frame);
   });
   algorithms::register_builtin_algorithms(the_agent);
@@ -33,7 +33,7 @@ int main() {
   // --- datapath side (this thread) ---
   datapath::DatapathConfig dp_cfg;
   dp_cfg.flush_interval = Duration::from_micros(500);  // batch across flows
-  datapath::CcpDatapath dp(dp_cfg, [&](std::vector<uint8_t> frame) {
+  datapath::CcpDatapath dp(dp_cfg, [&](std::span<const uint8_t> frame) {
     channel.a->send_frame(frame);
   });
 

@@ -133,7 +133,7 @@ class CcpAgent::FlowEntry final : public FlowControl {
       if (!found) msg.var_values[i] = last_var_values_[i];
     }
     last_var_values_ = msg.var_values;
-    agent_->send(std::move(msg));
+    agent_->send(ipc::Message(std::move(msg)));
   }
 
   void set_cwnd(double bytes) override {
@@ -229,7 +229,7 @@ class CcpAgent::FlowEntry final : public FlowControl {
     }
 
     ++agent_->stats_.installs_sent;
-    agent_->send(std::move(msg));
+    agent_->send(ipc::Message(std::move(msg)));
   }
 
   CcpAgent* agent_;
@@ -252,22 +252,32 @@ void CcpAgent::register_algorithm(const std::string& name, AlgorithmFactory fact
 }
 
 Algorithm* CcpAgent::algorithm(ipc::FlowId id) {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? nullptr : &it->second->alg();
+  auto* slot = flows_.find(id);
+  return slot == nullptr ? nullptr : &(*slot)->alg();
 }
 
-void CcpAgent::send(ipc::Message msg) { tx_(ipc::encode_frame(msg)); }
+void CcpAgent::send(const ipc::Message& msg) {
+  send_enc_.clear();
+  ipc::encode_frame_into(send_enc_, msg);
+  tx_(send_enc_.buffer());
+}
 
 void CcpAgent::handle_frame(std::span<const uint8_t> frame) {
-  std::vector<ipc::Message> msgs;
+  const bool use_scratch = !rx_busy_;
+  std::vector<ipc::Message> local;
+  std::vector<ipc::Message>& msgs = use_scratch ? rx_scratch_ : local;
+  if (use_scratch) rx_busy_ = true;
+  size_t n_msgs = 0;
   try {
-    msgs = ipc::decode_frame(frame);
+    n_msgs = ipc::decode_frame_into(frame, msgs);
   } catch (const ipc::WireError& e) {
+    if (use_scratch) rx_busy_ = false;
     ++stats_.decode_errors;
     CCP_WARN("agent: dropping malformed frame: %s", e.what());
     return;
   }
-  for (const auto& msg : msgs) {
+  for (size_t i = 0; i < n_msgs; ++i) {
+    const auto& msg = msgs[i];
     std::visit(
         [this](const auto& m) {
           using T = std::decay_t<decltype(m)>;
@@ -281,6 +291,7 @@ void CcpAgent::handle_frame(std::span<const uint8_t> frame) {
         },
         msg);
   }
+  if (use_scratch) rx_busy_ = false;
 }
 
 void CcpAgent::on_create(const ipc::CreateMsg& msg) {
@@ -302,7 +313,7 @@ void CcpAgent::on_create(const ipc::CreateMsg& msg) {
   auto entry = std::make_unique<FlowEntry>(this, info, factory_it->second(info),
                                            msg.supports_programs);
   FlowEntry& ref = *entry;
-  flows_[msg.flow_id] = std::move(entry);
+  flows_.insert_or_assign(msg.flow_id, std::move(entry));
   ++stats_.flows_created;
   try {
     ref.alg().init(ref);
@@ -313,30 +324,31 @@ void CcpAgent::on_create(const ipc::CreateMsg& msg) {
 }
 
 void CcpAgent::on_measurement(const ipc::MeasurementMsg& msg) {
-  auto it = flows_.find(msg.flow_id);
-  if (it == flows_.end()) {
+  auto* slot = flows_.find(msg.flow_id);
+  if (slot == nullptr) {
     ++stats_.unknown_flow_msgs;
     return;
   }
   ++stats_.measurements;
-  FlowEntry& entry = *it->second;
+  FlowEntry& entry = **slot;
   Measurement m(&entry.field_names(), &msg);
   entry.alg().on_measurement(entry, m);
 }
 
 void CcpAgent::on_urgent(const ipc::UrgentMsg& msg) {
-  auto it = flows_.find(msg.flow_id);
-  if (it == flows_.end()) {
+  auto* slot = flows_.find(msg.flow_id);
+  if (slot == nullptr) {
     ++stats_.unknown_flow_msgs;
     return;
   }
   ++stats_.urgents;
-  FlowEntry& entry = *it->second;
-  // Urgent snapshots share the fold layout with measurements.
-  ipc::MeasurementMsg as_measurement;
-  as_measurement.flow_id = msg.flow_id;
-  as_measurement.fields = msg.fields;
-  Measurement m(&entry.field_names(), &as_measurement);
+  FlowEntry& entry = **slot;
+  // Urgent snapshots share the fold layout with measurements. The view
+  // struct is a reused member: fields are copied (capacity reused), not
+  // reallocated, per urgent.
+  urgent_view_.flow_id = msg.flow_id;
+  urgent_view_.fields.assign(msg.fields.begin(), msg.fields.end());
+  Measurement m(&entry.field_names(), &urgent_view_);
   entry.alg().on_urgent(entry, msg.kind, m);
 }
 

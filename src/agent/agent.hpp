@@ -13,6 +13,7 @@
 
 #include "agent/algorithm.hpp"
 #include "ipc/wire.hpp"
+#include "util/flat_map.hpp"
 
 namespace ccp::agent {
 
@@ -43,7 +44,8 @@ struct AgentStats {
 
 class CcpAgent {
  public:
-  using FrameTx = std::function<void(std::vector<uint8_t>)>;
+  /// Outgoing-frame callback; bytes are borrowed (copy to keep).
+  using FrameTx = std::function<void(std::span<const uint8_t>)>;
 
   CcpAgent(AgentConfig config, FrameTx tx);
   ~CcpAgent();
@@ -68,13 +70,20 @@ class CcpAgent {
   void on_measurement(const ipc::MeasurementMsg& msg);
   void on_urgent(const ipc::UrgentMsg& msg);
   void on_close(const ipc::FlowCloseMsg& msg);
-  void send(ipc::Message msg);
+  void send(const ipc::Message& msg);
 
   AgentConfig config_;
   FrameTx tx_;
-  std::map<std::string, AlgorithmFactory> registry_;
-  std::map<ipc::FlowId, std::unique_ptr<FlowEntry>> flows_;
+  std::map<std::string, AlgorithmFactory> registry_;  // cold: lookups at Create only
+  util::FlatMap<ipc::FlowId, std::unique_ptr<FlowEntry>> flows_;
   AgentStats stats_;
+
+  // Hot-path scratch, reused across frames (see CcpDatapath for the
+  // reentrancy discipline around rx_busy_).
+  ipc::Encoder send_enc_;
+  std::vector<ipc::Message> rx_scratch_;
+  bool rx_busy_ = false;
+  ipc::MeasurementMsg urgent_view_;  // urgent fields presented as a measurement
 
   friend class FlowEntry;
 };

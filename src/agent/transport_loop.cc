@@ -23,6 +23,9 @@ void TransportLoop::run() {
     auto frame = transport_.recv_frame(poll_interval);
     if (frame.has_value()) {
       handler_(*frame);
+      // A burst usually arrives together (one flush covers many flows);
+      // drain the backlog in one batch before sleeping again.
+      transport_.drain_frames(handler_);
       continue;
     }
     if (transport_.closed()) break;

@@ -11,17 +11,17 @@ CcpDatapath::CcpDatapath(DatapathConfig config, FrameTx tx)
 CcpFlow& CcpDatapath::create_flow(const FlowConfig& cfg, const std::string& alg_hint,
                                   TimePoint now) {
   const ipc::FlowId id = next_flow_id_++;
-  auto sink = [this, id](ipc::Message msg, bool urgent) {
+  auto sink = [this](const ipc::Message& msg, bool urgent) {
     // `oldest_pending_` needs a timestamp; flows stamp messages via the
     // enqueue path below with the time of their triggering event. We use
     // the flow's last event time implicitly: enqueue() receives it from
     // tick()/on_ack() callers through the flow; here we approximate with
     // the batcher's own clock, which tick() keeps fresh.
-    enqueue(std::move(msg), urgent, last_event_time_);
+    enqueue(msg, urgent, last_event_time_);
   };
   auto flow = std::make_unique<CcpFlow>(id, cfg, std::move(sink));
   CcpFlow& ref = *flow;
-  flows_.emplace(id, std::move(flow));
+  flows_.insert_or_assign(id, std::move(flow));
 
   ipc::CreateMsg create;
   create.flow_id = id;
@@ -38,22 +38,25 @@ void CcpDatapath::close_flow(ipc::FlowId id, TimePoint now) {
   }
 }
 
-CcpFlow* CcpDatapath::flow(ipc::FlowId id) {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? nullptr : it->second.get();
-}
-
 void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
   ++stats_.frames_received;
-  std::vector<ipc::Message> msgs;
+  // Decode into the member scratch (reusing message capacities) unless a
+  // nested handle_frame is already using it.
+  const bool use_scratch = !rx_busy_;
+  std::vector<ipc::Message> local;
+  std::vector<ipc::Message>& msgs = use_scratch ? rx_scratch_ : local;
+  if (use_scratch) rx_busy_ = true;
+  size_t n_msgs = 0;
   try {
-    msgs = ipc::decode_frame(frame);
+    n_msgs = ipc::decode_frame_into(frame, msgs);
   } catch (const ipc::WireError& e) {
+    if (use_scratch) rx_busy_ = false;
     ++stats_.decode_errors;
     CCP_WARN("datapath: dropping malformed frame: %s", e.what());
     return;
   }
-  for (const auto& msg : msgs) {
+  for (size_t i = 0; i < n_msgs; ++i) {
+    const auto& msg = msgs[i];
     ++stats_.msgs_received;
     std::visit(
         [&](const auto& m) {
@@ -87,33 +90,47 @@ void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
         },
         msg);
   }
+  if (use_scratch) rx_busy_ = false;
 }
 
 void CcpDatapath::tick(TimePoint now) {
   last_event_time_ = now;
   for (auto& [id, flow] : flows_) flow->tick(now);
-  if (!pending_.empty() && now - oldest_pending_ >= config_.flush_interval) {
+  if (pending_msgs_ > 0 && now - oldest_pending_ >= config_.flush_interval) {
     flush();
   }
 }
 
-void CcpDatapath::enqueue(ipc::Message msg, bool urgent, TimePoint now) {
-  if (pending_.empty()) oldest_pending_ = now;
-  pending_.push_back(std::move(msg));
+void CcpDatapath::enqueue(const ipc::Message& msg, bool urgent, TimePoint now) {
+  if (pending_msgs_ == 0) {
+    oldest_pending_ = now;
+    batch_enc_.clear();
+    batch_enc_.u16(0);  // frame msg count, patched at flush
+  }
+  ipc::encode_message(batch_enc_, msg);
+  ++pending_msgs_;
   if (urgent || config_.flush_interval.is_zero() ||
-      pending_.size() >= config_.max_batch_msgs) {
+      pending_msgs_ >= config_.max_batch_msgs ||
+      pending_msgs_ == 0xffff /* u16 frame-count ceiling */) {
     flush();
   }
 }
 
 void CcpDatapath::flush() {
-  if (pending_.empty()) return;
-  auto frame = ipc::encode_frame(pending_);
-  stats_.msgs_sent += pending_.size();
-  stats_.bytes_sent += frame.size();
+  if (pending_msgs_ == 0) return;
+  batch_enc_.patch_u16(0, static_cast<uint16_t>(pending_msgs_));
+  stats_.msgs_sent += pending_msgs_;
+  stats_.bytes_sent += batch_enc_.size();
   ++stats_.frames_sent;
-  pending_.clear();
-  tx_(std::move(frame));
+  pending_msgs_ = 0;
+  // Swap the frame out before transmitting: tx_ may synchronously loop a
+  // response back into handle_frame -> enqueue, which must find the
+  // encoder empty and ready. flush_buf_ keeps the frame bytes alive for
+  // the duration of the call (receivers copy before returning) and its
+  // capacity is recycled as the encoder's next buffer.
+  flush_buf_.swap(batch_enc_.buffer());
+  batch_enc_.clear();
+  tx_(flush_buf_);
 }
 
 }  // namespace ccp::datapath

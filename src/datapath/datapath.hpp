@@ -9,13 +9,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "datapath/flow.hpp"
 #include "ipc/wire.hpp"
+#include "util/flat_map.hpp"
 #include "util/time.hpp"
 
 namespace ccp::datapath {
@@ -40,7 +40,10 @@ struct DatapathStats {
 
 class CcpDatapath {
  public:
-  using FrameTx = std::function<void(std::vector<uint8_t>)>;
+  /// Outgoing-frame callback. The bytes are borrowed: a receiver that
+  /// needs them past the call must copy (transports do; the simulator
+  /// copies into its event closure).
+  using FrameTx = std::function<void(std::span<const uint8_t>)>;
 
   CcpDatapath(DatapathConfig config, FrameTx tx);
 
@@ -48,7 +51,12 @@ class CcpDatapath {
   CcpFlow& create_flow(const FlowConfig& cfg, const std::string& alg_hint,
                        TimePoint now);
   void close_flow(ipc::FlowId id, TimePoint now);
-  CcpFlow* flow(ipc::FlowId id);
+  /// Per-packet demux; inline so the per-ACK lookup is one probe
+  /// sequence with no call overhead.
+  CcpFlow* flow(ipc::FlowId id) {
+    auto* slot = flows_.find(id);
+    return slot == nullptr ? nullptr : slot->get();
+  }
 
   /// Feeds one frame from the agent. Malformed frames and bad programs
   /// are counted and dropped — never fatal (§5).
@@ -65,15 +73,30 @@ class CcpDatapath {
   size_t num_flows() const { return flows_.size(); }
 
  private:
-  void enqueue(ipc::Message msg, bool urgent, TimePoint now);
+  void enqueue(const ipc::Message& msg, bool urgent, TimePoint now);
 
   DatapathConfig config_;
   FrameTx tx_;
-  std::map<ipc::FlowId, std::unique_ptr<CcpFlow>> flows_;
+  util::FlatMap<ipc::FlowId, std::unique_ptr<CcpFlow>> flows_;
   ipc::FlowId next_flow_id_ = 1;
-  std::vector<ipc::Message> pending_;
+
+  // Outgoing batch: messages are encoded straight into `batch_enc_` as
+  // they arrive (frame header first, msg count patched at flush), so a
+  // flush is one u16 patch + one buffer swap — no per-flush encode pass
+  // and no allocation once capacities settle.
+  ipc::Encoder batch_enc_;
+  size_t pending_msgs_ = 0;
+  std::vector<uint8_t> flush_buf_;  // swapped with the encoder at flush
   TimePoint oldest_pending_{};
   TimePoint last_event_time_{};  // freshest tick time, stamps sink messages
+
+  // Incoming decode scratch, reused across frames. `rx_busy_` guards
+  // against reentrant handle_frame (a synchronously wired agent can loop
+  // a response back while we are still iterating): nested calls fall
+  // back to a local vector.
+  std::vector<ipc::Message> rx_scratch_;
+  bool rx_busy_ = false;
+
   DatapathStats stats_;
 };
 

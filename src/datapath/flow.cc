@@ -76,8 +76,23 @@ Duration CcpFlow::rtt_or_default() const {
   return config_.default_report_interval;
 }
 
-lang::PktInfo CcpFlow::make_pkt_info(const AckEvent& ev) const {
-  lang::PktInfo pkt;
+// Delivery/sending rates are most meaningful over roughly one RTT
+// (BBR-style delivery rate sampling). Called right before the estimators
+// are queried — not per ACK, where the double->Duration conversion was
+// measurable overhead for programs that never read the rates.
+void CcpFlow::tune_rate_windows() {
+  if (!srtt_us_.initialized()) return;
+  const Duration window = std::max(srtt(), Duration::from_millis(1));
+  snd_rate_.set_window(window);
+  rcv_rate_.set_window(window);
+}
+
+// Writes the ACK's measurements straight into last_pkt_ rather than
+// returning a PktInfo by value: the struct is 15 doubles, and building a
+// local then copying it into last_pkt_ was a measurable slice of the
+// per-ACK budget.
+void CcpFlow::fill_pkt_info(const AckEvent& ev) {
+  lang::PktInfo& pkt = last_pkt_;
   pkt.rtt_us = ev.rtt_sample.is_zero()
                    ? srtt_us_.value()
                    : static_cast<double>(ev.rtt_sample.micros());
@@ -86,8 +101,19 @@ lang::PktInfo CcpFlow::make_pkt_info(const AckEvent& ev) const {
   pkt.lost_packets = static_cast<double>(ev.newly_lost_packets);
   pkt.ecn = ev.ecn ? 1.0 : 0.0;
   pkt.was_timeout = 0.0;
-  pkt.snd_rate_bps = snd_rate_.rate_bps(ev.now);
-  pkt.rcv_rate_bps = rcv_rate_.rate_bps(ev.now);
+  // Windowed rate queries walk the estimator ring to expire old events;
+  // skip them when nothing downstream looks at the result (the installed
+  // program — control args included — doesn't read the field and vector
+  // samples are off). Zero matches what a fresh PktInfo would carry.
+  // The horizon retune (roughly one RTT, BBR-style delivery rate
+  // sampling) also lives here, on the queried path only.
+  const bool want_snd = vector_mode_ || program_ == nullptr ||
+                        program_->reads_pkt_field(lang::PktField::SndRateBps);
+  const bool want_rcv = vector_mode_ || program_ == nullptr ||
+                        program_->reads_pkt_field(lang::PktField::RcvRateBps);
+  if (want_snd || want_rcv) tune_rate_windows();
+  pkt.snd_rate_bps = want_snd ? snd_rate_.rate_bps(ev.now) : 0.0;
+  pkt.rcv_rate_bps = want_rcv ? rcv_rate_.rate_bps(ev.now) : 0.0;
   pkt.bytes_in_flight = static_cast<double>(ev.bytes_in_flight);
   pkt.packets_in_flight = static_cast<double>(ev.packets_in_flight);
   pkt.bytes_pending = static_cast<double>(ev.bytes_pending);
@@ -95,20 +121,9 @@ lang::PktInfo CcpFlow::make_pkt_info(const AckEvent& ev) const {
   pkt.mss = static_cast<double>(config_.mss);
   pkt.cwnd = static_cast<double>(cwnd_bytes_);
   pkt.rate_bps = rate_bps_;
-  return pkt;
 }
 
-void CcpFlow::on_send(const SendEvent& ev) { snd_rate_.on_bytes(ev.bytes, ev.now); }
-
 void CcpFlow::on_ack(const AckEvent& ev) {
-  // Delivery/sending rates are most meaningful over roughly one RTT
-  // (BBR-style delivery rate sampling); adapt the estimator horizon.
-  if (srtt_us_.initialized()) {
-    const Duration window =
-        std::max(srtt(), Duration::from_millis(1));
-    snd_rate_.set_window(window);
-    rcv_rate_.set_window(window);
-  }
   if (config_.smooth_cwnd && cwnd_target_bytes_ > cwnd_bytes_) {
     // Open the window by at most the bytes this ACK freed: the ramp is
     // ACK-clocked, so the instantaneous send rate never exceeds 2x the
@@ -123,19 +138,23 @@ void CcpFlow::on_ack(const AckEvent& ev) {
   rcv_rate_.on_bytes(ev.bytes_delivered > 0 ? ev.bytes_delivered : ev.bytes_acked,
                      ev.now);
 
-  const lang::PktInfo pkt = make_pkt_info(ev);
-  if (vector_mode_) {
+  fill_pkt_info(ev);
+  if (vector_mode_ &&
+      vector_samples_.size() <
+          config_.max_vector_samples * kVectorFieldsPerPkt) {
+    const lang::PktInfo& pkt = last_pkt_;
     vector_samples_.insert(vector_samples_.end(),
                            {pkt.rtt_us, pkt.bytes_acked, pkt.lost_packets, pkt.ecn,
                             pkt.snd_rate_bps, pkt.rcv_rate_bps});
   }
-  fold_event(pkt, ev.now);
+  fold_event(ev.now);
 }
 
 void CcpFlow::on_loss(const LossEvent& ev) {
   lang::PktInfo pkt;
   pkt.rtt_us = srtt_us_.value();
   pkt.lost_packets = static_cast<double>(ev.lost_packets);
+  tune_rate_windows();
   pkt.snd_rate_bps = snd_rate_.rate_bps(ev.now);
   pkt.rcv_rate_bps = rcv_rate_.rate_bps(ev.now);
   pkt.bytes_in_flight = static_cast<double>(ev.bytes_in_flight);
@@ -143,7 +162,8 @@ void CcpFlow::on_loss(const LossEvent& ev) {
   pkt.mss = static_cast<double>(config_.mss);
   pkt.cwnd = static_cast<double>(cwnd_bytes_);
   pkt.rate_bps = rate_bps_;
-  fold_event(pkt, ev.now);
+  last_pkt_ = pkt;
+  fold_event(ev.now);
 }
 
 void CcpFlow::on_timeout(const TimeoutEvent& ev) {
@@ -154,11 +174,12 @@ void CcpFlow::on_timeout(const TimeoutEvent& ev) {
   pkt.mss = static_cast<double>(config_.mss);
   pkt.cwnd = static_cast<double>(cwnd_bytes_);
   pkt.rate_bps = rate_bps_;
-  fold_event(pkt, ev.now);
+  last_pkt_ = pkt;
+  fold_event(ev.now);
 }
 
-void CcpFlow::fold_event(const lang::PktInfo& pkt, TimePoint now) {
-  last_pkt_ = pkt;
+void CcpFlow::fold_event(TimePoint now) {
+  const lang::PktInfo& pkt = last_pkt_;
   ++acks_since_report_;
   ++acks_folded_total_;
   check_watchdog(now);
@@ -174,7 +195,9 @@ void CcpFlow::fold_event(const lang::PktInfo& pkt, TimePoint now) {
                 : pkt.ecn != 0.0        ? ipc::UrgentKind::Ecn
                                         : ipc::UrgentKind::FoldUrgent);
   }
-  run_control(now);
+  // Steady-state fast path: while a control wait is pending, run_control
+  // would return immediately — skip the call.
+  if (!waiting_ || now >= wait_until_) run_control(now);
 }
 
 void CcpFlow::tick(TimePoint now) {
@@ -265,29 +288,40 @@ void CcpFlow::run_control(TimePoint now) {
 
 void CcpFlow::emit_report(TimePoint now) {
   (void)now;
-  ipc::MeasurementMsg msg;
+  auto& msg = std::get<ipc::MeasurementMsg>(report_msg_);
   msg.flow_id = id_;
   msg.report_seq = report_seq_++;
   msg.num_acks_folded = acks_since_report_;
   if (vector_mode_) {
     msg.is_vector = true;
-    msg.fields = std::move(vector_samples_);
+    // Copy instead of move: vector_samples_ keeps its capacity, so the
+    // next interval's samples append without reallocating. Grow the
+    // destination geometrically (assign alone grows exactly-to-size, so
+    // every slightly-longer interval would reallocate forever).
+    if (msg.fields.capacity() < vector_samples_.size()) {
+      msg.fields.reserve(
+          std::max(vector_samples_.size(), 2 * msg.fields.capacity()));
+    }
+    msg.fields.assign(vector_samples_.begin(), vector_samples_.end());
     vector_samples_.clear();
   } else {
-    msg.fields = fold_.state();
+    msg.is_vector = false;
+    const auto& st = fold_.state();
+    msg.fields.assign(st.begin(), st.end());
   }
-  sink_(std::move(msg), /*urgent=*/false);
+  sink_(report_msg_, /*urgent=*/false);
   fold_.reset_volatile();
   acks_since_report_ = 0;
   urgent_since_report_ = false;
 }
 
 void CcpFlow::emit_urgent(ipc::UrgentKind kind) {
-  ipc::UrgentMsg msg;
+  auto& msg = std::get<ipc::UrgentMsg>(urgent_msg_);
   msg.flow_id = id_;
   msg.kind = kind;
-  msg.fields = fold_.state();
-  sink_(std::move(msg), /*urgent=*/true);
+  const auto& st = fold_.state();
+  msg.fields.assign(st.begin(), st.end());
+  sink_(urgent_msg_, /*urgent=*/true);
 }
 
 void CcpFlow::set_cwnd(double bytes) {
@@ -338,6 +372,12 @@ void CcpFlow::install(const ipc::InstallMsg& msg, TimePoint now) {
   acks_since_report_ = 0;
   vector_mode_ = msg.vector_mode;
   vector_samples_.clear();
+  if (vector_mode_) {
+    // Pre-size for a typical report interval so early ACKs do not grow
+    // the buffer incrementally; the hard cap still bounds worst case.
+    vector_samples_.reserve(
+        std::min<size_t>(config_.max_vector_samples, 1024) * kVectorFieldsPerPkt);
+  }
   agent_has_programmed_ = true;
   in_fallback_ = false;
   last_agent_contact_ = now;

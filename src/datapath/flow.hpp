@@ -50,11 +50,20 @@ struct FlowConfig {
   /// "synthesize the congestion controller into the datapath"). Zero
   /// disables the watchdog.
   Duration agent_timeout = Duration::zero();
+
+  /// Vector mode (§2.4) memory bound: at most this many per-ACK samples
+  /// are buffered between reports. A slow agent cannot make the datapath
+  /// grow without bound — past the cap, new samples are dropped and the
+  /// report goes out truncated (num_acks_folded still counts every ACK,
+  /// so the agent can tell samples are missing).
+  size_t max_vector_samples = 16384;
 };
 
 /// Sink for messages the flow wants delivered to the agent. `urgent`
-/// requests immediate flush (bypassing the batcher).
-using MessageSink = std::function<void(ipc::Message, bool urgent)>;
+/// requests immediate flush (bypassing the batcher). The message is
+/// borrowed: the sink must encode/copy before returning (flows reuse one
+/// scratch message per kind across calls — the zero-alloc report path).
+using MessageSink = std::function<void(const ipc::Message&, bool urgent)>;
 
 class CcpFlow final : public CcModule {
  public:
@@ -65,7 +74,8 @@ class CcpFlow final : public CcModule {
   void on_ack(const AckEvent& ev) override;
   void on_loss(const LossEvent& ev) override;
   void on_timeout(const TimeoutEvent& ev) override;
-  void on_send(const SendEvent& ev) override;
+  // Inline: runs per sent packet and is just the estimator's ring write.
+  void on_send(const SendEvent& ev) override { snd_rate_.on_bytes(ev.bytes, ev.now); }
 
   /// Advances time-based control-program waits even when no ACKs arrive.
   void tick(TimePoint now) override;
@@ -101,10 +111,13 @@ class CcpFlow final : public CcModule {
   uint64_t acks_folded_total() const { return acks_folded_total_; }
 
  private:
-  void fold_event(const lang::PktInfo& pkt, TimePoint now);
+  /// Folds `last_pkt_` (filled in place by the event handlers — no
+  /// per-ACK PktInfo copy) and runs urgency/control.
+  void fold_event(TimePoint now);
   void check_watchdog(TimePoint now);
   void enter_fallback(TimePoint now);
-  lang::PktInfo make_pkt_info(const AckEvent& ev) const;
+  void fill_pkt_info(const AckEvent& ev);
+  void tune_rate_windows();
   void run_control(TimePoint now);
   void emit_report(TimePoint now);
   void emit_urgent(ipc::UrgentKind kind);
@@ -148,6 +161,12 @@ class CcpFlow final : public CcModule {
   // Vector mode (§2.4 first approach).
   bool vector_mode_ = false;
   std::vector<double> vector_samples_;  // flattened kVectorFieldsPerPkt per ACK
+
+  // Reusable outgoing messages: emit_report()/emit_urgent() mutate these
+  // in place and hand them to the sink by reference, so steady-state
+  // reporting allocates nothing once field capacities settle.
+  ipc::Message report_msg_{ipc::MeasurementMsg{}};
+  ipc::Message urgent_msg_{ipc::UrgentMsg{}};
 
  public:
   /// Per-packet fields recorded in vector mode, in order:

@@ -15,72 +15,37 @@ PrototypeFlow::PrototypeFlow(ipc::FlowId id, FlowConfig config, MessageSink sink
       snd_rate_(config.rate_window),
       rcv_rate_(config.rate_window) {}
 
-void PrototypeFlow::on_send(const SendEvent& ev) {
-  snd_rate_.on_bytes(ev.bytes, ev.now);
-}
-
-void PrototypeFlow::on_ack(const AckEvent& ev) {
-  if (cwnd_target_bytes_ > cwnd_bytes_) {
-    // Same smooth-increase discipline as the full datapath.
-    cwnd_bytes_ = std::min(cwnd_target_bytes_, cwnd_bytes_ + ev.bytes_acked);
-  }
-  if (!ev.rtt_sample.is_zero()) {
-    const double rtt_us = static_cast<double>(ev.rtt_sample.micros());
-    srtt_us_.update(rtt_us);
-    min_rtt_us_ = std::min(min_rtt_us_, rtt_us);
-    const Duration window = std::max(srtt(), Duration::from_millis(1));
-    snd_rate_.set_window(window);
-    rcv_rate_.set_window(window);
-  }
-  rcv_rate_.on_bytes(ev.bytes_delivered > 0 ? ev.bytes_delivered : ev.bytes_acked,
-                     ev.now);
-  acked_ += static_cast<double>(ev.bytes_acked);
-  acked_pkts_ += ev.packets_acked;
-  if (ev.ecn) marked_ += ev.packets_acked;
-  loss_ += ev.newly_lost_packets;
-  inflight_ = static_cast<double>(ev.bytes_in_flight);
-  ++acks_since_report_;
-
-  if (ev.newly_lost_packets > 0 && !urgent_since_report_) {
-    urgent_since_report_ = true;
-    ipc::UrgentMsg msg;
-    msg.flow_id = id_;
-    msg.kind = ipc::UrgentKind::Loss;
-    sink_(std::move(msg), /*urgent=*/true);
-  }
-  maybe_report(ev.now);
+void PrototypeFlow::emit_loss_urgent() {
+  urgent_since_report_ = true;
+  auto& msg = std::get<ipc::UrgentMsg>(urgent_msg_);
+  msg.flow_id = id_;
+  msg.kind = ipc::UrgentKind::Loss;
+  sink_(urgent_msg_, /*urgent=*/true);
 }
 
 void PrototypeFlow::on_loss(const LossEvent& ev) {
   loss_ += ev.lost_packets;
-  if (!urgent_since_report_) {
-    urgent_since_report_ = true;
-    ipc::UrgentMsg msg;
-    msg.flow_id = id_;
-    msg.kind = ipc::UrgentKind::Loss;
-    sink_(std::move(msg), /*urgent=*/true);
-  }
+  if (!urgent_since_report_) emit_loss_urgent();
   maybe_report(ev.now);
 }
 
 void PrototypeFlow::on_timeout(const TimeoutEvent& ev) {
   timeout_ = 1;
   urgent_since_report_ = true;
-  ipc::UrgentMsg msg;
+  auto& msg = std::get<ipc::UrgentMsg>(urgent_msg_);
   msg.flow_id = id_;
   msg.kind = ipc::UrgentKind::Timeout;
-  sink_(std::move(msg), /*urgent=*/true);
+  sink_(urgent_msg_, /*urgent=*/true);
   maybe_report(ev.now);
 }
 
 void PrototypeFlow::tick(TimePoint now) { maybe_report(now); }
 
-void PrototypeFlow::maybe_report(TimePoint now) {
+void PrototypeFlow::maybe_report_slow(TimePoint now) {
   if (next_report_ == TimePoint{}) {
     next_report_ = now + config_.default_report_interval;
     return;
   }
-  if (now < next_report_) return;
   emit_report(now);
   const Duration interval = srtt_us_.initialized() && srtt_us_.value() > 0
                                 ? srtt()
@@ -89,24 +54,33 @@ void PrototypeFlow::maybe_report(TimePoint now) {
 }
 
 void PrototypeFlow::emit_report(TimePoint now) {
-  ipc::MeasurementMsg msg;
+  // Retune the estimator horizons to roughly one RTT (BBR-style delivery
+  // rate sampling) here, at report cadence, right before the rates are
+  // queried — not per ACK.
+  if (srtt_us_.initialized()) {
+    const Duration window = std::max(srtt(), Duration::from_millis(1));
+    snd_rate_.set_window(window);
+    rcv_rate_.set_window(window);
+  }
+  auto& msg = std::get<ipc::MeasurementMsg>(report_msg_);
   msg.flow_id = id_;
   msg.report_seq = report_seq_++;
   msg.num_acks_folded = acks_since_report_;
-  // Fixed layout: ipc::prototype_field_names() order.
-  msg.fields = {acked_,
-                acked_pkts_,
-                marked_,
-                loss_,
-                loss_,  // "lost" alias
-                timeout_,
-                srtt_us_.value(),
-                min_rtt_us_ < 1e9 ? min_rtt_us_ : 0,
-                snd_rate_.rate_bps(now),
-                rcv_rate_.rate_bps(now),
-                static_cast<double>(now.nanos()) / 1000.0,
-                inflight_};
-  sink_(std::move(msg), /*urgent=*/false);
+  // Fixed layout: ipc::prototype_field_names() order. assign() reuses the
+  // vector's capacity, so steady-state reporting allocates nothing.
+  msg.fields.assign({acked_,
+                     acked_pkts_,
+                     marked_,
+                     loss_,
+                     loss_,  // "lost" alias
+                     timeout_,
+                     srtt_us_.value(),
+                     min_rtt_us_ < 1e9 ? min_rtt_us_ : 0,
+                     snd_rate_.rate_bps(now),
+                     rcv_rate_.rate_bps(now),
+                     static_cast<double>(now.nanos()) / 1000.0,
+                     inflight_});
+  sink_(report_msg_, /*urgent=*/false);
   acked_ = acked_pkts_ = marked_ = loss_ = timeout_ = 0;
   acks_since_report_ = 0;
   urgent_since_report_ = false;
@@ -129,18 +103,20 @@ void PrototypeFlow::direct_control(const ipc::DirectControlMsg& msg) {
 PrototypeDatapath::PrototypeDatapath(DatapathConfig config, FrameTx tx)
     : config_(config), tx_(std::move(tx)) {}
 
-void PrototypeDatapath::send(ipc::Message msg) {
-  tx_(ipc::encode_frame(msg));
+void PrototypeDatapath::send(const ipc::Message& msg) {
+  send_enc_.clear();
+  ipc::encode_frame_into(send_enc_, msg);
+  tx_(send_enc_.buffer());
 }
 
 PrototypeFlow& PrototypeDatapath::create_flow(const FlowConfig& cfg,
                                               const std::string& alg_hint,
                                               TimePoint /*now*/) {
   const ipc::FlowId id = next_flow_id_++;
-  auto sink = [this](ipc::Message msg, bool) { send(std::move(msg)); };
+  auto sink = [this](const ipc::Message& msg, bool) { send(msg); };
   auto flow = std::make_unique<PrototypeFlow>(id, cfg, std::move(sink));
   PrototypeFlow& ref = *flow;
-  flows_.emplace(id, std::move(flow));
+  flows_.insert_or_assign(id, std::move(flow));
 
   ipc::CreateMsg create;
   create.flow_id = id;
@@ -156,28 +132,29 @@ void PrototypeDatapath::close_flow(ipc::FlowId id, TimePoint /*now*/) {
   if (flows_.erase(id) > 0) send(ipc::FlowCloseMsg{id});
 }
 
-PrototypeFlow* PrototypeDatapath::flow(ipc::FlowId id) {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? nullptr : it->second.get();
-}
-
 void PrototypeDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
   (void)now;
-  std::vector<ipc::Message> msgs;
+  const bool use_scratch = !rx_busy_;
+  std::vector<ipc::Message> local;
+  std::vector<ipc::Message>& msgs = use_scratch ? rx_scratch_ : local;
+  if (use_scratch) rx_busy_ = true;
+  size_t n_msgs = 0;
   try {
-    msgs = ipc::decode_frame(frame);
+    n_msgs = ipc::decode_frame_into(frame, msgs);
   } catch (const ipc::WireError& e) {
+    if (use_scratch) rx_busy_ = false;
     CCP_WARN("prototype datapath: dropping malformed frame: %s", e.what());
     return;
   }
-  for (const auto& msg : msgs) {
-    if (const auto* dc = std::get_if<ipc::DirectControlMsg>(&msg)) {
+  for (size_t i = 0; i < n_msgs; ++i) {
+    if (const auto* dc = std::get_if<ipc::DirectControlMsg>(&msgs[i])) {
       if (PrototypeFlow* fl = flow(dc->flow_id)) fl->direct_control(*dc);
     } else {
       // Installs, update_fields, vector-mode requests: not supported.
       ++unsupported_msgs_;
     }
   }
+  if (use_scratch) rx_busy_ = false;
 }
 
 void PrototypeDatapath::tick(TimePoint now) {

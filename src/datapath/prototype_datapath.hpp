@@ -18,9 +18,9 @@
 // both (see bench_datapath_capability and the integration tests).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <span>
 #include <vector>
@@ -30,6 +30,7 @@
 #include "datapath/flow.hpp"      // FlowConfig, MessageSink
 #include "ipc/wire.hpp"
 #include "util/ewma.hpp"
+#include "util/flat_map.hpp"
 #include "util/rate_estimator.hpp"
 #include "util/time.hpp"
 
@@ -43,10 +44,36 @@ class PrototypeFlow final : public CcModule {
  public:
   PrototypeFlow(ipc::FlowId id, FlowConfig config, MessageSink sink);
 
-  void on_ack(const AckEvent& ev) override;
+  // Inline: the prototype's whole per-ACK fold is a dozen scalar updates;
+  // keeping it in the header lets the stack's ACK loop absorb it without
+  // a call. Estimator windows are retuned at report time (maybe_report),
+  // not here — the horizon tracks srtt at control cadence, and per-ACK
+  // double->Duration conversions were a measurable slice of the budget.
+  void on_ack(const AckEvent& ev) override {
+    if (cwnd_target_bytes_ > cwnd_bytes_) {
+      // Same smooth-increase discipline as the full datapath.
+      cwnd_bytes_ = std::min(cwnd_target_bytes_, cwnd_bytes_ + ev.bytes_acked);
+    }
+    if (!ev.rtt_sample.is_zero()) {
+      const double rtt_us = static_cast<double>(ev.rtt_sample.micros());
+      srtt_us_.update(rtt_us);
+      min_rtt_us_ = std::min(min_rtt_us_, rtt_us);
+    }
+    rcv_rate_.on_bytes(
+        ev.bytes_delivered > 0 ? ev.bytes_delivered : ev.bytes_acked, ev.now);
+    acked_ += static_cast<double>(ev.bytes_acked);
+    acked_pkts_ += ev.packets_acked;
+    if (ev.ecn) marked_ += ev.packets_acked;
+    loss_ += ev.newly_lost_packets;
+    inflight_ = static_cast<double>(ev.bytes_in_flight);
+    ++acks_since_report_;
+    if (ev.newly_lost_packets > 0 && !urgent_since_report_) emit_loss_urgent();
+    maybe_report(ev.now);
+  }
   void on_loss(const LossEvent& ev) override;
   void on_timeout(const TimeoutEvent& ev) override;
-  void on_send(const SendEvent& ev) override;
+  // Inline: runs per sent packet and is just the estimator's ring write.
+  void on_send(const SendEvent& ev) override { snd_rate_.on_bytes(ev.bytes, ev.now); }
   void tick(TimePoint now) override;
 
   uint64_t cwnd_bytes() const override { return cwnd_bytes_; }
@@ -61,8 +88,14 @@ class PrototypeFlow final : public CcModule {
   }
 
  private:
-  void maybe_report(TimePoint now);
+  /// Fast path inline: in steady state this is one branch per ACK.
+  void maybe_report(TimePoint now) {
+    if (next_report_ != TimePoint{} && now < next_report_) return;
+    maybe_report_slow(now);
+  }
+  void maybe_report_slow(TimePoint now);
   void emit_report(TimePoint now);
+  void emit_loss_urgent();
 
   ipc::FlowId id_;
   FlowConfig config_;
@@ -89,19 +122,30 @@ class PrototypeFlow final : public CcModule {
   uint64_t report_seq_ = 0;
   uint32_t acks_since_report_ = 0;
   bool urgent_since_report_ = false;
+
+  // Reusable outgoing messages (see CcpFlow): reports and urgents mutate
+  // these in place so the per-report path allocates nothing.
+  ipc::Message report_msg_{ipc::MeasurementMsg{}};
+  ipc::Message urgent_msg_{ipc::UrgentMsg{}};
 };
 
 /// Container + agent-facing framing for prototype flows.
 class PrototypeDatapath {
  public:
-  using FrameTx = std::function<void(std::vector<uint8_t>)>;
+  /// Outgoing-frame callback; bytes are borrowed (copy to keep).
+  using FrameTx = std::function<void(std::span<const uint8_t>)>;
 
   PrototypeDatapath(DatapathConfig config, FrameTx tx);
 
   PrototypeFlow& create_flow(const FlowConfig& cfg, const std::string& alg_hint,
                              TimePoint now);
   void close_flow(ipc::FlowId id, TimePoint now);
-  PrototypeFlow* flow(ipc::FlowId id);
+  /// Per-packet demux; inline so the per-ACK lookup is one probe
+  /// sequence with no call overhead.
+  PrototypeFlow* flow(ipc::FlowId id) {
+    auto* slot = flows_.find(id);
+    return slot == nullptr ? nullptr : slot->get();
+  }
 
   /// Accepts DirectControl; counts and drops Install/UpdateFields
   /// (unsupported by this datapath).
@@ -112,13 +156,16 @@ class PrototypeDatapath {
   size_t num_flows() const { return flows_.size(); }
 
  private:
-  void send(ipc::Message msg);
+  void send(const ipc::Message& msg);
 
   DatapathConfig config_;
   FrameTx tx_;
-  std::map<ipc::FlowId, std::unique_ptr<PrototypeFlow>> flows_;
+  util::FlatMap<ipc::FlowId, std::unique_ptr<PrototypeFlow>> flows_;
   ipc::FlowId next_flow_id_ = 1;
   uint64_t unsupported_msgs_ = 0;
+  ipc::Encoder send_enc_;                // reused per outgoing frame
+  std::vector<ipc::Message> rx_scratch_; // reused per incoming frame
+  bool rx_busy_ = false;
 };
 
 }  // namespace ccp::datapath

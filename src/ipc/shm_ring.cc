@@ -17,6 +17,7 @@ ShmRing ShmRing::attach(void* mem) {
 }
 
 void ShmRing::copy_in(uint64_t at, std::span<const uint8_t> src) {
+  if (src.empty()) return;  // zero-length payloads are legal records
   const uint64_t cap = hdr_->capacity;
   const uint64_t off = at & (cap - 1);
   const uint64_t first = std::min<uint64_t>(src.size(), cap - off);
@@ -27,6 +28,7 @@ void ShmRing::copy_in(uint64_t at, std::span<const uint8_t> src) {
 }
 
 void ShmRing::copy_out(uint64_t at, std::span<uint8_t> dst) const {
+  if (dst.empty()) return;
   const uint64_t cap = hdr_->capacity;
   const uint64_t off = at & (cap - 1);
   const uint64_t first = std::min<uint64_t>(dst.size(), cap - off);
@@ -64,6 +66,38 @@ std::optional<std::vector<uint8_t>> ShmRing::pop() {
   copy_out(head + 4, out);
   hdr_->head.store(head + 4 + len, std::memory_order_release);
   return out;
+}
+
+std::span<const uint8_t> ShmRing::record_at(uint64_t head,
+                                            std::vector<uint8_t>& scratch) const {
+  uint8_t len_bytes[4];
+  copy_out(head, len_bytes);
+  uint32_t len;
+  std::memcpy(&len, len_bytes, 4);
+
+  const uint64_t cap = hdr_->capacity;
+  const uint64_t off = (head + 4) & (cap - 1);
+  if (off + len <= cap) {
+    return std::span<const uint8_t>(data_ + off, len);  // zero-copy
+  }
+  if (scratch.size() < len) scratch.resize(len);
+  copy_out(head + 4, std::span<uint8_t>(scratch.data(), len));
+  return std::span<const uint8_t>(scratch.data(), len);
+}
+
+std::optional<std::span<const uint8_t>> ShmRing::peek(std::vector<uint8_t>& scratch) {
+  const uint64_t head = hdr_->head.load(std::memory_order_relaxed);
+  const uint64_t tail = hdr_->tail.load(std::memory_order_acquire);
+  if (tail == head) return std::nullopt;
+  const std::span<const uint8_t> rec = record_at(head, scratch);
+  peeked_bytes_ = 4 + rec.size();
+  return rec;
+}
+
+void ShmRing::consume() {
+  const uint64_t head = hdr_->head.load(std::memory_order_relaxed);
+  hdr_->head.store(head + peeked_bytes_, std::memory_order_release);
+  peeked_bytes_ = 0;
 }
 
 }  // namespace ccp::ipc

@@ -43,6 +43,35 @@ class ShmRing {
   /// Consumer side: pops one record if available.
   std::optional<std::vector<uint8_t>> pop();
 
+  /// Zero-copy consumer path: exposes the next record's payload without
+  /// retiring it. The span points directly into ring memory when the
+  /// record is contiguous; a record that straddles the wrap point is
+  /// staged through `scratch` (whose capacity is reused across calls).
+  /// The span is invalidated by consume()/pop()/drain().
+  std::optional<std::span<const uint8_t>> peek(std::vector<uint8_t>& scratch);
+
+  /// Retires the record returned by the last successful peek().
+  void consume();
+
+  /// Batched consumer: invokes fn(payload) for every record present when
+  /// the drain began, publishing ONE head update at the end — a single
+  /// head/tail synchronization round-trip (two loads + one store) no
+  /// matter how deep the backlog. Returns the number of records drained.
+  template <typename Fn>
+  size_t drain(std::vector<uint8_t>& scratch, Fn&& fn) {
+    uint64_t head = hdr_->head.load(std::memory_order_relaxed);
+    const uint64_t tail = hdr_->tail.load(std::memory_order_acquire);
+    size_t n = 0;
+    while (head != tail) {
+      const std::span<const uint8_t> rec = record_at(head, scratch);
+      head += 4 + rec.size();
+      fn(rec);
+      ++n;
+    }
+    if (n > 0) hdr_->head.store(head, std::memory_order_release);
+    return n;
+  }
+
   bool empty() const {
     return hdr_->head.load(std::memory_order_acquire) ==
            hdr_->tail.load(std::memory_order_acquire);
@@ -70,8 +99,13 @@ class ShmRing {
   void copy_in(uint64_t at, std::span<const uint8_t> src);
   void copy_out(uint64_t at, std::span<uint8_t> dst) const;
 
+  /// Payload view of the record at byte offset `head` — zero-copy when
+  /// contiguous, staged through `scratch` when it wraps.
+  std::span<const uint8_t> record_at(uint64_t head, std::vector<uint8_t>& scratch) const;
+
   RingHeader* hdr_ = nullptr;
   uint8_t* data_ = nullptr;
+  uint64_t peeked_bytes_ = 0;  // total record bytes of the last peek()
 };
 
 }  // namespace ccp::ipc

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -20,6 +21,10 @@
 #include "util/time.hpp"
 
 namespace ccp::ipc {
+
+/// Callback receiving one frame's bytes during drain_frames(). The span
+/// is only valid for the duration of the call.
+using FrameSink = std::function<void(std::span<const uint8_t>)>;
 
 class Transport {
  public:
@@ -36,6 +41,14 @@ class Transport {
 
   /// Non-blocking receive.
   virtual std::optional<std::vector<uint8_t>> try_recv_frame() = 0;
+
+  /// Non-blocking batched receive: invokes `sink` on every frame already
+  /// queued and returns the count. Unlike try_recv_frame() in a loop this
+  /// pays the channel's synchronization cost once per batch (one
+  /// lock/unlock, one head/tail round-trip, ...), and hands frames out as
+  /// borrowed spans instead of fresh vectors — the steady-state receive
+  /// path allocates nothing once scratch capacities settle.
+  virtual size_t drain_frames(const FrameSink& sink) = 0;
 
   virtual bool closed() const = 0;
 };

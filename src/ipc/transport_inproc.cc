@@ -64,6 +64,21 @@ class InProcTransport final : public Transport {
     return frame;
   }
 
+  size_t drain_frames(const FrameSink& sink) override {
+    // One lock round-trip for the whole backlog: swap it out, deliver
+    // outside the lock (the sink may send on this channel's other
+    // direction, which takes the peer queue's lock).
+    {
+      std::lock_guard<std::mutex> lock(rx_->mu);
+      if (rx_->frames.empty()) return 0;
+      drain_scratch_.swap(rx_->frames);
+    }
+    const size_t n = drain_scratch_.size();
+    for (auto& frame : drain_scratch_) sink(frame);
+    drain_scratch_.clear();
+    return n;
+  }
+
   bool closed() const override {
     std::lock_guard<std::mutex> lock(rx_->mu);
     return rx_->closed && rx_->frames.empty();
@@ -72,6 +87,7 @@ class InProcTransport final : public Transport {
  private:
   std::shared_ptr<Queue> tx_;
   mutable std::shared_ptr<Queue> rx_;
+  std::deque<std::vector<uint8_t>> drain_scratch_;  // reused across drains
 };
 
 }  // namespace

@@ -104,6 +104,12 @@ class ShmTransport final : public Transport {
     return frame;
   }
 
+  size_t drain_frames(const FrameSink& sink) override {
+    const size_t n = rx().drain(drain_scratch_, sink);
+    if (n > 0 && mode_ == ShmWaitMode::Blocking) drain_doorbell(rx_event());
+    return n;
+  }
+
   bool closed() const override {
     return ch_->closed->load(std::memory_order_acquire) && rx().empty();
   }
@@ -127,6 +133,7 @@ class ShmTransport final : public Transport {
   std::shared_ptr<ShmChannel> ch_;
   bool is_a_;
   ShmWaitMode mode_;
+  std::vector<uint8_t> drain_scratch_;  // staging for wrap-point records
 };
 
 }  // namespace

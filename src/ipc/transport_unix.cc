@@ -57,6 +57,29 @@ class UnixSocketTransport final : public Transport {
     return do_recv(/*blocking=*/false);
   }
 
+  size_t drain_frames(const FrameSink& sink) override {
+    if (closed_) return 0;
+    if (scratch_.size() != kMaxFrame) scratch_.resize(kMaxFrame);
+    size_t count = 0;
+    for (;;) {
+      const ssize_t n = ::recv(fd_, scratch_.data(), scratch_.size(), MSG_DONTWAIT);
+      if (n > 0) {
+        sink(std::span<const uint8_t>(scratch_.data(), static_cast<size_t>(n)));
+        ++count;
+        continue;
+      }
+      if (n == 0) {  // peer closed
+        closed_ = true;
+        return count;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return count;
+      CCP_WARN("unix socket recv failed: %s", std::strerror(errno));
+      closed_ = true;
+      return count;
+    }
+  }
+
   bool closed() const override { return closed_; }
 
  private:

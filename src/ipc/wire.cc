@@ -65,6 +65,10 @@ void Encoder::str_vec(const std::vector<std::string>& v) {
 void Encoder::patch_u32(size_t offset, uint32_t v) {
   for (int i = 0; i < 4; ++i) buf_[offset + i] = static_cast<uint8_t>(v >> (8 * i));
 }
+void Encoder::patch_u16(size_t offset, uint16_t v) {
+  buf_[offset] = static_cast<uint8_t>(v);
+  buf_[offset + 1] = static_cast<uint8_t>(v >> 8);
+}
 
 void Decoder::need(size_t n) const {
   if (pos_ + n > data_.size()) throw WireError("truncated message");
@@ -127,6 +131,34 @@ std::vector<std::string> Decoder::str_vec() {
 void Decoder::skip(size_t n) {
   need(n);
   pos_ += n;
+}
+void Decoder::str_into(std::string& out) {
+  const uint32_t len = u32();
+  if (len > kMaxStrLen) throw WireError("string too long");
+  need(len);
+  out.assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+}
+void Decoder::f64_vec_into(std::vector<double>& out) {
+  const uint32_t count = u32();
+  if (count > kMaxVecLen) throw WireError("vector too long");
+  need(count * 8);
+  out.clear();
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) out.push_back(f64());
+}
+void Decoder::str_vec_into(std::vector<std::string>& out) {
+  const uint32_t count = u32();
+  if (count > kMaxVecLen) throw WireError("vector too long");
+  // Reuse existing string slots (and their heap buffers) where possible.
+  if (out.size() > count) out.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (i < out.size()) {
+      str_into(out[i]);
+    } else {
+      out.push_back(str());
+    }
+  }
 }
 
 namespace {
@@ -240,6 +272,79 @@ Message decode_payload(MsgType type, Decoder& d) {
   throw WireError("unknown message type " + std::to_string(static_cast<int>(type)));
 }
 
+// In-place payload decoders: overwrite an existing struct, reusing its
+// vectors' capacity. Scalar fields are all assigned, so no stale state
+// survives.
+void decode_payload_into(Decoder& d, CreateMsg& m) {
+  m.flow_id = d.u32();
+  m.init_cwnd_bytes = d.u32();
+  m.mss = d.u32();
+  m.src_port = d.u32();
+  m.dst_port = d.u32();
+  d.str_into(m.alg_hint);
+  m.supports_programs = d.u8() != 0;
+}
+void decode_payload_into(Decoder& d, MeasurementMsg& m) {
+  m.flow_id = d.u32();
+  m.report_seq = d.u64();
+  m.num_acks_folded = d.u32();
+  m.is_vector = d.u8() != 0;
+  d.f64_vec_into(m.fields);
+}
+void decode_payload_into(Decoder& d, UrgentMsg& m) {
+  m.flow_id = d.u32();
+  const uint8_t kind = d.u8();
+  if (kind > static_cast<uint8_t>(UrgentKind::FoldUrgent)) {
+    throw WireError("bad urgent kind");
+  }
+  m.kind = static_cast<UrgentKind>(kind);
+  d.f64_vec_into(m.fields);
+}
+void decode_payload_into(Decoder& d, FlowCloseMsg& m) { m.flow_id = d.u32(); }
+void decode_payload_into(Decoder& d, InstallMsg& m) {
+  m.flow_id = d.u32();
+  d.str_into(m.program_text);
+  d.str_vec_into(m.var_names);
+  d.f64_vec_into(m.var_values);
+  m.vector_mode = d.u8() != 0;
+}
+void decode_payload_into(Decoder& d, UpdateFieldsMsg& m) {
+  m.flow_id = d.u32();
+  d.f64_vec_into(m.var_values);
+}
+void decode_payload_into(Decoder& d, DirectControlMsg& m) {
+  m.flow_id = d.u32();
+  const bool has_cwnd = d.u8() != 0;
+  const double cwnd = d.f64();
+  const bool has_rate = d.u8() != 0;
+  const double rate = d.f64();
+  m.cwnd_bytes = has_cwnd ? std::optional<double>(cwnd) : std::nullopt;
+  m.rate_bps = has_rate ? std::optional<double>(rate) : std::nullopt;
+}
+
+/// Decodes into `slot`, keeping the current variant alternative (and its
+/// heap buffers) when the wire type matches; otherwise switches the
+/// alternative with emplace (one-time cost per type change).
+template <typename T>
+void reuse_or_emplace(Decoder& d, Message& slot) {
+  T* m = std::get_if<T>(&slot);
+  if (m == nullptr) m = &slot.emplace<T>();
+  decode_payload_into(d, *m);
+}
+
+void decode_message_into(MsgType type, Decoder& d, Message& slot) {
+  switch (type) {
+    case MsgType::Create: reuse_or_emplace<CreateMsg>(d, slot); return;
+    case MsgType::Measurement: reuse_or_emplace<MeasurementMsg>(d, slot); return;
+    case MsgType::Urgent: reuse_or_emplace<UrgentMsg>(d, slot); return;
+    case MsgType::FlowClose: reuse_or_emplace<FlowCloseMsg>(d, slot); return;
+    case MsgType::Install: reuse_or_emplace<InstallMsg>(d, slot); return;
+    case MsgType::UpdateFields: reuse_or_emplace<UpdateFieldsMsg>(d, slot); return;
+    case MsgType::DirectControl: reuse_or_emplace<DirectControlMsg>(d, slot); return;
+  }
+  throw WireError("unknown message type " + std::to_string(static_cast<int>(type)));
+}
+
 }  // namespace
 
 void encode_message(Encoder& enc, const Message& m) {
@@ -250,18 +355,44 @@ void encode_message(Encoder& enc, const Message& m) {
   enc.patch_u32(len_at, static_cast<uint32_t>(enc.size() - len_at));
 }
 
-std::vector<uint8_t> encode_frame(std::span<const Message> msgs) {
-  Encoder enc;
+void encode_frame_into(Encoder& enc, std::span<const Message> msgs) {
   if (msgs.size() > std::numeric_limits<uint16_t>::max()) {
     throw WireError("too many messages in one frame");
   }
   enc.u16(static_cast<uint16_t>(msgs.size()));
   for (const auto& m : msgs) encode_message(enc, m);
+}
+
+void encode_frame_into(Encoder& enc, const Message& msg) {
+  encode_frame_into(enc, std::span<const Message>(&msg, 1));
+}
+
+std::vector<uint8_t> encode_frame(std::span<const Message> msgs) {
+  Encoder enc;
+  encode_frame_into(enc, msgs);
   return std::move(enc.buffer());
 }
 
 std::vector<uint8_t> encode_frame(const Message& msg) {
   return encode_frame(std::span<const Message>(&msg, 1));
+}
+
+size_t decode_frame_into(std::span<const uint8_t> frame, std::vector<Message>& out) {
+  Decoder d(frame);
+  const uint16_t n = d.u16();
+  if (out.size() < n) out.resize(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    const size_t msg_start = d.position();
+    const uint32_t msg_len = d.u32();
+    if (msg_len < 5 || msg_len > kMaxMsgLen) throw WireError("bad message length");
+    const uint8_t type = d.u8();
+    decode_message_into(static_cast<MsgType>(type), d, out[i]);
+    if (d.position() != msg_start + msg_len) {
+      throw WireError("message length mismatch");
+    }
+  }
+  if (d.remaining() != 0) throw WireError("trailing bytes in frame");
+  return n;
 }
 
 std::vector<Message> decode_frame(std::span<const uint8_t> frame) {

@@ -44,8 +44,15 @@ class Encoder {
   const std::vector<uint8_t>& buffer() const { return buf_; }
   size_t size() const { return buf_.size(); }
 
+  /// Resets to empty, keeping the underlying capacity — lets one Encoder
+  /// be reused across frames without re-allocating the buffer.
+  void clear() { buf_.clear(); }
+
   /// Patch a previously written u32 at `offset` (for length prefixes).
   void patch_u32(size_t offset, uint32_t v);
+
+  /// Patch a previously written u16 at `offset` (for frame msg counts).
+  void patch_u16(size_t offset, uint16_t v);
 
  private:
   std::vector<uint8_t> buf_;
@@ -65,6 +72,13 @@ class Decoder {
   std::vector<double> f64_vec();
   std::vector<std::string> str_vec();
 
+  // In-place variants: overwrite `out` reusing its existing capacity.
+  // These are the steady-state decode path — after warm-up no per-message
+  // allocation happens as long as capacities have settled.
+  void str_into(std::string& out);
+  void f64_vec_into(std::vector<double>& out);
+  void str_vec_into(std::vector<std::string>& out);
+
   size_t remaining() const { return data_.size() - pos_; }
   size_t position() const { return pos_; }
   void skip(size_t n);
@@ -82,7 +96,19 @@ void encode_message(Encoder& enc, const Message& m);
 std::vector<uint8_t> encode_frame(std::span<const Message> msgs);
 std::vector<uint8_t> encode_frame(const Message& msg);
 
+/// Appends a complete frame to `enc` (which the caller clears between
+/// frames). The allocation-free sibling of encode_frame().
+void encode_frame_into(Encoder& enc, std::span<const Message> msgs);
+void encode_frame_into(Encoder& enc, const Message& msg);
+
 /// Parses a frame into messages. Throws WireError on malformed input.
 std::vector<Message> decode_frame(std::span<const uint8_t> frame);
+
+/// In-place frame decode: messages land in `out[0..n)`, reusing each
+/// slot's existing variant alternative (and therefore its vectors'
+/// capacity) when the incoming type matches. `out` only grows when the
+/// frame has more messages than any previous one; it is NOT shrunk —
+/// the returned count says how many slots are valid.
+size_t decode_frame_into(std::span<const uint8_t> frame, std::vector<Message>& out);
 
 }  // namespace ccp::ipc

@@ -25,6 +25,19 @@ enum class OpCode : uint8_t {
   Select,     // slot[dst] = slot[a] != 0 ? slot[b] : slot[c]
   Ewma,       // slot[dst] = (1-slot[c])*slot[a] + slot[c]*slot[b]
   StoreFold,  // fold_state[a] = slot[b]
+
+  // --- superinstructions ---
+  // Emitted only by the install-time optimizer (optimize_block in
+  // compiler.cc), never by BlockBuilder. Const-operand forms fold the
+  // ubiquitous LoadConst feeding a binary op into one instruction:
+  // `slot[dst] = slot[a] op consts[b]`. This roughly halves the dynamic
+  // instruction count of typical fold bodies (every `x + 1`, `win * 0.5`,
+  // `rtt > 0` pattern) — the per-ACK interpreter loop is the datapath's
+  // hottest code (§2.3).
+  AddC, SubC, MulC, DivC, MinC, MaxC,
+  LtC, LeC, GtC, GeC, EqC, NeC,
+  EwmaC,    // slot[dst] = (1-consts[c])*slot[a] + consts[c]*slot[b]
+  SelGtz,   // slot[dst] = slot[a] > 0 ? slot[b] : slot[c]  (fused compare+Select)
 };
 
 struct Instr {

@@ -29,11 +29,25 @@ struct CompiledProgram {
   std::vector<bool> volatile_regs;
   std::vector<bool> urgent_regs;
 
+  /// Indices of urgent registers (the true entries of `urgent_regs`),
+  /// precomputed so the per-ACK urgency check snapshots and compares only
+  /// these registers instead of the whole register file.
+  std::vector<uint16_t> urgent_indices;
+
+  /// Bit `f` is set iff any block (after optimization) reads packet
+  /// field `f` via LoadPkt. The datapath uses this to skip computing
+  /// expensive measurements (e.g. windowed rate estimates) the installed
+  /// program never looks at.
+  uint32_t pkt_fields_used = 0;
+
   /// Install-time variable names; the agent binds these in Install().
   std::vector<std::string> var_names;
 
   size_t num_folds() const { return fold_names.size(); }
   size_t num_vars() const { return var_names.size(); }
+  bool reads_pkt_field(PktField f) const {
+    return (pkt_fields_used >> static_cast<unsigned>(f)) & 1u;
+  }
   bool has_urgent() const {
     for (bool u : urgent_regs) if (u) return true;
     return false;
@@ -51,6 +65,17 @@ struct CompiledProgram {
     return -1;
   }
 };
+
+/// Install-time peephole optimizer, run by compile() on every block:
+///  1. fuses LoadConst feeding a binary op into a const-operand
+///     superinstruction (AddC, MulC, GtC, ... EwmaC), swapping operands
+///     for commutative ops and flipping comparisons when the constant is
+///     on the left;
+///  2. fuses a Select whose condition is `x > 0` into SelGtz;
+///  3. removes dead instructions by backward liveness (StoreFold and the
+///     result slot are the roots).
+/// Exposed for tests; slot numbering and the constant pool are preserved.
+CodeBlock optimize_block(CodeBlock block);
 
 /// Compiles a parsed program. Runs semantic analysis first and throws
 /// ProgramError on any error-severity issue.

@@ -41,8 +41,34 @@ OpInfo op_info(OpCode op) {
     case OpCode::Select: return {"select", 3};
     case OpCode::Ewma: return {"ewma", 3};
     case OpCode::StoreFold: return {"store", -1};
+    // Superinstructions (operand count -1: const operand rendered inline).
+    case OpCode::AddC: return {"addc", -1};
+    case OpCode::SubC: return {"subc", -1};
+    case OpCode::MulC: return {"mulc", -1};
+    case OpCode::DivC: return {"divc", -1};
+    case OpCode::MinC: return {"minc", -1};
+    case OpCode::MaxC: return {"maxc", -1};
+    case OpCode::LtC: return {"ltc", -1};
+    case OpCode::LeC: return {"lec", -1};
+    case OpCode::GtC: return {"gtc", -1};
+    case OpCode::GeC: return {"gec", -1};
+    case OpCode::EqC: return {"eqc", -1};
+    case OpCode::NeC: return {"nec", -1};
+    case OpCode::EwmaC: return {"ewmac", -1};
+    case OpCode::SelGtz: return {"selgtz", 3};
   }
   return {"?", 0};
+}
+
+bool is_binary_const_op(OpCode op) {
+  switch (op) {
+    case OpCode::AddC: case OpCode::SubC: case OpCode::MulC: case OpCode::DivC:
+    case OpCode::MinC: case OpCode::MaxC: case OpCode::LtC: case OpCode::LeC:
+    case OpCode::GtC: case OpCode::GeC: case OpCode::EqC: case OpCode::NeC:
+      return true;
+    default:
+      return false;
+  }
 }
 
 }  // namespace
@@ -68,7 +94,16 @@ std::string disassemble_instr(const CodeBlock& block, const Instr& instr) {
     case OpCode::StoreFold:
       std::snprintf(buf, sizeof(buf), "  fold[%u] <- %%%u", instr.a, instr.b);
       break;
+    case OpCode::EwmaC:
+      std::snprintf(buf, sizeof(buf), "  %%%u = ewmac %%%u, %%%u, %g", instr.dst,
+                    instr.a, instr.b, block.consts[instr.c]);
+      break;
     default:
+      if (is_binary_const_op(instr.op)) {
+        std::snprintf(buf, sizeof(buf), "  %%%u = %s %%%u, %g", instr.dst,
+                      info.name, instr.a, block.consts[instr.b]);
+        break;
+      }
       if (info.operands == 1) {
         std::snprintf(buf, sizeof(buf), "  %%%u = %s %%%u", instr.dst, info.name,
                       instr.a);

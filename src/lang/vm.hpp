@@ -42,7 +42,25 @@ class FoldMachine {
 
   /// Folds one ACK's measurements into the register file.
   /// Returns true if any `urgent` register changed value.
-  bool on_packet(const PktInfo& pkt);
+  /// Inline: this is the datapath's per-ACK entry into the VM; the
+  /// urgency bookkeeping around eval_block should not cost a call.
+  bool on_packet(const PktInfo& pkt) {
+    if (prog_ == nullptr) return false;
+    const auto& urgent = prog_->urgent_indices;
+    if (urgent.empty()) {
+      eval_block(prog_->fold_block, state_, pkt, vars_, scratch_);
+      return false;
+    }
+    // Snapshot only the urgent registers (typically 1-2 of dozens) rather
+    // than the whole register file; `before_` is a member sized once at
+    // install so the per-ACK path stays allocation-free.
+    for (size_t i = 0; i < urgent.size(); ++i) before_[i] = state_[urgent[i]];
+    eval_block(prog_->fold_block, state_, pkt, vars_, scratch_);
+    for (size_t i = 0; i < urgent.size(); ++i) {
+      if (state_[urgent[i]] != before_[i]) return true;
+    }
+    return false;
+  }
 
   /// Evaluates the argument expression of control instruction `idx`.
   double eval_control_arg(size_t idx, const PktInfo& pkt);
@@ -61,7 +79,7 @@ class FoldMachine {
   std::vector<double> state_;
   std::vector<double> init_snapshot_;  // state right after init, for volatile reset
   std::vector<double> scratch_;
-  std::vector<double> before_;  // reused urgent-detection snapshot
+  std::vector<double> before_;  // urgent-register snapshot, one per urgent_indices entry
 };
 
 }  // namespace ccp::lang

@@ -7,18 +7,21 @@ namespace ccp::sim {
 SimCcpHost::SimCcpHost(EventQueue& events, CcpHostConfig config)
     : events_(events), config_(config), rng_(config.seed) {
   datapath_ = std::make_unique<datapath::CcpDatapath>(
-      config_.datapath, [this](std::vector<uint8_t> frame) {
+      config_.datapath, [this](std::span<const uint8_t> frame) {
         ++frames_dp_to_agent_;
-        events_.schedule(sample_ipc_delay(), [this, frame = std::move(frame)] {
-          agent_->handle_frame(frame);
-        });
+        // Copy: the frame buffer is reused by the datapath after this call.
+        events_.schedule(sample_ipc_delay(),
+                         [this, frame = std::vector<uint8_t>(frame.begin(), frame.end())] {
+                           agent_->handle_frame(frame);
+                         });
       });
   agent_ = std::make_unique<agent::CcpAgent>(
-      config_.agent, [this](std::vector<uint8_t> frame) {
+      config_.agent, [this](std::span<const uint8_t> frame) {
         ++frames_agent_to_dp_;
-        events_.schedule(sample_ipc_delay(), [this, frame = std::move(frame)] {
-          datapath_->handle_frame(frame, events_.now());
-        });
+        events_.schedule(sample_ipc_delay(),
+                         [this, frame = std::vector<uint8_t>(frame.begin(), frame.end())] {
+                           datapath_->handle_frame(frame, events_.now());
+                         });
       });
   algorithms::register_builtin_algorithms(*agent_);
 }
@@ -44,16 +47,18 @@ void SimCcpHost::start(TimePoint until) {
 SimPrototypeHost::SimPrototypeHost(EventQueue& events, CcpHostConfig config)
     : events_(events), config_(config), rng_(config.seed) {
   datapath_ = std::make_unique<datapath::PrototypeDatapath>(
-      config_.datapath, [this](std::vector<uint8_t> frame) {
-        events_.schedule(sample_ipc_delay(), [this, frame = std::move(frame)] {
-          agent_->handle_frame(frame);
-        });
+      config_.datapath, [this](std::span<const uint8_t> frame) {
+        events_.schedule(sample_ipc_delay(),
+                         [this, frame = std::vector<uint8_t>(frame.begin(), frame.end())] {
+                           agent_->handle_frame(frame);
+                         });
       });
   agent_ = std::make_unique<agent::CcpAgent>(
-      config_.agent, [this](std::vector<uint8_t> frame) {
-        events_.schedule(sample_ipc_delay(), [this, frame = std::move(frame)] {
-          datapath_->handle_frame(frame, events_.now());
-        });
+      config_.agent, [this](std::span<const uint8_t> frame) {
+        events_.schedule(sample_ipc_delay(),
+                         [this, frame = std::vector<uint8_t>(frame.begin(), frame.end())] {
+                           datapath_->handle_frame(frame, events_.now());
+                         });
       });
   algorithms::register_builtin_algorithms(*agent_);
 }

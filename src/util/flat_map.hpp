@@ -1,0 +1,196 @@
+// Open-addressing hash map for hot-path lookup tables (flow demux).
+//
+// std::map costs a pointer-chasing red-black tree walk per lookup; on the
+// per-ACK demux path that is several dependent cache misses per packet.
+// FlatMap stores Slots contiguously with linear probing and a Fibonacci
+// hash finalizer, so the common lookup is one probe into one cache line.
+//
+// Deliberately minimal: exactly what the flow tables need.
+//   - find() -> V* (nullptr when absent)
+//   - insert_or_assign(), erase(), size(), clear()
+//   - range-for iteration over occupied Slots; Slot exposes public
+//     members `key`/`value` so structured bindings written against
+//     std::map's pair iteration (`for (auto& [id, flow] : map)`) keep
+//     compiling unchanged.
+//
+// Invariants: capacity is a power of two; load factor <= 0.75; erase uses
+// backward-shift deletion (no tombstones, probe chains stay short).
+// Iteration order is unspecified (it is NOT sorted like std::map).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace ccp::util {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class FlatMap {
+ public:
+  struct Slot {
+    K key{};
+    V value{};
+  };
+
+  FlatMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    used_.clear();
+    size_ = 0;
+  }
+
+  V* find(const K& key) {
+    if (size_ == 0) return nullptr;
+    const size_t mask = slots_.size() - 1;
+    size_t i = index_of(key);
+    while (used_[i]) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+  const V* find(const K& key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  bool contains(const K& key) const { return find(key) != nullptr; }
+
+  /// Inserts or overwrites. Returns a reference to the stored value.
+  /// References are invalidated by any insert that triggers a rehash.
+  template <typename U>
+  V& insert_or_assign(const K& key, U&& value) {
+    reserve_for_one_more();
+    const size_t mask = slots_.size() - 1;
+    size_t i = index_of(key);
+    while (used_[i]) {
+      if (slots_[i].key == key) {
+        slots_[i].value = std::forward<U>(value);
+        return slots_[i].value;
+      }
+      i = (i + 1) & mask;
+    }
+    used_[i] = true;
+    slots_[i].key = key;
+    slots_[i].value = std::forward<U>(value);
+    ++size_;
+    return slots_[i].value;
+  }
+
+  /// Removes `key` if present; returns the number of elements removed
+  /// (0 or 1, matching std::map::erase).
+  size_t erase(const K& key) {
+    if (size_ == 0) return 0;
+    const size_t mask = slots_.size() - 1;
+    size_t i = index_of(key);
+    while (used_[i]) {
+      if (slots_[i].key == key) break;
+      i = (i + 1) & mask;
+    }
+    if (!used_[i]) return 0;
+
+    // Backward-shift deletion: walk the probe chain after the hole and
+    // move back every element whose home position does not lie strictly
+    // between the hole and its current slot (cyclically).
+    size_t hole = i;
+    size_t j = (hole + 1) & mask;
+    while (used_[j]) {
+      const size_t home = index_of(slots_[j].key);
+      // Distance from home to current slot >= distance from hole to
+      // current slot means the element may legally move into the hole.
+      if (((j - home) & mask) >= ((j - hole) & mask)) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+      j = (j + 1) & mask;
+    }
+    used_[hole] = false;
+    slots_[hole] = Slot{};
+    --size_;
+    return 1;
+  }
+
+  // --- iteration over occupied slots ---
+
+  template <bool Const>
+  class Iter {
+    using MapT = std::conditional_t<Const, const FlatMap, FlatMap>;
+    using SlotT = std::conditional_t<Const, const Slot, Slot>;
+
+   public:
+    Iter(MapT* map, size_t pos) : map_(map), pos_(pos) { skip_empty(); }
+    SlotT& operator*() const { return map_->slots_[pos_]; }
+    SlotT* operator->() const { return &map_->slots_[pos_]; }
+    Iter& operator++() {
+      ++pos_;
+      skip_empty();
+      return *this;
+    }
+    bool operator==(const Iter& o) const { return pos_ == o.pos_; }
+    bool operator!=(const Iter& o) const { return pos_ != o.pos_; }
+
+   private:
+    void skip_empty() {
+      while (pos_ < map_->slots_.size() && !map_->used_[pos_]) ++pos_;
+    }
+    MapT* map_;
+    size_t pos_;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, slots_.size()); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, slots_.size()); }
+
+ private:
+  size_t index_of(const K& key) const {
+    // Fibonacci finalizer spreads clustered keys (flow ids are
+    // sequential integers whose std::hash is the identity).
+    const uint64_t h = static_cast<uint64_t>(Hash{}(key)) * 0x9E3779B97F4A7C15ULL;
+    return static_cast<size_t>(h >> shift_);
+  }
+
+  void reserve_for_one_more() {
+    if (slots_.empty()) {
+      rehash(16);
+    } else if ((size_ + 1) * 4 > slots_.size() * 3) {  // load factor 0.75
+      rehash(slots_.size() * 2);
+    }
+  }
+
+  void rehash(size_t new_cap) {
+    std::vector<Slot> old_slots;
+    std::vector<uint8_t> old_used;
+    old_slots.swap(slots_);
+    old_used.swap(used_);
+    slots_.resize(new_cap);
+    used_.assign(new_cap, 0);
+    shift_ = 64;
+    for (size_t c = new_cap; c > 1; c >>= 1) --shift_;
+    size_ = 0;
+    for (size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_used[i]) continue;
+      const size_t mask = slots_.size() - 1;
+      size_t j = index_of(old_slots[i].key);
+      while (used_[j]) j = (j + 1) & mask;
+      used_[j] = true;
+      slots_[j] = std::move(old_slots[i]);
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<uint8_t> used_;  // parallel occupancy bitmap (byte per slot)
+  size_t size_ = 0;
+  unsigned shift_ = 64;  // 64 - log2(capacity)
+};
+
+}  // namespace ccp::util

@@ -2,30 +2,18 @@
 
 namespace ccp {
 
-RateEstimator::RateEstimator(Duration window) : window_(window) {}
-
-void RateEstimator::set_window(Duration window) { window_ = window; }
-
-void RateEstimator::on_bytes(uint64_t bytes, TimePoint now) {
-  events_.push_back({now, bytes});
-  bytes_in_window_ += bytes;
-  total_bytes_ += bytes;
-  expire(now);
+RateEstimator::RateEstimator(Duration window) : window_(window) {
+  events_.resize(kCapacity);
 }
 
 void RateEstimator::expire(TimePoint now) const {
   const TimePoint cutoff = now - window_;
-  while (!events_.empty() && events_.front().time < cutoff) {
-    bytes_in_window_ -= events_.front().bytes;
-    anchor_time_ = events_.front().time;
-    anchor_valid_ = true;
-    events_.pop_front();
-  }
+  while (count() > 0 && front().time < cutoff) pop_front_into_anchor();
 }
 
 double RateEstimator::rate_bps(TimePoint now) const {
   expire(now);
-  if (events_.empty()) return 0.0;
+  if (count() == 0) return 0.0;
   if (anchor_valid_) {
     // The window has been rolling: measure everything in it against the
     // window edge (or the last expired event, whichever is later). A
@@ -41,15 +29,15 @@ double RateEstimator::rate_bps(TimePoint now) const {
   }
   // Startup (nothing expired yet): measure from the first event, whose
   // own bytes arrived "at time zero" of the interval and are excluded.
-  if (events_.size() < 2) return 0.0;
-  const Duration span = now - events_.front().time;
+  if (count() < 2) return 0.0;
+  const Duration span = now - front().time;
   if (span <= Duration::zero()) return 0.0;
-  const uint64_t bytes = bytes_in_window_ - events_.front().bytes;
+  const uint64_t bytes = bytes_in_window_ - front().bytes;
   return static_cast<double>(bytes) / span.secs();
 }
 
 void RateEstimator::reset() {
-  events_.clear();
+  head_ = tail_ = 0;
   bytes_in_window_ = 0;
   anchor_valid_ = false;
 }

@@ -4,10 +4,17 @@
 // delivery rates". This estimator counts bytes over a sliding time window
 // and reports bytes/sec; it is the source of Pkt.snd_rate / Pkt.rcv_rate
 // presented to fold functions.
+//
+// History lives in a fixed-capacity ring allocated once at construction:
+// on_bytes()/rate_bps() never allocate, which the per-ACK hot path
+// depends on (see docs/PERF.md). When the ring fills before time expires
+// old events, the oldest event is folded into the window-edge anchor —
+// the estimate degrades gracefully to "bytes since anchor / time since
+// anchor" rather than growing memory.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "util/time.hpp"
 
@@ -19,11 +26,20 @@ class RateEstimator {
   /// control wants roughly an RTT; callers may retune via set_window().
   explicit RateEstimator(Duration window = Duration::from_millis(100));
 
-  void set_window(Duration window);
+  void set_window(Duration window) { window_ = window; }
   Duration window() const { return window_; }
 
-  /// Record that `bytes` were sent/delivered at `now`.
-  void on_bytes(uint64_t bytes, TimePoint now);
+  /// Record that `bytes` were sent/delivered at `now`. Inline: this runs
+  /// (for two estimators) on every send and every ACK, and must stay a
+  /// handful of stores. Expiry is deferred to rate_bps(); the ring-full
+  /// fold below bounds memory regardless of how stale the window gets.
+  void on_bytes(uint64_t bytes, TimePoint now) {
+    if (count() == kCapacity) pop_front_into_anchor();  // ring full: fold oldest
+    events_[tail_ & (kCapacity - 1)] = {now, bytes};
+    ++tail_;
+    bytes_in_window_ += bytes;
+    total_bytes_ += bytes;
+  }
 
   /// Estimated rate in bytes per second over the trailing window.
   /// Returns 0 until at least two events span a measurable interval.
@@ -40,11 +56,28 @@ class RateEstimator {
     uint64_t bytes;
   };
 
+  // Fixed ring capacity (power of two). At one event per ACK this is
+  // ~0.5 ms of history at 1M ACKs/sec — beyond it the anchor fallback
+  // takes over, which is exactly the regime where per-event resolution
+  // stops mattering.
+  static constexpr size_t kCapacity = 512;
+
+  size_t count() const { return tail_ - head_; }
+  const Event& front() const { return events_[head_ & (kCapacity - 1)]; }
+  void pop_front_into_anchor() const {
+    const Event& ev = front();
+    bytes_in_window_ -= ev.bytes;
+    anchor_time_ = ev.time;
+    anchor_valid_ = true;
+    ++head_;
+  }
   void expire(TimePoint now) const;
 
   Duration window_;
   // mutable: expire() trims history from const accessors.
-  mutable std::deque<Event> events_;
+  mutable std::vector<Event> events_;  // ring storage, sized once
+  mutable uint64_t head_ = 0;          // monotone ring indices
+  mutable uint64_t tail_ = 0;
   mutable uint64_t bytes_in_window_ = 0;
   // Time of the most recently expired event: once events start aging
   // out, the measurement interval is anchored at the window edge, so an

@@ -51,7 +51,7 @@ struct Harness {
 
   explicit Harness(AgentConfig cfg = {}) : config(std::move(cfg)) {
     config.default_algorithm = "probe";
-    agent = std::make_unique<CcpAgent>(config, [this](std::vector<uint8_t> frame) {
+    agent = std::make_unique<CcpAgent>(config, [this](std::span<const uint8_t> frame) {
       sent.push_back(ipc::decode_frame(frame));
     });
   }

@@ -10,7 +10,7 @@ TimePoint at_ms(int64_t ms) { return TimePoint::epoch() + Duration::from_millis(
 struct FrameLog {
   std::vector<std::vector<ipc::Message>> frames;
   CcpDatapath::FrameTx tx() {
-    return [this](std::vector<uint8_t> frame) {
+    return [this](std::span<const uint8_t> frame) {
       frames.push_back(ipc::decode_frame(frame));
     };
   }

@@ -1,0 +1,255 @@
+// Install-time optimizer tests: const-operand superinstruction fusion,
+// compare+Select fusion, dead-code elimination, and the degenerate-block
+// paths of eval_block. Semantic equivalence over random programs is
+// covered end-to-end by lang_property_test (compile_text now optimizes);
+// these tests pin the *shape* of the optimized code and the edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lang/compiler.hpp"
+#include "lang/vm.hpp"
+
+namespace ccp::lang {
+namespace {
+
+size_t count_op(const CodeBlock& b, OpCode op) {
+  return static_cast<size_t>(
+      std::count_if(b.code.begin(), b.code.end(),
+                    [op](const Instr& i) { return i.op == op; }));
+}
+
+TEST(Optimizer, FusesConstRightOperand) {
+  auto prog = compile_text(R"(
+    fold { x := x + 1 init 0; }
+    control { Report(); }
+  )");
+  const CodeBlock& f = prog.fold_block;
+  // LoadFold x; AddC x, 1; StoreFold — the LoadConst is fused and swept.
+  EXPECT_EQ(f.code.size(), 3u);
+  EXPECT_EQ(count_op(f, OpCode::AddC), 1u);
+  EXPECT_EQ(count_op(f, OpCode::Add), 0u);
+  EXPECT_EQ(count_op(f, OpCode::LoadConst), 0u);
+}
+
+TEST(Optimizer, SwapsConstLeftOperandOfCommutativeOps) {
+  auto prog = compile_text(R"(
+    fold { x := 2 * Pkt.bytes_acked init 0; }
+    control { Report(); }
+  )");
+  const CodeBlock& f = prog.fold_block;
+  EXPECT_EQ(count_op(f, OpCode::MulC), 1u);
+  EXPECT_EQ(count_op(f, OpCode::Mul), 0u);
+  EXPECT_EQ(count_op(f, OpCode::LoadConst), 0u);
+}
+
+TEST(Optimizer, FlipsComparisonWithConstOnLeft) {
+  auto prog = compile_text(R"(
+    fold { x := if(0.5 < Pkt.rtt, 1, 2) init 0; }
+    control { Report(); }
+  )");
+  const CodeBlock& f = prog.fold_block;
+  // `0.5 < rtt` becomes `rtt > 0.5` with the const fused.
+  EXPECT_EQ(count_op(f, OpCode::GtC), 1u);
+  EXPECT_EQ(count_op(f, OpCode::Lt), 0u);
+  EXPECT_EQ(count_op(f, OpCode::LtC), 0u);
+}
+
+TEST(Optimizer, FusesGuardIntoSelGtz) {
+  auto prog = compile_text(R"(
+    fold { x := if(Pkt.lost > 0, x + 1, x) init 0; }
+    control { Report(); }
+  )");
+  const CodeBlock& f = prog.fold_block;
+  EXPECT_EQ(count_op(f, OpCode::SelGtz), 1u);
+  EXPECT_EQ(count_op(f, OpCode::Select), 0u);
+  // The absorbed compare is dead after fusion and must be swept.
+  EXPECT_EQ(count_op(f, OpCode::GtC), 0u);
+  EXPECT_EQ(count_op(f, OpCode::Gt), 0u);
+
+  // Semantics preserved: increments only when lost_pkts > 0.
+  FoldMachine fm;
+  fm.install(&prog, {});
+  PktInfo pkt;
+  fm.on_packet(pkt);
+  EXPECT_DOUBLE_EQ(fm.state()[0], 0.0);
+  pkt.lost_packets = 2;
+  fm.on_packet(pkt);
+  EXPECT_DOUBLE_EQ(fm.state()[0], 1.0);
+}
+
+TEST(Optimizer, FusesEwmaConstWeight) {
+  auto prog = compile_text(R"(
+    fold { srtt := ewma(srtt, Pkt.rtt, 0.125) init 0; }
+    control { Report(); }
+  )");
+  const CodeBlock& f = prog.fold_block;
+  EXPECT_EQ(count_op(f, OpCode::EwmaC), 1u);
+  EXPECT_EQ(count_op(f, OpCode::Ewma), 0u);
+
+  FoldMachine fm;
+  fm.install(&prog, {});
+  PktInfo pkt;
+  pkt.rtt_us = 80.0;
+  fm.on_packet(pkt);
+  EXPECT_DOUBLE_EQ(fm.state()[0], 0.875 * 0.0 + 0.125 * 80.0);
+}
+
+TEST(Optimizer, ControlArgsAreOptimizedToo) {
+  auto prog = compile_text(R"(
+    fold { w := w + Pkt.bytes_acked init 1460; }
+    control { Cwnd(w * 2); WaitRtts(1.0); Report(); }
+  )");
+  ASSERT_FALSE(prog.control_args.empty());
+  const CodeBlock& arg = prog.control_args[0];
+  EXPECT_EQ(count_op(arg, OpCode::MulC), 1u);
+  EXPECT_EQ(count_op(arg, OpCode::Mul), 0u);
+}
+
+TEST(Optimizer, DeduplicatesRepeatedLoads) {
+  // Pkt.rtt is read three times and minrtt twice; value numbering keeps
+  // one load of each and rewrites the rest through it.
+  auto prog = compile_text(R"(
+    fold {
+      srtt := ewma(srtt, Pkt.rtt, 0.125) init 0;
+      minrtt := if(Pkt.rtt > 0, min(minrtt, Pkt.rtt), minrtt) init 1000000;
+    }
+    control { Report(); }
+  )");
+  const CodeBlock& f = prog.fold_block;
+  EXPECT_EQ(count_op(f, OpCode::LoadPkt), 1u);
+  EXPECT_EQ(count_op(f, OpCode::LoadFold), 2u);  // one per register
+
+  FoldMachine fm;
+  fm.install(&prog, {});
+  PktInfo pkt;
+  pkt.rtt_us = 80.0;
+  fm.on_packet(pkt);
+  EXPECT_DOUBLE_EQ(fm.state()[0], 0.125 * 80.0);
+  EXPECT_DOUBLE_EQ(fm.state()[1], 80.0);
+  pkt.rtt_us = 0.0;  // guard holds minrtt when no sample
+  fm.on_packet(pkt);
+  EXPECT_DOUBLE_EQ(fm.state()[1], 80.0);
+}
+
+TEST(Optimizer, ForwardsStoredRegisterToLaterLoads) {
+  // `y`'s update reads `x` after x's StoreFold: the load forwards the
+  // stored slot, so the block needs only the initial LoadFold of each
+  // register it reads before writing.
+  auto prog = compile_text(R"(
+    fold {
+      x := x + Pkt.bytes_acked init 0;
+      y := x * 2 init 0;
+    }
+    control { Report(); }
+  )");
+  const CodeBlock& f = prog.fold_block;
+  EXPECT_EQ(count_op(f, OpCode::LoadFold), 1u);  // only the pre-store x
+
+  FoldMachine fm;
+  fm.install(&prog, {});
+  PktInfo pkt;
+  pkt.bytes_acked = 10.0;
+  fm.on_packet(pkt);
+  // Sequential fold semantics: y sees the freshly stored x.
+  EXPECT_DOUBLE_EQ(fm.state()[0], 10.0);
+  EXPECT_DOUBLE_EQ(fm.state()[1], 20.0);
+}
+
+TEST(Optimizer, VarOperandsAreNotFused) {
+  // $vars bind at install/update time, not compile time: no fusion.
+  auto prog = compile_text(R"(
+    fold { x := x + $step init 0; }
+    control { Report(); }
+  )");
+  const CodeBlock& f = prog.fold_block;
+  EXPECT_EQ(count_op(f, OpCode::Add), 1u);
+  EXPECT_EQ(count_op(f, OpCode::AddC), 0u);
+  EXPECT_EQ(count_op(f, OpCode::LoadVar), 1u);
+}
+
+TEST(Optimizer, DeadCodeSweepPreservesStores) {
+  CodeBlock b;
+  b.consts = {5.0};
+  b.n_slots = 3;
+  b.code = {
+      {OpCode::LoadConst, 0, 0, 0, 0},  // dead after fusion below
+      {OpCode::LoadFold, 1, 0, 0, 0},
+      {OpCode::Add, 2, 1, 0, 0},  // fuses to AddC %1, 5
+      {OpCode::StoreFold, 0, 0, 2, 0},
+  };
+  b.result_slot = 2;
+  const CodeBlock opt = optimize_block(b);
+  EXPECT_EQ(opt.code.size(), 3u);
+  EXPECT_EQ(count_op(opt, OpCode::LoadConst), 0u);
+  EXPECT_EQ(count_op(opt, OpCode::AddC), 1u);
+  EXPECT_EQ(count_op(opt, OpCode::StoreFold), 1u);
+
+  double fold[1] = {10.0};
+  std::vector<double> scratch;
+  const double r = eval_block(opt, fold, PktInfo{}, {}, scratch);
+  EXPECT_DOUBLE_EQ(r, 15.0);
+  EXPECT_DOUBLE_EQ(fold[0], 15.0);
+}
+
+TEST(Optimizer, UrgentIndicesMatchUrgentRegs) {
+  auto prog = compile_text(R"(
+    fold {
+      a := a + 1 init 0;
+      volatile loss := loss + Pkt.lost init 0 urgent;
+      b := b + 1 init 0;
+      volatile timeout := timeout + Pkt.was_timeout init 0 urgent;
+    }
+    control { Report(); }
+  )");
+  ASSERT_EQ(prog.urgent_indices.size(), 2u);
+  EXPECT_EQ(prog.urgent_indices[0], 1u);
+  EXPECT_EQ(prog.urgent_indices[1], 3u);
+  for (size_t i = 0; i < prog.urgent_regs.size(); ++i) {
+    const bool listed =
+        std::find(prog.urgent_indices.begin(), prog.urgent_indices.end(),
+                  static_cast<uint16_t>(i)) != prog.urgent_indices.end();
+    EXPECT_EQ(listed, static_cast<bool>(prog.urgent_regs[i]));
+  }
+}
+
+// --- eval_block degenerate paths ---
+
+TEST(EvalBlockDegenerate, EmptyBlockYieldsZero) {
+  CodeBlock b;
+  std::vector<double> scratch;
+  EXPECT_DOUBLE_EQ(eval_block(b, {}, PktInfo{}, {}, scratch), 0.0);
+  EXPECT_TRUE(scratch.empty());  // no slots touched for empty blocks
+}
+
+TEST(EvalBlockDegenerate, NonEmptyCodeWithZeroSlotsIsRejected) {
+  // Malformed by construction (every instruction touches a slot); the VM
+  // must bail out instead of indexing an empty scratch file.
+  CodeBlock b;
+  b.code = {{OpCode::StoreFold, 0, 0, 0, 0}};
+  b.n_slots = 0;
+  double fold[1] = {7.0};
+  std::vector<double> scratch;
+  EXPECT_DOUBLE_EQ(eval_block(b, fold, PktInfo{}, {}, scratch), 0.0);
+  EXPECT_DOUBLE_EQ(fold[0], 7.0);  // untouched
+}
+
+TEST(EvalBlockDegenerate, OutOfRangeResultSlotYieldsZero) {
+  CodeBlock b;
+  b.consts = {3.0};
+  b.code = {{OpCode::LoadConst, 0, 0, 0, 0}};
+  b.n_slots = 1;
+  b.result_slot = 9;  // out of range
+  std::vector<double> scratch;
+  EXPECT_DOUBLE_EQ(eval_block(b, {}, PktInfo{}, {}, scratch), 0.0);
+}
+
+TEST(EvalBlockDegenerate, OptimizerPassesEmptyBlockThrough) {
+  CodeBlock b;
+  const CodeBlock opt = optimize_block(b);
+  EXPECT_TRUE(opt.code.empty());
+  EXPECT_EQ(opt.n_slots, 0);
+}
+
+}  // namespace
+}  // namespace ccp::lang

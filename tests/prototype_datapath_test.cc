@@ -28,7 +28,7 @@ TEST(PrototypeDatapath, AnnouncesLimitedCapability) {
   std::vector<ipc::Message> sent;
   datapath::PrototypeDatapath dp(
       datapath::DatapathConfig{},
-      [&](std::vector<uint8_t> frame) {
+      [&](std::span<const uint8_t> frame) {
         for (auto& m : ipc::decode_frame(frame)) sent.push_back(std::move(m));
       });
   dp.create_flow(datapath::FlowConfig{}, "reno", at_ms(0));
@@ -41,7 +41,7 @@ TEST(PrototypeDatapath, RejectsInstallAcceptsDirectControl) {
   std::vector<ipc::Message> sent;
   datapath::PrototypeDatapath dp(
       datapath::DatapathConfig{},
-      [&](std::vector<uint8_t> frame) {
+      [&](std::span<const uint8_t> frame) {
         for (auto& m : ipc::decode_frame(frame)) sent.push_back(std::move(m));
       });
   auto& flow = dp.create_flow(datapath::FlowConfig{1460, 10 * 1460}, "", at_ms(0));
@@ -67,7 +67,7 @@ TEST(PrototypeDatapath, ReportsFixedLayoutOncePerRtt) {
   std::vector<ipc::MeasurementMsg> reports;
   datapath::PrototypeDatapath dp(
       datapath::DatapathConfig{},
-      [&](std::vector<uint8_t> frame) {
+      [&](std::span<const uint8_t> frame) {
         for (auto& m : ipc::decode_frame(frame)) {
           if (auto* meas = std::get_if<ipc::MeasurementMsg>(&m)) {
             reports.push_back(*meas);
@@ -140,7 +140,7 @@ TEST(PrototypeDatapath, CloseFlowCleansUp) {
   std::vector<ipc::Message> sent;
   datapath::PrototypeDatapath dp(
       datapath::DatapathConfig{},
-      [&](std::vector<uint8_t> frame) {
+      [&](std::span<const uint8_t> frame) {
         for (auto& m : ipc::decode_frame(frame)) sent.push_back(std::move(m));
       });
   auto& flow = dp.create_flow(datapath::FlowConfig{}, "", at_ms(0));

@@ -24,7 +24,7 @@ struct RealStack {
       : channel(std::move(pair)) {
     agent::AgentConfig cfg;
     cfg.default_algorithm = default_alg;
-    agent = std::make_unique<agent::CcpAgent>(cfg, [this](std::vector<uint8_t> f) {
+    agent = std::make_unique<agent::CcpAgent>(cfg, [this](std::span<const uint8_t> f) {
       channel.b->send_frame(f);
     });
     algorithms::register_builtin_algorithms(*agent);
@@ -32,7 +32,7 @@ struct RealStack {
         *channel.b, [this](std::span<const uint8_t> f) { agent->handle_frame(f); });
     dp = std::make_unique<datapath::CcpDatapath>(
         datapath::DatapathConfig{},
-        [this](std::vector<uint8_t> f) { channel.a->send_frame(f); });
+        [this](std::span<const uint8_t> f) { channel.a->send_frame(f); });
   }
 
   ~RealStack() { agent_loop->stop(); }

@@ -1,0 +1,241 @@
+// ShmRing consumer-path tests: zero-copy peek/consume, batched drain,
+// randomized wrap-around fuzzing against a reference queue, and full-ring
+// backpressure. These exercise the ring directly (no transport on top) so
+// wrap offsets and record boundaries can be controlled precisely.
+#include "ipc/shm_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ccp::ipc {
+namespace {
+
+/// A ring over plain heap memory (producer and consumer in-process).
+struct TestRing {
+  explicit TestRing(size_t capacity)
+      : mem(ShmRing::mapping_size(capacity)),
+        ring(ShmRing::create_in(mem.data(), capacity)),
+        data_begin(mem.data() + sizeof(RingHeader)),
+        data_end(data_begin + capacity) {}
+
+  std::vector<uint8_t> mem;
+  ShmRing ring;
+  const uint8_t* data_begin;
+  const uint8_t* data_end;
+
+  bool in_ring(const uint8_t* p) const { return p >= data_begin && p < data_end; }
+};
+
+std::vector<uint8_t> pattern(size_t len, uint8_t seed) {
+  std::vector<uint8_t> v(len);
+  for (size_t i = 0; i < len; ++i) v[i] = static_cast<uint8_t>(seed + i * 7);
+  return v;
+}
+
+TEST(ShmRingPeek, PeekConsumeRoundTrip) {
+  TestRing t(1 << 12);
+  std::vector<uint8_t> scratch;
+  EXPECT_FALSE(t.ring.peek(scratch).has_value());
+
+  const auto a = pattern(100, 1);
+  const auto b = pattern(333, 2);
+  ASSERT_TRUE(t.ring.push(a));
+  ASSERT_TRUE(t.ring.push(b));
+
+  auto p1 = t.ring.peek(scratch);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_TRUE(std::equal(p1->begin(), p1->end(), a.begin(), a.end()));
+  // Peek does not retire: peeking again sees the same record.
+  auto p1again = t.ring.peek(scratch);
+  ASSERT_TRUE(p1again.has_value());
+  EXPECT_EQ(p1again->size(), a.size());
+  t.ring.consume();
+
+  auto p2 = t.ring.peek(scratch);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_TRUE(std::equal(p2->begin(), p2->end(), b.begin(), b.end()));
+  t.ring.consume();
+  EXPECT_TRUE(t.ring.empty());
+}
+
+TEST(ShmRingPeek, ContiguousRecordIsZeroCopy) {
+  TestRing t(1 << 12);
+  std::vector<uint8_t> scratch;
+  const auto a = pattern(64, 3);
+  ASSERT_TRUE(t.ring.push(a));
+  auto p = t.ring.peek(scratch);
+  ASSERT_TRUE(p.has_value());
+  // The record sits at the start of a fresh ring: the span must point
+  // into ring memory, not into scratch.
+  EXPECT_TRUE(t.in_ring(p->data()));
+  t.ring.consume();
+}
+
+TEST(ShmRingPeek, WrappedRecordIsStagedThroughScratch) {
+  constexpr size_t kCap = 256;
+  TestRing t(kCap);
+  std::vector<uint8_t> scratch;
+
+  // Advance head/tail so the next record straddles the wrap point:
+  // push+consume a 200-byte record (offsets now at 204), then push a
+  // 100-byte record (4-byte header ends at 208, payload runs past 256).
+  const auto filler = pattern(200, 4);
+  ASSERT_TRUE(t.ring.push(filler));
+  ASSERT_TRUE(t.ring.peek(scratch).has_value());
+  t.ring.consume();
+
+  const auto wrapped = pattern(100, 5);
+  ASSERT_TRUE(t.ring.push(wrapped));
+  auto p = t.ring.peek(scratch);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(t.in_ring(p->data()));  // staged through scratch
+  EXPECT_TRUE(std::equal(p->begin(), p->end(), wrapped.begin(), wrapped.end()));
+  t.ring.consume();
+  EXPECT_TRUE(t.ring.empty());
+}
+
+TEST(ShmRingDrain, DrainsBacklogInOrder) {
+  TestRing t(1 << 12);
+  std::vector<uint8_t> scratch;
+  std::vector<std::vector<uint8_t>> sent;
+  for (int i = 0; i < 10; ++i) {
+    sent.push_back(pattern(50 + static_cast<size_t>(i) * 13, static_cast<uint8_t>(i)));
+    ASSERT_TRUE(t.ring.push(sent.back()));
+  }
+  size_t idx = 0;
+  const size_t n = t.ring.drain(scratch, [&](std::span<const uint8_t> rec) {
+    ASSERT_LT(idx, sent.size());
+    EXPECT_TRUE(std::equal(rec.begin(), rec.end(), sent[idx].begin(), sent[idx].end()));
+    ++idx;
+  });
+  EXPECT_EQ(n, sent.size());
+  EXPECT_TRUE(t.ring.empty());
+  EXPECT_EQ(t.ring.drain(scratch, [](std::span<const uint8_t>) {}), 0u);
+}
+
+TEST(ShmRingDrain, SpansStayValidForTheWholeDrain) {
+  // drain() publishes the head update only after the loop, so a callback
+  // that stashes spans may read them all at the end of its own pass —
+  // the producer cannot overwrite unretired bytes mid-drain.
+  TestRing t(1 << 10);
+  std::vector<uint8_t> scratch;
+  std::vector<std::vector<uint8_t>> sent;
+  for (int i = 0; i < 4; ++i) {
+    sent.push_back(pattern(64, static_cast<uint8_t>(0x40 + i)));
+    ASSERT_TRUE(t.ring.push(sent.back()));
+  }
+  std::vector<std::span<const uint8_t>> views;
+  t.ring.drain(scratch, [&](std::span<const uint8_t> rec) { views.push_back(rec); });
+  ASSERT_EQ(views.size(), sent.size());
+  for (size_t i = 0; i < views.size(); ++i) {
+    // Contiguous records in a fresh ring: all views alias ring memory and
+    // must still hold the original bytes after the drain loop finished.
+    EXPECT_TRUE(std::equal(views[i].begin(), views[i].end(), sent[i].begin(),
+                           sent[i].end()));
+  }
+}
+
+TEST(ShmRingFuzz, RandomizedWrapAroundAgainstReferenceQueue) {
+  // Small capacity forces frequent wrap-around; every consumer path
+  // (pop, peek+consume, drain) is exercised against a reference deque.
+  constexpr size_t kCap = 512;
+  TestRing t(kCap);
+  std::vector<uint8_t> scratch;
+  std::deque<std::vector<uint8_t>> reference;
+  Rng rng(0xc0ffee);
+
+  uint64_t pushed = 0, popped = 0;
+  for (int iter = 0; iter < 20000; ++iter) {
+    const uint64_t action = rng.next_below(10);
+    if (action < 5) {  // produce
+      const size_t len = rng.next_below(120);  // includes zero-length
+      auto payload = pattern(len, static_cast<uint8_t>(rng.next_u64()));
+      if (t.ring.push(payload)) {
+        reference.push_back(std::move(payload));
+        ++pushed;
+      } else {
+        // Backpressure must mean "genuinely not enough space".
+        EXPECT_GT(t.ring.bytes_used() + 4 + len, kCap);
+      }
+    } else if (action < 7) {  // pop
+      auto got = t.ring.pop();
+      ASSERT_EQ(got.has_value(), !reference.empty());
+      if (got) {
+        EXPECT_EQ(*got, reference.front());
+        reference.pop_front();
+        ++popped;
+      }
+    } else if (action < 9) {  // peek + consume
+      auto got = t.ring.peek(scratch);
+      ASSERT_EQ(got.has_value(), !reference.empty());
+      if (got) {
+        ASSERT_EQ(got->size(), reference.front().size());
+        EXPECT_TRUE(std::equal(got->begin(), got->end(), reference.front().begin(),
+                               reference.front().end()));
+        t.ring.consume();
+        reference.pop_front();
+        ++popped;
+      }
+    } else {  // drain everything
+      const size_t expect = reference.size();
+      const size_t n = t.ring.drain(scratch, [&](std::span<const uint8_t> rec) {
+        ASSERT_FALSE(reference.empty());
+        ASSERT_EQ(rec.size(), reference.front().size());
+        EXPECT_TRUE(std::equal(rec.begin(), rec.end(), reference.front().begin(),
+                               reference.front().end()));
+        reference.pop_front();
+        ++popped;
+      });
+      EXPECT_EQ(n, expect);
+    }
+  }
+  // Sanity: the fuzz actually wrapped the ring many times.
+  EXPECT_GT(pushed, 5000u);
+  // Drain the leftovers and verify emptiness is consistent.
+  while (auto got = t.ring.pop()) {
+    ASSERT_FALSE(reference.empty());
+    EXPECT_EQ(*got, reference.front());
+    reference.pop_front();
+  }
+  EXPECT_TRUE(reference.empty());
+  EXPECT_TRUE(t.ring.empty());
+  EXPECT_EQ(t.ring.bytes_used(), 0u);
+}
+
+TEST(ShmRingBackpressure, FullRingRejectsUntilConsumerFreesSpace) {
+  constexpr size_t kCap = 1 << 10;
+  TestRing t(kCap);
+  std::vector<uint8_t> scratch;
+  const auto rec = pattern(100, 7);
+
+  int accepted = 0;
+  while (t.ring.push(rec)) ++accepted;
+  EXPECT_GT(accepted, 1);
+  // Ring is full for this record size; repeated pushes keep failing and
+  // must not corrupt state.
+  EXPECT_FALSE(t.ring.push(rec));
+  EXPECT_FALSE(t.ring.push(rec));
+
+  // Freeing one record admits exactly one more.
+  auto got = t.ring.peek(scratch);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(std::equal(got->begin(), got->end(), rec.begin(), rec.end()));
+  t.ring.consume();
+  EXPECT_TRUE(t.ring.push(rec));
+  EXPECT_FALSE(t.ring.push(rec));
+
+  // Every queued record survives intact.
+  size_t n = t.ring.drain(scratch, [&](std::span<const uint8_t> r) {
+    EXPECT_TRUE(std::equal(r.begin(), r.end(), rec.begin(), rec.end()));
+  });
+  EXPECT_EQ(n, static_cast<size_t>(accepted));
+  EXPECT_TRUE(t.ring.empty());
+}
+
+}  // namespace
+}  // namespace ccp::ipc
