@@ -10,9 +10,11 @@
 // (same cubic function, per-ACK execution); the network is simulated
 // with identical parameters.
 #include <cstdio>
+#include <map>
 
 #include "algorithms/native/native_cubic.hpp"
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 #include "sim/ccp_host.hpp"
 #include "sim/dumbbell.hpp"
 #include "sim/trace.hpp"
@@ -78,11 +80,18 @@ RunOutput run(bool use_ccp) {
   return out;
 }
 
+/// Every 10th sample: the 50 ms trace decimated to the 0.5 s figure grid.
+std::vector<TracePoint> decimate(const std::vector<TracePoint>& series) {
+  std::vector<TracePoint> out;
+  for (size_t i = 0; i < series.size(); i += 10) out.push_back(series[i]);
+  return out;
+}
+
 void print_series(const char* name, const std::vector<TracePoint>& series) {
-  std::printf("\ncwnd evolution, %s (t_secs cwnd_pkts; 0.5 s grid):\n", name);
-  for (size_t i = 0; i < series.size(); i += 10) {
-    std::printf("  %6.2f %8.1f\n", series[i].t_secs, series[i].value);
-  }
+  std::printf("\ncwnd evolution, %s (cwnd_pkts; 0.5 s grid):\n", name);
+  const std::map<std::string, std::vector<TracePoint>> columns{
+      {"cwnd_pkts", decimate(series)}};
+  util::write_series_csv(stdout, columns);
 }
 
 }  // namespace
@@ -108,5 +117,14 @@ int main() {
 
   print_series("native cubic (Linux baseline, Fig 3b)", native.cwnd);
   print_series("CCP cubic (Fig 3a)", ccp.cwnd);
+
+  bench::update_json_section(
+      bench::bench_json_path(), "fig3_cubic_fidelity",
+      {{"native_utilization", bench::json_num(native.utilization)},
+       {"native_median_rtt_ms", bench::json_num(native.median_rtt_ms)},
+       {"ccp_utilization", bench::json_num(ccp.utilization)},
+       {"ccp_median_rtt_ms", bench::json_num(ccp.median_rtt_ms)},
+       {"native_cwnd_pkts", bench::json_series(decimate(native.cwnd))},
+       {"ccp_cwnd_pkts", bench::json_series(decimate(ccp.cwnd))}});
   return 0;
 }

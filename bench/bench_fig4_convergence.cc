@@ -6,9 +6,11 @@
 // convergence dynamics: the first flow cedes roughly half the link within
 // a few seconds and the two flows share fairly thereafter.
 #include <cstdio>
+#include <map>
 
 #include "algorithms/native/native_reno.hpp"
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 #include "sim/ccp_host.hpp"
 #include "sim/dumbbell.hpp"
 #include "sim/trace.hpp"
@@ -83,10 +85,16 @@ RunOutput run(bool use_ccp) {
 }
 
 void print_series(const char* name, const RunOutput& out) {
-  std::printf("\nper-second goodput, %s (t flow1 flow2, Mbit/s; 2 s grid):\n", name);
-  for (size_t i = 1; i < out.tput1.size(); i += 2) {
-    std::printf("  %4zu %8.1f %8.1f\n", i + 1, out.tput1[i], out.tput2[i]);
+  std::printf("\nper-second goodput, %s (Mbit/s; 2 s grid):\n", name);
+  // Samples are per-second ending at t = 1, 2, ...; decimate to the 2 s grid.
+  std::map<std::string, std::vector<util::SeriesPoint>> series;
+  auto full1 = util::make_series(out.tput1, 1.0, 1.0);
+  auto full2 = util::make_series(out.tput2, 1.0, 1.0);
+  for (size_t i = 1; i < full1.size(); i += 2) {
+    series["flow1_mbps"].push_back(full1[i]);
+    series["flow2_mbps"].push_back(full2[i]);
   }
+  util::write_series_csv(stdout, series);
 }
 
 }  // namespace
@@ -111,5 +119,16 @@ int main() {
 
   print_series("native newreno (Fig 4b)", native);
   print_series("CCP newreno (Fig 4a)", ccp);
+
+  bench::update_json_section(
+      bench::bench_json_path(), "fig4_convergence",
+      {{"native_converge_secs", bench::json_num(native.converge_secs)},
+       {"native_jain_last20", bench::json_num(native.jain_last20)},
+       {"ccp_converge_secs", bench::json_num(ccp.converge_secs)},
+       {"ccp_jain_last20", bench::json_num(ccp.jain_last20)},
+       {"native_flow2_mbps",
+        bench::json_series(util::make_series(native.tput2, 1.0, 1.0))},
+       {"ccp_flow2_mbps",
+        bench::json_series(util::make_series(ccp.tput2, 1.0, 1.0))}});
   return 0;
 }

@@ -14,11 +14,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/series.hpp"
 
 namespace ccp::bench {
 
@@ -84,11 +87,40 @@ inline void write_sections(std::ostream& os, const Sections& sections) {
 
 }  // namespace detail
 
+/// Formats a (t, value) series as a JSON array value ("[[t,v],...]") so
+/// figure benches store the same schema util/series.hpp emits as CSV.
+template <typename Point>
+std::string json_series(const std::vector<Point>& pts) {
+  return util::series_json_value(pts);
+}
+
 /// Formats a double as a JSON number.
 inline std::string json_num(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   return buf;
+}
+
+/// Reads one numeric value out of the bench JSON file (the committed
+/// baseline, when called before this run's update). Returns false if the
+/// file, section, or key is absent or non-numeric.
+inline bool read_json_num(const std::string& path, const std::string& section,
+                          const std::string& key, double* out) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  const detail::Sections sections = detail::parse_sections(in);
+  for (const auto& [name, sec] : sections) {
+    if (name != section) continue;
+    for (const auto& [k, v] : sec) {
+      if (k != key) continue;
+      char* end = nullptr;
+      const double parsed = std::strtod(v.c_str(), &end);
+      if (end == v.c_str()) return false;
+      *out = parsed;
+      return true;
+    }
+  }
+  return false;
 }
 
 /// Upserts `kv` into `section` of the bench JSON file, preserving every

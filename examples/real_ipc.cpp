@@ -6,16 +6,33 @@
 // changes.
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <thread>
 
 #include "agent/transport_loop.hpp"
 #include "algorithms/registry.hpp"
 #include "datapath/datapath.hpp"
 #include "ipc/transport.hpp"
+#include "telemetry/stats_server.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace ccp;
 
-int main() {
+int main(int argc, char** argv) {
+  // Run duration: default 3 s; pass seconds as argv[1] for a longer run
+  // (useful for watching live rates with ccp_stats).
+  const double run_secs = argc > 1 ? std::atof(argv[1]) : 3.0;
+
+  // Live telemetry: set CCP_STATS_SOCK=/path to expose a stats socket
+  // that `ccp_stats --socket /path` can attach to while this runs.
+  telemetry::init_from_env();
+  std::unique_ptr<telemetry::StatsServer> stats_server;
+  if (const char* sock = std::getenv("CCP_STATS_SOCK")) {
+    stats_server = std::make_unique<telemetry::StatsServer>(sock);
+    std::printf("serving telemetry on %s (attach with ccp_stats)\n", sock);
+  }
+
   // One bidirectional channel: endpoint a = datapath side, b = agent side.
   auto channel = ipc::make_unix_socket_pair();
 
@@ -44,11 +61,12 @@ int main() {
 
   // Synthetic ACK clock: ~one ACK per 100 us (a ~120 Mbit/s stream),
   // RTT 10 ms, with a loss episode at t=1 s.
-  std::printf("driving the datapath with a synthetic ACK stream for 3 s...\n");
+  std::printf("driving the datapath with a synthetic ACK stream for %.0f s...\n",
+              run_secs);
   const TimePoint start = monotonic_now();
   uint64_t acks = 0;
   bool loss_injected = false;
-  while ((monotonic_now() - start) < Duration::from_secs(3)) {
+  while ((monotonic_now() - start) < Duration::from_secs_f(run_secs)) {
     // Pump agent -> datapath commands.
     while (auto frame = channel.a->try_recv_frame()) {
       dp.handle_frame(*frame, monotonic_now());
@@ -81,7 +99,7 @@ int main() {
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
 
-  std::printf("\nafter 3 s of real (socket) IPC:\n");
+  std::printf("\nafter %.0f s of real (socket) IPC:\n", run_secs);
   std::printf("  ACKs folded in the datapath: %llu\n",
               static_cast<unsigned long long>(flow.acks_folded_total()));
   std::printf("  reports sent to the agent:   %llu  (%.1f ACKs per report)\n",

@@ -6,6 +6,7 @@
 #include "lang/parser.hpp"
 #include "lang/printer.hpp"
 #include "lang/sema.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace ccp::agent {
@@ -87,6 +88,15 @@ class CcpAgent::FlowEntry final : public FlowControl {
 
   Algorithm& alg() { return *alg_; }
   const std::vector<std::string>& field_names() const { return field_names_; }
+
+  /// Install round-trip bookkeeping: do_install() stamps, the first
+  /// report that arrives afterwards closes the loop (there is no
+  /// install-ack message; the next report proves the program is live).
+  uint64_t take_install_sent_ns() {
+    const uint64_t t = install_sent_ns_;
+    install_sent_ns_ = 0;
+    return t;
+  }
 
   // --- FlowControl ---
 
@@ -229,6 +239,12 @@ class CcpAgent::FlowEntry final : public FlowControl {
     }
 
     ++agent_->stats_.installs_sent;
+    if (telemetry::enabled()) {
+      telemetry::metrics().agent_installs.inc();
+      install_sent_ns_ = telemetry::now_ns();
+      msg.emitted_ns = install_sent_ns_;
+      telemetry::trace(telemetry::TraceKind::InstallSent, info_.id, 0.0);
+    }
     agent_->send(ipc::Message(std::move(msg)));
   }
 
@@ -240,6 +256,7 @@ class CcpAgent::FlowEntry final : public FlowControl {
   std::vector<std::string> installed_var_names_;
   std::vector<double> last_var_values_;
   bool vector_mode_requested_ = false;
+  uint64_t install_sent_ns_ = 0;
 };
 
 CcpAgent::CcpAgent(AgentConfig config, FrameTx tx)
@@ -273,6 +290,7 @@ void CcpAgent::handle_frame(std::span<const uint8_t> frame) {
   } catch (const ipc::WireError& e) {
     if (use_scratch) rx_busy_ = false;
     ++stats_.decode_errors;
+    if (telemetry::enabled()) telemetry::metrics().agent_decode_errors.inc();
     CCP_WARN("agent: dropping malformed frame: %s", e.what());
     return;
   }
@@ -327,21 +345,53 @@ void CcpAgent::on_measurement(const ipc::MeasurementMsg& msg) {
   auto* slot = flows_.find(msg.flow_id);
   if (slot == nullptr) {
     ++stats_.unknown_flow_msgs;
+    if (telemetry::enabled()) telemetry::metrics().agent_unknown_flow.inc();
     return;
   }
   ++stats_.measurements;
   FlowEntry& entry = **slot;
+  uint64_t t0 = 0;
+  if (telemetry::enabled()) {
+    auto& tm = telemetry::metrics();
+    tm.agent_measurements.inc();
+    t0 = telemetry::now_ns();
+    // One clock read covers both: report->handler latency ends where the
+    // handler-duration window begins.
+    if (msg.emitted_ns != 0 && t0 > msg.emitted_ns) {
+      tm.report_latency_ns.record(t0 - msg.emitted_ns);
+    }
+    if (const uint64_t sent = entry.take_install_sent_ns();
+        sent != 0 && t0 > sent) {
+      tm.install_rtt_ns.record(t0 - sent);
+    }
+    telemetry::trace(telemetry::TraceKind::Measurement, msg.flow_id,
+                     static_cast<double>(msg.report_seq));
+  }
   Measurement m(&entry.field_names(), &msg);
   entry.alg().on_measurement(entry, m);
+  if (t0 != 0) {
+    telemetry::metrics().agent_measurement_handler_ns.record(
+        telemetry::now_ns() - t0);
+  }
 }
 
 void CcpAgent::on_urgent(const ipc::UrgentMsg& msg) {
   auto* slot = flows_.find(msg.flow_id);
   if (slot == nullptr) {
     ++stats_.unknown_flow_msgs;
+    if (telemetry::enabled()) telemetry::metrics().agent_unknown_flow.inc();
     return;
   }
   ++stats_.urgents;
+  uint64_t t0 = 0;
+  if (telemetry::enabled()) {
+    auto& tm = telemetry::metrics();
+    tm.agent_urgents.inc();
+    t0 = telemetry::now_ns();
+    if (msg.emitted_ns != 0 && t0 > msg.emitted_ns) {
+      tm.urgent_latency_ns.record(t0 - msg.emitted_ns);
+    }
+  }
   FlowEntry& entry = **slot;
   // Urgent snapshots share the fold layout with measurements. The view
   // struct is a reused member: fields are copied (capacity reused), not
@@ -350,6 +400,9 @@ void CcpAgent::on_urgent(const ipc::UrgentMsg& msg) {
   urgent_view_.fields.assign(msg.fields.begin(), msg.fields.end());
   Measurement m(&entry.field_names(), &urgent_view_);
   entry.alg().on_urgent(entry, msg.kind, m);
+  if (t0 != 0) {
+    telemetry::metrics().agent_urgent_handler_ns.record(telemetry::now_ns() - t0);
+  }
 }
 
 void CcpAgent::on_close(const ipc::FlowCloseMsg& msg) {

@@ -1,6 +1,7 @@
 #include "datapath/datapath.hpp"
 
 #include "lang/error.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace ccp::datapath {
@@ -22,6 +23,13 @@ CcpFlow& CcpDatapath::create_flow(const FlowConfig& cfg, const std::string& alg_
   auto flow = std::make_unique<CcpFlow>(id, cfg, std::move(sink));
   CcpFlow& ref = *flow;
   flows_.insert_or_assign(id, std::move(flow));
+  if (telemetry::enabled()) {
+    auto& m = telemetry::metrics();
+    m.flows_created.inc();
+    m.active_flows.set(static_cast<int64_t>(flows_.size()));
+  }
+  telemetry::trace(telemetry::TraceKind::FlowCreate, id,
+                   static_cast<double>(cfg.init_cwnd_bytes));
 
   ipc::CreateMsg create;
   create.flow_id = id;
@@ -34,12 +42,19 @@ CcpFlow& CcpDatapath::create_flow(const FlowConfig& cfg, const std::string& alg_
 
 void CcpDatapath::close_flow(ipc::FlowId id, TimePoint now) {
   if (flows_.erase(id) > 0) {
+    if (telemetry::enabled()) {
+      auto& m = telemetry::metrics();
+      m.flows_closed.inc();
+      m.active_flows.set(static_cast<int64_t>(flows_.size()));
+    }
+    telemetry::trace(telemetry::TraceKind::FlowClose, id, 0.0);
     enqueue(ipc::FlowCloseMsg{id}, /*urgent=*/true, now);
   }
 }
 
 void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
   ++stats_.frames_received;
+  if (telemetry::enabled()) telemetry::metrics().dp_frames_received.inc();
   // Decode into the member scratch (reusing message capacities) unless a
   // nested handle_frame is already using it.
   const bool use_scratch = !rx_busy_;
@@ -52,6 +67,7 @@ void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
   } catch (const ipc::WireError& e) {
     if (use_scratch) rx_busy_ = false;
     ++stats_.decode_errors;
+    if (telemetry::enabled()) telemetry::metrics().dp_decode_errors.inc();
     CCP_WARN("datapath: dropping malformed frame: %s", e.what());
     return;
   }
@@ -67,6 +83,9 @@ void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
                 fl->install(m, now);
               } catch (const lang::ProgramError& e) {
                 ++stats_.install_errors;
+                if (telemetry::enabled()) {
+                  telemetry::metrics().dp_install_errors.inc();
+                }
                 CCP_WARN("datapath: rejecting program for flow %u: %s", m.flow_id,
                          e.what());
               }
@@ -122,6 +141,11 @@ void CcpDatapath::flush() {
   stats_.msgs_sent += pending_msgs_;
   stats_.bytes_sent += batch_enc_.size();
   ++stats_.frames_sent;
+  if (telemetry::enabled()) {
+    auto& m = telemetry::metrics();
+    m.dp_frames_sent.inc();
+    m.dp_flush_batch.record(pending_msgs_);
+  }
   pending_msgs_ = 0;
   // Swap the frame out before transmitting: tx_ may synchronously loop a
   // response back into handle_frame -> enqueue, which must find the

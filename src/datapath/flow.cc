@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "lang/error.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace ccp::datapath {
@@ -151,6 +152,7 @@ void CcpFlow::on_ack(const AckEvent& ev) {
 }
 
 void CcpFlow::on_loss(const LossEvent& ev) {
+  if (telemetry::enabled()) telemetry::metrics().dp_loss_events.inc();
   lang::PktInfo pkt;
   pkt.rtt_us = srtt_us_.value();
   pkt.lost_packets = static_cast<double>(ev.lost_packets);
@@ -167,6 +169,7 @@ void CcpFlow::on_loss(const LossEvent& ev) {
 }
 
 void CcpFlow::on_timeout(const TimeoutEvent& ev) {
+  if (telemetry::enabled()) telemetry::metrics().dp_timeouts.inc();
   lang::PktInfo pkt;
   pkt.rtt_us = srtt_us_.value();
   pkt.was_timeout = 1.0;
@@ -212,6 +215,8 @@ void CcpFlow::check_watchdog(TimePoint now) {
   if (now - last_agent_contact_ > config_.agent_timeout) {
     CCP_WARN("flow %u: agent silent for %lld ms; engaging datapath fallback",
              id_, static_cast<long long>((now - last_agent_contact_).millis()));
+    if (telemetry::enabled()) telemetry::metrics().dp_fallbacks.inc();
+    telemetry::trace(telemetry::TraceKind::Fallback, id_, 0.0);
     enter_fallback(now);
   }
 }
@@ -292,6 +297,18 @@ void CcpFlow::emit_report(TimePoint now) {
   msg.flow_id = id_;
   msg.report_seq = report_seq_++;
   msg.num_acks_folded = acks_since_report_;
+  if (telemetry::enabled()) {
+    // Per-report accounting only (never per ACK): the ACK counter
+    // advances by the whole batch, keeping the hot path untouched.
+    auto& m = telemetry::metrics();
+    m.dp_reports.inc();
+    m.dp_acks.inc(acks_since_report_);
+    msg.emitted_ns = telemetry::now_ns();
+    telemetry::trace(telemetry::TraceKind::Report, id_,
+                     static_cast<double>(msg.report_seq));
+  } else {
+    msg.emitted_ns = 0;
+  }
   if (vector_mode_) {
     msg.is_vector = true;
     // Copy instead of move: vector_samples_ keeps its capacity, so the
@@ -321,6 +338,14 @@ void CcpFlow::emit_urgent(ipc::UrgentKind kind) {
   msg.kind = kind;
   const auto& st = fold_.state();
   msg.fields.assign(st.begin(), st.end());
+  if (telemetry::enabled()) {
+    telemetry::metrics().dp_urgents.inc();
+    msg.emitted_ns = telemetry::now_ns();
+    telemetry::trace(telemetry::TraceKind::Urgent, id_,
+                     static_cast<double>(static_cast<uint8_t>(kind)));
+  } else {
+    msg.emitted_ns = 0;
+  }
   sink_(urgent_msg_, /*urgent=*/true);
 }
 
@@ -329,6 +354,7 @@ void CcpFlow::set_cwnd(double bytes) {
       std::clamp(bytes, static_cast<double>(config_.min_cwnd_bytes),
                  static_cast<double>(config_.max_cwnd_bytes));
   const uint64_t target = static_cast<uint64_t>(clamped);
+  telemetry::trace(telemetry::TraceKind::SetCwnd, id_, clamped);
   cwnd_target_bytes_ = target;
   if (!config_.smooth_cwnd || target <= cwnd_bytes_) {
     // Decreases (and everything when smoothing is off) apply immediately.
@@ -340,9 +366,11 @@ void CcpFlow::set_cwnd(double bytes) {
 
 void CcpFlow::set_rate(double bps) {
   rate_bps_ = std::max(0.0, bps);
+  telemetry::trace(telemetry::TraceKind::SetRate, id_, rate_bps_);
 }
 
 void CcpFlow::install(const ipc::InstallMsg& msg, TimePoint now) {
+  const uint64_t t0 = telemetry::enabled() ? telemetry::now_ns() : 0;
   // Compile first: if the program is malformed we throw and the previous
   // program keeps running (§5 safety: a bad Install cannot brick a flow).
   auto compiled =
@@ -381,6 +409,12 @@ void CcpFlow::install(const ipc::InstallMsg& msg, TimePoint now) {
   agent_has_programmed_ = true;
   in_fallback_ = false;
   last_agent_contact_ = now;
+  if (telemetry::enabled()) {
+    auto& m = telemetry::metrics();
+    m.dp_installs.inc();
+    if (t0 != 0) m.install_apply_ns.record(telemetry::now_ns() - t0);
+    telemetry::trace(telemetry::TraceKind::InstallApplied, id_, 0.0);
+  }
   run_control(now);
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace ccp::datapath {
@@ -20,6 +21,12 @@ void PrototypeFlow::emit_loss_urgent() {
   auto& msg = std::get<ipc::UrgentMsg>(urgent_msg_);
   msg.flow_id = id_;
   msg.kind = ipc::UrgentKind::Loss;
+  if (telemetry::enabled()) {
+    telemetry::metrics().dp_urgents.inc();
+    msg.emitted_ns = telemetry::now_ns();
+  } else {
+    msg.emitted_ns = 0;
+  }
   sink_(urgent_msg_, /*urgent=*/true);
 }
 
@@ -35,6 +42,12 @@ void PrototypeFlow::on_timeout(const TimeoutEvent& ev) {
   auto& msg = std::get<ipc::UrgentMsg>(urgent_msg_);
   msg.flow_id = id_;
   msg.kind = ipc::UrgentKind::Timeout;
+  if (telemetry::enabled()) {
+    telemetry::metrics().dp_urgents.inc();
+    msg.emitted_ns = telemetry::now_ns();
+  } else {
+    msg.emitted_ns = 0;
+  }
   sink_(urgent_msg_, /*urgent=*/true);
   maybe_report(ev.now);
 }
@@ -66,6 +79,14 @@ void PrototypeFlow::emit_report(TimePoint now) {
   msg.flow_id = id_;
   msg.report_seq = report_seq_++;
   msg.num_acks_folded = acks_since_report_;
+  if (telemetry::enabled()) {
+    auto& m = telemetry::metrics();
+    m.dp_reports.inc();
+    m.dp_acks.inc(acks_since_report_);
+    msg.emitted_ns = telemetry::now_ns();
+  } else {
+    msg.emitted_ns = 0;
+  }
   // Fixed layout: ipc::prototype_field_names() order. assign() reuses the
   // vector's capacity, so steady-state reporting allocates nothing.
   msg.fields.assign({acked_,

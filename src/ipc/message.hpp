@@ -56,6 +56,10 @@ struct MeasurementMsg {
   bool is_vector = false;   // §2.4: raw per-ACK samples instead of fold state
   std::vector<double> fields;    // fold registers in program order, or
                                  // num_acks_folded * kVectorFieldsPerPkt samples
+  uint64_t emitted_ns = 0;  // sender's monotonic clock at emit; 0 = unstamped.
+                            // Feeds the report->OnMeasurement latency
+                            // histogram (telemetry); last on the wire so
+                            // fixed-offset consumers are unaffected.
 };
 
 /// Immediate notification of a congestion event (§2.1).
@@ -63,6 +67,7 @@ struct UrgentMsg {
   FlowId flow_id = 0;
   UrgentKind kind = UrgentKind::Loss;
   std::vector<double> fields;  // fold register snapshot at the event
+  uint64_t emitted_ns = 0;     // see MeasurementMsg::emitted_ns
 };
 
 struct FlowCloseMsg {
@@ -78,6 +83,7 @@ struct InstallMsg {
   std::vector<std::string> var_names;
   std::vector<double> var_values;
   bool vector_mode = false;  // §2.4: request per-ACK vector reports
+  uint64_t emitted_ns = 0;   // see MeasurementMsg::emitted_ns (install RTT)
 };
 
 /// Rebind install-time variables of the running program without resetting

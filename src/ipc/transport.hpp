@@ -16,6 +16,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "util/time.hpp"
@@ -77,5 +78,33 @@ enum class ShmWaitMode {
 /// fork()). `capacity_bytes` is per direction and rounded up to a power
 /// of two.
 TransportPair make_shm_ring_pair(size_t capacity_bytes, ShmWaitMode mode);
+
+/// Path-based SOCK_SEQPACKET listener, so out-of-process tools (e.g.
+/// ccp_stats) can attach to a running agent/datapath. accept() wraps each
+/// connection in the same frame-preserving transport as the socketpair.
+class UnixListener {
+ public:
+  /// Binds and listens on `path` (unlinking any stale socket first).
+  /// Throws std::runtime_error on failure.
+  explicit UnixListener(std::string path);
+  ~UnixListener();
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Waits up to `timeout` (forever if nullopt) for a connection; returns
+  /// nullptr on timeout or after close().
+  std::unique_ptr<Transport> accept(std::optional<Duration> timeout);
+
+  const std::string& path() const { return path_; }
+  /// Unblocks any accept() in progress and stops accepting.
+  void close();
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Connects to a UnixListener at `path`; nullptr if nobody is listening.
+std::unique_ptr<Transport> unix_connect(const std::string& path);
 
 }  // namespace ccp::ipc

@@ -3,6 +3,7 @@
 #include <mutex>
 
 #include "ipc/transport.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ccp::ipc {
 namespace {
@@ -76,6 +77,7 @@ class InProcTransport final : public Transport {
     const size_t n = drain_scratch_.size();
     for (auto& frame : drain_scratch_) sink(frame);
     drain_scratch_.clear();
+    if (telemetry::enabled()) telemetry::metrics().ipc_drain_batch.record(n);
     return n;
   }
 

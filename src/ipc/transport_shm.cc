@@ -10,6 +10,8 @@
 
 #include "ipc/shm_ring.hpp"
 #include "ipc/transport.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/logging.hpp"
 
 namespace ccp::ipc {
 namespace {
@@ -53,7 +55,16 @@ class ShmTransport final : public Transport {
 
   bool send_frame(std::span<const uint8_t> frame) override {
     if (ch_->closed->load(std::memory_order_acquire)) return false;
-    if (!tx().push(frame)) return false;  // ring full: caller drops/retries
+    if (!tx().push(frame)) {  // ring full: caller drops/retries
+      if (telemetry::enabled()) telemetry::metrics().ipc_ring_full.inc();
+      CCP_WARN("shm ring full: dropping %zu-byte frame (backpressure)",
+               frame.size());
+      return false;
+    }
+    if (telemetry::enabled()) {
+      telemetry::metrics().ipc_ring_used_bytes.set(
+          static_cast<int64_t>(tx().bytes_used()));
+    }
     ring_doorbell(tx_event());
     return true;
   }
@@ -106,7 +117,10 @@ class ShmTransport final : public Transport {
 
   size_t drain_frames(const FrameSink& sink) override {
     const size_t n = rx().drain(drain_scratch_, sink);
-    if (n > 0 && mode_ == ShmWaitMode::Blocking) drain_doorbell(rx_event());
+    if (n > 0) {
+      if (mode_ == ShmWaitMode::Blocking) drain_doorbell(rx_event());
+      if (telemetry::enabled()) telemetry::metrics().ipc_drain_batch.record(n);
+    }
     return n;
   }
 

@@ -1,5 +1,6 @@
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -7,6 +8,7 @@
 #include <stdexcept>
 
 #include "ipc/transport.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace ccp::ipc {
@@ -29,8 +31,10 @@ class UnixSocketTransport final : public Transport {
       if (n < 0 && errno == EINTR) continue;
       if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
         closed_ = true;
+        if (telemetry::enabled()) telemetry::metrics().ipc_send_failures.inc();
         return false;
       }
+      if (telemetry::enabled()) telemetry::metrics().ipc_send_failures.inc();
       CCP_WARN("unix socket send failed: %s", std::strerror(errno));
       return false;
     }
@@ -70,14 +74,18 @@ class UnixSocketTransport final : public Transport {
       }
       if (n == 0) {  // peer closed
         closed_ = true;
-        return count;
+        break;
       }
       if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return count;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       CCP_WARN("unix socket recv failed: %s", std::strerror(errno));
       closed_ = true;
-      return count;
+      break;
     }
+    if (count > 0 && telemetry::enabled()) {
+      telemetry::metrics().ipc_drain_batch.record(count);
+    }
+    return count;
   }
 
   bool closed() const override { return closed_; }
@@ -126,6 +134,85 @@ TransportPair make_unix_socket_pair() {
   }
   return TransportPair{std::make_unique<UnixSocketTransport>(fds[0]),
                        std::make_unique<UnixSocketTransport>(fds[1])};
+}
+
+namespace {
+
+bool fill_sockaddr_un(const std::string& path, sockaddr_un& addr) {
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) return false;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+UnixListener::UnixListener(std::string path) : path_(std::move(path)) {
+  sockaddr_un addr;
+  if (!fill_sockaddr_un(path_, addr)) {
+    throw std::runtime_error("unix listener: bad socket path: " + path_);
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("unix listener socket: ") +
+                             std::strerror(errno));
+  }
+  ::unlink(path_.c_str());  // drop a stale socket from a crashed run
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 4) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("unix listener bind/listen " + path_ + ": " +
+                             std::strerror(err));
+  }
+}
+
+UnixListener::~UnixListener() {
+  close();
+  ::unlink(path_.c_str());
+}
+
+std::unique_ptr<Transport> UnixListener::accept(std::optional<Duration> timeout) {
+  if (fd_ < 0) return nullptr;
+  if (timeout.has_value()) {
+    struct pollfd pfd{fd_, POLLIN, 0};
+    const int timeout_ms =
+        static_cast<int>((timeout->millis() > 0) ? timeout->millis() : 0);
+    int r;
+    do {
+      r = ::poll(&pfd, 1, timeout_ms);
+    } while (r < 0 && errno == EINTR);
+    if (r <= 0) return nullptr;
+  }
+  for (;;) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) return std::make_unique<UnixSocketTransport>(conn);
+    if (errno == EINTR) continue;
+    return nullptr;
+  }
+}
+
+void UnixListener::close() {
+  if (fd_ >= 0) {
+    // shutdown() first so a blocked accept() in another thread returns.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::unique_ptr<Transport> unix_connect(const std::string& path) {
+  sockaddr_un addr;
+  if (!fill_sockaddr_un(path, addr)) return nullptr;
+  const int fd = ::socket(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<UnixSocketTransport>(fd);
 }
 
 }  // namespace ccp::ipc

@@ -178,11 +178,13 @@ void encode_payload(Encoder& e, const MeasurementMsg& m) {
   e.u32(m.num_acks_folded);
   e.u8(m.is_vector ? 1 : 0);
   e.f64_vec(m.fields);
+  e.u64(m.emitted_ns);
 }
 void encode_payload(Encoder& e, const UrgentMsg& m) {
   e.u32(m.flow_id);
   e.u8(static_cast<uint8_t>(m.kind));
   e.f64_vec(m.fields);
+  e.u64(m.emitted_ns);
 }
 void encode_payload(Encoder& e, const FlowCloseMsg& m) { e.u32(m.flow_id); }
 void encode_payload(Encoder& e, const InstallMsg& m) {
@@ -191,6 +193,7 @@ void encode_payload(Encoder& e, const InstallMsg& m) {
   e.str_vec(m.var_names);
   e.f64_vec(m.var_values);
   e.u8(m.vector_mode ? 1 : 0);
+  e.u64(m.emitted_ns);
 }
 void encode_payload(Encoder& e, const UpdateFieldsMsg& m) {
   e.u32(m.flow_id);
@@ -224,6 +227,7 @@ Message decode_payload(MsgType type, Decoder& d) {
       m.num_acks_folded = d.u32();
       m.is_vector = d.u8() != 0;
       m.fields = d.f64_vec();
+      m.emitted_ns = d.u64();
       return m;
     }
     case MsgType::Urgent: {
@@ -235,6 +239,7 @@ Message decode_payload(MsgType type, Decoder& d) {
       }
       m.kind = static_cast<UrgentKind>(kind);
       m.fields = d.f64_vec();
+      m.emitted_ns = d.u64();
       return m;
     }
     case MsgType::FlowClose: {
@@ -249,6 +254,7 @@ Message decode_payload(MsgType type, Decoder& d) {
       m.var_names = d.str_vec();
       m.var_values = d.f64_vec();
       m.vector_mode = d.u8() != 0;
+      m.emitted_ns = d.u64();
       return m;
     }
     case MsgType::UpdateFields: {
@@ -290,6 +296,7 @@ void decode_payload_into(Decoder& d, MeasurementMsg& m) {
   m.num_acks_folded = d.u32();
   m.is_vector = d.u8() != 0;
   d.f64_vec_into(m.fields);
+  m.emitted_ns = d.u64();
 }
 void decode_payload_into(Decoder& d, UrgentMsg& m) {
   m.flow_id = d.u32();
@@ -299,6 +306,7 @@ void decode_payload_into(Decoder& d, UrgentMsg& m) {
   }
   m.kind = static_cast<UrgentKind>(kind);
   d.f64_vec_into(m.fields);
+  m.emitted_ns = d.u64();
 }
 void decode_payload_into(Decoder& d, FlowCloseMsg& m) { m.flow_id = d.u32(); }
 void decode_payload_into(Decoder& d, InstallMsg& m) {
@@ -307,6 +315,7 @@ void decode_payload_into(Decoder& d, InstallMsg& m) {
   d.str_vec_into(m.var_names);
   d.f64_vec_into(m.var_values);
   m.vector_mode = d.u8() != 0;
+  m.emitted_ns = d.u64();
 }
 void decode_payload_into(Decoder& d, UpdateFieldsMsg& m) {
   m.flow_id = d.u32();

@@ -3,12 +3,14 @@
 // figure benches record cwnd evolution, queue depth, and throughput.
 #pragma once
 
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "util/series.hpp"
 
 namespace ccp::sim {
 
@@ -40,6 +42,10 @@ class Tracer {
   const std::map<std::string, std::vector<TracePoint>>& all() const {
     return series_;
   }
+
+  /// Emits every series in the shared CSV schema (util/series.hpp) — the
+  /// same format `ccp_sim --csv` and the figure benches produce.
+  void write_csv(std::FILE* out) const { util::write_series_csv(out, series_); }
 
  private:
   void schedule_sample(const std::string& series, Duration interval, TimePoint until,

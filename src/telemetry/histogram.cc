@@ -1,0 +1,45 @@
+#include "telemetry/histogram.hpp"
+
+namespace ccp::telemetry {
+
+void Histogram::collect(HistogramSample& out) const {
+  out.count = count();
+  out.sum = sum();
+  out.buckets.clear();
+  for (size_t i = 0; i < kBuckets; ++i) {
+    const uint64_t n = counts_[i].load(std::memory_order_relaxed);
+    if (n != 0) out.buckets.push_back(HistogramBucket{bucket_upper(i), n});
+  }
+}
+
+double Histogram::quantile(double q) const {
+  HistogramSample s;
+  collect(s);
+  return s.quantile(q);
+}
+
+void Histogram::reset() noexcept {
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+double HistogramSample::quantile(double q) const {
+  if (buckets.empty() || count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Target rank among `count` samples; resolve to the first bucket whose
+  // cumulative count covers it.
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (const HistogramBucket& b : buckets) {
+    seen += b.count;
+    if (seen > target) return static_cast<double>(b.upper);
+  }
+  return static_cast<double>(buckets.back().upper);
+}
+
+}  // namespace ccp::telemetry

@@ -1,0 +1,85 @@
+// Fixed-bucket log-scale latency histogram.
+//
+// record() is allocation-free and wait-free: compute a bucket index with
+// a count-leading-zeros and do one relaxed fetch_add. Buckets follow the
+// HdrHistogram scheme — kSubBuckets linear sub-buckets per power of two —
+// so relative error is bounded by 1/kSubBuckets (12.5%) across the whole
+// 64-bit range, with exact counts below kSubBuckets. Values are unitless
+// here; every histogram in this codebase records nanoseconds unless its
+// name says otherwise (batch sizes record message/frame counts).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "telemetry/metrics.hpp"
+
+namespace ccp::telemetry {
+
+class Histogram {
+ public:
+  static constexpr int kSubBits = 3;                     // 8 sub-buckets per octave
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBits;
+  static constexpr size_t kBuckets =
+      (static_cast<size_t>(64 - kSubBits) << kSubBits) + kSubBuckets;  // 496
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(uint64_t v) noexcept {
+    counts_[index_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+  /// Copies the non-empty buckets into `out` (name is left untouched).
+  /// Concurrent record() calls may land between the per-bucket reads; the
+  /// result is a consistent-enough view (each bucket individually exact).
+  void collect(HistogramSample& out) const;
+
+  /// Quantile straight off the live buckets (q in [0,1]).
+  double quantile(double q) const;
+
+  /// Test/bench helper; racy against concurrent record().
+  void reset() noexcept;
+
+  // --- bucket geometry (exposed for tests) ---
+
+  static size_t index_of(uint64_t v) noexcept {
+    if (v < kSubBuckets) return static_cast<size_t>(v);
+    const int exp = 63 - std::countl_zero(v);
+    const int shift = exp - kSubBits;
+    const uint64_t sub = (v >> shift) & (kSubBuckets - 1);
+    return ((static_cast<size_t>(exp - kSubBits) + 1) << kSubBits) +
+           static_cast<size_t>(sub);
+  }
+
+  static uint64_t bucket_lower(size_t idx) noexcept {
+    if (idx < kSubBuckets) return idx;
+    const size_t block = idx >> kSubBits;       // >= 1
+    const uint64_t sub = idx & (kSubBuckets - 1);
+    const int shift = static_cast<int>(block) - 1;
+    return (kSubBuckets + sub) << shift;
+  }
+
+  /// Inclusive upper bound.
+  static uint64_t bucket_upper(size_t idx) noexcept {
+    if (idx < kSubBuckets) return idx;
+    const size_t block = idx >> kSubBits;
+    const int shift = static_cast<int>(block) - 1;
+    return bucket_lower(idx) + ((1ull << shift) - 1);
+  }
+
+ private:
+  std::atomic<uint64_t> counts_[kBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace ccp::telemetry

@@ -1,0 +1,103 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+#include "telemetry/histogram.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ccp::telemetry {
+
+namespace detail {
+
+ThreadSlot thread_slot() noexcept {
+  static std::atomic<uint32_t> next{0};
+  // Slots are never recycled: a thread that exits retires its cell (the
+  // residual count stays, which is exactly what a monotonic counter
+  // wants). Once kCounterShards threads have claimed cells, later
+  // threads share the overflow cell with an atomic RMW.
+  thread_local const ThreadSlot slot = [] {
+    const uint32_t n = next.fetch_add(1, std::memory_order_relaxed);
+    if (n < kCounterShards) return ThreadSlot{n, /*exclusive=*/true};
+    return ThreadSlot{static_cast<uint32_t>(kCounterShards), /*exclusive=*/false};
+  }();
+  return slot;
+}
+
+}  // namespace detail
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // leaked: outlives all threads
+  return *reg;
+}
+
+void MetricsRegistry::add(std::string name, const Counter* c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.emplace_back(std::move(name), c);
+}
+
+void MetricsRegistry::add(std::string name, const Gauge* g) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_.emplace_back(std::move(name), g);
+}
+
+void MetricsRegistry::add(std::string name, const Histogram* h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_.emplace_back(std::move(name), h);
+}
+
+void MetricsRegistry::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto drop = [&name](auto& vec) {
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [&name](const auto& p) { return p.first == name; }),
+              vec.end());
+  };
+  drop(counters_);
+  drop(gauges_);
+  drop(histograms_);
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  snap.wall_ns = now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back(CounterSample{name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back(GaugeSample{name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    h->collect(s);
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+const CounterSample* Snapshot::counter(const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSample* Snapshot::gauge(const std::string& name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSample* Snapshot::histogram(const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+}  // namespace ccp::telemetry

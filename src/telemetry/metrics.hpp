@@ -1,0 +1,174 @@
+// Zero-allocation runtime counters and gauges, and the global registry
+// that exports them.
+//
+// Counters are sharded across cache-line-padded cells so concurrent
+// writers (datapath thread, agent thread, transport pump) never bounce a
+// line between cores. The first kCounterShards threads each get a cell of
+// their own and update it with a plain relaxed load+store (single-writer,
+// ~1 ns); later threads share an overflow cell via fetch_add. Reads sum
+// all cells, so value() is monotonic and exact.
+//
+// Everything here is compiled in unconditionally; the hot-path call
+// sites gate on telemetry::enabled() (one relaxed load + a predictable
+// branch). Recording never allocates — the contract
+// tests/hotpath_alloc_test.cc enforces with telemetry switched on.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ccp::telemetry {
+
+inline constexpr size_t kCounterShards = 16;
+
+namespace detail {
+
+struct ThreadSlot {
+  uint32_t index;    // cell index in [0, kCounterShards]
+  bool exclusive;    // true: this thread owns the cell (load+store is safe)
+};
+
+/// Assigns each thread a shard on first use. The assignment is global
+/// (one slot per thread, shared by every Counter), so a Counter needs no
+/// per-thread bookkeeping of its own.
+ThreadSlot thread_slot() noexcept;
+
+}  // namespace detail
+
+/// Monotonic event counter. inc() is wait-free and allocation-free.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(uint64_t n = 1) noexcept {
+    const detail::ThreadSlot slot = detail::thread_slot();
+    std::atomic<uint64_t>& cell = cells_[slot.index].v;
+    if (slot.exclusive) {
+      // Single writer for this cell: a relaxed load+store beats the
+      // locked RMW by an order of magnitude and loses no updates.
+      cell.store(cell.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+    } else {
+      cell.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
+  uint64_t value() const noexcept {
+    uint64_t sum = 0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  /// Test/bench helper; not safe against concurrent inc() from exclusive
+  /// owners (their next store may resurrect a pre-reset value).
+  void reset() noexcept {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  Cell cells_[kCounterShards + 1];  // last cell: shared overflow (fetch_add)
+};
+
+/// Signed instantaneous value (e.g. active flow count).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  void sub(int64_t d) noexcept { v_.fetch_sub(d, std::memory_order_relaxed); }
+  int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<int64_t> v_{0};
+};
+
+class Histogram;  // histogram.hpp
+
+// --- snapshot types (produced by MetricsRegistry::snapshot()) ---
+
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct HistogramBucket {
+  uint64_t upper = 0;  // inclusive upper bound of the bucket, in record units
+  uint64_t count = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;                       // sum of recorded values
+  std::vector<HistogramBucket> buckets;   // non-empty buckets, ascending
+
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Quantile estimate (q in [0,1]); resolves to the bucket upper bound,
+  /// so the error is bounded by the bucket width (<= 12.5%).
+  double quantile(double q) const;
+  double max() const { return buckets.empty() ? 0.0 : static_cast<double>(buckets.back().upper); }
+};
+
+/// A point-in-time copy of every registered metric. Safe to serialize,
+/// diff, or ship across a socket while recording continues.
+struct Snapshot {
+  uint64_t wall_ns = 0;  // monotonic clock at snapshot time
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  const CounterSample* counter(const std::string& name) const;
+  const GaugeSample* gauge(const std::string& name) const;
+  const HistogramSample* histogram(const std::string& name) const;
+
+  /// One JSON object: {"wall_ns":..,"counters":{..},"gauges":{..},
+  /// "histograms":{name:{count,sum,p50,p90,p99,max,buckets:[[upper,n]..]}}}.
+  std::string to_json() const;
+  /// Prometheus text exposition format (counters, gauges, and full
+  /// cumulative-bucket histograms).
+  std::string to_prometheus() const;
+};
+
+/// Name -> metric pointer table. Metrics register at construction of the
+/// global Metrics struct (telemetry.hpp); tests may build private
+/// registries. Registration is mutex-protected (cold path); snapshot()
+/// reads live metrics with relaxed loads only.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  void add(std::string name, const Counter* c);
+  void add(std::string name, const Gauge* g);
+  void add(std::string name, const Histogram* h);
+  /// Removes a metric by name (for tests registering stack-local metrics).
+  void remove(const std::string& name);
+
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, const Counter*>> counters_;
+  std::vector<std::pair<std::string, const Gauge*>> gauges_;
+  std::vector<std::pair<std::string, const Histogram*>> histograms_;
+};
+
+}  // namespace ccp::telemetry

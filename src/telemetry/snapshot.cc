@@ -1,0 +1,80 @@
+// Snapshot serializers: one-object JSON and Prometheus text exposition.
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace ccp::telemetry {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<size_t>(n) < sizeof(buf) ? static_cast<size_t>(n) : sizeof(buf) - 1);
+}
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  std::string out;
+  out.reserve(4096);
+  appendf(out, "{\"wall_ns\":%" PRIu64 ",\"counters\":{", wall_ns);
+  for (size_t i = 0; i < counters.size(); ++i) {
+    appendf(out, "%s\"%s\":%" PRIu64, i ? "," : "", counters[i].name.c_str(),
+            counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    appendf(out, "%s\"%s\":%" PRId64, i ? "," : "", gauges[i].name.c_str(),
+            gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    appendf(out, "%s\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                 ",\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f,\"max\":%.1f,\"buckets\":[",
+            i ? "," : "", h.name.c_str(), h.count, h.sum, h.quantile(0.5),
+            h.quantile(0.9), h.quantile(0.99), h.max());
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      appendf(out, "%s[%" PRIu64 ",%" PRIu64 "]", b ? "," : "",
+              h.buckets[b].upper, h.buckets[b].count);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Snapshot::to_prometheus() const {
+  std::string out;
+  out.reserve(4096);
+  for (const CounterSample& c : counters) {
+    appendf(out, "# TYPE %s counter\n%s %" PRIu64 "\n", c.name.c_str(),
+            c.name.c_str(), c.value);
+  }
+  for (const GaugeSample& g : gauges) {
+    appendf(out, "# TYPE %s gauge\n%s %" PRId64 "\n", g.name.c_str(),
+            g.name.c_str(), g.value);
+  }
+  for (const HistogramSample& h : histograms) {
+    appendf(out, "# TYPE %s histogram\n", h.name.c_str());
+    uint64_t cum = 0;
+    for (const HistogramBucket& b : h.buckets) {
+      cum += b.count;
+      appendf(out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+              h.name.c_str(), b.upper, cum);
+    }
+    appendf(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", h.name.c_str(), h.count);
+    appendf(out, "%s_sum %" PRIu64 "\n", h.name.c_str(), h.sum);
+    appendf(out, "%s_count %" PRIu64 "\n", h.name.c_str(), h.count);
+  }
+  return out;
+}
+
+}  // namespace ccp::telemetry

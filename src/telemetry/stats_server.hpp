@@ -1,0 +1,88 @@
+// Out-of-process stats access: a tiny request/response server that any
+// CCP process (agent, datapath, ccp_sim, examples) can run on a unix
+// seqpacket socket, and the matching client used by tools/ccp_stats.
+//
+// Protocol (binary, via ipc::Encoder/Decoder; one request datagram, one
+// or more reply datagrams):
+//   request  := u8 kind            (1 = snapshot, 2 = trace dump)
+//   snapshot reply := u64 wall_ns
+//                     u32 n_counters  (name:str u64 value)*
+//                     u32 n_gauges    (name:str u64 value-as-bits)*
+//                     u32 n_hists     (name:str u64 count u64 sum
+//                                      u32 n_buckets (u64 upper u64 count)*)*
+//   trace reply    := u32 n_events (u64 t_ns f64 value u32 flow u16 kind)*
+//                     ... repeated, terminated by a reply with n_events=0.
+//                     Chunked so each datagram stays well under seqpacket
+//                     message-size limits.
+//
+// The server thread owns its listener and polls with a short timeout so
+// stop() is prompt. It serves whatever MetricsRegistry::global() and the
+// global trace ring currently hold — no coupling to datapath internals.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_ring.hpp"
+
+namespace ccp::ipc {
+class Encoder;
+class Decoder;
+}  // namespace ccp::ipc
+
+namespace ccp::telemetry {
+
+inline constexpr uint8_t kStatsReqSnapshot = 1;
+inline constexpr uint8_t kStatsReqTrace = 2;
+
+/// Serializes `snap` into `enc` (reply payload only).
+void encode_snapshot(ipc::Encoder& enc, const Snapshot& snap);
+/// Parses a snapshot reply produced by encode_snapshot().
+Snapshot decode_snapshot(ipc::Decoder& dec);
+
+class StatsServer {
+ public:
+  /// Binds `socket_path` and starts the serving thread. Throws
+  /// std::runtime_error if the socket cannot be bound.
+  explicit StatsServer(std::string socket_path);
+  ~StatsServer();
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  const std::string& path() const { return path_; }
+  void stop();
+
+ private:
+  void run();
+
+  std::string path_;
+  std::atomic<bool> stop_{false};
+  std::unique_ptr<class StatsServerImpl> impl_;
+  std::thread thread_;
+};
+
+/// Blocking client for the protocol above (used by tools/ccp_stats and
+/// tests). Connects once; each call is one request/response exchange.
+class StatsClient {
+ public:
+  /// Returns nullptr if nobody is listening at `socket_path`.
+  static std::unique_ptr<StatsClient> connect(const std::string& socket_path);
+  ~StatsClient();
+
+  /// One snapshot round-trip; nullopt on timeout/disconnect.
+  std::optional<Snapshot> snapshot();
+  /// Full trace-ring dump; nullopt on timeout/disconnect (an enabled but
+  /// empty ring yields an empty vector).
+  std::optional<std::vector<TraceEvent>> trace();
+
+ private:
+  explicit StatsClient(std::unique_ptr<class StatsClientImpl> impl);
+  std::unique_ptr<class StatsClientImpl> impl_;
+};
+
+}  // namespace ccp::telemetry

@@ -1,0 +1,74 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ccp::telemetry {
+
+Metrics::Metrics() {
+  MetricsRegistry& r = MetricsRegistry::global();
+  r.add("ccp_dp_acks_total", &dp_acks);
+  r.add("ccp_dp_loss_events_total", &dp_loss_events);
+  r.add("ccp_dp_timeouts_total", &dp_timeouts);
+  r.add("ccp_dp_reports_total", &dp_reports);
+  r.add("ccp_dp_urgents_total", &dp_urgents);
+  r.add("ccp_dp_installs_total", &dp_installs);
+  r.add("ccp_dp_install_errors_total", &dp_install_errors);
+  r.add("ccp_dp_decode_errors_total", &dp_decode_errors);
+  r.add("ccp_dp_frames_sent_total", &dp_frames_sent);
+  r.add("ccp_dp_frames_received_total", &dp_frames_received);
+  r.add("ccp_dp_fallbacks_total", &dp_fallbacks);
+  r.add("ccp_flows_created_total", &flows_created);
+  r.add("ccp_flows_closed_total", &flows_closed);
+
+  r.add("ccp_ipc_ring_full_total", &ipc_ring_full);
+  r.add("ccp_ipc_send_failures_total", &ipc_send_failures);
+
+  r.add("ccp_agent_measurements_total", &agent_measurements);
+  r.add("ccp_agent_urgents_total", &agent_urgents);
+  r.add("ccp_agent_installs_total", &agent_installs);
+  r.add("ccp_agent_decode_errors_total", &agent_decode_errors);
+  r.add("ccp_agent_unknown_flow_total", &agent_unknown_flow);
+
+  r.add("ccp_active_flows", &active_flows);
+  r.add("ccp_ipc_ring_used_bytes", &ipc_ring_used_bytes);
+
+  r.add("ccp_report_latency_ns", &report_latency_ns);
+  r.add("ccp_urgent_latency_ns", &urgent_latency_ns);
+  r.add("ccp_install_rtt_ns", &install_rtt_ns);
+  r.add("ccp_install_apply_ns", &install_apply_ns);
+  r.add("ccp_agent_measurement_handler_ns", &agent_measurement_handler_ns);
+  r.add("ccp_agent_urgent_handler_ns", &agent_urgent_handler_ns);
+  r.add("ccp_vm_exec_ns", &vm_exec_ns);
+  r.add("ccp_ipc_drain_batch", &ipc_drain_batch);
+  r.add("ccp_dp_flush_batch", &dp_flush_batch);
+}
+
+Metrics::~Metrics() = default;
+
+Metrics& metrics() {
+  // Leaked on purpose: metrics outlive every thread that might still be
+  // incrementing them during shutdown.
+  static Metrics* m = new Metrics();
+  return *m;
+}
+
+void init_from_env() {
+  if (const char* v = std::getenv("CCP_TELEMETRY")) {
+    if (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+        std::strcmp(v, "false") == 0) {
+      set_enabled(false);
+    } else {
+      set_enabled(true);
+    }
+  }
+  if (const char* v = std::getenv("CCP_TRACE_BUF")) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 0) enable_trace(static_cast<size_t>(n));
+  }
+  // Touch the registry so exporters see every metric even before the
+  // first event fires.
+  (void)metrics();
+}
+
+}  // namespace ccp::telemetry

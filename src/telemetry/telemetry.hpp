@@ -1,0 +1,109 @@
+// Umbrella header for the runtime telemetry layer.
+//
+// Call sites do:
+//
+//   if (telemetry::enabled()) telemetry::metrics().dp_reports.inc();
+//
+// enabled() is one relaxed atomic load; with telemetry off the whole
+// thing is a predictable not-taken branch. Recording never allocates
+// (see metrics.hpp / histogram.hpp / trace_ring.hpp), which keeps the
+// PR-1 zero-alloc hot-path guarantee intact — tests/hotpath_alloc_test.cc
+// runs with telemetry switched on to prove it.
+//
+// Environment knobs (read by init_from_env):
+//   CCP_TELEMETRY=off|0|false   disable recording (default: on)
+//   CCP_TRACE_BUF=<n>           enable the control-loop trace ring with
+//                               capacity n events (default: off)
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "telemetry/histogram.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_ring.hpp"
+
+namespace ccp::telemetry {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{true};
+}  // namespace detail
+
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Reads CCP_TELEMETRY / CCP_TRACE_BUF. Call once near startup (tools and
+/// examples do); library code never reads the environment itself.
+void init_from_env();
+
+/// Monotonic nanoseconds; the single clock every histogram and trace
+/// event in this subsystem uses.
+inline uint64_t now_ns() noexcept {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Every runtime metric, one member each, registered by name in
+/// MetricsRegistry::global() at construction. Access via metrics().
+struct Metrics {
+  // -- datapath --
+  Counter dp_acks;             // ACKs folded (counted per report, by delta)
+  Counter dp_loss_events;      // loss notifications into the fold machine
+  Counter dp_timeouts;         // timeout events
+  Counter dp_reports;          // measurement reports emitted
+  Counter dp_urgents;          // urgent events emitted
+  Counter dp_installs;         // programs installed (compile + swap)
+  Counter dp_install_errors;   // installs rejected (compile/validate failure)
+  Counter dp_decode_errors;    // malformed frames from the agent
+  Counter dp_frames_sent;      // frames handed to the transport
+  Counter dp_frames_received;  // frames drained from the transport
+  Counter dp_fallbacks;        // watchdog fallback-program activations
+  Counter flows_created;
+  Counter flows_closed;
+
+  // -- ipc / transports --
+  Counter ipc_ring_full;       // shm ring rejected a frame (backpressure)
+  Counter ipc_send_failures;   // socket/inproc send failures
+
+  // -- agent --
+  Counter agent_measurements;  // OnMeasurement invocations
+  Counter agent_urgents;       // OnUrgent invocations
+  Counter agent_installs;      // Install requests issued
+  Counter agent_decode_errors; // malformed frames from the datapath
+  Counter agent_unknown_flow;  // messages for flows the agent doesn't know
+
+  Gauge active_flows;          // datapath-side live flow count
+  Gauge ipc_ring_used_bytes;   // shm ring occupancy at last send
+
+  Histogram report_latency_ns;           // report emit -> OnMeasurement
+  Histogram urgent_latency_ns;           // urgent emit -> OnUrgent
+  Histogram install_rtt_ns;              // Install sent -> first report under it
+  Histogram install_apply_ns;            // datapath compile+swap duration
+  Histogram agent_measurement_handler_ns;
+  Histogram agent_urgent_handler_ns;
+  Histogram vm_exec_ns;                  // sampled 1/1024 eval_block duration
+  Histogram ipc_drain_batch;             // frames per transport drain
+  Histogram dp_flush_batch;              // messages per datapath batch flush
+
+  Metrics();
+  ~Metrics();
+};
+
+/// The global metric set (function-local static; first call registers).
+Metrics& metrics();
+
+/// Records a control-loop trace event iff the trace ring is enabled.
+inline void trace(TraceKind kind, uint32_t flow, double value) noexcept {
+  if (TraceRing* ring = trace_ring()) {
+    ring->record(kind, flow, value, now_ns());
+  }
+}
+
+}  // namespace ccp::telemetry

@@ -4,11 +4,14 @@
 #include <cstdarg>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace ccp {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_sink_mu;
+LogSink g_sink;  // guarded by g_sink_mu; empty = default stderr writer
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -27,6 +30,11 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
+
 void init_logging_from_env() {
   const char* env = std::getenv("CCP_LOG");
   if (env == nullptr) return;
@@ -44,22 +52,44 @@ void log_line(LogLevel level, const char* file, int line, const std::string& msg
   // Strip leading path components for readability.
   const char* base = std::strrchr(file, '/');
   base = base != nullptr ? base + 1 : file;
+  {
+    const std::lock_guard<std::mutex> lock(g_sink_mu);
+    if (g_sink) {
+      g_sink(level, base, line, msg);
+      return;
+    }
+  }
   std::fprintf(stderr, "[%s] %s:%d: %s\n", level_name(level), base, line, msg.c_str());
 }
 
 std::string format_log(const char* fmt, ...) {
+  // Common messages format into the stack buffer with one vsnprintf;
+  // longer ones fall back to an exact heap allocation, bounded by
+  // kMaxLogBytes with a visible truncation marker.
+  char stack_buf[512];
+  constexpr size_t kMaxLogBytes = 64 * 1024;
+
   va_list args;
   va_start(args, fmt);
   va_list args_copy;
   va_copy(args_copy, args);
-  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  const int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
   va_end(args);
-  std::string out;
-  if (needed > 0) {
-    out.resize(static_cast<size_t>(needed));
-    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  if (needed < 0) {
+    va_end(args_copy);
+    return "<log format error>";
   }
+  const size_t want = static_cast<size_t>(needed);
+  if (want < sizeof(stack_buf)) {
+    va_end(args_copy);
+    return std::string(stack_buf, want);
+  }
+  const size_t keep = want < kMaxLogBytes ? want : kMaxLogBytes;
+  std::string out(keep + 1, '\0');
+  std::vsnprintf(out.data(), keep + 1, fmt, args_copy);
   va_end(args_copy);
+  out.resize(keep);
+  if (want > keep) out += "…";  // message exceeded the cap: mark the cut
   return out;
 }
 

@@ -3,7 +3,9 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <string_view>
 
 namespace ccp {
 
@@ -14,6 +16,17 @@ LogLevel log_level();
 
 /// Reads CCP_LOG (trace/debug/info/warn/error/off) once at startup.
 void init_logging_from_env();
+
+/// Receives every emitted log record instead of the default stderr
+/// writer. `msg` is only valid for the duration of the call.
+using LogSink =
+    std::function<void(LogLevel level, const char* file, int line,
+                       std::string_view msg)>;
+
+/// Replaces the stderr writer with `sink`; pass nullptr to restore the
+/// default. Tests use this to assert on warnings (e.g. shm ring-full,
+/// frame decode errors) instead of scraping stderr.
+void set_log_sink(LogSink sink);
 
 namespace detail {
 void log_line(LogLevel level, const char* file, int line, const std::string& msg);

@@ -1,0 +1,78 @@
+// Shared time-series export. One schema for everything that emits
+// (t, value) series — `ccp_sim --csv`, sim::Tracer, and the figure
+// benches — so plots and downstream scripts parse one format:
+//
+//   CSV:  header "t_secs,<name>,<name>,..."; one row per sample index,
+//         first column from the longest-prefix series, missing cells
+//         empty.
+//   JSON: "[[t,v],[t,v],...]" — a value suitable for a bench_json.hpp
+//         section entry.
+//
+// Works with any point type exposing `.t_secs` and `.value` doubles
+// (sim::TracePoint, util::SeriesPoint, ...).
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ccp::util {
+
+struct SeriesPoint {
+  double t_secs;
+  double value;
+};
+
+/// Evenly spaced series from raw values: t = t0, t0+dt, t0+2dt, ...
+inline std::vector<SeriesPoint> make_series(const std::vector<double>& values,
+                                            double t0, double dt) {
+  std::vector<SeriesPoint> out;
+  out.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out.push_back({t0 + static_cast<double>(i) * dt, values[i]});
+  }
+  return out;
+}
+
+/// Writes the canonical CSV schema: series become columns aligned on
+/// sample index.
+template <typename Point>
+void write_series_csv(std::FILE* out,
+                      const std::map<std::string, std::vector<Point>>& all) {
+  std::fprintf(out, "t_secs");
+  for (const auto& [name, series] : all) std::fprintf(out, ",%s", name.c_str());
+  std::fprintf(out, "\n");
+  size_t longest = 0;
+  for (const auto& [name, series] : all) {
+    longest = series.size() > longest ? series.size() : longest;
+  }
+  for (size_t row = 0; row < longest; ++row) {
+    bool first = true;
+    for (const auto& [name, series] : all) {
+      if (first) {
+        std::fprintf(out, "%.3f", row < series.size() ? series[row].t_secs : 0.0);
+        first = false;
+      }
+      if (row < series.size()) std::fprintf(out, ",%.3f", series[row].value);
+      else std::fprintf(out, ",");
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+/// One series as a JSON array value: "[[t,v],...]".
+template <typename Point>
+std::string series_json_value(const std::vector<Point>& pts) {
+  std::string out = "[";
+  char buf[64];
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const int n = std::snprintf(buf, sizeof(buf), "%s[%.6g,%.6g]", i ? "," : "",
+                                pts[i].t_secs, pts[i].value);
+    if (n > 0) out.append(buf, static_cast<size_t>(n));
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace ccp::util

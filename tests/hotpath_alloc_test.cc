@@ -15,6 +15,8 @@
 
 #include "datapath/datapath.hpp"
 #include "datapath/prototype_datapath.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace_ring.hpp"
 #include "util/time.hpp"
 
 namespace {
@@ -122,6 +124,42 @@ TEST(HotPathAlloc, FoldModeSteadyStateIsAllocationFree) {
       << "per-ACK fold path allocated in steady state";
   EXPECT_GT(frames, before_frames)
       << "measured window must include report flushes, not just folds";
+}
+
+TEST(HotPathAlloc, TelemetryAndTraceEnabledStaysAllocationFree) {
+  // Same workload as FoldModeSteadyStateIsAllocationFree, but with the
+  // full telemetry layer explicitly on AND the trace ring installed —
+  // counters, histograms, per-report clock stamps, 1/1024 VM sampling,
+  // and trace events must all record without touching the heap.
+  telemetry::set_enabled(true);
+  telemetry::enable_trace(4096);
+  // Touch the global metrics/registry singletons before counting so their
+  // one-time lazy construction doesn't land in the measured window.
+  (void)telemetry::metrics().dp_acks.value();
+
+  DatapathConfig dcfg;
+  dcfg.flush_interval = Duration::from_millis(1);
+  dcfg.max_batch_msgs = 32;
+  uint64_t frames = 0;
+  CcpDatapath dp(dcfg, [&frames](std::span<const uint8_t>) { ++frames; });
+
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  std::vector<ipc::FlowId> ids;
+  FlowConfig fcfg;
+  for (size_t i = 0; i < kFlows; ++i) {
+    ids.push_back(dp.create_flow(fcfg, "reno", now).id());
+  }
+  drive(dp, ids, now, kWarmupAcks);
+  ASSERT_GT(frames, 0u);
+  ASSERT_GT(telemetry::metrics().dp_reports.value(), 0u)
+      << "telemetry must actually be recording in this configuration";
+  ASSERT_GT(telemetry::trace_ring()->recorded(), 0u);
+
+  const uint64_t allocs =
+      count_allocs_during([&] { drive(dp, ids, now, kMeasuredAcks); });
+  telemetry::disable_trace();
+  EXPECT_EQ(allocs, 0u)
+      << "telemetry recording allocated on the per-ACK hot path";
 }
 
 TEST(HotPathAlloc, VectorModeSteadyStateIsAllocationFree) {

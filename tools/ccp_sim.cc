@@ -26,6 +26,9 @@
 #include "sim/ccp_host.hpp"
 #include "sim/dumbbell.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/stats_server.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/series.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -48,6 +51,7 @@ struct Options {
   Duration ipc_delay = Duration::from_micros(15);
   std::vector<FlowSpec> flows;
   std::string csv;  // empty = human summary
+  std::string stats_sock;  // empty = no stats server
   uint64_t seed = 42;
 };
 
@@ -65,6 +69,7 @@ options:
   --flow <spec>       algorithm name (repeatable); prefix "native:" for
                       in-datapath baselines; optional @start_secs
   --csv <series>      emit CSV instead of a summary: cwnd | tput | queue
+  --stats <path>      serve live telemetry on a unix socket (see ccp_stats)
   --list              list available algorithms and exit
 )");
   std::exit(code);
@@ -95,6 +100,8 @@ Options parse_args(int argc, char** argv) {
         opt.seed = std::stoull(need_value(i));
       } else if (std::strcmp(arg, "--csv") == 0) {
         opt.csv = need_value(i);
+      } else if (std::strcmp(arg, "--stats") == 0) {
+        opt.stats_sock = need_value(i);
       } else if (std::strcmp(arg, "--flow") == 0) {
         std::string spec = need_value(i);
         FlowSpec flow;
@@ -153,6 +160,14 @@ std::unique_ptr<datapath::CcModule> make_native(const std::string& name,
 
 int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
+
+  telemetry::init_from_env();
+  std::unique_ptr<telemetry::StatsServer> stats_server;
+  if (!opt.stats_sock.empty()) {
+    stats_server = std::make_unique<telemetry::StatsServer>(opt.stats_sock);
+    std::fprintf(stderr, "serving telemetry on %s (attach with ccp_stats)\n",
+                 opt.stats_sock.c_str());
+  }
 
   EventQueue events;
   const double bdp_bytes = opt.rate_bps / 8.0 * opt.rtt.secs();
@@ -218,25 +233,7 @@ int main(int argc, char** argv) {
   events.run_until(end);
 
   if (!opt.csv.empty()) {
-    // Column per series, aligned on sample index.
-    const auto& all = tracer.all();
-    std::printf("t_secs");
-    for (const auto& [name, series] : all) std::printf(",%s", name.c_str());
-    std::printf("\n");
-    size_t longest = 0;
-    for (const auto& [name, series] : all) longest = std::max(longest, series.size());
-    for (size_t row = 0; row < longest; ++row) {
-      bool first = true;
-      for (const auto& [name, series] : all) {
-        if (first) {
-          std::printf("%.3f", row < series.size() ? series[row].t_secs : 0.0);
-          first = false;
-        }
-        if (row < series.size()) std::printf(",%.3f", series[row].value);
-        else std::printf(",");
-      }
-      std::printf("\n");
-    }
+    tracer.write_csv(stdout);
     return 0;
   }
 

@@ -1,0 +1,162 @@
+// ccp_stats: attach to a running CCP process and print live telemetry.
+//
+// The target process runs a telemetry::StatsServer (ccp_sim --stats,
+// examples/real_ipc with CCP_STATS_SOCK set, or any embedder). This tool
+// connects over the stats unix socket and either streams a live-rate
+// view (default), emits one snapshot as JSON/Prometheus text, or dumps
+// the control-loop trace ring.
+//
+// Usage:
+//   ccp_stats --socket /tmp/ccp_stats.sock             # live rates, 1s cadence
+//   ccp_stats --socket PATH --interval 0.25            # faster refresh
+//   ccp_stats --socket PATH --once                     # one table, then exit
+//   ccp_stats --socket PATH --json                     # one JSON snapshot
+//   ccp_stats --socket PATH --prom                     # Prometheus text format
+//   ccp_stats --socket PATH --trace                    # dump the trace ring
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "telemetry/stats_server.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using ccp::telemetry::Snapshot;
+using ccp::telemetry::StatsClient;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--interval SECS] [--once] [--json] "
+               "[--prom] [--trace]\n",
+               argv0);
+}
+
+uint64_t counter_value(const Snapshot& s, const char* name) {
+  const auto* c = s.counter(name);
+  return c != nullptr ? c->value : 0;
+}
+
+/// Counter delta per second between two snapshots.
+double rate(const Snapshot& prev, const Snapshot& cur, const char* name) {
+  const double dt_secs =
+      static_cast<double>(cur.wall_ns - prev.wall_ns) / 1e9;
+  if (dt_secs <= 0) return 0.0;
+  const uint64_t a = counter_value(prev, name);
+  const uint64_t b = counter_value(cur, name);
+  return b >= a ? static_cast<double>(b - a) / dt_secs : 0.0;
+}
+
+void print_live_header() {
+  std::printf("%12s %12s %12s %10s %10s %10s %8s\n", "acks/s", "reports/s",
+              "urgents/s", "rep_p50us", "rep_p99us", "vm_p50ns", "flows");
+}
+
+void print_live_row(const Snapshot& prev, const Snapshot& cur) {
+  const auto* rep = cur.histogram("ccp_report_latency_ns");
+  const auto* vm = cur.histogram("ccp_vm_exec_ns");
+  const auto* flows = cur.gauge("ccp_active_flows");
+  std::printf("%12.0f %12.0f %12.0f %10.1f %10.1f %10.0f %8" PRId64 "\n",
+              rate(prev, cur, "ccp_dp_acks_total"),
+              rate(prev, cur, "ccp_dp_reports_total"),
+              rate(prev, cur, "ccp_dp_urgents_total"),
+              rep != nullptr ? rep->quantile(0.5) / 1e3 : 0.0,
+              rep != nullptr ? rep->quantile(0.99) / 1e3 : 0.0,
+              vm != nullptr ? vm->quantile(0.5) : 0.0,
+              flows != nullptr ? flows->value : 0);
+  std::fflush(stdout);
+}
+
+int dump_trace(StatsClient& client) {
+  auto events = client.trace();
+  if (!events.has_value()) {
+    std::fprintf(stderr, "ccp_stats: trace request failed\n");
+    return 1;
+  }
+  std::printf("t_ns,flow,kind,value\n");
+  for (const auto& ev : *events) {
+    std::printf("%" PRIu64 ",%u,%s,%.17g\n", ev.t_ns, ev.flow,
+                ccp::telemetry::trace_kind_name(ev.kind), ev.value);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  double interval_secs = 1.0;
+  bool once = false, json = false, prom = false, trace = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") socket_path = next();
+    else if (arg == "--interval") interval_secs = std::atof(next());
+    else if (arg == "--once") once = true;
+    else if (arg == "--json") json = true;
+    else if (arg == "--prom") prom = true;
+    else if (arg == "--trace") trace = true;
+    else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    if (const char* env = std::getenv("CCP_STATS_SOCK")) socket_path = env;
+  }
+  if (socket_path.empty() || interval_secs <= 0) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  auto client = StatsClient::connect(socket_path);
+  if (client == nullptr) {
+    std::fprintf(stderr, "ccp_stats: cannot connect to %s (is the process "
+                         "running with a stats server?)\n",
+                 socket_path.c_str());
+    return 1;
+  }
+
+  if (trace) return dump_trace(*client);
+
+  if (json || prom) {
+    auto snap = client->snapshot();
+    if (!snap.has_value()) {
+      std::fprintf(stderr, "ccp_stats: snapshot request failed\n");
+      return 1;
+    }
+    const std::string text = json ? snap->to_json() : snap->to_prometheus();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    if (json) std::fputc('\n', stdout);
+    return 0;
+  }
+
+  auto prev = client->snapshot();
+  if (!prev.has_value()) {
+    std::fprintf(stderr, "ccp_stats: snapshot request failed\n");
+    return 1;
+  }
+  print_live_header();
+  const auto delay = std::chrono::duration<double>(interval_secs);
+  for (;;) {
+    std::this_thread::sleep_for(delay);
+    auto cur = client->snapshot();
+    if (!cur.has_value()) {
+      std::fprintf(stderr, "ccp_stats: peer went away\n");
+      return once ? 1 : 0;
+    }
+    print_live_row(*prev, *cur);
+    if (once) return 0;
+    prev = std::move(cur);
+  }
+}
