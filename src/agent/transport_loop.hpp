@@ -4,7 +4,9 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <functional>
+#include <memory>
 #include <span>
 #include <thread>
 
@@ -32,6 +34,39 @@ class TransportLoop {
 
   ipc::Transport& transport_;
   FrameHandler handler_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+/// Thread that pumps frames from every lane of a sharded datapath into
+/// one handler — the agent's multi-lane ingest. Every shard's reports
+/// funnel through this single thread, so the paper's one-agent
+/// serialization point (one OnMeasurement at a time) survives sharding;
+/// only the datapath side is parallel. Lanes are drained round-robin
+/// from a rotating start so no lane starves the rest.
+class MultiLaneLoop {
+ public:
+  /// `handler` receives (lane index, frame). The lane transports must
+  /// outlive the loop.
+  using LaneFrameHandler =
+      std::function<void(size_t lane, std::span<const uint8_t>)>;
+
+  MultiLaneLoop(std::span<const std::unique_ptr<ipc::Transport>> lanes,
+                LaneFrameHandler handler);
+  ~MultiLaneLoop();
+
+  MultiLaneLoop(const MultiLaneLoop&) = delete;
+  MultiLaneLoop& operator=(const MultiLaneLoop&) = delete;
+
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void run();
+
+  std::span<const std::unique_ptr<ipc::Transport>> lanes_;
+  LaneFrameHandler handler_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> running_{false};
   std::thread thread_;

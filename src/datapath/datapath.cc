@@ -11,7 +11,14 @@ CcpDatapath::CcpDatapath(DatapathConfig config, FrameTx tx)
 
 CcpFlow& CcpDatapath::create_flow(const FlowConfig& cfg, const std::string& alg_hint,
                                   TimePoint now) {
-  const ipc::FlowId id = next_flow_id_++;
+  return create_flow_with_id(next_flow_id_++, cfg, alg_hint, now);
+}
+
+CcpFlow& CcpDatapath::create_flow_with_id(ipc::FlowId id, const FlowConfig& cfg,
+                                          const std::string& alg_hint,
+                                          TimePoint now) {
+  // Keep locally assigned ids clear of caller-chosen ones.
+  if (id >= next_flow_id_) next_flow_id_ = id + 1;
   auto sink = [this](const ipc::Message& msg, bool urgent) {
     // `oldest_pending_` needs a timestamp; flows stamp messages via the
     // enqueue path below with the time of their triggering event. We use
@@ -121,6 +128,17 @@ void CcpDatapath::tick(TimePoint now) {
 }
 
 void CcpDatapath::enqueue(const ipc::Message& msg, bool urgent, TimePoint now) {
+  if (shard_stats_ != nullptr && telemetry::enabled()) {
+    // Per-shard attribution, per message (i.e. per report interval, not
+    // per ACK): the aggregate dp_* counters in emit_report() keep their
+    // totals; these break the same traffic down by owning shard.
+    if (const auto* m = std::get_if<ipc::MeasurementMsg>(&msg)) {
+      shard_stats_->reports.inc();
+      shard_stats_->acks.inc(m->num_acks_folded);
+    } else if (std::holds_alternative<ipc::UrgentMsg>(msg)) {
+      shard_stats_->urgents.inc();
+    }
+  }
   if (pending_msgs_ == 0) {
     oldest_pending_ = now;
     batch_enc_.clear();

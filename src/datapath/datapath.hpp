@@ -18,6 +18,10 @@
 #include "util/flat_map.hpp"
 #include "util/time.hpp"
 
+namespace ccp::telemetry {
+struct ShardStats;
+}  // namespace ccp::telemetry
+
 namespace ccp::datapath {
 
 struct DatapathConfig {
@@ -50,6 +54,11 @@ class CcpDatapath {
   /// Registers a flow and announces it to the agent.
   CcpFlow& create_flow(const FlowConfig& cfg, const std::string& alg_hint,
                        TimePoint now);
+  /// Same, with a caller-chosen flow id. The sharded datapath allocates
+  /// ids centrally so a flow's id determines its owning shard (the way a
+  /// real stack's 4-tuple hash determines the processing core).
+  CcpFlow& create_flow_with_id(ipc::FlowId id, const FlowConfig& cfg,
+                               const std::string& alg_hint, TimePoint now);
   void close_flow(ipc::FlowId id, TimePoint now);
   /// Per-packet demux; inline so the per-ACK lookup is one probe
   /// sequence with no call overhead.
@@ -71,6 +80,12 @@ class CcpDatapath {
 
   const DatapathStats& stats() const { return stats_; }
   size_t num_flows() const { return flows_.size(); }
+
+  /// Attributes this datapath's report/urgent traffic to a shard's
+  /// counter set (sharded mode; see src/datapath/shard.hpp). Accounting
+  /// happens per enqueued message — never per ACK — so the hot path cost
+  /// is one pointer test on the report path.
+  void set_shard_stats(telemetry::ShardStats* stats) { shard_stats_ = stats; }
 
  private:
   void enqueue(const ipc::Message& msg, bool urgent, TimePoint now);
@@ -98,6 +113,7 @@ class CcpDatapath {
   bool rx_busy_ = false;
 
   DatapathStats stats_;
+  telemetry::ShardStats* shard_stats_ = nullptr;  // sharded mode only
 };
 
 }  // namespace ccp::datapath

@@ -63,8 +63,9 @@ CcpFlow::CcpFlow(ipc::FlowId id, FlowConfig config, MessageSink sink)
       cwnd_target_bytes_(config.init_cwnd_bytes),
       snd_rate_(config.rate_window),
       rcv_rate_(config.rate_window) {
-  program_ = std::make_unique<lang::CompiledProgram>(
-      lang::compile_text(kDefaultProgram));
+  // Shared across every flow: the default program is compiled exactly
+  // once per process, not once per flow.
+  program_ = lang::compile_text_shared(kDefaultProgram);
   fold_.install(program_.get(), {});
 }
 
@@ -370,35 +371,26 @@ void CcpFlow::set_rate(double bps) {
 }
 
 void CcpFlow::install(const ipc::InstallMsg& msg, TimePoint now) {
-  const uint64_t t0 = telemetry::enabled() ? telemetry::now_ns() : 0;
   // Compile first: if the program is malformed we throw and the previous
   // program keeps running (§5 safety: a bad Install cannot brick a flow).
-  auto compiled =
-      std::make_unique<lang::CompiledProgram>(lang::compile_text(msg.program_text));
-
+  // The shared cache means re-installs of a known text never recompile.
+  auto compiled = lang::compile_text_shared(msg.program_text);
   // Bind variables by name so callers can pass them in any order.
-  std::vector<double> var_values(compiled->num_vars(), 0.0);
-  for (size_t i = 0; i < msg.var_names.size() && i < msg.var_values.size(); ++i) {
-    const int idx = compiled->var_index(msg.var_names[i]);
-    if (idx < 0) {
-      throw lang::ProgramError("install: program has no variable $" + msg.var_names[i]);
-    }
-    var_values[static_cast<size_t>(idx)] = msg.var_values[i];
-  }
-  for (const auto& name : compiled->var_names) {
-    const bool bound =
-        std::find(msg.var_names.begin(), msg.var_names.end(), name) != msg.var_names.end();
-    if (!bound) {
-      throw lang::ProgramError("install: variable $" + name + " left unbound");
-    }
-  }
+  auto var_values = lang::bind_vars(*compiled, msg.var_names, msg.var_values);
+  install_compiled(std::move(compiled), std::move(var_values), msg.vector_mode,
+                   now);
+}
 
-  program_ = std::move(compiled);
+void CcpFlow::install_compiled(std::shared_ptr<const lang::CompiledProgram> prog,
+                               std::vector<double> var_values, bool vector_mode,
+                               TimePoint now) {
+  const uint64_t t0 = telemetry::enabled() ? telemetry::now_ns() : 0;
+  program_ = std::move(prog);
   fold_.install(program_.get(), std::move(var_values));
   control_pc_ = 0;
   waiting_ = false;
   acks_since_report_ = 0;
-  vector_mode_ = msg.vector_mode;
+  vector_mode_ = vector_mode;
   vector_samples_.clear();
   if (vector_mode_) {
     // Pre-size for a typical report interval so early ACKs do not grow

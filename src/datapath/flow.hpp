@@ -90,6 +90,13 @@ class CcpFlow final : public CcModule {
   /// Compiles and installs a program. Throws lang::ProgramError on a bad
   /// program (the datapath rejects it; the old program keeps running).
   void install(const ipc::InstallMsg& msg, TimePoint now);
+  /// Installs an already-compiled shared program with variables bound
+  /// positionally (lang::bind_vars). This is the sharded install path:
+  /// the control plane compiles an Install once and every owning shard's
+  /// flows swap in the same immutable program at a quiescent point.
+  void install_compiled(std::shared_ptr<const lang::CompiledProgram> prog,
+                        std::vector<double> var_values, bool vector_mode,
+                        TimePoint now);
   void update_fields(const ipc::UpdateFieldsMsg& msg, TimePoint now);
   void direct_control(const ipc::DirectControlMsg& msg, TimePoint now);
 
@@ -140,8 +147,10 @@ class CcpFlow final : public CcModule {
   RateEstimator snd_rate_;
   RateEstimator rcv_rate_;
 
-  // Program state.
-  std::unique_ptr<lang::CompiledProgram> program_;
+  // Program state. The compiled program is immutable and shared across
+  // every flow (on any shard) running the same text; all mutable
+  // execution state lives in this flow's FoldMachine.
+  std::shared_ptr<const lang::CompiledProgram> program_;
   lang::FoldMachine fold_;
   size_t control_pc_ = 0;
   bool waiting_ = false;

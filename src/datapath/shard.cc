@@ -1,0 +1,84 @@
+#include "datapath/shard.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "telemetry/telemetry.hpp"
+#include "util/logging.hpp"
+
+namespace ccp::datapath {
+
+CommandQueue::CommandQueue(size_t capacity) {
+  const size_t cap = std::bit_ceil(capacity < 2 ? size_t{2} : capacity);
+  slots_.resize(cap);
+  mask_ = cap - 1;
+}
+
+bool CommandQueue::push(ShardCommand cmd) {
+  const uint64_t tail = tail_.load(std::memory_order_relaxed);
+  if (tail - head_.load(std::memory_order_acquire) >= slots_.size()) {
+    return false;  // consumer is capacity commands behind
+  }
+  slots_[tail & mask_] = std::move(cmd);
+  tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+Shard::Shard(uint32_t index, const DatapathConfig& config,
+             CcpDatapath::FrameTx lane_tx, size_t command_queue_capacity)
+    : index_(index),
+      dp_(config, std::move(lane_tx)),
+      commands_(command_queue_capacity) {
+  dp_.set_shard_stats(&telemetry::shard_stats(index));
+}
+
+CcpFlow& Shard::create_flow(ipc::FlowId id, const FlowConfig& cfg,
+                            const std::string& alg_hint, TimePoint now) {
+  return dp_.create_flow_with_id(id, cfg, alg_hint, now);
+}
+
+void Shard::close_flow(ipc::FlowId id, TimePoint now) {
+  dp_.close_flow(id, now);
+}
+
+void Shard::poll(TimePoint now) {
+  if (commands_.has_pending()) {
+    const size_t applied =
+        commands_.drain([&](ShardCommand& cmd) { apply(cmd, now); });
+    if (applied > 0 && telemetry::enabled()) {
+      telemetry::shard_stats(index_).commands.inc(applied);
+    }
+  }
+  dp_.tick(now);
+}
+
+void Shard::apply(ShardCommand& cmd, TimePoint now) {
+  CcpFlow* fl = dp_.flow(cmd.flow_id);
+  if (fl == nullptr) return;  // closed while the command was in flight
+  switch (cmd.kind) {
+    case ShardCommand::Kind::Install:
+      // Compile and variable binding already happened on the control
+      // plane; this is the swap of an immutable shared program plus the
+      // per-flow FoldMachine re-init.
+      fl->install_compiled(std::move(cmd.program), std::move(cmd.var_values),
+                           cmd.vector_mode, now);
+      break;
+    case ShardCommand::Kind::UpdateFields: {
+      ipc::UpdateFieldsMsg msg;
+      msg.flow_id = cmd.flow_id;
+      msg.var_values = std::move(cmd.var_values);
+      fl->update_fields(msg, now);
+      break;
+    }
+    case ShardCommand::Kind::DirectControl: {
+      ipc::DirectControlMsg msg;
+      msg.flow_id = cmd.flow_id;
+      msg.cwnd_bytes = cmd.cwnd_bytes;
+      msg.rate_bps = cmd.rate_bps;
+      fl->direct_control(msg, now);
+      break;
+    }
+  }
+}
+
+}  // namespace ccp::datapath

@@ -1,0 +1,146 @@
+#include "datapath/sharded_datapath.hpp"
+
+#include <utility>
+#include <variant>
+
+#include "ipc/wire.hpp"
+#include "lang/error.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/logging.hpp"
+
+namespace ccp::datapath {
+
+ShardedDatapath::ShardedDatapath(const DatapathConfig& config,
+                                 std::vector<FrameTx> lane_txs,
+                                 size_t command_queue_capacity) {
+  shards_.reserve(lane_txs.size());
+  for (size_t i = 0; i < lane_txs.size(); ++i) {
+    shards_.push_back(std::make_unique<Shard>(static_cast<uint32_t>(i), config,
+                                              std::move(lane_txs[i]),
+                                              command_queue_capacity));
+  }
+}
+
+ShardedDatapath::~ShardedDatapath() { stop_workers(); }
+
+ipc::FlowId ShardedDatapath::alloc_flow_id(uint32_t shard) {
+  // Expected num_shards() probes: ids are dense, the shard hash is
+  // uniform, and this is the cold flow-setup path.
+  for (;;) {
+    const ipc::FlowId id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
+    if (shard_of_flow(id) == shard) return id;
+  }
+}
+
+void ShardedDatapath::route(uint32_t shard_index, ShardCommand cmd) {
+  if (shards_[shard_index]->commands().push(std::move(cmd))) {
+    ++stats_.commands_routed;
+  } else {
+    // The owner has fallen a full queue behind; drop rather than block
+    // the control plane (the agent's next command supersedes this one).
+    ++stats_.commands_dropped;
+    CCP_WARN("sharded datapath: shard %u command queue full, dropping",
+             shard_index);
+  }
+}
+
+void ShardedDatapath::handle_frame(std::span<const uint8_t> frame) {
+  ++stats_.frames_received;
+  size_t n_msgs = 0;
+  try {
+    n_msgs = ipc::decode_frame_into(frame, rx_scratch_);
+  } catch (const ipc::WireError& e) {
+    ++stats_.decode_errors;
+    CCP_WARN("sharded datapath: dropping malformed frame: %s", e.what());
+    return;
+  }
+  for (size_t i = 0; i < n_msgs; ++i) {
+    std::visit(
+        [&](const auto& m) {
+          using T = std::decay_t<decltype(m)>;
+          if constexpr (std::is_same_v<T, ipc::InstallMsg>) {
+            ShardCommand cmd;
+            cmd.kind = ShardCommand::Kind::Install;
+            cmd.flow_id = m.flow_id;
+            cmd.vector_mode = m.vector_mode;
+            try {
+              // Compile once, share everywhere: flows on every shard
+              // installing this text get the same immutable program.
+              cmd.program = lang::compile_text_shared(m.program_text);
+              cmd.var_values =
+                  lang::bind_vars(*cmd.program, m.var_names, m.var_values);
+            } catch (const lang::ProgramError& e) {
+              ++stats_.install_errors;
+              if (telemetry::enabled()) {
+                telemetry::metrics().dp_install_errors.inc();
+              }
+              CCP_WARN("sharded datapath: rejecting program for flow %u: %s",
+                       m.flow_id, e.what());
+              return;
+            }
+            route(shard_of_flow(m.flow_id), std::move(cmd));
+          } else if constexpr (std::is_same_v<T, ipc::UpdateFieldsMsg>) {
+            ShardCommand cmd;
+            cmd.kind = ShardCommand::Kind::UpdateFields;
+            cmd.flow_id = m.flow_id;
+            cmd.var_values = m.var_values;
+            route(shard_of_flow(m.flow_id), std::move(cmd));
+          } else if constexpr (std::is_same_v<T, ipc::DirectControlMsg>) {
+            ShardCommand cmd;
+            cmd.kind = ShardCommand::Kind::DirectControl;
+            cmd.flow_id = m.flow_id;
+            cmd.cwnd_bytes = m.cwnd_bytes;
+            cmd.rate_bps = m.rate_bps;
+            route(shard_of_flow(m.flow_id), std::move(cmd));
+          } else {
+            CCP_WARN("sharded datapath: unexpected message type %d from agent",
+                     static_cast<int>(ipc::message_type(ipc::Message(m))));
+          }
+        },
+        rx_scratch_[i]);
+  }
+}
+
+void ShardedDatapath::start_workers(std::function<void(Shard&)> body) {
+  stop_workers();
+  stop_workers_.store(false, std::memory_order_release);
+  workers_.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    workers_.emplace_back([this, body, s = shard.get()] {
+      while (!stop_workers_.load(std::memory_order_acquire)) {
+        body(*s);
+      }
+    });
+  }
+}
+
+void ShardedDatapath::stop_workers() {
+  stop_workers_.store(true, std::memory_order_release);
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+DatapathStats ShardedDatapath::aggregate_stats() const {
+  DatapathStats total;
+  for (const auto& shard : shards_) {
+    const DatapathStats& s = shard->stats();
+    total.frames_sent += s.frames_sent;
+    total.msgs_sent += s.msgs_sent;
+    total.bytes_sent += s.bytes_sent;
+    total.frames_received += s.frames_received;
+    total.msgs_received += s.msgs_received;
+    total.decode_errors += s.decode_errors;
+    total.install_errors += s.install_errors;
+  }
+  return total;
+}
+
+size_t ShardedDatapath::total_flows() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard->num_flows();
+  return n;
+}
+
+}  // namespace ccp::datapath

@@ -1,0 +1,106 @@
+// Multi-core sharded datapath: N per-core shards, one control plane.
+//
+// The paper's scaling argument (§2.3) needs the per-ACK path to scale
+// with cores, not just be fast on one. This object partitions the flat
+// flow table into per-core Shards keyed by a flow-id hash (shard_of):
+// each shard owns its flows' fold state, VM execution, report batching,
+// telemetry counters, and IPC lane, so the hot path stays lock-free and
+// zero-alloc exactly as in the single-core datapath.
+//
+// Data flow:
+//
+//   shard worker i:  stack events -> shard(i) flows -> lane i frames
+//   agent:           multi-lane drain (ingest parallel-ready, one
+//                    OnMeasurement serialization point, per the paper's
+//                    one-agent model) -> commands on the control lane
+//   control plane:   handle_frame() decodes, compiles Installs ONCE
+//                    (lang::compile_text_shared), binds variables, and
+//                    publishes typed commands into each owning shard's
+//                    SPSC CommandQueue
+//   shard worker i:  picks commands up at the next poll() — the
+//                    quiescent point between ACK batches (epoch-based
+//                    publication; no mutex ever touches the ACK path)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "datapath/shard.hpp"
+
+namespace ccp::datapath {
+
+struct ControlPlaneStats {
+  uint64_t frames_received = 0;
+  uint64_t commands_routed = 0;
+  uint64_t commands_dropped = 0;  // a shard's queue was full
+  uint64_t decode_errors = 0;
+  uint64_t install_errors = 0;    // program rejected at compile/bind
+};
+
+class ShardedDatapath {
+ public:
+  using FrameTx = CcpDatapath::FrameTx;
+
+  /// One shard per entry of `lane_txs`; lane i carries shard i's
+  /// outgoing frames (see ipc/lanes.hpp for ready-made lane sets).
+  ShardedDatapath(const DatapathConfig& config, std::vector<FrameTx> lane_txs,
+                  size_t command_queue_capacity = 256);
+  ~ShardedDatapath();
+
+  ShardedDatapath(const ShardedDatapath&) = delete;
+  ShardedDatapath& operator=(const ShardedDatapath&) = delete;
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  Shard& shard(uint32_t i) { return *shards_[i]; }
+  uint32_t shard_of_flow(ipc::FlowId id) const {
+    return shard_of(id, num_shards());
+  }
+
+  /// Allocates a fresh flow id that routes to `shard` (cold path; the
+  /// stack then registers the flow via shard.create_flow on the owning
+  /// worker). Thread-safe.
+  ipc::FlowId alloc_flow_id(uint32_t shard);
+
+  /// Control plane: decodes one agent frame and routes each command to
+  /// its owning shard's queue. Install programs are compiled exactly
+  /// once here and shared immutably across every flow on every shard.
+  /// Single control thread only (typically the thread draining the
+  /// agent->datapath direction of the control lane).
+  void handle_frame(std::span<const uint8_t> frame);
+
+  /// Spawns one worker thread per shard running `body(shard)` in a loop
+  /// until stop_workers(). `body` owns the shard for its whole run: it
+  /// processes stack events and must call shard.poll(now) regularly so
+  /// published commands get applied. Embedders with their own threading
+  /// (the bench, a real stack) skip this and drive shards directly.
+  void start_workers(std::function<void(Shard&)> body);
+  void stop_workers();
+  bool workers_running() const { return !workers_.empty(); }
+
+  const ControlPlaneStats& control_stats() const { return stats_; }
+
+  /// Sums per-shard datapath stats. Shard stats are owner-thread plain
+  /// counters — only call this while workers are stopped/quiescent.
+  DatapathStats aggregate_stats() const;
+  size_t total_flows() const;
+
+ private:
+  void route(uint32_t shard_index, ShardCommand cmd);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint32_t> next_flow_id_{1};
+
+  // Control-plane decode scratch (single control thread).
+  std::vector<ipc::Message> rx_scratch_;
+  ControlPlaneStats stats_;
+
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_workers_{false};
+};
+
+}  // namespace ccp::datapath

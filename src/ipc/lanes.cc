@@ -1,0 +1,53 @@
+#include "ipc/lanes.hpp"
+
+#include "telemetry/telemetry.hpp"
+
+namespace ccp::ipc {
+
+LaneSet make_inproc_lanes(size_t n) {
+  LaneSet lanes;
+  lanes.dp.reserve(n);
+  lanes.agent.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    TransportPair pair = make_inproc_pair();
+    lanes.dp.push_back(std::move(pair.a));
+    lanes.agent.push_back(std::move(pair.b));
+  }
+  return lanes;
+}
+
+LaneSet make_shm_ring_lanes(size_t n, size_t capacity_bytes, ShmWaitMode mode) {
+  LaneSet lanes;
+  lanes.dp.reserve(n);
+  lanes.agent.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    TransportPair pair = make_shm_ring_pair(capacity_bytes, mode);
+    lanes.dp.push_back(std::move(pair.a));
+    lanes.agent.push_back(std::move(pair.b));
+  }
+  return lanes;
+}
+
+size_t drain_lanes(std::span<const std::unique_ptr<Transport>> lanes,
+                   const LaneFrameSink& sink, size_t first_lane) {
+  size_t total = 0;
+  const size_t n = lanes.size();
+  if (n == 0) return 0;
+  for (size_t k = 0; k < n; ++k) {
+    const size_t lane = (first_lane + k) % n;
+    total += lanes[lane]->drain_frames(
+        [&](std::span<const uint8_t> frame) { sink(lane, frame); });
+  }
+  return total;
+}
+
+std::function<void(std::span<const uint8_t>)> make_lane_tx(Transport& lane,
+                                                           size_t shard_index) {
+  return [&lane, shard_index](std::span<const uint8_t> frame) {
+    if (!lane.send_frame(frame) && telemetry::enabled()) {
+      telemetry::shard_stats(shard_index).ring_full.inc();
+    }
+  };
+}
+
+}  // namespace ccp::ipc

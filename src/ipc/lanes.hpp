@@ -1,0 +1,54 @@
+// Multi-lane IPC: one transport lane per datapath shard.
+//
+// Each shard of the sharded datapath (src/datapath/shard.hpp) sends its
+// reports and urgent events on its own lane, so shard workers never
+// contend on a shared ring. The agent side drains every lane from one
+// ingest loop (agent::MultiLaneLoop), preserving the paper's single
+// OnMeasurement serialization point while keeping ingest lane-parallel.
+// Lane 0's reverse direction doubles as the control lane: the agent's
+// commands travel agent->datapath on it, into the sharded control plane.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ipc/transport.hpp"
+
+namespace ccp::ipc {
+
+/// Both ends of an n-lane channel: dp[i] is shard i's endpoint, agent[i]
+/// the agent's endpoint of the same lane.
+struct LaneSet {
+  std::vector<std::unique_ptr<Transport>> dp;
+  std::vector<std::unique_ptr<Transport>> agent;
+
+  size_t size() const { return dp.size(); }
+};
+
+/// In-process lanes (tests, single-process embedders, the bench).
+LaneSet make_inproc_lanes(size_t n);
+
+/// Shared-memory ring lanes; `capacity_bytes` is per direction per lane.
+LaneSet make_shm_ring_lanes(size_t n, size_t capacity_bytes, ShmWaitMode mode);
+
+/// Frame sink receiving (lane index, frame bytes); the span is only
+/// valid for the duration of the call.
+using LaneFrameSink = std::function<void(size_t lane, std::span<const uint8_t>)>;
+
+/// Drains every lane once (non-blocking, batched per lane) and returns
+/// the total frame count. Lane order is round-robin from `first_lane` so
+/// a persistently busy low lane cannot starve the others.
+size_t drain_lanes(std::span<const std::unique_ptr<Transport>> lanes,
+                   const LaneFrameSink& sink, size_t first_lane = 0);
+
+/// Frame-sending callback for one shard's lane, with per-shard drop
+/// accounting: a full/closed lane increments that shard's ring_full
+/// counter (and the global ipc counters) instead of blocking the worker
+/// — backpressure on a lane must never stall the ACK path.
+std::function<void(std::span<const uint8_t>)> make_lane_tx(Transport& lane,
+                                                           size_t shard_index);
+
+}  // namespace ccp::ipc

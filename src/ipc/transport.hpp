@@ -11,6 +11,7 @@
 //     threads within one process.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -101,7 +102,8 @@ class UnixListener {
 
  private:
   std::string path_;
-  int fd_ = -1;
+  // Atomic: close() may run on another thread to unblock accept().
+  std::atomic<int> fd_{-1};
 };
 
 /// Connects to a UnixListener at `path`; nullptr if nobody is listening.

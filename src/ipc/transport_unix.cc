@@ -153,20 +153,20 @@ UnixListener::UnixListener(std::string path) : path_(std::move(path)) {
   if (!fill_sockaddr_un(path_, addr)) {
     throw std::runtime_error("unix listener: bad socket path: " + path_);
   }
-  fd_ = ::socket(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) {
+  const int fd = ::socket(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
     throw std::runtime_error(std::string("unix listener socket: ") +
                              std::strerror(errno));
   }
   ::unlink(path_.c_str());  // drop a stale socket from a crashed run
-  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd_, 4) != 0) {
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 4) != 0) {
     const int err = errno;
-    ::close(fd_);
-    fd_ = -1;
+    ::close(fd);
     throw std::runtime_error("unix listener bind/listen " + path_ + ": " +
                              std::strerror(err));
   }
+  fd_.store(fd, std::memory_order_release);
 }
 
 UnixListener::~UnixListener() {
@@ -175,9 +175,13 @@ UnixListener::~UnixListener() {
 }
 
 std::unique_ptr<Transport> UnixListener::accept(std::optional<Duration> timeout) {
-  if (fd_ < 0) return nullptr;
+  // One load per call: close() on another thread swaps in -1 and then
+  // shuts the old fd down, so a stale local either polls/accepts a
+  // shut-down socket (immediate return) or gets EBADF -> nullptr.
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return nullptr;
   if (timeout.has_value()) {
-    struct pollfd pfd{fd_, POLLIN, 0};
+    struct pollfd pfd{fd, POLLIN, 0};
     const int timeout_ms =
         static_cast<int>((timeout->millis() > 0) ? timeout->millis() : 0);
     int r;
@@ -187,7 +191,7 @@ std::unique_ptr<Transport> UnixListener::accept(std::optional<Duration> timeout)
     if (r <= 0) return nullptr;
   }
   for (;;) {
-    const int conn = ::accept(fd_, nullptr, nullptr);
+    const int conn = ::accept(fd, nullptr, nullptr);
     if (conn >= 0) return std::make_unique<UnixSocketTransport>(conn);
     if (errno == EINTR) continue;
     return nullptr;
@@ -195,11 +199,11 @@ std::unique_ptr<Transport> UnixListener::accept(std::optional<Duration> timeout)
 }
 
 void UnixListener::close() {
-  if (fd_ >= 0) {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
     // shutdown() first so a blocked accept() in another thread returns.
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

@@ -1,7 +1,11 @@
 #include "lang/compiler.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 
 #include "lang/error.hpp"
@@ -431,6 +435,50 @@ CompiledProgram compile(const Program& prog) {
 
 CompiledProgram compile_text(std::string_view src) {
   return compile(parse_program(src));
+}
+
+std::shared_ptr<const CompiledProgram> compile_text_shared(std::string_view src) {
+  // Keyed by exact program text: an agent installs a handful of distinct
+  // programs across millions of flows, so the cache stays tiny while every
+  // flow (on any shard) shares one immutable compiled copy. Entries are
+  // kept alive deliberately — re-installing a previously seen program is
+  // a map lookup, never a recompile.
+  static std::mutex mu;
+  static std::map<std::string, std::shared_ptr<const CompiledProgram>, std::less<>>
+      cache;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(src);
+    if (it != cache.end()) return it->second;
+  }
+  // Compile outside the lock: a malformed program throws without
+  // poisoning the cache, and a slow compile doesn't serialize unrelated
+  // installs. A racing duplicate compile is harmless — first insert wins.
+  auto compiled = std::make_shared<const CompiledProgram>(compile_text(src));
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = cache.emplace(std::string(src), std::move(compiled));
+  return it->second;
+}
+
+std::vector<double> bind_vars(const CompiledProgram& prog,
+                              const std::vector<std::string>& names,
+                              const std::vector<double>& values) {
+  std::vector<double> out(prog.num_vars(), 0.0);
+  for (size_t i = 0; i < names.size() && i < values.size(); ++i) {
+    const int idx = prog.var_index(names[i]);
+    if (idx < 0) {
+      throw ProgramError("install: program has no variable $" + names[i]);
+    }
+    out[static_cast<size_t>(idx)] = values[i];
+  }
+  for (const auto& name : prog.var_names) {
+    const bool bound =
+        std::find(names.begin(), names.end(), name) != names.end();
+    if (!bound) {
+      throw ProgramError("install: variable $" + name + " left unbound");
+    }
+  }
+  return out;
 }
 
 }  // namespace ccp::lang

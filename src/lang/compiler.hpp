@@ -1,6 +1,8 @@
 // Lowers a checked AST into executable bytecode.
 #pragma once
 
+#include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -83,5 +85,19 @@ CompiledProgram compile(const Program& prog);
 
 /// Convenience: parse + check + compile program text.
 CompiledProgram compile_text(std::string_view src);
+
+/// Compile-once cache: returns a shared immutable program for `src`,
+/// compiling only on first sight of this exact text. Thread-safe — this
+/// is how per-shard VM instances share one compiled program (the
+/// FoldMachine keeps per-flow state; CompiledProgram is read-only after
+/// construction). Throws ProgramError on a malformed program.
+std::shared_ptr<const CompiledProgram> compile_text_shared(std::string_view src);
+
+/// Binds install-time variables by name into the positional vector the
+/// FoldMachine consumes. Throws ProgramError on an unknown or unbound
+/// variable (same contract the per-flow install path always had).
+std::vector<double> bind_vars(const CompiledProgram& prog,
+                              const std::vector<std::string>& names,
+                              const std::vector<double>& values);
 
 }  // namespace ccp::lang

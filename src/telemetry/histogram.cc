@@ -1,5 +1,7 @@
 #include "telemetry/histogram.hpp"
 
+#include <algorithm>
+
 namespace ccp::telemetry {
 
 void Histogram::collect(HistogramSample& out) const {
@@ -31,13 +33,25 @@ double HistogramSample::quantile(double q) const {
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   // Target rank among `count` samples; resolve to the first bucket whose
-  // cumulative count covers it.
-  const uint64_t target =
-      static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  // cumulative count covers it, then interpolate within the bucket
+  // assuming its samples are uniformly spread. Without the interpolation
+  // every quantile landing in a bucket snaps to the bucket's inclusive
+  // upper bound — which is how report-latency percentiles used to read
+  // exactly 65.535 us (the upper of the [61440, 65535] ns bucket).
+  const double target = q * static_cast<double>(count - 1);
   uint64_t seen = 0;
   for (const HistogramBucket& b : buckets) {
+    if (static_cast<double>(seen + b.count) > target) {
+      const uint64_t lower = Histogram::bucket_lower(Histogram::index_of(b.upper));
+      const double width = static_cast<double>(b.upper - lower) + 1.0;
+      const double frac =
+          (target - static_cast<double>(seen) + 1.0) / static_cast<double>(b.count);
+      const double v = static_cast<double>(lower) + width * frac;
+      // Clamp into the bucket: q=1.0 resolves to exactly the upper bound,
+      // and exact (width-1) buckets return their exact value.
+      return std::min(v, static_cast<double>(b.upper));
+    }
     seen += b.count;
-    if (seen > target) return static_cast<double>(b.upper);
   }
   return static_cast<double>(buckets.back().upper);
 }

@@ -122,8 +122,9 @@ struct HistogramSample {
   double mean() const {
     return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
   }
-  /// Quantile estimate (q in [0,1]); resolves to the bucket upper bound,
-  /// so the error is bounded by the bucket width (<= 12.5%).
+  /// Quantile estimate (q in [0,1]); resolves to a bucket and
+  /// interpolates within it, so the error is bounded by the bucket width
+  /// (<= 1/Histogram::kSubBuckets, i.e. 3.125%).
   double quantile(double q) const;
   double max() const { return buckets.empty() ? 0.0 : static_cast<double>(buckets.back().upper); }
 };

@@ -50,6 +50,24 @@ inline uint64_t now_ns() noexcept {
           .count());
 }
 
+/// Upper bound on datapath shards with dedicated counter sets. Shards
+/// beyond this share the last set (modulo), so nothing breaks — the
+/// per-shard breakdown just aliases.
+inline constexpr size_t kMaxShards = 16;
+
+/// Per-shard datapath counters, registered as ccp_shard<i>_<name>_total.
+/// Each shard's worker thread is the only writer of its set on the hot
+/// path (lane ring-full drops are counted by the lane wiring, which also
+/// runs on the owning worker), so these are effectively single-writer —
+/// the sharded Counter cells make cross-thread reads safe regardless.
+struct ShardStats {
+  Counter acks;       // ACKs folded on this shard (per report, by delta)
+  Counter reports;    // measurement reports emitted by this shard
+  Counter urgents;    // urgent events emitted by this shard
+  Counter ring_full;  // frames dropped: this shard's IPC lane was full
+  Counter commands;   // agent commands applied at quiescent points
+};
+
 /// Every runtime metric, one member each, registered by name in
 /// MetricsRegistry::global() at construction. Access via metrics().
 struct Metrics {
@@ -92,12 +110,21 @@ struct Metrics {
   Histogram ipc_drain_batch;             // frames per transport drain
   Histogram dp_flush_batch;              // messages per datapath batch flush
 
+  // -- sharded datapath (per-shard breakdown; aggregate counters above
+  //    keep counting too) --
+  ShardStats shard[kMaxShards];
+
   Metrics();
   ~Metrics();
 };
 
 /// The global metric set (function-local static; first call registers).
 Metrics& metrics();
+
+/// The counter set for shard `index` (modulo kMaxShards).
+inline ShardStats& shard_stats(size_t index) {
+  return metrics().shard[index % kMaxShards];
+}
 
 /// Records a control-loop trace event iff the trace ring is enabled.
 inline void trace(TraceKind kind, uint32_t flow, double value) noexcept {

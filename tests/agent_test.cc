@@ -2,6 +2,7 @@
 
 #include "agent/agent.hpp"
 #include "lang/parser.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ccp::agent {
 namespace {
@@ -263,6 +264,42 @@ TEST(Agent, VectorMeasurementSamplesDecoded) {
   EXPECT_DOUBLE_EQ(samples[0].rtt_us, 100);
   EXPECT_DOUBLE_EQ(samples[1].bytes_acked, 2920);
   EXPECT_DOUBLE_EQ(samples[1].lost, 1);
+}
+
+TEST(Agent, ReportLatencyBeyondOldSaturationRecordsCorrectly) {
+  // Regression for the p50 = 65.535 µs plateau in BENCH_hotpath.json.
+  // The emitted_ns stamp was never the problem (it is a full u64 on the
+  // wire); the latency histogram's quantile() returned raw bucket uppers
+  // at 8-sub-bucket resolution, so everything at the top of the
+  // distribution reported exactly 65535 ns. A synthetic latency three
+  // orders of magnitude past that point must round-trip through the
+  // stamp and come back within the histogram's documented 3.125% bucket
+  // error — not clamp.
+  telemetry::set_enabled(true);
+  auto& hist = telemetry::metrics().report_latency_ns;
+  hist.reset();
+
+  Harness h;
+  h.register_probe();
+  h.deliver(create(1));
+
+  constexpr uint64_t kSyntheticLatencyNs = 100'000'000;  // 100 ms
+  for (int i = 0; i < 9; ++i) {
+    ipc::MeasurementMsg m;
+    m.flow_id = 1;
+    m.fields = {1.0};
+    m.emitted_ns = telemetry::now_ns() - kSyntheticLatencyNs;
+    h.deliver(m);
+  }
+  telemetry::set_enabled(false);
+
+  ASSERT_EQ(hist.count(), 9u);
+  const double p50 = hist.quantile(0.5);
+  EXPECT_GT(p50, 65'535'000.0) << "latency percentile still saturating";
+  EXPECT_GE(p50, static_cast<double>(kSyntheticLatencyNs) * 0.96);
+  // Handler overhead between now_ns() and the record is microseconds;
+  // the upper slack is bucket error, not scheduling noise.
+  EXPECT_LE(p50, static_cast<double>(kSyntheticLatencyNs) * 1.04);
 }
 
 }  // namespace

@@ -1,0 +1,480 @@
+// Sharded datapath: flow-to-shard routing, epoch-based command
+// publication, per-shard lanes, and concurrent install-while-processing.
+//
+// The concurrency tests here are the TSan targets for the multi-core
+// datapath (CI runs them under -fsanitize=thread with 4 worker threads):
+// shard workers fold ACKs lock-free while the control plane publishes
+// compiled programs through the SPSC command queues.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "datapath/shard.hpp"
+#include "datapath/sharded_datapath.hpp"
+#include "ipc/lanes.hpp"
+#include "ipc/message.hpp"
+#include "ipc/wire.hpp"
+#include "util/flat_map.hpp"
+#include "util/time.hpp"
+
+namespace ccp::datapath {
+namespace {
+
+AckEvent make_ack(TimePoint now, uint64_t i) {
+  AckEvent ev;
+  ev.now = now;
+  ev.bytes_acked = 1500;
+  ev.packets_acked = 1;
+  ev.bytes_in_flight = 64 * 1500;
+  ev.packets_in_flight = 64;
+  ev.rtt_sample = Duration::from_millis(10) +
+                  Duration::from_nanos(static_cast<int64_t>(i % 1024) * 1000);
+  return ev;
+}
+
+// --- command queue ---
+
+TEST(CommandQueue, PublishesInOrderAndTracksEpochs) {
+  CommandQueue q(4);
+  EXPECT_FALSE(q.has_pending());
+  for (uint32_t i = 0; i < 3; ++i) {
+    ShardCommand cmd;
+    cmd.kind = ShardCommand::Kind::DirectControl;
+    cmd.flow_id = i;
+    ASSERT_TRUE(q.push(std::move(cmd)));
+  }
+  EXPECT_EQ(q.publish_epoch(), 3u);
+  EXPECT_EQ(q.applied_epoch(), 0u);
+  EXPECT_TRUE(q.has_pending());
+
+  std::vector<ipc::FlowId> seen;
+  EXPECT_EQ(q.drain([&](ShardCommand& c) { seen.push_back(c.flow_id); }), 3u);
+  EXPECT_EQ(seen, (std::vector<ipc::FlowId>{0, 1, 2}));
+  EXPECT_EQ(q.applied_epoch(), 3u);
+  EXPECT_FALSE(q.has_pending());
+}
+
+TEST(CommandQueue, RejectsWhenConsumerIsACapacityBehind) {
+  CommandQueue q(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.push(ShardCommand{}));
+  }
+  EXPECT_FALSE(q.push(ShardCommand{}));  // full: consumer never drained
+  q.drain([](ShardCommand&) {});
+  EXPECT_TRUE(q.push(ShardCommand{}));  // space again after the drain
+}
+
+// --- routing / flow table integrity ---
+
+TEST(ShardRouting, MillionCollisionHeavyIdsNoCrossShardAliasing) {
+  // One million flow ids that all share their low 12 bits — the worst
+  // case for a routing function that just masks low bits, and exactly
+  // what a stack handing out arena-allocated flow keys produces. Every
+  // id must land on exactly one shard, be retrievable there, and be
+  // absent everywhere else; churn (bulk erase + reinsert while looking
+  // up) must not corrupt any shard's table.
+  constexpr uint32_t kShards = 8;
+  constexpr size_t kFlowCount = 1'000'000;
+  // 11-bit shift: 1.1M ids (base set + churn wave) stay inside the
+  // 32-bit FlowId space with no wraparound collisions.
+  const auto make_id = [](size_t i) {
+    return static_cast<ipc::FlowId>((i << 11) | 0x5BC);
+  };
+  const auto token = [](ipc::FlowId id) {
+    return (static_cast<uint64_t>(id) << 17) ^ 0x5bd1e995u;
+  };
+
+  std::array<util::FlatMap<ipc::FlowId, uint64_t>, kShards> tables;
+  for (size_t i = 0; i < kFlowCount; ++i) {
+    const ipc::FlowId id = make_id(i);
+    tables[shard_of(id, kShards)].insert_or_assign(id, token(id));
+  }
+
+  size_t total = 0;
+  for (uint32_t s = 0; s < kShards; ++s) total += tables[s].size();
+  ASSERT_EQ(total, kFlowCount) << "ids aliased across shards";
+
+  // Routing balance: the splitmix-style hash should spread a maximally
+  // collision-heavy id set to within a few percent of uniform.
+  const size_t expect = kFlowCount / kShards;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(tables[s].size(), expect * 95 / 100) << "shard " << s;
+    EXPECT_LT(tables[s].size(), expect * 105 / 100) << "shard " << s;
+  }
+
+  for (size_t i = 0; i < kFlowCount; ++i) {
+    const ipc::FlowId id = make_id(i);
+    const uint32_t s = shard_of(id, kShards);
+    auto* found = tables[s].find(id);
+    ASSERT_NE(found, nullptr) << "id " << id << " missing from its shard";
+    ASSERT_EQ(*found, token(id)) << "id " << id << " value corrupted";
+    // Absent from the neighboring shard's table (spot-check, not all 7).
+    EXPECT_EQ(tables[(s + 1) % kShards].find(id), nullptr);
+  }
+
+  // Churn: remove every third id, look the survivors up as we go, then
+  // add a fresh wave and re-verify end state.
+  for (size_t i = 0; i < kFlowCount; ++i) {
+    const ipc::FlowId id = make_id(i);
+    const uint32_t s = shard_of(id, kShards);
+    if (i % 3 == 0) {
+      ASSERT_EQ(tables[s].erase(id), 1u);
+    } else if (i % 7 == 1) {
+      ASSERT_NE(tables[s].find(id), nullptr);
+    }
+  }
+  for (size_t i = kFlowCount; i < kFlowCount + 100'000; ++i) {
+    const ipc::FlowId id = make_id(i);
+    tables[shard_of(id, kShards)].insert_or_assign(id, token(id));
+  }
+  for (size_t i = 0; i < kFlowCount + 100'000; ++i) {
+    const ipc::FlowId id = make_id(i);
+    auto* found = tables[shard_of(id, kShards)].find(id);
+    const bool erased = i < kFlowCount && i % 3 == 0;
+    if (erased) {
+      ASSERT_EQ(found, nullptr) << "erased id " << id << " resurrected";
+    } else {
+      ASSERT_NE(found, nullptr);
+      ASSERT_EQ(*found, token(id));
+    }
+  }
+}
+
+TEST(ShardRouting, AllocFlowIdRoutesToRequestedShard) {
+  ipc::LaneSet lanes = ipc::make_inproc_lanes(4);
+  std::vector<ShardedDatapath::FrameTx> txs;
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    txs.push_back(ipc::make_lane_tx(*lanes.dp[i], i));
+  }
+  ShardedDatapath dp(DatapathConfig{}, std::move(txs));
+  for (uint32_t s = 0; s < dp.num_shards(); ++s) {
+    for (int k = 0; k < 100; ++k) {
+      EXPECT_EQ(dp.shard_of_flow(dp.alloc_flow_id(s)), s);
+    }
+  }
+}
+
+// --- per-shard lanes ---
+
+TEST(ShardedDatapath, ReportsLeaveOnTheOwningShardsLane) {
+  constexpr uint32_t kShards = 4;
+  ipc::LaneSet lanes = ipc::make_inproc_lanes(kShards);
+  std::vector<ShardedDatapath::FrameTx> txs;
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    txs.push_back(ipc::make_lane_tx(*lanes.dp[i], i));
+  }
+  DatapathConfig dcfg;
+  dcfg.flush_interval = Duration::from_millis(1);
+  ShardedDatapath dp(dcfg, std::move(txs));
+
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  std::vector<std::vector<ipc::FlowId>> ids(kShards);
+  for (uint32_t s = 0; s < kShards; ++s) {
+    for (int k = 0; k < 4; ++k) {
+      const ipc::FlowId id = dp.alloc_flow_id(s);
+      dp.shard(s).create_flow(id, FlowConfig{}, "test", now);
+      ids[s].push_back(id);
+    }
+  }
+  for (uint64_t i = 0; i < 200'000; ++i) {
+    now += Duration::from_micros(1);
+    const uint32_t s = static_cast<uint32_t>(i % kShards);
+    auto* fl = dp.shard(s).flow(ids[s][(i / kShards) % ids[s].size()]);
+    fl->on_send(SendEvent{now, 1500});
+    fl->on_ack(make_ack(now, i));
+    if ((i & 255) == 255) dp.shard(s).poll(now);
+  }
+  for (uint32_t s = 0; s < kShards; ++s) dp.shard(s).flush();
+
+  // Every frame on lane s must only carry messages for shard s's flows.
+  size_t measurements = 0;
+  const size_t drained = ipc::drain_lanes(
+      lanes.agent, [&](size_t lane, std::span<const uint8_t> frame) {
+        for (const ipc::Message& msg : ipc::decode_frame(frame)) {
+          const auto* m = std::get_if<ipc::MeasurementMsg>(&msg);
+          if (m == nullptr) continue;
+          ++measurements;
+          EXPECT_EQ(dp.shard_of_flow(m->flow_id), lane)
+              << "flow " << m->flow_id << " reported on lane " << lane;
+        }
+      });
+  EXPECT_GT(drained, 0u);
+  EXPECT_GT(measurements, 0u);
+}
+
+// --- epoch install protocol ---
+
+constexpr const char* kOneRegProgram = R"(
+fold { r := r + Pkt.bytes_acked init 0; }
+control { WaitRtts(1.0); Report(); }
+)";
+
+constexpr const char* kTwoRegProgram = R"(
+fold {
+  a := a + Pkt.bytes_acked init 0;
+  b := ewma(b, Pkt.rtt, 0.125) init $b0;
+}
+control { WaitRtts(1.0); Report(); }
+)";
+
+ipc::InstallMsg make_install(ipc::FlowId id, const char* text) {
+  ipc::InstallMsg msg;
+  msg.flow_id = id;
+  msg.program_text = text;
+  if (text == kTwoRegProgram) {
+    msg.var_names = {"b0"};
+    msg.var_values = {42.0};
+  }
+  return msg;
+}
+
+TEST(ShardedDatapath, InstallAppliesOnlyAtTheQuiescentPoint) {
+  ipc::LaneSet lanes = ipc::make_inproc_lanes(2);
+  std::vector<ShardedDatapath::FrameTx> txs;
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    txs.push_back(ipc::make_lane_tx(*lanes.dp[i], i));
+  }
+  ShardedDatapath dp(DatapathConfig{}, std::move(txs));
+
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  const ipc::FlowId id = dp.alloc_flow_id(0);
+  CcpFlow& fl = dp.shard(0).create_flow(id, FlowConfig{}, "test", now);
+  const size_t default_regs = fl.fold().state().size();
+
+  dp.handle_frame(ipc::encode_frame(ipc::Message(make_install(id, kOneRegProgram))));
+  EXPECT_EQ(dp.control_stats().commands_routed, 1u);
+  EXPECT_EQ(dp.shard(0).commands().publish_epoch(), 1u);
+  EXPECT_EQ(dp.shard(0).commands().applied_epoch(), 0u);
+
+  // ACKs processed before the next quiescent point still run the old
+  // program — publication is epoch-based, not immediate.
+  for (uint64_t i = 0; i < 100; ++i) {
+    now += Duration::from_micros(1);
+    fl.on_ack(make_ack(now, i));
+  }
+  EXPECT_EQ(fl.fold().state().size(), default_regs);
+
+  dp.shard(0).poll(now);  // the quiescent point
+  EXPECT_EQ(dp.shard(0).commands().applied_epoch(), 1u);
+  EXPECT_EQ(fl.fold().state().size(), 1u);
+  EXPECT_EQ(dp.shard(0).commands_applied(), 1u);
+}
+
+TEST(ShardedDatapath, MalformedProgramIsRejectedAtTheControlPlane) {
+  ipc::LaneSet lanes = ipc::make_inproc_lanes(2);
+  std::vector<ShardedDatapath::FrameTx> txs;
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    txs.push_back(ipc::make_lane_tx(*lanes.dp[i], i));
+  }
+  ShardedDatapath dp(DatapathConfig{}, std::move(txs));
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  const ipc::FlowId id = dp.alloc_flow_id(0);
+  dp.shard(0).create_flow(id, FlowConfig{}, "test", now);
+
+  ipc::InstallMsg bad;
+  bad.flow_id = id;
+  bad.program_text = "fold { this is not a program }";
+  dp.handle_frame(ipc::encode_frame(ipc::Message(bad)));
+  EXPECT_EQ(dp.control_stats().install_errors, 1u);
+  EXPECT_EQ(dp.control_stats().commands_routed, 0u);
+  EXPECT_EQ(dp.shard(0).commands().publish_epoch(), 0u);
+}
+
+// --- concurrency (TSan targets) ---
+
+struct WorkerState {
+  std::vector<ipc::FlowId> ids;
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  uint64_t acks = 0;
+  // Progress is polled by the main thread while the worker runs.
+  std::atomic<uint64_t> iterations{0};
+};
+
+TEST(ShardedDatapath, ConcurrentInstallWhileProcessingAcrossFourShards) {
+  constexpr uint32_t kShards = 4;
+  constexpr int kFlowsPerShard = 4;
+  constexpr uint64_t kAckBatch = 256;
+
+  ipc::LaneSet lanes = ipc::make_inproc_lanes(kShards);
+  std::vector<ShardedDatapath::FrameTx> txs;
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    txs.push_back(ipc::make_lane_tx(*lanes.dp[i], i));
+  }
+  DatapathConfig dcfg;
+  dcfg.flush_interval = Duration::from_millis(1);
+  ShardedDatapath dp(dcfg, std::move(txs));
+
+  // Flow setup happens before any worker exists; ownership then passes
+  // to the worker threads (one per shard).
+  std::array<WorkerState, kShards> state;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    for (int k = 0; k < kFlowsPerShard; ++k) {
+      const ipc::FlowId id = dp.alloc_flow_id(s);
+      dp.shard(s).create_flow(id, FlowConfig{}, "test", state[s].now);
+      state[s].ids.push_back(id);
+    }
+  }
+
+  dp.start_workers([&state](Shard& shard) {
+    WorkerState& st = state[shard.index()];
+    for (uint64_t i = 0; i < kAckBatch; ++i) {
+      st.now += Duration::from_micros(1);
+      auto* fl = shard.flow(st.ids[st.acks % st.ids.size()]);
+      fl->on_send(SendEvent{st.now, 1500});
+      fl->on_ack(make_ack(st.now, st.acks));
+      ++st.acks;
+    }
+    shard.poll(st.now);  // quiescent point: pending installs apply here
+    ++st.iterations;
+  });
+
+  // Control plane: publish alternating program installs (and direct
+  // control) to every flow while all four workers fold ACKs.
+  constexpr int kRounds = 150;
+  for (int round = 0; round < kRounds; ++round) {
+    for (uint32_t s = 0; s < kShards; ++s) {
+      for (const ipc::FlowId id : state[s].ids) {
+        const char* text = (round % 2 == 0) ? kOneRegProgram : kTwoRegProgram;
+        dp.handle_frame(ipc::encode_frame(ipc::Message(make_install(id, text))));
+        ipc::DirectControlMsg ctl;
+        ctl.flow_id = id;
+        ctl.cwnd_bytes = 20'000.0 + round;
+        dp.handle_frame(ipc::encode_frame(ipc::Message(ctl)));
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  dp.stop_workers();
+
+  // Apply anything still queued (ownership is back on this thread), then
+  // check the installs really went through program swaps.
+  for (uint32_t s = 0; s < kShards; ++s) {
+    dp.shard(s).poll(state[s].now);
+    EXPECT_GT(state[s].iterations, 0u) << "shard " << s << " never ran";
+    EXPECT_GT(state[s].acks, 0u);
+    const uint64_t applied = dp.shard(s).commands_applied();
+    EXPECT_GT(applied, 0u) << "shard " << s << " applied no commands";
+    for (const ipc::FlowId id : state[s].ids) {
+      const size_t regs = dp.shard(s).flow(id)->fold().state().size();
+      EXPECT_TRUE(regs == 1 || regs == 2)
+          << "flow " << id << " runs neither installed program";
+    }
+  }
+  EXPECT_EQ(dp.control_stats().install_errors, 0u);
+  EXPECT_EQ(dp.control_stats().decode_errors, 0u);
+  EXPECT_GT(dp.control_stats().commands_routed, 0u);
+  // Commands may drop under queue pressure, but the protocol must apply
+  // everything that was published.
+  uint64_t applied_total = 0;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(dp.shard(s).commands().applied_epoch(),
+              dp.shard(s).commands().publish_epoch());
+    applied_total += dp.shard(s).commands_applied();
+  }
+  EXPECT_EQ(applied_total, dp.control_stats().commands_routed);
+}
+
+TEST(ShardedDatapath, FlowChurnWhileProcessingAcrossFourShards) {
+  constexpr uint32_t kShards = 4;
+  ipc::LaneSet lanes = ipc::make_inproc_lanes(kShards);
+  std::vector<ShardedDatapath::FrameTx> txs;
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    txs.push_back(ipc::make_lane_tx(*lanes.dp[i], i));
+  }
+  DatapathConfig dcfg;
+  dcfg.flush_interval = Duration::from_millis(1);
+  ShardedDatapath dp(dcfg, std::move(txs));
+
+  std::array<WorkerState, kShards> state;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    for (int k = 0; k < 8; ++k) {
+      const ipc::FlowId id = dp.alloc_flow_id(s);
+      dp.shard(s).create_flow(id, FlowConfig{}, "test", state[s].now);
+      state[s].ids.push_back(id);
+    }
+  }
+
+  // Each worker adds a flow, folds ACKs across its live set, closes its
+  // oldest flow, and polls — lookups must stay stable under the add /
+  // remove churn while the control plane keeps sending commands (some to
+  // already-closed flows, which must be dropped gracefully).
+  constexpr uint64_t kIterationsPerShard = 400;
+  dp.start_workers([&dp, &state](Shard& shard) {
+    WorkerState& st = state[shard.index()];
+    if (st.iterations >= kIterationsPerShard) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      return;
+    }
+    const ipc::FlowId fresh = dp.alloc_flow_id(shard.index());
+    shard.create_flow(fresh, FlowConfig{}, "test", st.now);
+    st.ids.push_back(fresh);
+    for (uint64_t i = 0; i < 128; ++i) {
+      st.now += Duration::from_micros(1);
+      auto* fl = shard.flow(st.ids[st.acks % st.ids.size()]);
+      EXPECT_NE(fl, nullptr);
+      if (fl == nullptr) return;
+      fl->on_send(SendEvent{st.now, 1500});
+      fl->on_ack(make_ack(st.now, st.acks));
+      ++st.acks;
+    }
+    shard.close_flow(st.ids.front(), st.now);
+    st.ids.erase(st.ids.begin());
+    shard.poll(st.now);
+    ++st.iterations;
+  });
+
+  for (int round = 0; round < 100; ++round) {
+    for (uint32_t s = 0; s < kShards; ++s) {
+      // Race commands against churn: id may be alive, closed, or not yet
+      // created from this thread's point of view.
+      ipc::DirectControlMsg ctl;
+      ctl.flow_id = static_cast<ipc::FlowId>(round * 7 + s);
+      ctl.rate_bps = 1e9;
+      dp.handle_frame(ipc::encode_frame(ipc::Message(ctl)));
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+
+  // Wait for every shard to finish its iterations, then stop. No fixed
+  // wall-clock deadline — under TSan on a loaded single-core box the
+  // workers are legitimately slow — but bail out if they stop making
+  // progress entirely (a real hang).
+  uint64_t last_total = 0;
+  int stalled_ms = 0;
+  for (;;) {
+    uint64_t total = 0;
+    bool done = true;
+    for (uint32_t s = 0; s < kShards; ++s) {
+      const uint64_t it = state[s].iterations;
+      total += it;
+      if (it < kIterationsPerShard) done = false;
+    }
+    if (done) break;
+    if (total == last_total) {
+      stalled_ms += 10;
+      if (stalled_ms > 10'000) break;  // no progress for 10 s: give up
+    } else {
+      stalled_ms = 0;
+      last_total = total;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  dp.stop_workers();
+
+  for (uint32_t s = 0; s < kShards; ++s) {
+    EXPECT_GE(state[s].iterations, kIterationsPerShard) << "shard " << s;
+    EXPECT_EQ(dp.shard(s).num_flows(), 8u) << "shard " << s;  // +1 -1 per iter
+    for (const ipc::FlowId id : state[s].ids) {
+      EXPECT_NE(dp.shard(s).flow(id), nullptr);
+      EXPECT_EQ(dp.shard_of_flow(id), s);
+    }
+  }
+  EXPECT_EQ(dp.control_stats().decode_errors, 0u);
+}
+
+}  // namespace
+}  // namespace ccp::datapath

@@ -87,7 +87,7 @@ TEST(Histogram, BucketBoundsContainValue) {
     ASSERT_LT(idx, Histogram::kBuckets) << "v=" << v;
     EXPECT_LE(Histogram::bucket_lower(idx), v) << "v=" << v;
     EXPECT_GE(Histogram::bucket_upper(idx), v) << "v=" << v;
-    // Relative error bound: bucket width <= lower/kSubBuckets, i.e. 12.5%.
+    // Relative error bound: bucket width <= lower/kSubBuckets (3.125%).
     const uint64_t lower = Histogram::bucket_lower(idx);
     const uint64_t width = Histogram::bucket_upper(idx) - lower + 1;
     EXPECT_LE(width, lower / Histogram::kSubBuckets + 1) << "v=" << v;
@@ -112,14 +112,14 @@ TEST(Histogram, QuantilesWithinRelativeErrorBound) {
   }
   EXPECT_EQ(h.count(), kN);
   EXPECT_EQ(h.sum(), sum);
-  // Quantiles resolve to a bucket upper bound; with 8 sub-buckets per
-  // octave the estimate is within 12.5% above the true value.
+  // Quantiles resolve to a bucket and interpolate within it; with 32
+  // sub-buckets per octave the estimate is within ~3.2% of the true value.
   const double q50 = h.quantile(0.5);
   const double q99 = h.quantile(0.99);
-  EXPECT_GE(q50, 0.5 * kN * 0.99);
-  EXPECT_LE(q50, 0.5 * kN * 1.125 + 1);
-  EXPECT_GE(q99, 0.99 * kN * 0.99);
-  EXPECT_LE(q99, 0.99 * kN * 1.125 + 1);
+  EXPECT_GE(q50, 0.5 * kN * 0.97);
+  EXPECT_LE(q50, 0.5 * kN * 1.04 + 1);
+  EXPECT_GE(q99, 0.99 * kN * 0.97);
+  EXPECT_LE(q99, 0.99 * kN * 1.04 + 1);
   EXPECT_GE(h.quantile(1.0), static_cast<double>(kN));
   h.reset();
   EXPECT_EQ(h.count(), 0u);

@@ -13,6 +13,7 @@
 //   ccp_stats --socket PATH --json                     # one JSON snapshot
 //   ccp_stats --socket PATH --prom                     # Prometheus text format
 //   ccp_stats --socket PATH --trace                    # dump the trace ring
+//   ccp_stats --socket PATH --shards                   # per-shard breakdown
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -31,7 +32,7 @@ using ccp::telemetry::StatsClient;
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--interval SECS] [--once] [--json] "
-               "[--prom] [--trace]\n",
+               "[--prom] [--trace] [--shards]\n",
                argv0);
 }
 
@@ -84,12 +85,51 @@ int dump_trace(StatsClient& client) {
   return 0;
 }
 
+/// Per-shard counter breakdown (sharded datapath; docs/PERF.md
+/// "Threading model"). Shards with no recorded activity are elided, so
+/// a single-core process prints one row and an 8-shard one prints eight.
+int dump_shards(StatsClient& client) {
+  auto snap = client.snapshot();
+  if (!snap.has_value()) {
+    std::fprintf(stderr, "ccp_stats: snapshot request failed\n");
+    return 1;
+  }
+  std::printf("%6s %16s %12s %10s %10s %10s\n", "shard", "acks", "reports",
+              "urgents", "ring_full", "commands");
+  uint64_t total[5] = {0, 0, 0, 0, 0};
+  bool any = false;
+  for (size_t s = 0; s < ccp::telemetry::kMaxShards; ++s) {
+    char name[64];
+    const auto get = [&](const char* what) {
+      std::snprintf(name, sizeof(name), "ccp_shard%zu_%s_total", s, what);
+      return counter_value(*snap, name);
+    };
+    const uint64_t row[5] = {get("acks"), get("reports"), get("urgents"),
+                             get("ring_full"), get("commands")};
+    if ((row[0] | row[1] | row[2] | row[3] | row[4]) == 0) continue;
+    any = true;
+    for (size_t k = 0; k < 5; ++k) total[k] += row[k];
+    std::printf("%6zu %16" PRIu64 " %12" PRIu64 " %10" PRIu64 " %10" PRIu64
+                " %10" PRIu64 "\n",
+                s, row[0], row[1], row[2], row[3], row[4]);
+  }
+  if (!any) {
+    std::printf("(no per-shard activity recorded; is the process running a "
+                "sharded datapath with telemetry on?)\n");
+    return 0;
+  }
+  std::printf("%6s %16" PRIu64 " %12" PRIu64 " %10" PRIu64 " %10" PRIu64
+              " %10" PRIu64 "\n",
+              "total", total[0], total[1], total[2], total[3], total[4]);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path;
   double interval_secs = 1.0;
-  bool once = false, json = false, prom = false, trace = false;
+  bool once = false, json = false, prom = false, trace = false, shards = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -106,6 +146,7 @@ int main(int argc, char** argv) {
     else if (arg == "--json") json = true;
     else if (arg == "--prom") prom = true;
     else if (arg == "--trace") trace = true;
+    else if (arg == "--shards") shards = true;
     else {
       usage(argv[0]);
       return 2;
@@ -128,6 +169,7 @@ int main(int argc, char** argv) {
   }
 
   if (trace) return dump_trace(*client);
+  if (shards) return dump_shards(*client);
 
   if (json || prom) {
     auto snap = client->snapshot();
