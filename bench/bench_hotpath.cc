@@ -63,8 +63,8 @@ struct RunResult {
 template <typename Datapath>
 RunResult drive(Datapath& dp, ipc::Transport& dp_end, agent::CcpAgent& agent,
                 ipc::Transport& agent_end, size_t n_flows, uint64_t total_acks,
-                uint64_t* frames_to_agent) {
-  datapath::FlowConfig fcfg;
+                uint64_t* frames_to_agent,
+                const datapath::FlowConfig& fcfg = {}) {
   TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
   std::vector<ipc::FlowId> ids;
   for (size_t i = 0; i < n_flows; ++i) {
@@ -114,7 +114,7 @@ RunResult drive(Datapath& dp, ipc::Transport& dp_end, agent::CcpAgent& agent,
   return r;
 }
 
-RunResult run_full() {
+RunResult run_full(const datapath::FlowConfig& fcfg = {}) {
   auto pair = ipc::make_inproc_pair();
   uint64_t frames = 0;
   datapath::DatapathConfig dcfg;
@@ -127,7 +127,7 @@ RunResult run_full() {
   agent::AgentConfig acfg;
   agent::CcpAgent agent(acfg, [&](std::span<const uint8_t> f) { pair.b->send_frame(f); });
   algorithms::register_builtin_algorithms(agent);
-  return drive(dp, *pair.a, agent, *pair.b, kFlows, kAcks, &frames);
+  return drive(dp, *pair.a, agent, *pair.b, kFlows, kAcks, &frames, fcfg);
 }
 
 RunResult run_proto() {
@@ -289,13 +289,21 @@ int main(int argc, char** argv) {
   // runs easily exceeds the telemetry delta, so interleave the two
   // configurations and take best-of-N per config — best-of discards
   // frequency dips and scheduler noise, leaving the structural cost.
-  bench::section("full datapath: instrumented vs stripped (best of 5, interleaved)");
+  bench::section("full datapath: instrumented vs stripped vs watchdog (best of 5, interleaved)");
   constexpr int kRepeats = 5;
-  RunResult full{}, stripped{};
+  // Watchdog-armed config: k-RTT staleness checking on, thresholds the
+  // bench can never reach (the agent refreshes contact every report
+  // interval), so what's measured is the steady-state cost of the armed
+  // check, not a fallback transition.
+  datapath::FlowConfig wd_cfg;
+  wd_cfg.watchdog_rtts = 8.0;
+  RunResult full{}, stripped{}, watchdog{};
   for (int r = 0; r < kRepeats; ++r) {
     telemetry::set_enabled(true);
     const RunResult a = run_full();
     if (a.acks_per_sec > full.acks_per_sec) full = a;
+    const RunResult w = run_full(wd_cfg);
+    if (w.acks_per_sec > watchdog.acks_per_sec) watchdog = w;
     telemetry::set_enabled(false);
     const RunResult b = run_full();
     if (b.acks_per_sec > stripped.acks_per_sec) stripped = b;
@@ -307,6 +315,7 @@ int main(int argc, char** argv) {
               full.acks_per_sec / 1e6,
               static_cast<unsigned long long>(full.frames_to_agent));
   std::printf("  stripped:     %.2f M ACKs/sec\n", stripped.acks_per_sec / 1e6);
+  std::printf("  watchdog on:  %.2f M ACKs/sec\n", watchdog.acks_per_sec / 1e6);
   const double rep_p50_us =
       telemetry::metrics().report_latency_ns.quantile(0.5) / 1e3;
   const double rep_p99_us =
@@ -318,6 +327,12 @@ int main(int argc, char** argv) {
           ? (stripped.acks_per_sec - full.acks_per_sec) / stripped.acks_per_sec * 100.0
           : 0.0;
   std::printf("telemetry overhead: %.2f%% (target < 3%%)\n", overhead_pct);
+  const double watchdog_overhead_pct =
+      full.acks_per_sec > 0
+          ? (full.acks_per_sec - watchdog.acks_per_sec) / full.acks_per_sec * 100.0
+          : 0.0;
+  std::printf("watchdog overhead:  %.2f%% vs instrumented (target < 2%%)\n",
+              watchdog_overhead_pct);
 
   bench::section("prototype datapath (fixed measurements, DirectControl)");
   const RunResult proto = run_proto();
@@ -363,6 +378,8 @@ int main(int argc, char** argv) {
        {proto_key, bench::json_num(proto.acks_per_sec)},
        {"full_acks_per_sec_stripped", bench::json_num(stripped.acks_per_sec)},
        {"telemetry_overhead_pct", bench::json_num(overhead_pct)},
+       {"watchdog_acks_per_sec", bench::json_num(watchdog.acks_per_sec)},
+       {"watchdog_overhead_pct", bench::json_num(watchdog_overhead_pct)},
        {"report_latency_p50_us", bench::json_num(rep_p50_us)},
        {"report_latency_p99_us", bench::json_num(rep_p99_us)},
        {"n_flows", bench::json_num(static_cast<double>(kFlows))},
@@ -416,6 +433,22 @@ int main(int argc, char** argv) {
                   scaling[0].cpu_acks_per_sec, enforce_ratio * 100.0,
                   committed_1shard);
     }
+    // Arming the watchdog must cost < 2% of the instrumented rate. Both
+    // numbers come from this run (interleaved best-of-5), so machine
+    // drift cancels and a fixed ratio is safe to enforce.
+    constexpr double kWatchdogMinRatio = 0.98;
+    if (watchdog.acks_per_sec < kWatchdogMinRatio * full.acks_per_sec) {
+      std::fprintf(stderr,
+                   "[enforce] FAIL: watchdog-enabled %.3g ACKs/sec < %.0f%% of "
+                   "instrumented %.3g (overhead %.2f%%, target < 2%%)\n",
+                   watchdog.acks_per_sec, kWatchdogMinRatio * 100.0,
+                   full.acks_per_sec, watchdog_overhead_pct);
+      return 1;
+    }
+    std::printf("[enforce] ok: watchdog-enabled %.3g ACKs/sec >= %.0f%% of "
+                "instrumented %.3g (overhead %.2f%%)\n",
+                watchdog.acks_per_sec, kWatchdogMinRatio * 100.0,
+                full.acks_per_sec, watchdog_overhead_pct);
   }
   return 0;
 }

@@ -303,6 +303,7 @@ void CcpAgent::handle_frame(std::span<const uint8_t> frame) {
           else if constexpr (std::is_same_v<T, ipc::MeasurementMsg>) on_measurement(m);
           else if constexpr (std::is_same_v<T, ipc::UrgentMsg>) on_urgent(m);
           else if constexpr (std::is_same_v<T, ipc::FlowCloseMsg>) on_close(m);
+          else if constexpr (std::is_same_v<T, ipc::FlowSummaryMsg>) on_flow_summary(m);
           else {
             CCP_WARN("agent: unexpected message type from datapath");
           }
@@ -337,6 +338,46 @@ void CcpAgent::on_create(const ipc::CreateMsg& msg) {
     ref.alg().init(ref);
   } catch (const lang::ProgramError& e) {
     CCP_ERROR("agent: algorithm '%s' failed to initialize flow %u: %s",
+              alg_name.c_str(), msg.flow_id, e.what());
+  }
+}
+
+void CcpAgent::on_flow_summary(const ipc::FlowSummaryMsg& msg) {
+  if (expected_resync_token_ != 0 && msg.token != expected_resync_token_) {
+    return;  // replay from a superseded resync request
+  }
+  if (flows_.find(msg.flow_id) != nullptr) {
+    return;  // flow already known; our state is fresher than the replay
+  }
+  const std::string& alg_name =
+      msg.alg_hint.empty() ? config_.default_algorithm : msg.alg_hint;
+  auto factory_it = registry_.find(alg_name);
+  if (factory_it == registry_.end()) {
+    ++stats_.unknown_algorithm;
+    CCP_WARN("agent: no algorithm '%s' registered for resynced flow %u",
+             alg_name.c_str(), msg.flow_id);
+    return;
+  }
+  FlowInfo info;
+  info.id = msg.flow_id;
+  info.mss = msg.mss;
+  // Resume near where the flow actually is (the live enforced window),
+  // not from the original init_cwnd — a restarted agent must not reset
+  // every flow to slow start.
+  info.init_cwnd_bytes = msg.cwnd_bytes != 0 ? msg.cwnd_bytes : 10 * msg.mss;
+
+  auto entry = std::make_unique<FlowEntry>(this, info, factory_it->second(info),
+                                           /*supports_programs=*/true);
+  FlowEntry& ref = *entry;
+  flows_.insert_or_assign(msg.flow_id, std::move(entry));
+  ++stats_.flows_resynced;
+  if (telemetry::enabled()) telemetry::metrics().agent_flows_resynced.inc();
+  try {
+    // init() installs the algorithm's program, which is what pulls the
+    // flow out of the datapath's safe-mode fallback.
+    ref.alg().init(ref);
+  } catch (const lang::ProgramError& e) {
+    CCP_ERROR("agent: algorithm '%s' failed to resync flow %u: %s",
               alg_name.c_str(), msg.flow_id, e.what());
   }
 }

@@ -40,6 +40,7 @@ struct AgentStats {
   uint64_t decode_errors = 0;
   uint64_t unknown_flow_msgs = 0;
   uint64_t unknown_algorithm = 0;
+  uint64_t flows_resynced = 0;  // rebuilt from replayed FlowSummary msgs
 };
 
 class CcpAgent {
@@ -60,6 +61,11 @@ class CcpAgent {
   const AgentStats& stats() const { return stats_; }
   size_t num_flows() const { return flows_.size(); }
 
+  /// Resync filter: accept replayed FlowSummary messages only when they
+  /// echo `token` (the supervisor's connection generation). Summaries
+  /// from a superseded request are dropped. Zero = accept any token.
+  void expect_resync(uint64_t token) { expected_resync_token_ = token; }
+
   /// Algorithm instance for a flow (tests/introspection); null if absent.
   Algorithm* algorithm(ipc::FlowId id);
 
@@ -70,6 +76,7 @@ class CcpAgent {
   void on_measurement(const ipc::MeasurementMsg& msg);
   void on_urgent(const ipc::UrgentMsg& msg);
   void on_close(const ipc::FlowCloseMsg& msg);
+  void on_flow_summary(const ipc::FlowSummaryMsg& msg);
   void send(const ipc::Message& msg);
 
   AgentConfig config_;
@@ -77,6 +84,7 @@ class CcpAgent {
   std::map<std::string, AlgorithmFactory> registry_;  // cold: lookups at Create only
   util::FlatMap<ipc::FlowId, std::unique_ptr<FlowEntry>> flows_;
   AgentStats stats_;
+  uint64_t expected_resync_token_ = 0;  // 0 = accept any
 
   // Hot-path scratch, reused across frames (see CcpDatapath for the
   // reentrancy discipline around rx_busy_).

@@ -56,10 +56,11 @@ void MultiLaneLoop::stop() {
 void MultiLaneLoop::run() {
   // recv_frame on one lane would block the others, so this loop is
   // poll-based: drain every lane (round-robin start, so a hot lane 0
-  // can't starve lane 7), then back off briefly when all were idle.
-  // The backoff bounds idle CPU without adding tail latency under load —
-  // a busy loop never sleeps.
-  const auto idle_backoff = std::chrono::microseconds(50);
+  // can't starve lane 7), then back off when all were idle. The backoff
+  // adapts — 50 µs after the first idle round, doubling to 1 ms while
+  // the lanes stay quiet — so an idle multi-lane agent stops burning
+  // CPU, yet a busy loop never sleeps and a briefly-idle one wakes fast.
+  AdaptiveBackoff backoff;
   size_t first_lane = 0;
   while (!stop_.load(std::memory_order_acquire)) {
     const size_t n = ipc::drain_lanes(lanes_, handler_, first_lane);
@@ -70,7 +71,9 @@ void MultiLaneLoop::run() {
         if (!lane->closed()) { all_closed = false; break; }
       }
       if (all_closed) break;
-      std::this_thread::sleep_for(idle_backoff);
+      std::this_thread::sleep_for(backoff.next());
+    } else {
+      backoff.reset();
     }
   }
   running_.store(false, std::memory_order_release);

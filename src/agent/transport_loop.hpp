@@ -3,7 +3,9 @@
 // does not need this (it delivers frames through its event queue).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -13,6 +15,36 @@
 #include "ipc/transport.hpp"
 
 namespace ccp::agent {
+
+/// Adaptive idle backoff for poll loops: starts at `floor`, doubles on
+/// every consecutive idle round up to `cap`, and resets to the floor the
+/// moment work arrives. A briefly-idle loop stays responsive (first
+/// sleeps are 50 µs) while a long-idle one converges to ~1 ms sleeps —
+/// roughly 20x less wakeup CPU than a fixed 50 µs poll.
+class AdaptiveBackoff {
+ public:
+  explicit AdaptiveBackoff(
+      std::chrono::microseconds floor = std::chrono::microseconds(50),
+      std::chrono::microseconds cap = std::chrono::microseconds(1000))
+      : floor_(floor), cap_(cap), current_(floor) {}
+
+  /// The delay to sleep for this idle round; doubles the next one.
+  std::chrono::microseconds next() {
+    const auto delay = current_;
+    current_ = std::min(current_ * 2, cap_);
+    return delay;
+  }
+
+  /// Call when work was found: the next idle sleep restarts at the floor.
+  void reset() { current_ = floor_; }
+
+  std::chrono::microseconds current() const { return current_; }
+
+ private:
+  std::chrono::microseconds floor_;
+  std::chrono::microseconds cap_;
+  std::chrono::microseconds current_;
+};
 
 class TransportLoop {
  public:

@@ -1,5 +1,7 @@
 #include "datapath/datapath.hpp"
 
+#include <algorithm>
+
 #include "lang/error.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
@@ -30,6 +32,7 @@ CcpFlow& CcpDatapath::create_flow_with_id(ipc::FlowId id, const FlowConfig& cfg,
   auto flow = std::make_unique<CcpFlow>(id, cfg, std::move(sink));
   CcpFlow& ref = *flow;
   flows_.insert_or_assign(id, std::move(flow));
+  alg_hints_.insert_or_assign(id, alg_hint);
   if (telemetry::enabled()) {
     auto& m = telemetry::metrics();
     m.flows_created.inc();
@@ -48,6 +51,7 @@ CcpFlow& CcpDatapath::create_flow_with_id(ipc::FlowId id, const FlowConfig& cfg,
 }
 
 void CcpDatapath::close_flow(ipc::FlowId id, TimePoint now) {
+  alg_hints_.erase(id);
   if (flows_.erase(id) > 0) {
     if (telemetry::enabled()) {
       auto& m = telemetry::metrics();
@@ -109,6 +113,8 @@ void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
             }
           } else if constexpr (std::is_same_v<T, ipc::DirectControlMsg>) {
             if (CcpFlow* fl = flow(m.flow_id)) fl->direct_control(m, now);
+          } else if constexpr (std::is_same_v<T, ipc::ResyncRequestMsg>) {
+            replay_flow_summaries(now, m.token);
           } else {
             CCP_WARN("datapath: unexpected message type %d from agent",
                      static_cast<int>(ipc::message_type(ipc::Message(m))));
@@ -117,6 +123,32 @@ void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
         msg);
   }
   if (use_scratch) rx_busy_ = false;
+}
+
+size_t CcpDatapath::replay_flow_summaries(TimePoint now, uint64_t token) {
+  size_t replayed = 0;
+  for (auto& [id, fl] : flows_) {
+    ipc::FlowSummaryMsg summary;
+    summary.flow_id = id;
+    summary.mss = fl->config().mss;
+    summary.cwnd_bytes = static_cast<uint32_t>(
+        std::min<uint64_t>(fl->cwnd_bytes(), 0xffffffffu));
+    const int64_t srtt_us = fl->srtt().micros();
+    summary.srtt_us = srtt_us > 0 ? static_cast<uint64_t>(srtt_us) : 0;
+    summary.in_fallback = fl->in_fallback();
+    const std::string* hint = alg_hints_.find(id);
+    summary.alg_hint = hint != nullptr ? *hint : std::string();
+    summary.token = token;
+    enqueue(summary, /*urgent=*/false, now);
+    telemetry::trace(telemetry::TraceKind::Resync, id,
+                     static_cast<double>(summary.cwnd_bytes));
+    ++replayed;
+  }
+  if (telemetry::enabled() && replayed > 0) {
+    telemetry::metrics().dp_resync_flows.inc(replayed);
+  }
+  flush();
+  return replayed;
 }
 
 void CcpDatapath::tick(TimePoint now) {

@@ -71,6 +71,13 @@ class CcpDatapath {
   /// are counted and dropped — never fatal (§5).
   void handle_frame(std::span<const uint8_t> frame, TimePoint now);
 
+  /// Resync protocol (docs/RESILIENCE.md): replays a FlowSummary for
+  /// every active flow so a restarted agent can rebuild its per-flow
+  /// state, echoing `token` so the agent can drop superseded replays.
+  /// Flushes immediately; returns the number of flows replayed. Also
+  /// invoked by handle_frame on a ResyncRequest message.
+  size_t replay_flow_summaries(TimePoint now, uint64_t token);
+
   /// Periodic maintenance: advances every flow's control program and
   /// flushes aged batches. Call at least every flush_interval.
   void tick(TimePoint now);
@@ -93,6 +100,10 @@ class CcpDatapath {
   DatapathConfig config_;
   FrameTx tx_;
   util::FlatMap<ipc::FlowId, std::unique_ptr<CcpFlow>> flows_;
+  // Each flow's CreateMsg alg_hint, kept so resync replays can tell a
+  // restarted agent which algorithm the host policy wanted. Cold data:
+  // touched only at create/close/resync, never on the per-ACK path.
+  util::FlatMap<ipc::FlowId, std::string> alg_hints_;
   ipc::FlowId next_flow_id_ = 1;
 
   // Outgoing batch: messages are encoded straight into `batch_enc_` as

@@ -31,17 +31,28 @@ control {
 }
 )";
 
-/// Watchdog fallback (§5): complete AIMD congestion control expressed in
-/// the fold language, needing no agent round trips at all. Per ACK the
-/// `win` register grows additively (one MSS per window) and halves on
-/// loss; RTOs collapse it. The control block applies it once per RTT.
+/// Watchdog fallback (§5): complete NewReno-style congestion control
+/// expressed in the fold language, needing no agent round trips at all.
+/// `ssthresh` is declared before `win`, so its halving reads the
+/// pre-update window while `win`'s loss branch reads the freshly-halved
+/// ssthresh (registers update in declaration order; docs/LANGUAGE.md).
+/// Below ssthresh the window grows per ACK (slow start); above it,
+/// additively (~one MSS per window). Loss sets win to the halved
+/// ssthresh; an RTO collapses to two segments. The control block applies
+/// the window once per RTT.
 constexpr const char* kFallbackProgram = R"(
 fold {
+  ssthresh := if(Pkt.was_timeout + Pkt.lost > 0,
+                 max(win * 0.5, 2 * Pkt.mss),
+                 ssthresh)
+              init $ssthresh;
   win := if(Pkt.was_timeout > 0,
             2 * Pkt.mss,
             if(Pkt.lost > 0,
-               max(win * 0.5, 2 * Pkt.mss),
-               win + Pkt.bytes_acked * Pkt.mss / win))
+               ssthresh,
+               if(win < ssthresh,
+                  win + Pkt.bytes_acked,
+                  win + Pkt.bytes_acked * Pkt.mss / win)))
          init $init_cwnd;
   volatile loss := loss + Pkt.lost init 0;
   rtt := ewma(rtt, Pkt.rtt, 0.125) init 0;
@@ -67,6 +78,15 @@ CcpFlow::CcpFlow(ipc::FlowId id, FlowConfig config, MessageSink sink)
   // once per process, not once per flow.
   program_ = lang::compile_text_shared(kDefaultProgram);
   fold_.install(program_.get(), {});
+  watchdog_enabled_ =
+      !config_.agent_timeout.is_zero() || config_.watchdog_rtts > 0;
+}
+
+CcpFlow::~CcpFlow() {
+  // A flow closed while in fallback must not leak the gauge.
+  if (in_fallback_ && telemetry::enabled()) {
+    telemetry::metrics().flows_in_fallback.sub(1);
+  }
 }
 
 Duration CcpFlow::srtt() const {
@@ -210,31 +230,59 @@ void CcpFlow::tick(TimePoint now) {
 }
 
 void CcpFlow::check_watchdog(TimePoint now) {
-  if (config_.agent_timeout.is_zero() || !agent_has_programmed_ || in_fallback_) {
+  if (!watchdog_enabled_ || !agent_has_programmed_ || in_fallback_) {
     return;
   }
-  if (now - last_agent_contact_ > config_.agent_timeout) {
-    CCP_WARN("flow %u: agent silent for %lld ms; engaging datapath fallback",
-             id_, static_cast<long long>((now - last_agent_contact_).millis()));
-    if (telemetry::enabled()) telemetry::metrics().dp_fallbacks.inc();
-    telemetry::trace(telemetry::TraceKind::Fallback, id_, 0.0);
-    enter_fallback(now);
+  // Stale only past *both* thresholds: the fixed agent_timeout (zero =
+  // always exceeded) and watchdog_rtts smoothed RTTs (unset = skipped).
+  const Duration idle = now - last_agent_contact_;
+  if (idle <= config_.agent_timeout) return;
+  if (config_.watchdog_rtts > 0 &&
+      idle <= rtt_or_default() * config_.watchdog_rtts) {
+    return;
   }
+  CCP_WARN("flow %u: agent silent for %lld ms; engaging datapath fallback",
+           id_, static_cast<long long>(idle.millis()));
+  if (telemetry::enabled()) telemetry::metrics().dp_fallbacks.inc();
+  telemetry::trace(telemetry::TraceKind::Fallback, id_, 0.0);
+  enter_fallback(now);
 }
 
 void CcpFlow::enter_fallback(TimePoint now) {
   ipc::InstallMsg msg;
   msg.flow_id = id_;
   msg.program_text = kFallbackProgram;
-  msg.var_names = {"init_cwnd"};
-  // Resume conservatively from half the current window.
-  msg.var_values = {std::max(static_cast<double>(cwnd_bytes_) / 2.0,
-                             2.0 * config_.mss)};
+  msg.var_names = {"init_cwnd", "ssthresh"};
+  // Resume conservatively from half the current window, in congestion
+  // avoidance (win == ssthresh).
+  const double half = std::max(static_cast<double>(cwnd_bytes_) / 2.0,
+                               2.0 * config_.mss);
+  msg.var_values = {half, half};
   install(msg, now);
   // install() clears the fallback/agent state; restore the flag so the
   // agent reclaims the flow on its next command.
   in_fallback_ = true;
   agent_has_programmed_ = false;
+  fallback_entered_ = now;
+  if (telemetry::enabled()) telemetry::metrics().flows_in_fallback.add(1);
+}
+
+void CcpFlow::record_fallback_exit(TimePoint now) {
+  in_fallback_ = false;
+  if (telemetry::enabled()) {
+    auto& m = telemetry::metrics();
+    m.dp_fallback_recoveries.inc();
+    m.flows_in_fallback.sub(1);
+    const int64_t ns = (now - fallback_entered_).nanos();
+    m.fallback_recovery_ns.record(ns > 0 ? static_cast<uint64_t>(ns) : 0);
+  }
+  telemetry::trace(telemetry::TraceKind::FallbackExit, id_,
+                   static_cast<double>(cwnd_bytes_));
+}
+
+void CcpFlow::reinstall_default(TimePoint now) {
+  install_compiled(lang::compile_text_shared(kDefaultProgram), {},
+                   /*vector_mode=*/false, now);
 }
 
 void CcpFlow::run_control(TimePoint now) {
@@ -399,7 +447,7 @@ void CcpFlow::install_compiled(std::shared_ptr<const lang::CompiledProgram> prog
         std::min<size_t>(config_.max_vector_samples, 1024) * kVectorFieldsPerPkt);
   }
   agent_has_programmed_ = true;
-  in_fallback_ = false;
+  if (in_fallback_) record_fallback_exit(now);
   last_agent_contact_ = now;
   if (telemetry::enabled()) {
     auto& m = telemetry::metrics();
@@ -413,7 +461,15 @@ void CcpFlow::install_compiled(std::shared_ptr<const lang::CompiledProgram> prog
 void CcpFlow::update_fields(const ipc::UpdateFieldsMsg& msg, TimePoint now) {
   if (program_ == nullptr) return;
   last_agent_contact_ = now;
-  in_fallback_ = false;
+  if (in_fallback_) {
+    // The agent is back, but its values target the program the fallback
+    // replaced — they must not rebind the fallback's own variables. Drop
+    // the stale update and hand the flow back to the default program; the
+    // agent's next Install restores its control law.
+    record_fallback_exit(now);
+    reinstall_default(now);
+    return;
+  }
   if (msg.var_values.size() != program_->num_vars()) {
     // Stale update racing an in-flight Install (the agent swapped
     // programs while this message crossed the IPC boundary): drop it;
@@ -427,7 +483,13 @@ void CcpFlow::update_fields(const ipc::UpdateFieldsMsg& msg, TimePoint now) {
 
 void CcpFlow::direct_control(const ipc::DirectControlMsg& msg, TimePoint now) {
   last_agent_contact_ = now;
-  in_fallback_ = false;
+  if (in_fallback_) {
+    // Stop the fallback control loop before applying the override —
+    // otherwise it would keep rewriting cwnd once per RTT and fight the
+    // agent's setting.
+    record_fallback_exit(now);
+    reinstall_default(now);
+  }
   if (msg.cwnd_bytes.has_value()) set_cwnd(*msg.cwnd_bytes);
   if (msg.rate_bps.has_value()) set_rate(*msg.rate_bps);
 }

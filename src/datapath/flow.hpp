@@ -45,11 +45,19 @@ struct FlowConfig {
 
   /// Safety watchdog (§5 "Is CCP safe to deploy?"): if the agent goes
   /// silent for this long while a non-default program is installed, the
-  /// datapath falls back to a self-contained AIMD program that needs no
-  /// agent at all (the fold registers run the whole control law — §5's
-  /// "synthesize the congestion controller into the datapath"). Zero
-  /// disables the watchdog.
+  /// datapath falls back to a self-contained NewReno-style program that
+  /// needs no agent at all (the fold registers run the whole control law
+  /// — §5's "synthesize the congestion controller into the datapath").
+  /// Zero disables the fixed-duration form of the watchdog.
   Duration agent_timeout = Duration::zero();
+
+  /// RTT-relative watchdog threshold: the agent is stale after
+  /// `watchdog_rtts` smoothed RTTs with no install/update/control from
+  /// it. Scales naturally across fast LAN and slow WAN flows where a
+  /// fixed agent_timeout cannot. Zero disables. When both knobs are set
+  /// the flow must exceed *both* before falling back (the fixed timeout
+  /// acts as a floor for very-short-RTT flows).
+  double watchdog_rtts = 0;
 
   /// Vector mode (§2.4) memory bound: at most this many per-ACK samples
   /// are buffered between reports. A slow agent cannot make the datapath
@@ -68,6 +76,7 @@ using MessageSink = std::function<void(const ipc::Message&, bool urgent)>;
 class CcpFlow final : public CcModule {
  public:
   CcpFlow(ipc::FlowId id, FlowConfig config, MessageSink sink);
+  ~CcpFlow() override;
 
   // --- stack-facing API (the datapath contract, §2.1) ---
 
@@ -123,6 +132,8 @@ class CcpFlow final : public CcModule {
   void fold_event(TimePoint now);
   void check_watchdog(TimePoint now);
   void enter_fallback(TimePoint now);
+  void record_fallback_exit(TimePoint now);
+  void reinstall_default(TimePoint now);
   void fill_pkt_info(const AckEvent& ev);
   void tune_rate_windows();
   void run_control(TimePoint now);
@@ -160,10 +171,13 @@ class CcpFlow final : public CcModule {
   uint32_t acks_since_report_ = 0;
   bool urgent_since_report_ = false;  // damping: one urgent per interval
 
-  // Watchdog state.
+  // Watchdog state. watchdog_enabled_ caches "either knob is set" so the
+  // per-ACK staleness check stays one branch when the watchdog is off.
+  bool watchdog_enabled_ = false;
   bool agent_has_programmed_ = false;  // a non-default program is active
   bool in_fallback_ = false;
   TimePoint last_agent_contact_{};
+  TimePoint fallback_entered_{};  // feeds the recovery-time histogram
   uint64_t acks_folded_total_ = 0;
   lang::PktInfo last_pkt_;  // most recent event, for control-arg evaluation
 

@@ -53,6 +53,13 @@ void Shard::poll(TimePoint now) {
 }
 
 void Shard::apply(ShardCommand& cmd, TimePoint now) {
+  if (cmd.kind == ShardCommand::Kind::Resync) {
+    // Shard-wide: replay every owned flow on this shard's lane. FIFO
+    // ordering already applied any earlier-published commands, so the
+    // summaries reflect the newest state the agent could have installed.
+    dp_.replay_flow_summaries(now, cmd.resync_token);
+    return;
+  }
   CcpFlow* fl = dp_.flow(cmd.flow_id);
   if (fl == nullptr) return;  // closed while the command was in flight
   switch (cmd.kind) {
@@ -78,6 +85,8 @@ void Shard::apply(ShardCommand& cmd, TimePoint now) {
       fl->direct_control(msg, now);
       break;
     }
+    case ShardCommand::Kind::Resync:
+      break;  // unreachable: handled before the flow lookup
   }
 }
 

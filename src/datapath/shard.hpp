@@ -43,7 +43,12 @@ inline uint32_t shard_of(ipc::FlowId id, uint32_t n_shards) {
 /// text holds the same CompiledProgram; per-flow VM state stays in each
 /// flow's FoldMachine.
 struct ShardCommand {
-  enum class Kind : uint8_t { Install, UpdateFields, DirectControl };
+  /// Resync is shard-wide (flow_id unused): the shard replays a
+  /// FlowSummary for every flow it owns on its own lane. Because the
+  /// queue is FIFO, every command published before the Resync applies
+  /// first — the replayed summaries always reflect the newest installed
+  /// state, and a restarted agent cannot observe a pre-command snapshot.
+  enum class Kind : uint8_t { Install, UpdateFields, DirectControl, Resync };
 
   Kind kind = Kind::DirectControl;
   ipc::FlowId flow_id = 0;
@@ -57,6 +62,9 @@ struct ShardCommand {
   // DirectControl
   std::optional<double> cwnd_bytes;
   std::optional<double> rate_bps;
+
+  // Resync
+  uint64_t resync_token = 0;
 };
 
 /// Bounded SPSC command queue with epoch publication. The control plane

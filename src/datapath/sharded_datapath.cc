@@ -92,6 +92,18 @@ void ShardedDatapath::handle_frame(std::span<const uint8_t> frame) {
             cmd.cwnd_bytes = m.cwnd_bytes;
             cmd.rate_bps = m.rate_bps;
             route(shard_of_flow(m.flow_id), std::move(cmd));
+          } else if constexpr (std::is_same_v<T, ipc::ResyncRequestMsg>) {
+            // Fan the resync out to every shard; each replays its own
+            // flows on its own lane. The SPSC FIFO is the epoch guard:
+            // commands published before this request are applied before
+            // the replay, so the summaries can never be stale.
+            ++stats_.resyncs;
+            for (uint32_t s = 0; s < num_shards(); ++s) {
+              ShardCommand cmd;
+              cmd.kind = ShardCommand::Kind::Resync;
+              cmd.resync_token = m.token;
+              route(s, std::move(cmd));
+            }
           } else {
             CCP_WARN("sharded datapath: unexpected message type %d from agent",
                      static_cast<int>(ipc::message_type(ipc::Message(m))));

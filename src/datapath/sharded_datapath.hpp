@@ -40,6 +40,7 @@ struct ControlPlaneStats {
   uint64_t commands_dropped = 0;  // a shard's queue was full
   uint64_t decode_errors = 0;
   uint64_t install_errors = 0;    // program rejected at compile/bind
+  uint64_t resyncs = 0;           // ResyncRequests fanned out to shards
 };
 
 class ShardedDatapath {

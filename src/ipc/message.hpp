@@ -101,8 +101,31 @@ struct DirectControlMsg {
   std::optional<double> rate_bps;
 };
 
+/// A (re)started agent asks the datapath to replay summaries of every
+/// active flow so it can rebuild per-flow state. `token` identifies the
+/// agent generation; the datapath echoes it in each FlowSummaryMsg so the
+/// agent can discard replays from a superseded request.
+struct ResyncRequestMsg {
+  uint64_t token = 0;
+};
+
+/// Datapath -> agent replay of one active flow's state in response to a
+/// ResyncRequest. Carries what CreateMsg carried plus the live window and
+/// smoothed RTT, so the restarted agent resumes near where the flow is
+/// rather than from init_cwnd.
+struct FlowSummaryMsg {
+  FlowId flow_id = 0;
+  uint32_t mss = 1500;
+  uint32_t cwnd_bytes = 0;   // current enforced window
+  uint64_t srtt_us = 0;      // smoothed RTT estimate, 0 if unmeasured
+  bool in_fallback = false;  // flow is running the safe-mode program
+  std::string alg_hint;      // from the original CreateMsg
+  uint64_t token = 0;        // echoes ResyncRequestMsg::token
+};
+
 using Message = std::variant<CreateMsg, MeasurementMsg, UrgentMsg, FlowCloseMsg,
-                             InstallMsg, UpdateFieldsMsg, DirectControlMsg>;
+                             InstallMsg, UpdateFieldsMsg, DirectControlMsg,
+                             ResyncRequestMsg, FlowSummaryMsg>;
 
 /// Stable on-wire discriminators (never reorder).
 enum class MsgType : uint8_t {
@@ -113,6 +136,8 @@ enum class MsgType : uint8_t {
   Install = 5,
   UpdateFields = 6,
   DirectControl = 7,
+  ResyncRequest = 8,
+  FlowSummary = 9,
 };
 
 MsgType message_type(const Message& m);

@@ -28,6 +28,18 @@ namespace ccp::ipc {
 /// is only valid for the duration of the call.
 using FrameSink = std::function<void(std::span<const uint8_t>)>;
 
+/// Why a transport stopped working. `closed()` collapses both failure
+/// states to true; status() lets a supervisor distinguish "the peer went
+/// away, reconnect with backoff" (PeerDisconnected) from "the channel
+/// itself broke" (Error).
+enum class TransportStatus : uint8_t {
+  Ok = 0,
+  PeerDisconnected = 1,  // orderly close / EPIPE / ECONNRESET
+  Error = 2,             // unexpected socket or channel failure
+};
+
+const char* transport_status_name(TransportStatus s);
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -53,6 +65,44 @@ class Transport {
   virtual size_t drain_frames(const FrameSink& sink) = 0;
 
   virtual bool closed() const = 0;
+
+  /// Health of the channel. The default derives it from closed(); concrete
+  /// transports override to report *why* they closed.
+  virtual TransportStatus status() const {
+    return closed() ? TransportStatus::PeerDisconnected : TransportStatus::Ok;
+  }
+};
+
+/// Pass-through decorator owning an inner transport. Every call forwards
+/// verbatim; subclasses override the calls they want to intercept. This is
+/// the injection seam the resilience FaultInjector uses to drop, delay,
+/// or corrupt frames without the wrapped transport knowing.
+class FilterTransport : public Transport {
+ public:
+  explicit FilterTransport(std::unique_ptr<Transport> inner)
+      : inner_(std::move(inner)) {}
+
+  bool send_frame(std::span<const uint8_t> frame) override {
+    return inner_->send_frame(frame);
+  }
+  std::optional<std::vector<uint8_t>> recv_frame(
+      std::optional<Duration> timeout) override {
+    return inner_->recv_frame(timeout);
+  }
+  std::optional<std::vector<uint8_t>> try_recv_frame() override {
+    return inner_->try_recv_frame();
+  }
+  size_t drain_frames(const FrameSink& sink) override {
+    return inner_->drain_frames(sink);
+  }
+  bool closed() const override { return inner_->closed(); }
+  TransportStatus status() const override { return inner_->status(); }
+
+  Transport& inner() { return *inner_; }
+  const Transport& inner() const { return *inner_; }
+
+ protected:
+  std::unique_ptr<Transport> inner_;
 };
 
 /// Both ends of a bidirectional channel.

@@ -12,6 +12,16 @@
 #include "util/logging.hpp"
 
 namespace ccp::ipc {
+
+const char* transport_status_name(TransportStatus s) {
+  switch (s) {
+    case TransportStatus::Ok: return "ok";
+    case TransportStatus::PeerDisconnected: return "peer_disconnected";
+    case TransportStatus::Error: return "error";
+  }
+  return "unknown";
+}
+
 namespace {
 
 class UnixSocketTransport final : public Transport {
@@ -30,7 +40,7 @@ class UnixSocketTransport final : public Transport {
       if (n == static_cast<ssize_t>(frame.size())) return true;
       if (n < 0 && errno == EINTR) continue;
       if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
-        closed_ = true;
+        close_with(TransportStatus::PeerDisconnected);
         if (telemetry::enabled()) telemetry::metrics().ipc_send_failures.inc();
         return false;
       }
@@ -73,13 +83,17 @@ class UnixSocketTransport final : public Transport {
         continue;
       }
       if (n == 0) {  // peer closed
-        closed_ = true;
+        close_with(TransportStatus::PeerDisconnected);
         break;
       }
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == ECONNRESET) {
+        close_with(TransportStatus::PeerDisconnected);
+        break;
+      }
       CCP_WARN("unix socket recv failed: %s", std::strerror(errno));
-      closed_ = true;
+      close_with(TransportStatus::Error);
       break;
     }
     if (count > 0 && telemetry::enabled()) {
@@ -89,8 +103,14 @@ class UnixSocketTransport final : public Transport {
   }
 
   bool closed() const override { return closed_; }
+  TransportStatus status() const override { return status_; }
 
  private:
+  void close_with(TransportStatus why) {
+    closed_ = true;
+    if (status_ == TransportStatus::Ok) status_ = why;
+  }
+
   std::optional<std::vector<uint8_t>> do_recv(bool blocking) {
     // Reused scratch: zero-filling a fresh max-size buffer per receive
     // would dwarf the actual IPC cost being measured.
@@ -102,13 +122,17 @@ class UnixSocketTransport final : public Transport {
         return std::vector<uint8_t>(scratch_.begin(), scratch_.begin() + n);
       }
       if (n == 0) {  // peer closed
-        closed_ = true;
+        close_with(TransportStatus::PeerDisconnected);
         return std::nullopt;
       }
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+      if (errno == ECONNRESET) {
+        close_with(TransportStatus::PeerDisconnected);
+        return std::nullopt;
+      }
       CCP_WARN("unix socket recv failed: %s", std::strerror(errno));
-      closed_ = true;
+      close_with(TransportStatus::Error);
       return std::nullopt;
     }
   }
@@ -116,6 +140,7 @@ class UnixSocketTransport final : public Transport {
   static constexpr size_t kMaxFrame = 1 << 20;
   int fd_;
   bool closed_ = false;
+  TransportStatus status_ = TransportStatus::Ok;
   std::vector<uint8_t> scratch_;
 };
 

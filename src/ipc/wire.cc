@@ -29,7 +29,9 @@ MsgType message_type(const Message& m) {
         else if constexpr (std::is_same_v<T, FlowCloseMsg>) return MsgType::FlowClose;
         else if constexpr (std::is_same_v<T, InstallMsg>) return MsgType::Install;
         else if constexpr (std::is_same_v<T, UpdateFieldsMsg>) return MsgType::UpdateFields;
-        else return MsgType::DirectControl;
+        else if constexpr (std::is_same_v<T, DirectControlMsg>) return MsgType::DirectControl;
+        else if constexpr (std::is_same_v<T, ResyncRequestMsg>) return MsgType::ResyncRequest;
+        else return MsgType::FlowSummary;
       },
       m);
 }
@@ -206,6 +208,16 @@ void encode_payload(Encoder& e, const DirectControlMsg& m) {
   e.u8(m.rate_bps.has_value() ? 1 : 0);
   e.f64(m.rate_bps.value_or(0));
 }
+void encode_payload(Encoder& e, const ResyncRequestMsg& m) { e.u64(m.token); }
+void encode_payload(Encoder& e, const FlowSummaryMsg& m) {
+  e.u32(m.flow_id);
+  e.u32(m.mss);
+  e.u32(m.cwnd_bytes);
+  e.u64(m.srtt_us);
+  e.u8(m.in_fallback ? 1 : 0);
+  e.str(m.alg_hint);
+  e.u64(m.token);
+}
 
 Message decode_payload(MsgType type, Decoder& d) {
   switch (type) {
@@ -274,6 +286,22 @@ Message decode_payload(MsgType type, Decoder& d) {
       if (has_rate) m.rate_bps = rate;
       return m;
     }
+    case MsgType::ResyncRequest: {
+      ResyncRequestMsg m;
+      m.token = d.u64();
+      return m;
+    }
+    case MsgType::FlowSummary: {
+      FlowSummaryMsg m;
+      m.flow_id = d.u32();
+      m.mss = d.u32();
+      m.cwnd_bytes = d.u32();
+      m.srtt_us = d.u64();
+      m.in_fallback = d.u8() != 0;
+      m.alg_hint = d.str();
+      m.token = d.u64();
+      return m;
+    }
   }
   throw WireError("unknown message type " + std::to_string(static_cast<int>(type)));
 }
@@ -330,6 +358,16 @@ void decode_payload_into(Decoder& d, DirectControlMsg& m) {
   m.cwnd_bytes = has_cwnd ? std::optional<double>(cwnd) : std::nullopt;
   m.rate_bps = has_rate ? std::optional<double>(rate) : std::nullopt;
 }
+void decode_payload_into(Decoder& d, ResyncRequestMsg& m) { m.token = d.u64(); }
+void decode_payload_into(Decoder& d, FlowSummaryMsg& m) {
+  m.flow_id = d.u32();
+  m.mss = d.u32();
+  m.cwnd_bytes = d.u32();
+  m.srtt_us = d.u64();
+  m.in_fallback = d.u8() != 0;
+  d.str_into(m.alg_hint);
+  m.token = d.u64();
+}
 
 /// Decodes into `slot`, keeping the current variant alternative (and its
 /// heap buffers) when the wire type matches; otherwise switches the
@@ -350,6 +388,8 @@ void decode_message_into(MsgType type, Decoder& d, Message& slot) {
     case MsgType::Install: reuse_or_emplace<InstallMsg>(d, slot); return;
     case MsgType::UpdateFields: reuse_or_emplace<UpdateFieldsMsg>(d, slot); return;
     case MsgType::DirectControl: reuse_or_emplace<DirectControlMsg>(d, slot); return;
+    case MsgType::ResyncRequest: reuse_or_emplace<ResyncRequestMsg>(d, slot); return;
+    case MsgType::FlowSummary: reuse_or_emplace<FlowSummaryMsg>(d, slot); return;
   }
   throw WireError("unknown message type " + std::to_string(static_cast<int>(type)));
 }

@@ -1,0 +1,39 @@
+#include "resilience/event_log.hpp"
+
+#include <cstdio>
+
+namespace ccp::resilience {
+
+const char* resilience_event_name(ResilienceEvent::Kind k) noexcept {
+  switch (k) {
+    case ResilienceEvent::Kind::Drop: return "drop";
+    case ResilienceEvent::Kind::Corrupt: return "corrupt";
+    case ResilienceEvent::Kind::Delay: return "delay";
+    case ResilienceEvent::Kind::ForcedFull: return "forced_full";
+    case ResilienceEvent::Kind::StallBegin: return "stall_begin";
+    case ResilienceEvent::Kind::Kill: return "kill";
+    case ResilienceEvent::Kind::Disconnect: return "disconnect";
+    case ResilienceEvent::Kind::ReconnectAttempt: return "reconnect_attempt";
+    case ResilienceEvent::Kind::Reconnected: return "reconnected";
+    case ResilienceEvent::Kind::ResyncRequested: return "resync_requested";
+    case ResilienceEvent::Kind::Backoff: return "backoff";
+  }
+  return "unknown";
+}
+
+std::string EventLog::to_string() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(events_.size() * 32);
+  char line[96];
+  for (const auto& ev : events_) {
+    std::snprintf(line, sizeof(line), "%s a=%llu b=%llu\n",
+                  resilience_event_name(ev.kind),
+                  static_cast<unsigned long long>(ev.a),
+                  static_cast<unsigned long long>(ev.b));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ccp::resilience

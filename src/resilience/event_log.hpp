@@ -1,0 +1,82 @@
+// Deterministic resilience event log.
+//
+// Every fault the FaultInjector fires and every state transition the
+// AgentSupervisor makes appends one typed event here. Because injector
+// decisions come from a seeded Rng and supervisor scheduling is
+// poll-driven virtual time, two runs with the same seed produce the
+// exact same event sequence — to_string() equality is the reproducibility
+// check the end-to-end fault tests assert on.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ccp::resilience {
+
+struct ResilienceEvent {
+  enum class Kind : uint8_t {
+    Drop = 1,             // a = frame index on this transport
+    Corrupt = 2,          // a = frame index
+    Delay = 3,            // a = frame index, b = delay micros
+    ForcedFull = 4,       // a = frame index
+    StallBegin = 5,       // b = stall micros
+    Kill = 6,             //
+    Disconnect = 7,       // b = transport status
+    ReconnectAttempt = 8, // a = attempt number (1-based)
+    Reconnected = 9,      // b = new generation
+    ResyncRequested = 10, // b = generation (== resync token)
+    Backoff = 11,         // a = attempt number, b = backoff micros
+  };
+
+  Kind kind = Kind::Drop;
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+const char* resilience_event_name(ResilienceEvent::Kind k) noexcept;
+
+/// Append-only, mutex-guarded (all writers are cold paths: faults,
+/// reconnects — never the per-ACK path).
+class EventLog {
+ public:
+  void append(ResilienceEvent::Kind kind, uint64_t a = 0, uint64_t b = 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(ResilienceEvent{kind, a, b});
+  }
+
+  std::vector<ResilienceEvent> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+
+  size_t count(ResilienceEvent::Kind kind) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto& ev : events_) {
+      if (ev.kind == kind) ++n;
+    }
+    return n;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
+
+  /// One "name a=<a> b=<b>" line per event; equal strings across two runs
+  /// mean identical fault/recovery sequences.
+  std::string to_string() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ResilienceEvent> events_;
+};
+
+}  // namespace ccp::resilience

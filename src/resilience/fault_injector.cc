@@ -1,0 +1,135 @@
+#include "resilience/fault_injector.hpp"
+
+#include <utility>
+
+#include "telemetry/telemetry.hpp"
+
+namespace ccp::resilience {
+
+FaultyTransport::FaultyTransport(std::unique_ptr<ipc::Transport> inner,
+                                 FaultPlan plan, Rng rng, NowFn now,
+                                 EventLog* log)
+    : ipc::FilterTransport(std::move(inner)),
+      plan_(plan),
+      rng_(rng),
+      now_(std::move(now)),
+      log_(log) {
+  if (!now_) now_ = [] { return monotonic_now(); };
+}
+
+bool FaultyTransport::send_frame(std::span<const uint8_t> frame) {
+  if (killed_) return false;
+  const uint64_t idx = ++send_index_;
+  if (forced_full_remaining_ > 0) {
+    --forced_full_remaining_;
+    if (telemetry::enabled()) telemetry::metrics().fault_forced_full.inc();
+    log(ResilienceEvent::Kind::ForcedFull, idx);
+    return false;
+  }
+  if (plan_.drop_prob > 0 && rng_.chance(plan_.drop_prob)) {
+    // A dropped frame "succeeds" from the sender's point of view — that
+    // is what makes silent loss a distinct failure mode from
+    // backpressure (the sender never learns).
+    if (telemetry::enabled()) telemetry::metrics().fault_drops.inc();
+    log(ResilienceEvent::Kind::Drop, idx);
+    return true;
+  }
+  if (plan_.corrupt_prob > 0 && rng_.chance(plan_.corrupt_prob)) {
+    // Deterministic corruption: flip one seeded byte position and XOR a
+    // seeded mask, so the same seed mangles the same frame the same way.
+    corrupt_scratch_.assign(frame.begin(), frame.end());
+    if (!corrupt_scratch_.empty()) {
+      const size_t pos = rng_.next_below(corrupt_scratch_.size());
+      const uint8_t mask =
+          static_cast<uint8_t>(1 + rng_.next_below(255));  // never a no-op
+      corrupt_scratch_[pos] ^= mask;
+    }
+    if (telemetry::enabled()) telemetry::metrics().fault_corruptions.inc();
+    log(ResilienceEvent::Kind::Corrupt, idx);
+    return inner_->send_frame(corrupt_scratch_);
+  }
+  if (plan_.delay_prob > 0 && rng_.chance(plan_.delay_prob)) {
+    delayed_.push_back(DelayedFrame{
+        now_() + plan_.delay, std::vector<uint8_t>(frame.begin(), frame.end())});
+    if (telemetry::enabled()) telemetry::metrics().fault_delays.inc();
+    log(ResilienceEvent::Kind::Delay, idx,
+        static_cast<uint64_t>(plan_.delay.micros()));
+    return true;
+  }
+  // In-order delivery behind any still-held frames: a delayed frame must
+  // not be overtaken by later sends, or the receiver would see reordering
+  // the real SOCK_SEQPACKET channel never produces.
+  if (!delayed_.empty()) {
+    delayed_.push_back(
+        DelayedFrame{delayed_.back().release_at,
+                     std::vector<uint8_t>(frame.begin(), frame.end())});
+    return true;
+  }
+  return inner_->send_frame(frame);
+}
+
+size_t FaultyTransport::flush_due() {
+  if (killed_) {
+    delayed_.clear();
+    return 0;
+  }
+  const TimePoint now = now_();
+  size_t released = 0;
+  while (!delayed_.empty() && delayed_.front().release_at <= now) {
+    inner_->send_frame(delayed_.front().bytes);
+    delayed_.pop_front();
+    ++released;
+  }
+  return released;
+}
+
+bool FaultyTransport::stalled() const {
+  return !killed_ && now_() < stall_until_;
+}
+
+void FaultyTransport::stall_for(Duration d) {
+  stall_until_ = now_() + d;
+  if (telemetry::enabled()) telemetry::metrics().fault_stalls.inc();
+  log(ResilienceEvent::Kind::StallBegin, 0,
+      static_cast<uint64_t>(d.micros()));
+}
+
+void FaultyTransport::kill() {
+  if (killed_) return;
+  killed_ = true;
+  delayed_.clear();
+  if (telemetry::enabled()) telemetry::metrics().fault_kills.inc();
+  log(ResilienceEvent::Kind::Kill);
+}
+
+std::optional<std::vector<uint8_t>> FaultyTransport::recv_frame(
+    std::optional<Duration> timeout) {
+  if (killed_ || stalled()) return std::nullopt;
+  return inner_->recv_frame(timeout);
+}
+
+std::optional<std::vector<uint8_t>> FaultyTransport::try_recv_frame() {
+  if (killed_ || stalled()) return std::nullopt;
+  return inner_->try_recv_frame();
+}
+
+size_t FaultyTransport::drain_frames(const ipc::FrameSink& sink) {
+  if (killed_ || stalled()) return 0;
+  return inner_->drain_frames(sink);
+}
+
+bool FaultyTransport::closed() const { return killed_ || inner_->closed(); }
+
+ipc::TransportStatus FaultyTransport::status() const {
+  if (killed_) return ipc::TransportStatus::PeerDisconnected;
+  return inner_->status();
+}
+
+std::unique_ptr<FaultyTransport> FaultInjector::wrap(
+    std::unique_ptr<ipc::Transport> inner, FaultPlan plan,
+    FaultyTransport::NowFn now) {
+  return std::make_unique<FaultyTransport>(std::move(inner), plan, rng_.split(),
+                                           std::move(now), log_);
+}
+
+}  // namespace ccp::resilience

@@ -1,0 +1,127 @@
+// Deterministic, seed-driven fault injection at the IPC boundary.
+//
+// A FaultyTransport wraps any ipc::Transport (ipc::FilterTransport seam)
+// and, per send, decides from a seeded Rng whether to drop the frame,
+// flip bytes in it, hold it back for a while, or reject it as if the
+// ring were full. The receive side can be stalled (models a wedged agent
+// loop) and the whole channel can be killed (models an agent crash: the
+// peer observes TransportStatus::PeerDisconnected). Every decision is
+// appended to an EventLog, so a run's complete failure sequence is
+// reproducible bit-for-bit from the seed — that is what makes the chaos
+// tests assertable instead of flaky.
+//
+// Time is injected (NowFn) so the tests drive a virtual clock; nothing
+// here reads a real clock on its own.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ipc/transport.hpp"
+#include "resilience/event_log.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace ccp::resilience {
+
+/// Per-send fault probabilities. Checked in order: forced-full burst,
+/// drop, corrupt, delay; at most one fault fires per frame.
+struct FaultPlan {
+  double drop_prob = 0;
+  double corrupt_prob = 0;
+  double delay_prob = 0;
+  Duration delay = Duration::from_millis(1);  // hold time for delayed frames
+};
+
+class FaultyTransport final : public ipc::FilterTransport {
+ public:
+  using NowFn = std::function<TimePoint()>;
+
+  FaultyTransport(std::unique_ptr<ipc::Transport> inner, FaultPlan plan,
+                  Rng rng, NowFn now, EventLog* log);
+
+  // --- Transport (fault-filtered) ---
+
+  bool send_frame(std::span<const uint8_t> frame) override;
+  std::optional<std::vector<uint8_t>> recv_frame(
+      std::optional<Duration> timeout) override;
+  std::optional<std::vector<uint8_t>> try_recv_frame() override;
+  size_t drain_frames(const ipc::FrameSink& sink) override;
+  bool closed() const override;
+  ipc::TransportStatus status() const override;
+
+  // --- fault controls ---
+
+  /// Kills the channel: every later call behaves as if the peer vanished
+  /// (send fails, recv drains nothing, status() = PeerDisconnected).
+  void kill();
+  bool killed() const { return killed_; }
+
+  /// The next `n` sends fail as if the ring were full (caller-visible
+  /// backpressure burst).
+  void force_full(uint32_t n) { forced_full_remaining_ = n; }
+
+  /// Stalls the receive side until `now + d`: drain/recv return nothing,
+  /// modeling a wedged agent loop. Frames queue up in the inner
+  /// transport meanwhile.
+  void stall_for(Duration d);
+  bool stalled() const;
+
+  /// Delivers delayed frames whose release time has arrived. The test
+  /// harness calls this as its virtual clock advances. Returns how many
+  /// frames were released into the inner transport.
+  size_t flush_due();
+
+  /// Frames currently held back by delay faults.
+  size_t delayed_pending() const { return delayed_.size(); }
+
+  uint64_t frames_seen() const { return send_index_; }
+
+ private:
+  struct DelayedFrame {
+    TimePoint release_at;
+    std::vector<uint8_t> bytes;
+  };
+
+  void log(ResilienceEvent::Kind kind, uint64_t a = 0, uint64_t b = 0) {
+    if (log_ != nullptr) log_->append(kind, a, b);
+  }
+
+  FaultPlan plan_;
+  Rng rng_;
+  NowFn now_;
+  EventLog* log_;
+
+  uint64_t send_index_ = 0;  // frames offered to send_frame, 1-based
+  uint32_t forced_full_remaining_ = 0;
+  bool killed_ = false;
+  TimePoint stall_until_{};
+  std::deque<DelayedFrame> delayed_;
+  std::vector<uint8_t> corrupt_scratch_;
+};
+
+/// Factory tying a fleet of FaultyTransports to one master seed and one
+/// shared event log: each wrap() splits an independent child stream, so
+/// adding a transport never perturbs the fault sequence of the others.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed, EventLog* log = nullptr)
+      : rng_(seed), log_(log) {}
+
+  /// Wraps `inner`, returning the injectable transport. `now` feeds the
+  /// delay/stall clocks; pass the harness's virtual clock.
+  std::unique_ptr<FaultyTransport> wrap(std::unique_ptr<ipc::Transport> inner,
+                                        FaultPlan plan,
+                                        FaultyTransport::NowFn now);
+
+  EventLog* log() { return log_; }
+
+ private:
+  Rng rng_;
+  EventLog* log_;
+};
+
+}  // namespace ccp::resilience

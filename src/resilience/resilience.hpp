@@ -1,0 +1,17 @@
+// Umbrella header for the resilience subsystem.
+//
+// Three pieces, one failure story (docs/RESILIENCE.md):
+//   - FaultInjector / FaultyTransport: deterministic seed-driven faults
+//     at the IPC boundary (drop, corrupt, delay, forced ring-full, agent
+//     stall, agent kill).
+//   - Datapath watchdog: lives in CcpFlow (src/datapath/flow.cc) — flows
+//     whose agent goes quiet for k RTTs fall back to an in-datapath
+//     NewReno program and recover when the agent returns.
+//   - AgentSupervisor: reconnect with capped exponential backoff plus
+//     jitter, then a generation-tagged resync that replays live-flow
+//     summaries into the restarted agent.
+#pragma once
+
+#include "resilience/event_log.hpp"
+#include "resilience/fault_injector.hpp"
+#include "resilience/supervisor.hpp"

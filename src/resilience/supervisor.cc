@@ -1,0 +1,107 @@
+#include "resilience/supervisor.hpp"
+
+#include <utility>
+
+#include "ipc/message.hpp"
+#include "ipc/wire.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ccp::resilience {
+
+AgentSupervisor::AgentSupervisor(Config config, ConnectFn connect,
+                                 OnConnected on_connected, EventLog* log)
+    : config_(config),
+      connect_(std::move(connect)),
+      on_connected_(std::move(on_connected)),
+      log_(log),
+      rng_(config.seed) {}
+
+void AgentSupervisor::adopt(std::unique_ptr<ipc::Transport> transport) {
+  transport_ = std::move(transport);
+  ++generation_;
+  failures_ = 0;
+  current_backoff_ = Duration{};
+  retry_scheduled_ = false;
+}
+
+bool AgentSupervisor::tick(TimePoint now) {
+  if (transport_ != nullptr) {
+    const ipc::TransportStatus st = transport_->status();
+    if (st == ipc::TransportStatus::Ok) return true;
+    handle_disconnect(st, now);
+    // Fall through: the first reconnect attempt happens immediately —
+    // backoff paces repeated *failures*, not the initial reaction.
+  }
+  if (retry_scheduled_ && now < next_attempt_at_) return false;
+  return try_connect(now);
+}
+
+void AgentSupervisor::handle_disconnect(ipc::TransportStatus why,
+                                        TimePoint now) {
+  (void)now;
+  transport_.reset();
+  retry_scheduled_ = false;
+  if (telemetry::enabled()) telemetry::metrics().sup_disconnects.inc();
+  if (log_ != nullptr) {
+    log_->append(ResilienceEvent::Kind::Disconnect, 0,
+                 static_cast<uint64_t>(why));
+  }
+}
+
+bool AgentSupervisor::try_connect(TimePoint now) {
+  ++attempts_;
+  if (telemetry::enabled()) telemetry::metrics().sup_reconnect_attempts.inc();
+  if (log_ != nullptr) {
+    log_->append(ResilienceEvent::Kind::ReconnectAttempt, attempts_);
+  }
+  auto fresh = connect_ ? connect_() : nullptr;
+  if (fresh == nullptr) {
+    ++failures_;
+    schedule_retry(now);
+    return false;
+  }
+  transport_ = std::move(fresh);
+  ++generation_;
+  failures_ = 0;
+  current_backoff_ = Duration{};
+  retry_scheduled_ = false;
+  if (telemetry::enabled()) telemetry::metrics().sup_reconnects.inc();
+  if (log_ != nullptr) {
+    log_->append(ResilienceEvent::Kind::Reconnected, 0, generation_);
+  }
+  // Ask the datapath to replay its live-flow state, tagged with the new
+  // generation so a frame from a previous incarnation can't satisfy it.
+  const ipc::Message req = ipc::ResyncRequestMsg{generation_};
+  transport_->send_frame(ipc::encode_frame(req));
+  if (telemetry::enabled()) telemetry::metrics().sup_resyncs.inc();
+  if (log_ != nullptr) {
+    log_->append(ResilienceEvent::Kind::ResyncRequested, 0, generation_);
+  }
+  if (on_connected_) on_connected_(*transport_, generation_);
+  return true;
+}
+
+void AgentSupervisor::schedule_retry(TimePoint now) {
+  // floor * multiplier^(failures-1), capped. Iterative multiply (not
+  // std::pow) keeps the schedule bit-identical across libm versions.
+  double nanos = static_cast<double>(config_.backoff_floor.nanos());
+  const double cap = static_cast<double>(config_.backoff_cap.nanos());
+  for (uint64_t i = 1; i < failures_ && nanos < cap; ++i) {
+    nanos *= config_.multiplier;
+  }
+  if (nanos > cap) nanos = cap;
+  double scale = 1.0;
+  if (config_.jitter_frac > 0) {
+    scale = rng_.uniform(1.0 - config_.jitter_frac, 1.0 + config_.jitter_frac);
+  }
+  current_backoff_ =
+      Duration::from_nanos(static_cast<int64_t>(nanos * scale));
+  next_attempt_at_ = now + current_backoff_;
+  retry_scheduled_ = true;
+  if (log_ != nullptr) {
+    log_->append(ResilienceEvent::Kind::Backoff, attempts_,
+                 static_cast<uint64_t>(current_backoff_.micros()));
+  }
+}
+
+}  // namespace ccp::resilience

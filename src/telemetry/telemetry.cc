@@ -18,20 +18,36 @@ Metrics::Metrics() {
   r.add("ccp_dp_frames_sent_total", &dp_frames_sent);
   r.add("ccp_dp_frames_received_total", &dp_frames_received);
   r.add("ccp_dp_fallbacks_total", &dp_fallbacks);
+  r.add("ccp_dp_fallback_recoveries_total", &dp_fallback_recoveries);
+  r.add("ccp_dp_resync_flows_total", &dp_resync_flows);
   r.add("ccp_flows_created_total", &flows_created);
   r.add("ccp_flows_closed_total", &flows_closed);
 
   r.add("ccp_ipc_ring_full_total", &ipc_ring_full);
   r.add("ccp_ipc_send_failures_total", &ipc_send_failures);
 
+  r.add("ccp_fault_drops_total", &fault_drops);
+  r.add("ccp_fault_corruptions_total", &fault_corruptions);
+  r.add("ccp_fault_delays_total", &fault_delays);
+  r.add("ccp_fault_stalls_total", &fault_stalls);
+  r.add("ccp_fault_kills_total", &fault_kills);
+  r.add("ccp_fault_forced_full_total", &fault_forced_full);
+
+  r.add("ccp_sup_disconnects_total", &sup_disconnects);
+  r.add("ccp_sup_reconnect_attempts_total", &sup_reconnect_attempts);
+  r.add("ccp_sup_reconnects_total", &sup_reconnects);
+  r.add("ccp_sup_resyncs_total", &sup_resyncs);
+
   r.add("ccp_agent_measurements_total", &agent_measurements);
   r.add("ccp_agent_urgents_total", &agent_urgents);
   r.add("ccp_agent_installs_total", &agent_installs);
   r.add("ccp_agent_decode_errors_total", &agent_decode_errors);
   r.add("ccp_agent_unknown_flow_total", &agent_unknown_flow);
+  r.add("ccp_agent_flows_resynced_total", &agent_flows_resynced);
 
   r.add("ccp_active_flows", &active_flows);
   r.add("ccp_ipc_ring_used_bytes", &ipc_ring_used_bytes);
+  r.add("ccp_flows_in_fallback", &flows_in_fallback);
 
   for (size_t i = 0; i < kMaxShards; ++i) {
     const std::string prefix = "ccp_shard" + std::to_string(i) + "_";
@@ -51,6 +67,7 @@ Metrics::Metrics() {
   r.add("ccp_vm_exec_ns", &vm_exec_ns);
   r.add("ccp_ipc_drain_batch", &ipc_drain_batch);
   r.add("ccp_dp_flush_batch", &dp_flush_batch);
+  r.add("ccp_fallback_recovery_ns", &fallback_recovery_ns);
 }
 
 Metrics::~Metrics() = default;

@@ -83,6 +83,8 @@ struct Metrics {
   Counter dp_frames_sent;      // frames handed to the transport
   Counter dp_frames_received;  // frames drained from the transport
   Counter dp_fallbacks;        // watchdog fallback-program activations
+  Counter dp_fallback_recoveries;  // flows that left fallback (agent back)
+  Counter dp_resync_flows;     // flow summaries replayed on agent resync
   Counter flows_created;
   Counter flows_closed;
 
@@ -90,15 +92,31 @@ struct Metrics {
   Counter ipc_ring_full;       // shm ring rejected a frame (backpressure)
   Counter ipc_send_failures;   // socket/inproc send failures
 
+  // -- resilience: fault injection (test/chaos harness activity) --
+  Counter fault_drops;         // frames silently dropped by the injector
+  Counter fault_corruptions;   // frames bit-flipped by the injector
+  Counter fault_delays;        // frames held back by the injector
+  Counter fault_stalls;        // receive-side stalls begun
+  Counter fault_kills;         // forced transport kills
+  Counter fault_forced_full;   // sends rejected by forced ring-full bursts
+
+  // -- resilience: agent supervisor --
+  Counter sup_disconnects;     // peer-loss events observed
+  Counter sup_reconnect_attempts;  // connect attempts (incl. failures)
+  Counter sup_reconnects;      // successful reconnections
+  Counter sup_resyncs;         // resync requests issued after reconnect
+
   // -- agent --
   Counter agent_measurements;  // OnMeasurement invocations
   Counter agent_urgents;       // OnUrgent invocations
   Counter agent_installs;      // Install requests issued
   Counter agent_decode_errors; // malformed frames from the datapath
   Counter agent_unknown_flow;  // messages for flows the agent doesn't know
+  Counter agent_flows_resynced;  // flows rebuilt from replayed summaries
 
   Gauge active_flows;          // datapath-side live flow count
   Gauge ipc_ring_used_bytes;   // shm ring occupancy at last send
+  Gauge flows_in_fallback;     // flows currently on the safe-mode program
 
   Histogram report_latency_ns;           // report emit -> OnMeasurement
   Histogram urgent_latency_ns;           // urgent emit -> OnUrgent
@@ -109,6 +127,7 @@ struct Metrics {
   Histogram vm_exec_ns;                  // sampled 1/1024 eval_block duration
   Histogram ipc_drain_batch;             // frames per transport drain
   Histogram dp_flush_batch;              // messages per datapath batch flush
+  Histogram fallback_recovery_ns;        // fallback entry -> agent recovery
 
   // -- sharded datapath (per-shard breakdown; aggregate counters above
   //    keep counting too) --

@@ -17,6 +17,8 @@ const char* trace_kind_name(TraceKind k) noexcept {
     case TraceKind::SetRate: return "set_rate";
     case TraceKind::Fallback: return "fallback";
     case TraceKind::Measurement: return "measurement";
+    case TraceKind::FallbackExit: return "fallback_exit";
+    case TraceKind::Resync: return "resync";
   }
   return "unknown";
 }

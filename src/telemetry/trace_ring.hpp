@@ -28,6 +28,8 @@ enum class TraceKind : uint16_t {
   SetRate = 8,
   Fallback = 9,
   Measurement = 10,
+  FallbackExit = 11,  // flow recovered from safe mode (value = cwnd bytes)
+  Resync = 12,        // flow summary replayed to a restarted agent
 };
 
 const char* trace_kind_name(TraceKind k) noexcept;

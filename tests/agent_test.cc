@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "agent/agent.hpp"
+#include "agent/transport_loop.hpp"
 #include "lang/parser.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -300,6 +301,83 @@ TEST(Agent, ReportLatencyBeyondOldSaturationRecordsCorrectly) {
   // Handler overhead between now_ns() and the record is microseconds;
   // the upper slack is bucket error, not scheduling noise.
   EXPECT_LE(p50, static_cast<double>(kSyntheticLatencyNs) * 1.04);
+}
+
+// --- resync (docs/RESILIENCE.md) ---
+
+ipc::FlowSummaryMsg summary(ipc::FlowId id, uint64_t token,
+                            uint32_t cwnd = 30'000) {
+  ipc::FlowSummaryMsg m;
+  m.flow_id = id;
+  m.mss = 1460;
+  m.cwnd_bytes = cwnd;
+  m.srtt_us = 12'000;
+  m.in_fallback = true;
+  m.alg_hint = "";  // falls back to the configured default algorithm
+  m.token = token;
+  return m;
+}
+
+TEST(Agent, FlowSummaryRebuildsFlowAndReinstalls) {
+  Harness h;
+  h.register_probe();
+  h.agent->expect_resync(3);
+  h.deliver(summary(9, /*token=*/3));
+  EXPECT_EQ(h.agent->num_flows(), 1u);
+  EXPECT_EQ(h.agent->stats().flows_resynced, 1u);
+  EXPECT_EQ(h.probe.inits, 1);  // algorithm re-initialized the flow
+  // init() installs the program — that very Install is what pulls the
+  // datapath flow out of fallback.
+  auto installs = h.sent_of<ipc::InstallMsg>();
+  ASSERT_EQ(installs.size(), 1u);
+  EXPECT_EQ(installs[0].flow_id, 9u);
+}
+
+TEST(Agent, FlowSummaryFromSupersededResyncDropped) {
+  Harness h;
+  h.register_probe();
+  h.agent->expect_resync(5);
+  h.deliver(summary(9, /*token=*/4));  // stale generation
+  EXPECT_EQ(h.agent->num_flows(), 0u);
+  EXPECT_EQ(h.agent->stats().flows_resynced, 0u);
+  h.deliver(summary(9, /*token=*/5));
+  EXPECT_EQ(h.agent->num_flows(), 1u);
+}
+
+TEST(Agent, FlowSummaryForKnownFlowIsIgnored) {
+  Harness h;
+  h.register_probe();
+  h.deliver(create(1));
+  ASSERT_EQ(h.probe.inits, 1);
+  // Live local state is fresher than any replay: do not re-init.
+  h.deliver(summary(1, /*token=*/0));
+  EXPECT_EQ(h.probe.inits, 1);
+  EXPECT_EQ(h.agent->stats().flows_resynced, 0u);
+}
+
+// --- adaptive idle backoff (transport_loop.hpp) ---
+
+TEST(AdaptiveBackoff, DoublesFromFloorToCapAndResets) {
+  AdaptiveBackoff b;  // 50 us floor, 1 ms cap
+  using std::chrono::microseconds;
+  EXPECT_EQ(b.next(), microseconds(50));
+  EXPECT_EQ(b.next(), microseconds(100));
+  EXPECT_EQ(b.next(), microseconds(200));
+  EXPECT_EQ(b.next(), microseconds(400));
+  EXPECT_EQ(b.next(), microseconds(800));
+  EXPECT_EQ(b.next(), microseconds(1000));  // capped, not 1600
+  EXPECT_EQ(b.next(), microseconds(1000));  // stays at the cap
+  b.reset();  // traffic arrived: back to the floor
+  EXPECT_EQ(b.next(), microseconds(50));
+}
+
+TEST(AdaptiveBackoff, CustomBounds) {
+  AdaptiveBackoff b(std::chrono::microseconds(10),
+                    std::chrono::microseconds(35));
+  EXPECT_EQ(b.next(), std::chrono::microseconds(10));
+  EXPECT_EQ(b.next(), std::chrono::microseconds(20));
+  EXPECT_EQ(b.next(), std::chrono::microseconds(35));
+  EXPECT_EQ(b.current(), std::chrono::microseconds(35));
 }
 
 }  // namespace

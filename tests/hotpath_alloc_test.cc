@@ -285,6 +285,92 @@ TEST(HotPathAlloc, ShardedSteadyStateIsAllocationFree) {
       << "sharded per-ACK path allocated in steady state";
 }
 
+TEST(HotPathAlloc, WatchdogEnabledSteadyStateIsAllocationFree) {
+  // The resilience watchdog armed on every flow (both knobs set), with
+  // thresholds the workload never reaches: the per-ACK staleness check —
+  // idle computation included — must not cost an allocation. This is the
+  // configuration the <2% bench_hotpath overhead target measures.
+  DatapathConfig dcfg;
+  dcfg.flush_interval = Duration::from_millis(1);
+  dcfg.max_batch_msgs = 32;
+  uint64_t frames = 0;
+  CcpDatapath dp(dcfg, [&frames](std::span<const uint8_t>) { ++frames; });
+
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  std::vector<ipc::FlowId> ids;
+  FlowConfig fcfg;
+  fcfg.agent_timeout = Duration::from_secs(10);  // > the whole virtual run
+  fcfg.watchdog_rtts = 4.0;
+  for (size_t i = 0; i < kFlows; ++i) {
+    ids.push_back(dp.create_flow(fcfg, "reno", now).id());
+  }
+  // An agent install arms the watchdog (it only guards agent-programmed
+  // flows); after this the agent goes silent but the timeout never fires.
+  ipc::InstallMsg ins;
+  ins.program_text =
+      "fold { r := r + Pkt.bytes_acked init 0; }\n"
+      "control { WaitRtts(1.0); Report(); }";
+  for (const ipc::FlowId id : ids) {
+    ins.flow_id = id;
+    dp.handle_frame(ipc::encode_frame(ipc::Message{ins}), now);
+  }
+
+  drive(dp, ids, now, kWarmupAcks);
+  ASSERT_GT(frames, 0u);
+  for (const ipc::FlowId id : ids) {
+    ASSERT_FALSE(dp.flow(id)->in_fallback())
+        << "watchdog must stay armed-but-quiet in this configuration";
+  }
+
+  const uint64_t allocs =
+      count_allocs_during([&] { drive(dp, ids, now, kMeasuredAcks); });
+  EXPECT_EQ(allocs, 0u)
+      << "armed watchdog check allocated on the per-ACK path";
+}
+
+TEST(HotPathAlloc, FallbackSteadyStateIsAllocationFree) {
+  // Flows *inside* the watchdog fallback: the transition itself may
+  // allocate (it is a rare install), but the NewReno fallback program's
+  // steady per-ACK fold/control execution must be as allocation-free as
+  // any agent program.
+  DatapathConfig dcfg;
+  dcfg.flush_interval = Duration::from_millis(1);
+  dcfg.max_batch_msgs = 32;
+  uint64_t frames = 0;
+  CcpDatapath dp(dcfg, [&frames](std::span<const uint8_t>) { ++frames; });
+
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  std::vector<ipc::FlowId> ids;
+  FlowConfig fcfg;
+  fcfg.agent_timeout = Duration::from_millis(50);
+  for (size_t i = 0; i < kFlows; ++i) {
+    ids.push_back(dp.create_flow(fcfg, "reno", now).id());
+  }
+  ipc::InstallMsg ins;
+  ins.program_text =
+      "fold { r := r + Pkt.bytes_acked init 0; }\n"
+      "control { WaitRtts(1.0); Report(); }";
+  for (const ipc::FlowId id : ids) {
+    ins.flow_id = id;
+    dp.handle_frame(ipc::encode_frame(ipc::Message{ins}), now);
+  }
+
+  // Warm-up: the agent never speaks again, so every flow trips the 50 ms
+  // watchdog early in the run and spends the rest in fallback.
+  drive(dp, ids, now, kWarmupAcks);
+  for (const ipc::FlowId id : ids) {
+    ASSERT_TRUE(dp.flow(id)->in_fallback());
+  }
+
+  const uint64_t allocs =
+      count_allocs_during([&] { drive(dp, ids, now, kMeasuredAcks); });
+  EXPECT_EQ(allocs, 0u)
+      << "in-fallback NewReno path allocated in steady state";
+  for (const ipc::FlowId id : ids) {
+    EXPECT_TRUE(dp.flow(id)->in_fallback());
+  }
+}
+
 TEST(HotPathAlloc, PrototypeDatapathSteadyStateIsAllocationFree) {
   DatapathConfig dcfg;
   uint64_t frames = 0;

@@ -134,6 +134,40 @@ TEST(UnixTransport, PeerCloseUnblocksReceiver) {
   closer.join();
 }
 
+TEST(UnixTransport, PeerCloseReportsDisconnectedStatus) {
+  // EOF from the peer must surface as an explicit PeerDisconnected
+  // status, not a generic close — the supervisor keys its reconnect
+  // logic off this distinction (docs/RESILIENCE.md).
+  auto pair = make_unix_socket_pair();
+  EXPECT_EQ(pair.b->status(), TransportStatus::Ok);
+  pair.a.reset();
+  // Status latches when the receive path observes the hangup.
+  auto got = pair.b->recv_frame(Duration::from_secs(1));
+  EXPECT_FALSE(got.has_value());
+  EXPECT_TRUE(pair.b->closed());
+  EXPECT_EQ(pair.b->status(), TransportStatus::PeerDisconnected);
+}
+
+TEST(UnixTransport, SendToGonePeerReportsDisconnectedStatus) {
+  auto pair = make_unix_socket_pair();
+  pair.b.reset();
+  // EPIPE/ECONNRESET on send (possibly after a buffered success) must
+  // latch PeerDisconnected too.
+  bool any_failed = false;
+  for (int i = 0; i < 64 && !any_failed; ++i) {
+    any_failed = !pair.a->send_frame(bytes({1, 2, 3}));
+  }
+  EXPECT_TRUE(any_failed);
+  EXPECT_EQ(pair.a->status(), TransportStatus::PeerDisconnected);
+}
+
+TEST(TransportStatusNames, AreStable) {
+  EXPECT_STREQ(transport_status_name(TransportStatus::Ok), "ok");
+  EXPECT_STREQ(transport_status_name(TransportStatus::PeerDisconnected),
+               "peer_disconnected");
+  EXPECT_STREQ(transport_status_name(TransportStatus::Error), "error");
+}
+
 TEST(ShmRing, FullRingRejectsWithoutCorruption) {
   auto pair = make_shm_ring_pair(4096, ShmWaitMode::BusyPoll);
   std::vector<uint8_t> frame(1000, 0x5a);

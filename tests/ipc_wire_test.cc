@@ -103,6 +103,32 @@ TEST(Wire, FlowCloseRoundTrip) {
   EXPECT_EQ(roundtrip(m).flow_id, 77u);
 }
 
+TEST(Wire, ResyncRequestRoundTrip) {
+  ResyncRequestMsg m;
+  m.token = 0xdeadbeefcafef00dull;
+  auto r = roundtrip(m);
+  EXPECT_EQ(r.token, 0xdeadbeefcafef00dull);
+}
+
+TEST(Wire, FlowSummaryRoundTrip) {
+  FlowSummaryMsg m;
+  m.flow_id = 99;
+  m.mss = 1460;
+  m.cwnd_bytes = 123456;
+  m.srtt_us = 25000;
+  m.in_fallback = true;
+  m.alg_hint = "cubic";
+  m.token = 7;
+  auto r = roundtrip(m);
+  EXPECT_EQ(r.flow_id, 99u);
+  EXPECT_EQ(r.mss, 1460u);
+  EXPECT_EQ(r.cwnd_bytes, 123456u);
+  EXPECT_EQ(r.srtt_us, 25000u);
+  EXPECT_TRUE(r.in_fallback);
+  EXPECT_EQ(r.alg_hint, "cubic");
+  EXPECT_EQ(r.token, 7u);
+}
+
 TEST(Wire, MultiMessageFrame) {
   std::vector<Message> msgs;
   msgs.push_back(CreateMsg{1, 100, 1460, 0, 0, "reno"});

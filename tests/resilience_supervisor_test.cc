@@ -1,0 +1,323 @@
+// AgentSupervisor: reconnect with capped exponential backoff, resync on
+// reconnect — plus the end-to-end deterministic fault scenario from
+// docs/RESILIENCE.md (kill agent -> flows fall back -> supervisor
+// reconnects -> resync restores state -> flows leave fallback).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "agent/agent.hpp"
+#include "algorithms/registry.hpp"
+#include "datapath/datapath.hpp"
+#include "resilience/resilience.hpp"
+
+namespace ccp::resilience {
+namespace {
+
+TimePoint at_ms(int64_t ms) {
+  return TimePoint::epoch() + Duration::from_millis(ms);
+}
+
+AgentSupervisor::Config no_jitter(Duration floor, Duration cap) {
+  AgentSupervisor::Config cfg;
+  cfg.backoff_floor = floor;
+  cfg.backoff_cap = cap;
+  cfg.multiplier = 2.0;
+  cfg.jitter_frac = 0.0;  // exact schedule for the assertions below
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(AgentSupervisor, BackoffDoublesAndCaps) {
+  EventLog log;
+  AgentSupervisor sup(
+      no_jitter(Duration::from_millis(10), Duration::from_millis(80)),
+      [] { return std::unique_ptr<ipc::Transport>(); },  // always fails
+      nullptr, &log);
+  // Drive ticks every ms; attempts are paced by the schedule, not by us.
+  int64_t ms = 0;
+  std::vector<int64_t> backoffs_ms;
+  uint64_t seen = 0;
+  while (backoffs_ms.size() < 6 && ms < 2000) {
+    sup.tick(at_ms(ms));
+    if (sup.consecutive_failures() > seen) {
+      seen = sup.consecutive_failures();
+      backoffs_ms.push_back(sup.current_backoff().millis());
+    }
+    ++ms;
+  }
+  ASSERT_EQ(backoffs_ms.size(), 6u);
+  EXPECT_EQ(backoffs_ms[0], 10);  // floor after the first failure
+  EXPECT_EQ(backoffs_ms[1], 20);
+  EXPECT_EQ(backoffs_ms[2], 40);
+  EXPECT_EQ(backoffs_ms[3], 80);
+  EXPECT_EQ(backoffs_ms[4], 80);  // capped
+  EXPECT_EQ(backoffs_ms[5], 80);
+  EXPECT_FALSE(sup.connected());
+  EXPECT_EQ(log.count(ResilienceEvent::Kind::Backoff), 6u);
+}
+
+TEST(AgentSupervisor, JitterStaysWithinBounds) {
+  AgentSupervisor::Config cfg =
+      no_jitter(Duration::from_millis(100), Duration::from_secs(10));
+  cfg.jitter_frac = 0.2;
+  cfg.seed = 7;
+  AgentSupervisor sup(cfg, [] { return std::unique_ptr<ipc::Transport>(); },
+                      nullptr, nullptr);
+  int64_t ms = 0;
+  uint64_t seen = 0;
+  while (sup.consecutive_failures() < 4 && ms < 60'000) {
+    sup.tick(at_ms(ms));
+    if (sup.consecutive_failures() > seen) {
+      seen = sup.consecutive_failures();
+      const double expected =
+          100.0 * static_cast<double>(1ULL << (seen - 1));  // ms
+      const double got = static_cast<double>(sup.current_backoff().millis());
+      EXPECT_GE(got, expected * 0.8 - 1);
+      EXPECT_LE(got, expected * 1.2 + 1);
+    }
+    ++ms;
+  }
+  EXPECT_EQ(seen, 4u);
+}
+
+TEST(AgentSupervisor, ReconnectSendsResyncRequestWithGeneration) {
+  EventLog log;
+  std::unique_ptr<ipc::Transport> peer;
+  AgentSupervisor sup(
+      no_jitter(Duration::from_millis(10), Duration::from_millis(80)),
+      [&] {
+        auto pair = ipc::make_inproc_pair();
+        peer = std::move(pair.b);
+        return std::move(pair.a);
+      },
+      nullptr, &log);
+  EXPECT_TRUE(sup.tick(at_ms(0)));
+  EXPECT_TRUE(sup.connected());
+  EXPECT_EQ(sup.generation(), 1u);
+  // The peer (playing the datapath) must see one ResyncRequest frame
+  // carrying the generation as token.
+  ASSERT_NE(peer, nullptr);
+  auto frame = peer->try_recv_frame();
+  ASSERT_TRUE(frame.has_value());
+  const auto msgs = ipc::decode_frame(*frame);
+  ASSERT_EQ(msgs.size(), 1u);
+  const auto* req = std::get_if<ipc::ResyncRequestMsg>(&msgs[0]);
+  ASSERT_NE(req, nullptr);
+  EXPECT_EQ(req->token, 1u);
+  EXPECT_EQ(log.count(ResilienceEvent::Kind::ResyncRequested), 1u);
+}
+
+TEST(AgentSupervisor, DetectsDeadTransportAndRecovers) {
+  EventLog log;
+  FaultInjector injector(3, &log);
+  FaultyTransport* live = nullptr;
+  int attempts_allowed = 0;
+  AgentSupervisor sup(
+      no_jitter(Duration::from_millis(10), Duration::from_millis(80)),
+      [&]() -> std::unique_ptr<ipc::Transport> {
+        if (attempts_allowed <= 0) return nullptr;
+        --attempts_allowed;
+        auto pair = ipc::make_inproc_pair();
+        auto t = injector.wrap(std::move(pair.a), FaultPlan{}, nullptr);
+        live = t.get();
+        return t;
+      },
+      nullptr, &log);
+  attempts_allowed = 1;
+  ASSERT_TRUE(sup.tick(at_ms(0)));
+  ASSERT_NE(live, nullptr);
+  live->kill();
+  // Next tick notices the dead peer and immediately retries (which fails:
+  // no attempts allowed), entering the backoff schedule.
+  EXPECT_FALSE(sup.tick(at_ms(1)));
+  EXPECT_FALSE(sup.connected());
+  EXPECT_EQ(log.count(ResilienceEvent::Kind::Disconnect), 1u);
+  // Allow the reconnect; it happens once the backoff expires.
+  attempts_allowed = 1;
+  EXPECT_FALSE(sup.tick(at_ms(5)));  // still inside the 10 ms backoff
+  EXPECT_TRUE(sup.tick(at_ms(12)));
+  EXPECT_EQ(sup.generation(), 2u);
+  EXPECT_EQ(log.count(ResilienceEvent::Kind::Reconnected), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end deterministic fault scenario.
+//
+// A real datapath and a real agent talk over inproc transports through a
+// FaultyTransport. The agent is killed mid-run; every flow's watchdog
+// must engage the in-datapath fallback within k RTTs; the supervisor
+// reconnects with backoff, a *fresh* agent resyncs from replayed
+// FlowSummary messages, re-installs its programs, and every flow leaves
+// fallback. The entire sequence is virtual-time + seeded, so two runs
+// produce identical event logs.
+// ---------------------------------------------------------------------------
+
+struct ScenarioResult {
+  std::string events;       // EventLog::to_string()
+  std::string transitions;  // per-ms fallback-count deltas
+  uint64_t flows_resynced = 0;
+  bool all_recovered = false;
+  bool fell_back = false;
+};
+
+ScenarioResult run_scenario(uint64_t seed) {
+  constexpr size_t kFlows = 3;
+  EventLog log;
+  FaultInjector injector(seed, &log);
+
+  // Datapath side. Its tx always points at the *current* datapath-side
+  // endpoint (replaced when the supervisor reconnects).
+  std::unique_ptr<ipc::Transport> dp_end;
+  datapath::DatapathConfig dcfg;
+  dcfg.flush_interval = Duration::from_millis(1);
+  datapath::CcpDatapath dp(dcfg, [&](std::span<const uint8_t> f) {
+    if (dp_end != nullptr) dp_end->send_frame(f);
+  });
+
+  // Agent side: the supervisor owns the agent's transport; the agent is
+  // rebuilt from scratch on reconnect (a restarted process has no state).
+  std::unique_ptr<agent::CcpAgent> agent;
+  AgentSupervisor* sup_ptr = nullptr;
+  auto make_agent = [&] {
+    agent::AgentConfig acfg;
+    agent = std::make_unique<agent::CcpAgent>(
+        acfg, [&](std::span<const uint8_t> f) {
+          if (sup_ptr != nullptr && sup_ptr->transport() != nullptr) {
+            sup_ptr->transport()->send_frame(f);
+          }
+        });
+    algorithms::register_builtin_algorithms(*agent);
+  };
+
+  FaultyTransport* faulty = nullptr;
+  bool agent_process_up = true;
+  auto connect = [&]() -> std::unique_ptr<ipc::Transport> {
+    if (!agent_process_up) return nullptr;
+    auto pair = ipc::make_inproc_pair();
+    dp_end = std::move(pair.a);
+    auto t = injector.wrap(std::move(pair.b), FaultPlan{}, nullptr);
+    faulty = t.get();
+    make_agent();
+    return t;
+  };
+
+  AgentSupervisor::Config scfg;
+  scfg.backoff_floor = Duration::from_millis(5);
+  scfg.backoff_cap = Duration::from_millis(40);
+  scfg.jitter_frac = 0.2;
+  scfg.seed = seed + 1;
+  AgentSupervisor sup(
+      scfg, connect,
+      [&](ipc::Transport&, uint64_t generation) {
+        agent->expect_resync(generation);
+      },
+      &log);
+  sup_ptr = &sup;
+
+  TimePoint now = at_ms(1);
+  sup.tick(now);  // initial connect, generation 1
+
+  // Flows with a 4-RTT watchdog at 10 ms RTT.
+  datapath::FlowConfig fcfg;
+  fcfg.watchdog_rtts = 4.0;
+  std::vector<ipc::FlowId> ids;
+  for (size_t i = 0; i < kFlows; ++i) {
+    ids.push_back(dp.create_flow(fcfg, "reno", now).id());
+  }
+
+  auto pump = [&] {
+    // dp -> agent
+    if (sup.transport() != nullptr && agent != nullptr) {
+      sup.transport()->drain_frames(
+          [&](std::span<const uint8_t> f) { agent->handle_frame(f); });
+    }
+    // agent -> dp
+    if (dp_end != nullptr) {
+      dp_end->drain_frames(
+          [&](std::span<const uint8_t> f) { dp.handle_frame(f, now); });
+    }
+  };
+
+  ScenarioResult result;
+  size_t last_fallback_count = 0;
+  auto step_ms = [&](int64_t count) {
+    for (int64_t s = 0; s < count; ++s) {
+      now += Duration::from_millis(1);
+      for (const ipc::FlowId id : ids) {
+        datapath::AckEvent ev;
+        ev.now = now;
+        ev.bytes_acked = 1500;
+        ev.packets_acked = 1;
+        ev.rtt_sample = Duration::from_millis(10);
+        dp.flow(id)->on_ack(ev);
+      }
+      dp.tick(now);
+      sup.tick(now);
+      pump();
+      pump();  // second pass delivers replies generated by the first
+      size_t in_fb = 0;
+      for (const ipc::FlowId id : ids) {
+        in_fb += dp.flow(id)->in_fallback() ? 1 : 0;
+      }
+      if (in_fb != last_fallback_count) {
+        result.transitions += std::to_string(now.nanos() / 1'000'000) + ":" +
+                              std::to_string(in_fb) + ";";
+        last_fallback_count = in_fb;
+      }
+    }
+  };
+
+  step_ms(100);  // steady state: agent installs reno, contact stays fresh
+  for (const ipc::FlowId id : ids) {
+    if (dp.flow(id)->in_fallback()) return result;  // premature fallback: fail
+  }
+
+  // Kill the agent process mid-run.
+  agent_process_up = false;
+  faulty->kill();
+  agent.reset();
+  step_ms(100);  // watchdogs trip (<= 4 RTTs + a report interval)
+  result.fell_back = last_fallback_count == kFlows;
+
+  // The "process" comes back; the supervisor's next attempt succeeds,
+  // resyncs, and the rebuilt agent reclaims every flow.
+  agent_process_up = true;
+  step_ms(200);
+  result.all_recovered = true;
+  for (const ipc::FlowId id : ids) {
+    if (dp.flow(id)->in_fallback()) result.all_recovered = false;
+  }
+  if (agent != nullptr) result.flows_resynced = agent->stats().flows_resynced;
+  result.events = log.to_string();
+  return result;
+}
+
+TEST(ResilienceE2E, KillFallbackReconnectResyncRecover) {
+  const ScenarioResult r = run_scenario(2024);
+  EXPECT_TRUE(r.fell_back) << "not all flows engaged fallback";
+  EXPECT_TRUE(r.all_recovered) << "flows stuck in fallback after resync";
+  EXPECT_EQ(r.flows_resynced, 3u);
+  // The event log tells the whole story, in order.
+  EXPECT_NE(r.events.find("kill"), std::string::npos);
+  EXPECT_NE(r.events.find("disconnect"), std::string::npos);
+  EXPECT_NE(r.events.find("reconnect_attempt"), std::string::npos);
+  EXPECT_NE(r.events.find("backoff"), std::string::npos);
+  EXPECT_NE(r.events.find("reconnected"), std::string::npos);
+  EXPECT_NE(r.events.find("resync_requested"), std::string::npos);
+}
+
+TEST(ResilienceE2E, IdenticalEventSequenceAcrossSameSeedRuns) {
+  const ScenarioResult a = run_scenario(77);
+  const ScenarioResult b = run_scenario(77);
+  EXPECT_TRUE(a.fell_back);
+  EXPECT_TRUE(a.all_recovered);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_FALSE(a.events.empty());
+  EXPECT_FALSE(a.transitions.empty());
+}
+
+}  // namespace
+}  // namespace ccp::resilience

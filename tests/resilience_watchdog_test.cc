@@ -1,0 +1,231 @@
+// Datapath watchdog: flows whose agent goes silent for k RTTs fall back
+// to the in-datapath NewReno program and recover when the agent returns
+// (docs/RESILIENCE.md).
+#include <gtest/gtest.h>
+
+#include "datapath/flow.hpp"
+
+namespace ccp::datapath {
+namespace {
+
+struct SinkLog {
+  std::vector<ipc::MeasurementMsg> reports;
+
+  MessageSink sink() {
+    return [this](const ipc::Message& msg, bool) {
+      if (const auto* m = std::get_if<ipc::MeasurementMsg>(&msg)) {
+        reports.push_back(*m);
+      }
+    };
+  }
+};
+
+TimePoint at_ms(int64_t ms) {
+  return TimePoint::epoch() + Duration::from_millis(ms);
+}
+
+FlowConfig watchdog_config(double rtts, Duration floor = Duration::zero()) {
+  FlowConfig cfg;
+  cfg.mss = 1000;
+  cfg.init_cwnd_bytes = 20000;
+  cfg.min_cwnd_bytes = 2000;
+  cfg.smooth_cwnd = false;  // crisp cwnd assertions
+  cfg.watchdog_rtts = rtts;
+  cfg.agent_timeout = floor;
+  return cfg;
+}
+
+ipc::InstallMsg agent_program(ipc::FlowId id) {
+  ipc::InstallMsg msg;
+  msg.flow_id = id;
+  msg.program_text = R"(
+    fold { acked := acked + Pkt.bytes_acked init 0; }
+    control { Cwnd($cwnd); WaitRtts(1.0); Report(); }
+  )";
+  msg.var_names = {"cwnd"};
+  msg.var_values = {20000.0};
+  return msg;
+}
+
+/// Feeds one 10 ms-RTT ACK per ms over (from_ms, to_ms].
+void ack_span(CcpFlow& flow, int64_t from_ms, int64_t to_ms) {
+  for (int64_t ms = from_ms + 1; ms <= to_ms; ++ms) {
+    AckEvent ev;
+    ev.now = at_ms(ms);
+    ev.bytes_acked = 1000;
+    ev.packets_acked = 1;
+    ev.rtt_sample = Duration::from_millis(10);
+    flow.on_ack(ev);
+  }
+}
+
+TEST(Watchdog, DisabledByDefaultNeverFallsBack) {
+  SinkLog log;
+  FlowConfig cfg = watchdog_config(0);  // both knobs zero
+  CcpFlow flow(1, cfg, log.sink());
+  flow.install(agent_program(1), at_ms(1));
+  ack_span(flow, 1, 10'000);  // 10 s of agent silence
+  EXPECT_FALSE(flow.in_fallback());
+}
+
+TEST(Watchdog, EntersFallbackAfterKRtts) {
+  SinkLog log;
+  CcpFlow flow(1, watchdog_config(4.0), log.sink());
+  flow.install(agent_program(1), at_ms(1));
+  // 4 RTTs at 10 ms = 40 ms of silence allowed.
+  ack_span(flow, 1, 35);
+  EXPECT_FALSE(flow.in_fallback());
+  ack_span(flow, 35, 60);
+  EXPECT_TRUE(flow.in_fallback());
+}
+
+TEST(Watchdog, NotArmedUntilAgentPrograms) {
+  SinkLog log;
+  CcpFlow flow(1, watchdog_config(4.0), log.sink());
+  // No agent install at all: the default program keeps running forever.
+  ack_span(flow, 0, 1000);
+  EXPECT_FALSE(flow.in_fallback());
+}
+
+TEST(Watchdog, FixedTimeoutActsAsFloor) {
+  SinkLog log;
+  // 1 RTT (10 ms) staleness, but a 200 ms floor: both must be exceeded.
+  CcpFlow flow(1, watchdog_config(1.0, Duration::from_millis(200)),
+               log.sink());
+  flow.install(agent_program(1), at_ms(1));
+  ack_span(flow, 1, 150);
+  EXPECT_FALSE(flow.in_fallback());
+  ack_span(flow, 150, 250);
+  EXPECT_TRUE(flow.in_fallback());
+}
+
+TEST(Watchdog, FixedTimeoutAloneWorks) {
+  SinkLog log;
+  CcpFlow flow(1, watchdog_config(0, Duration::from_millis(50)), log.sink());
+  flow.install(agent_program(1), at_ms(1));
+  ack_span(flow, 1, 40);
+  EXPECT_FALSE(flow.in_fallback());
+  ack_span(flow, 40, 80);
+  EXPECT_TRUE(flow.in_fallback());
+}
+
+TEST(Watchdog, TickAloneTriggersFallback) {
+  // An idle flow (no ACKs arriving — e.g. the path is dead too) still
+  // falls back via the periodic tick.
+  SinkLog log;
+  CcpFlow flow(1, watchdog_config(4.0), log.sink());
+  flow.install(agent_program(1), at_ms(1));
+  ack_span(flow, 1, 5);  // seed srtt
+  flow.tick(at_ms(500));
+  EXPECT_TRUE(flow.in_fallback());
+}
+
+TEST(Watchdog, FallbackHalvesWindowOnEntry) {
+  SinkLog log;
+  CcpFlow flow(1, watchdog_config(4.0), log.sink());
+  flow.install(agent_program(1), at_ms(1));
+  ack_span(flow, 1, 30);
+  ASSERT_FALSE(flow.in_fallback());
+  const uint64_t before = flow.cwnd_bytes();
+  // Step one ms at a time so the window is sampled right at entry,
+  // before the fallback's own growth moves it again.
+  int64_t ms = 30;
+  while (!flow.in_fallback() && ms < 100) {
+    ack_span(flow, ms, ms + 1);
+    ++ms;
+  }
+  ASSERT_TRUE(flow.in_fallback());
+  EXPECT_EQ(flow.cwnd_bytes(), before / 2);
+  EXPECT_GE(flow.cwnd_bytes(), 2000u);  // respects min_cwnd
+}
+
+TEST(Watchdog, FallbackGrowsWindowWithoutAgent) {
+  SinkLog log;
+  CcpFlow flow(1, watchdog_config(4.0), log.sink());
+  flow.install(agent_program(1), at_ms(1));
+  ack_span(flow, 1, 60);
+  ASSERT_TRUE(flow.in_fallback());
+  const uint64_t entry_cwnd = flow.cwnd_bytes();
+  // Several RTTs of clean ACKs: NewReno congestion avoidance must grow
+  // the window with no agent in the loop at all.
+  ack_span(flow, 60, 160);
+  EXPECT_TRUE(flow.in_fallback());
+  EXPECT_GT(flow.cwnd_bytes(), entry_cwnd);
+}
+
+TEST(Watchdog, FallbackReducesWindowOnLoss) {
+  SinkLog log;
+  CcpFlow flow(1, watchdog_config(4.0), log.sink());
+  flow.install(agent_program(1), at_ms(1));
+  ack_span(flow, 1, 160);
+  ASSERT_TRUE(flow.in_fallback());
+  const uint64_t before = flow.cwnd_bytes();
+  LossEvent loss;
+  loss.now = at_ms(161);
+  loss.lost_packets = 3;
+  flow.on_loss(loss);
+  // The halving lands at the next control pass (once per RTT).
+  ack_span(flow, 161, 185);
+  EXPECT_LT(flow.cwnd_bytes(), before);
+}
+
+TEST(Watchdog, InstallRecoversAndRearms) {
+  SinkLog log;
+  CcpFlow flow(1, watchdog_config(4.0), log.sink());
+  flow.install(agent_program(1), at_ms(1));
+  ack_span(flow, 1, 60);
+  ASSERT_TRUE(flow.in_fallback());
+  // Agent comes back with a fresh Install: flow is its again.
+  flow.install(agent_program(1), at_ms(61));
+  EXPECT_FALSE(flow.in_fallback());
+  // Watchdog is re-armed: a second silence falls back again.
+  ack_span(flow, 61, 130);
+  EXPECT_TRUE(flow.in_fallback());
+}
+
+TEST(Watchdog, UpdateFieldsRecoveryDropsStaleValues) {
+  SinkLog log;
+  CcpFlow flow(1, watchdog_config(4.0), log.sink());
+  flow.install(agent_program(1), at_ms(1));
+  ack_span(flow, 1, 60);
+  ASSERT_TRUE(flow.in_fallback());
+  const uint64_t fallback_cwnd = flow.cwnd_bytes();
+  // The agent's update targets the program the fallback replaced; its
+  // positional values must not rebind the fallback's own variables.
+  ipc::UpdateFieldsMsg upd;
+  upd.flow_id = 1;
+  upd.var_values = {90000.0};
+  flow.update_fields(upd, at_ms(61));
+  EXPECT_FALSE(flow.in_fallback());
+  EXPECT_EQ(flow.cwnd_bytes(), fallback_cwnd);  // stale value dropped
+}
+
+TEST(Watchdog, DirectControlRecoversAndApplies) {
+  SinkLog log;
+  CcpFlow flow(1, watchdog_config(4.0), log.sink());
+  flow.install(agent_program(1), at_ms(1));
+  ack_span(flow, 1, 60);
+  ASSERT_TRUE(flow.in_fallback());
+  ipc::DirectControlMsg dc;
+  dc.flow_id = 1;
+  dc.cwnd_bytes = 12345.0;
+  flow.direct_control(dc, at_ms(61));
+  EXPECT_FALSE(flow.in_fallback());
+  EXPECT_EQ(flow.cwnd_bytes(), 12345u);
+}
+
+TEST(Watchdog, FallbackKeepsReporting) {
+  // Reports keep flowing in fallback, so a reconnected agent immediately
+  // sees fresh measurements even before it re-installs.
+  SinkLog log;
+  CcpFlow flow(1, watchdog_config(4.0), log.sink());
+  flow.install(agent_program(1), at_ms(1));
+  ack_span(flow, 1, 60);
+  ASSERT_TRUE(flow.in_fallback());
+  const size_t before = log.reports.size();
+  ack_span(flow, 60, 160);
+  EXPECT_GT(log.reports.size(), before);
+}
+
+}  // namespace
+}  // namespace ccp::datapath

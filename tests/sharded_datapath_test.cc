@@ -68,6 +68,84 @@ TEST(CommandQueue, RejectsWhenConsumerIsACapacityBehind) {
   EXPECT_TRUE(q.push(ShardCommand{}));  // space again after the drain
 }
 
+TEST(CommandQueue, OverflowIsCountedAndRetrySucceedsAfterDrain) {
+  // Same overflow at the ShardedDatapath level: the control plane counts
+  // the drop, the command is lost (not silently applied), and a retry
+  // after the shard drains goes through — the agent-visible contract for
+  // a slow shard (docs/RESILIENCE.md "forced ring-full").
+  ipc::LaneSet lanes = ipc::make_inproc_lanes(1);
+  std::vector<ShardedDatapath::FrameTx> txs;
+  txs.push_back(ipc::make_lane_tx(*lanes.dp[0], 0));
+  ShardedDatapath dp(DatapathConfig{}, std::move(txs),
+                     /*command_queue_capacity=*/4);
+
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  const ipc::FlowId id = dp.alloc_flow_id(0);
+  CcpFlow& fl = dp.shard(0).create_flow(id, FlowConfig{}, "test", now);
+
+  ipc::DirectControlMsg dc;
+  dc.flow_id = id;
+  for (int i = 0; i < 6; ++i) {
+    dc.cwnd_bytes = 50'000.0 + i;  // never applied before the drain
+    dp.handle_frame(ipc::encode_frame(ipc::Message(dc)));
+  }
+  EXPECT_EQ(dp.control_stats().commands_routed, 4u);  // queue capacity
+  EXPECT_EQ(dp.control_stats().commands_dropped, 2u);
+  dp.shard(0).poll(now);  // consumer catches up
+
+  // The retried command now fits and applies at the next poll.
+  dc.cwnd_bytes = 6000.0;
+  dp.handle_frame(ipc::encode_frame(ipc::Message(dc)));
+  EXPECT_EQ(dp.control_stats().commands_routed, 5u);
+  dp.shard(0).poll(now);
+  EXPECT_EQ(fl.cwnd_bytes(), 6000u);
+}
+
+TEST(ShardedDatapath, ResyncFansOutAndRepliesPerShardLane) {
+  constexpr uint32_t kShards = 2;
+  ipc::LaneSet lanes = ipc::make_inproc_lanes(kShards);
+  std::vector<ShardedDatapath::FrameTx> txs;
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    txs.push_back(ipc::make_lane_tx(*lanes.dp[i], i));
+  }
+  ShardedDatapath dp(DatapathConfig{}, std::move(txs));
+
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  std::vector<std::vector<ipc::FlowId>> ids(kShards);
+  for (uint32_t s = 0; s < kShards; ++s) {
+    for (int k = 0; k < 3; ++k) {
+      const ipc::FlowId id = dp.alloc_flow_id(s);
+      dp.shard(s).create_flow(id, FlowConfig{}, "test", now);
+      ids[s].push_back(id);
+    }
+  }
+  ipc::drain_lanes(lanes.agent, [](size_t, std::span<const uint8_t>) {});
+
+  ipc::ResyncRequestMsg req;
+  req.token = 42;
+  dp.handle_frame(ipc::encode_frame(ipc::Message(req)));
+  EXPECT_EQ(dp.control_stats().resyncs, 1u);
+  for (uint32_t s = 0; s < kShards; ++s) dp.shard(s).poll(now);
+
+  // Each shard replays exactly its own flows, echoing the token, on its
+  // own lane.
+  std::vector<std::vector<ipc::FlowId>> replayed(kShards);
+  ipc::drain_lanes(lanes.agent, [&](size_t lane, std::span<const uint8_t> f) {
+    for (const ipc::Message& msg : ipc::decode_frame(f)) {
+      const auto* sum = std::get_if<ipc::FlowSummaryMsg>(&msg);
+      if (sum == nullptr) continue;
+      EXPECT_EQ(sum->token, 42u);
+      replayed[lane].push_back(sum->flow_id);
+    }
+  });
+  for (uint32_t s = 0; s < kShards; ++s) {
+    ASSERT_EQ(replayed[s].size(), ids[s].size()) << "shard " << s;
+    for (const ipc::FlowId id : replayed[s]) {
+      EXPECT_EQ(dp.shard_of_flow(id), s);
+    }
+  }
+}
+
 // --- routing / flow table integrity ---
 
 TEST(ShardRouting, MillionCollisionHeavyIdsNoCrossShardAliasing) {

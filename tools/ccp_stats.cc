@@ -14,6 +14,7 @@
 //   ccp_stats --socket PATH --prom                     # Prometheus text format
 //   ccp_stats --socket PATH --trace                    # dump the trace ring
 //   ccp_stats --socket PATH --shards                   # per-shard breakdown
+//   ccp_stats --socket PATH --resilience               # fallback/fault/supervisor view
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -32,7 +33,7 @@ using ccp::telemetry::StatsClient;
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--interval SECS] [--once] [--json] "
-               "[--prom] [--trace] [--shards]\n",
+               "[--prom] [--trace] [--shards] [--resilience]\n",
                argv0);
 }
 
@@ -124,12 +125,64 @@ int dump_shards(StatsClient& client) {
   return 0;
 }
 
+/// Resilience view: fallback state, fault-injection tallies, and
+/// supervisor reconnect history (docs/RESILIENCE.md). All of these are
+/// cold-path counters, so one snapshot is enough — no rate view needed.
+int dump_resilience(StatsClient& client) {
+  auto snap = client.snapshot();
+  if (!snap.has_value()) {
+    std::fprintf(stderr, "ccp_stats: snapshot request failed\n");
+    return 1;
+  }
+  const auto* in_fb = snap->gauge("ccp_flows_in_fallback");
+  const auto* rec = snap->histogram("ccp_fallback_recovery_ns");
+  std::printf("fallback:\n");
+  std::printf("  flows_in_fallback   %" PRId64 "\n",
+              in_fb != nullptr ? in_fb->value : 0);
+  std::printf("  entries             %" PRIu64 "\n",
+              counter_value(*snap, "ccp_dp_fallbacks_total"));
+  std::printf("  recoveries          %" PRIu64 "\n",
+              counter_value(*snap, "ccp_dp_fallback_recoveries_total"));
+  if (rec != nullptr && rec->count > 0) {
+    std::printf("  recovery_ms p50/p99 %.2f / %.2f\n",
+                rec->quantile(0.5) / 1e6, rec->quantile(0.99) / 1e6);
+  }
+  std::printf("  flows_resynced_dp   %" PRIu64 "\n",
+              counter_value(*snap, "ccp_dp_resync_flows_total"));
+  std::printf("faults injected:\n");
+  std::printf("  drops               %" PRIu64 "\n",
+              counter_value(*snap, "ccp_fault_drops_total"));
+  std::printf("  corruptions         %" PRIu64 "\n",
+              counter_value(*snap, "ccp_fault_corruptions_total"));
+  std::printf("  delays              %" PRIu64 "\n",
+              counter_value(*snap, "ccp_fault_delays_total"));
+  std::printf("  stalls              %" PRIu64 "\n",
+              counter_value(*snap, "ccp_fault_stalls_total"));
+  std::printf("  kills               %" PRIu64 "\n",
+              counter_value(*snap, "ccp_fault_kills_total"));
+  std::printf("  forced_ring_full    %" PRIu64 "\n",
+              counter_value(*snap, "ccp_fault_forced_full_total"));
+  std::printf("supervisor:\n");
+  std::printf("  disconnects         %" PRIu64 "\n",
+              counter_value(*snap, "ccp_sup_disconnects_total"));
+  std::printf("  reconnect_attempts  %" PRIu64 "\n",
+              counter_value(*snap, "ccp_sup_reconnect_attempts_total"));
+  std::printf("  reconnects          %" PRIu64 "\n",
+              counter_value(*snap, "ccp_sup_reconnects_total"));
+  std::printf("  resyncs             %" PRIu64 "\n",
+              counter_value(*snap, "ccp_sup_resyncs_total"));
+  std::printf("  flows_resynced_agt  %" PRIu64 "\n",
+              counter_value(*snap, "ccp_agent_flows_resynced_total"));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path;
   double interval_secs = 1.0;
   bool once = false, json = false, prom = false, trace = false, shards = false;
+  bool resilience = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -147,6 +200,7 @@ int main(int argc, char** argv) {
     else if (arg == "--prom") prom = true;
     else if (arg == "--trace") trace = true;
     else if (arg == "--shards") shards = true;
+    else if (arg == "--resilience") resilience = true;
     else {
       usage(argv[0]);
       return 2;
@@ -170,6 +224,7 @@ int main(int argc, char** argv) {
 
   if (trace) return dump_trace(*client);
   if (shards) return dump_shards(*client);
+  if (resilience) return dump_resilience(*client);
 
   if (json || prom) {
     auto snap = client->snapshot();
