@@ -19,6 +19,7 @@
 // `--enforce <ratio>` exits nonzero if this run's instrumented
 // throughput drops below ratio * the committed full_acks_per_sec (CI
 // uses 0.9: fail on >10% regression).
+#include <algorithm>
 #include <barrier>
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +39,10 @@
 #include "datapath/sharded_datapath.hpp"
 #include "ipc/transport.hpp"
 #include "ipc/wire.hpp"
+#include "lang/compiler.hpp"
+#include "lang/jit/jit.hpp"
+#include "lang/pkt_fields.hpp"
+#include "lang/vm.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
 
@@ -255,6 +260,105 @@ ScalingResult run_sharded(uint32_t n_shards, size_t flows_per_shard,
   return r;
 }
 
+// --- interpreter vs JIT fold execution ---
+
+// The stock program every flow starts with (same shape as the datapath
+// default): a handful of counters and filters.
+constexpr const char* kStockFoldProgram = R"(
+fold {
+  acked  := acked + Pkt.bytes_acked                           init 0;
+  rtt    := ewma(rtt, Pkt.rtt, 0.125)                         init 0;
+  minrtt := if(Pkt.rtt > 0, min(minrtt, Pkt.rtt), minrtt)     init 1e9;
+  loss   := loss + Pkt.lost                                   init 0;
+  rcv    := Pkt.rcv_rate                                      init 0;
+}
+control { WaitRtts(1.0); Report(); }
+)";
+
+// Arithmetic-dense fold of the kind BBR/Copa-style algorithms install:
+// chained filters, a division, a square root, and derived scores. This
+// is where interpretation overhead (dispatch + slot traffic per op)
+// dominates and native lowering pays off most — the >= 1.3x gate below
+// is evaluated on this program.
+constexpr const char* kFoldHeavyProgram = R"(
+fold {
+  acked   := acked + Pkt.bytes_acked                          init 0;
+  rtt     := ewma(rtt, Pkt.rtt, 0.125)                        init 0;
+  rttvar  := ewma(rttvar, abs(Pkt.rtt - rtt), 0.25)           init 0;
+  minrtt  := if(Pkt.rtt > 0, min(minrtt, Pkt.rtt), minrtt)    init 1e9;
+  maxrate := max(maxrate, Pkt.rcv_rate)                       init 0;
+  bw      := ewma(bw, Pkt.bytes_acked / max(Pkt.rtt, 1), 0.25) init 0;
+  loss    := loss + Pkt.lost                                  init 0;
+  pace    := sqrt(bw * max(rtt - minrtt, 0) + 1)              init 0;
+  util    := if(maxrate > 0, Pkt.snd_rate / maxrate, 0)       init 0;
+  score   := 0.8 * score + 0.2 * (bw / max(rtt, 1))           init 0;
+}
+control { WaitRtts(1.0); Report(); }
+)";
+
+/// Pure fold-execution rate for one program under one engine: installs
+/// into a FoldMachine with the requested JitMode and folds `acks`
+/// synthetic ACKs (RTT jittered per packet so the filters keep moving).
+/// This isolates exactly the code the JIT replaces — no demux, batching,
+/// or IPC around it.
+double run_fold_engine(const lang::CompiledProgram& prog, bool use_jit,
+                       uint64_t acks) {
+  namespace jit = lang::jit;
+  const jit::JitMode saved = jit::mode();
+  jit::set_mode(use_jit ? jit::JitMode::On : jit::JitMode::Off);
+  lang::FoldMachine m;
+  m.install(&prog, {});
+  jit::set_mode(saved);
+
+  lang::PktInfo pkt;
+  pkt.bytes_acked = 1500;
+  pkt.packets_acked = 1;
+  pkt.bytes_in_flight = 64.0 * 1500;
+  pkt.packets_in_flight = 64;
+  pkt.snd_rate_bps = 9.5e8;
+  pkt.rcv_rate_bps = 9.0e8;
+  pkt.mss = 1448;
+  pkt.cwnd = 96'000;
+
+  auto run = [&](uint64_t n) {
+    for (uint64_t i = 0; i < n; ++i) {
+      pkt.rtt_us = 10'000.0 + static_cast<double>(i % 1024);
+      pkt.now_us = static_cast<double>(i);
+      pkt.lost_packets = (i % 4096) == 0 ? 1.0 : 0.0;
+      m.on_packet(pkt);
+    }
+  };
+  run(acks / 10);  // warm-up: scratch sized, branch predictors settled
+  const TimePoint t0 = monotonic_now();
+  run(acks);
+  const TimePoint t1 = monotonic_now();
+  return static_cast<double>(acks) / (t1 - t0).secs();
+}
+
+struct JitCompare {
+  double interp_acks_per_sec = 0;
+  double jit_acks_per_sec = 0;
+  double speedup = 0;
+};
+
+/// Interleaved best-of-N A/B of the two engines on one program (same
+/// drift-cancelling scheme as the instrumented/stripped comparison).
+JitCompare compare_engines(const char* program_text, uint64_t acks,
+                           int repeats) {
+  const auto prog = lang::compile_text_shared(program_text);
+  JitCompare r;
+  for (int i = 0; i < repeats; ++i) {
+    r.interp_acks_per_sec =
+        std::max(r.interp_acks_per_sec, run_fold_engine(*prog, false, acks));
+    r.jit_acks_per_sec =
+        std::max(r.jit_acks_per_sec, run_fold_engine(*prog, true, acks));
+  }
+  r.speedup = r.interp_acks_per_sec > 0
+                  ? r.jit_acks_per_sec / r.interp_acks_per_sec
+                  : 0.0;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -298,6 +402,7 @@ int main(int argc, char** argv) {
   datapath::FlowConfig wd_cfg;
   wd_cfg.watchdog_rtts = 8.0;
   RunResult full{}, stripped{}, watchdog{};
+  std::vector<double> overhead_trials;
   for (int r = 0; r < kRepeats; ++r) {
     telemetry::set_enabled(true);
     const RunResult a = run_full();
@@ -307,6 +412,12 @@ int main(int argc, char** argv) {
     telemetry::set_enabled(false);
     const RunResult b = run_full();
     if (b.acks_per_sec > stripped.acks_per_sec) stripped = b;
+    // Overhead is computed per trial from the adjacent instrumented /
+    // stripped pair, so both halves saw the same machine state.
+    if (b.acks_per_sec > 0) {
+      overhead_trials.push_back(
+          (b.acks_per_sec - a.acks_per_sec) / b.acks_per_sec * 100.0);
+    }
   }
   telemetry::set_enabled(true);
   std::printf("%zu flows, %llu ACKs\n", kFlows,
@@ -322,17 +433,39 @@ int main(int argc, char** argv) {
       telemetry::metrics().report_latency_ns.quantile(0.99) / 1e3;
   std::printf("report latency (emit -> agent handler): p50 %.1f us, p99 %.1f us\n",
               rep_p50_us, rep_p99_us);
-  const double overhead_pct =
-      stripped.acks_per_sec > 0
-          ? (stripped.acks_per_sec - full.acks_per_sec) / stripped.acks_per_sec * 100.0
-          : 0.0;
-  std::printf("telemetry overhead: %.2f%% (target < 3%%)\n", overhead_pct);
+  // Median of the per-trial deltas, clamped at zero: best-of-per-config
+  // (the old method) compares two different trials, so ordinary run-to-run
+  // noise could report a *negative* overhead. The median of paired trials
+  // is drift-immune, and a negative median just means the cost is below
+  // the noise floor — report it as 0, not as a nonsensical speedup.
+  double overhead_pct = 0.0;
+  if (!overhead_trials.empty()) {
+    std::sort(overhead_trials.begin(), overhead_trials.end());
+    overhead_pct =
+        std::max(0.0, overhead_trials[overhead_trials.size() / 2]);
+  }
+  std::printf("telemetry overhead: %.2f%% (median of %d paired trials, "
+              "target < 3%%)\n",
+              overhead_pct, kRepeats);
   const double watchdog_overhead_pct =
       full.acks_per_sec > 0
           ? (full.acks_per_sec - watchdog.acks_per_sec) / full.acks_per_sec * 100.0
           : 0.0;
   std::printf("watchdog overhead:  %.2f%% vs instrumented (target < 2%%)\n",
               watchdog_overhead_pct);
+
+  bench::section("fold execution: interpreter vs JIT (best of 5, interleaved)");
+  constexpr uint64_t kFoldAcks = 4'000'000;
+  const JitCompare stock = compare_engines(kStockFoldProgram, kFoldAcks, kRepeats);
+  const JitCompare heavy = compare_engines(kFoldHeavyProgram, kFoldAcks, kRepeats);
+  std::printf("  jit backend: %s\n",
+              lang::jit::available() ? "x86-64 native" : "unavailable (interpreter only)");
+  std::printf("  stock program:      interp %.2f M folds/sec, jit %.2f M (%.2fx)\n",
+              stock.interp_acks_per_sec / 1e6, stock.jit_acks_per_sec / 1e6,
+              stock.speedup);
+  std::printf("  fold-heavy program: interp %.2f M folds/sec, jit %.2f M (%.2fx)\n",
+              heavy.interp_acks_per_sec / 1e6, heavy.jit_acks_per_sec / 1e6,
+              heavy.speedup);
 
   bench::section("prototype datapath (fixed measurements, DirectControl)");
   const RunResult proto = run_proto();
@@ -384,6 +517,19 @@ int main(int argc, char** argv) {
        {"report_latency_p99_us", bench::json_num(rep_p99_us)},
        {"n_flows", bench::json_num(static_cast<double>(kFlows))},
        {"acks", bench::json_num(static_cast<double>(kAcks))}});
+  bench::update_json_section(
+      bench::bench_json_path(), "jit",
+      {{"available", bench::json_num(lang::jit::available() ? 1.0 : 0.0)},
+       {"jit_acks_per_sec", bench::json_num(heavy.jit_acks_per_sec)},
+       {"interp_acks_per_sec", bench::json_num(heavy.interp_acks_per_sec)},
+       {"jit_speedup", bench::json_num(heavy.speedup)},
+       {"stock_jit_acks_per_sec", bench::json_num(stock.jit_acks_per_sec)},
+       {"stock_interp_acks_per_sec", bench::json_num(stock.interp_acks_per_sec)},
+       {"stock_jit_speedup", bench::json_num(stock.speedup)},
+       {"fold_acks", bench::json_num(static_cast<double>(kFoldAcks))},
+       {"methodology",
+        "\"pure FoldMachine loop, interleaved best-of-5 per engine; "
+        "jit_* keys are the fold-heavy program\""}});
   bench::update_json_section(
       bench::bench_json_path(), "scaling",
       {{"shards_1_acks_per_sec", bench::json_num(scaling[0].cpu_acks_per_sec)},
@@ -449,6 +595,27 @@ int main(int argc, char** argv) {
                 "instrumented %.3g (overhead %.2f%%)\n",
                 watchdog.acks_per_sec, kWatchdogMinRatio * 100.0,
                 full.acks_per_sec, watchdog_overhead_pct);
+    // Native lowering must actually buy something: >= 1.3x over the
+    // interpreter on the fold-heavy program. Both rates come from the
+    // same interleaved A/B in this run, so the ratio is drift-immune.
+    // Interpreter-only builds (non-x86-64, -DCCP_ENABLE_JIT=OFF) have
+    // nothing to gate.
+    constexpr double kJitMinSpeedup = 1.3;
+    if (!lang::jit::available()) {
+      std::printf("[enforce] no JIT backend in this build; skipping "
+                  "speedup gate\n");
+    } else if (heavy.speedup < kJitMinSpeedup) {
+      std::fprintf(stderr,
+                   "[enforce] FAIL: JIT %.3g folds/sec is only %.2fx the "
+                   "interpreter's %.3g (target >= %.1fx)\n",
+                   heavy.jit_acks_per_sec, heavy.speedup,
+                   heavy.interp_acks_per_sec, kJitMinSpeedup);
+      return 1;
+    } else {
+      std::printf("[enforce] ok: JIT %.3g folds/sec = %.2fx interpreter "
+                  "(target >= %.1fx)\n",
+                  heavy.jit_acks_per_sec, heavy.speedup, kJitMinSpeedup);
+    }
   }
   return 0;
 }

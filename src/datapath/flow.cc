@@ -229,16 +229,25 @@ void CcpFlow::tick(TimePoint now) {
   run_control(now);
 }
 
-void CcpFlow::check_watchdog(TimePoint now) {
+void CcpFlow::check_watchdog_slow(TimePoint now) {
+  // Self-heal after a state transition that left an expired deadline
+  // behind: a disarmed flow parks at max() and never comes back here.
   if (!watchdog_enabled_ || !agent_has_programmed_ || in_fallback_) {
+    watchdog_deadline_ = TimePoint::max();
     return;
   }
   // Stale only past *both* thresholds: the fixed agent_timeout (zero =
   // always exceeded) and watchdog_rtts smoothed RTTs (unset = skipped).
   const Duration idle = now - last_agent_contact_;
-  if (idle <= config_.agent_timeout) return;
-  if (config_.watchdog_rtts > 0 &&
-      idle <= rtt_or_default() * config_.watchdog_rtts) {
+  Duration threshold = config_.agent_timeout;
+  if (config_.watchdog_rtts > 0) {
+    threshold = std::max(threshold, rtt_or_default() * config_.watchdog_rtts);
+  }
+  if (idle <= threshold) {
+    // Not stale: re-arm the fast-path deadline with the current srtt.
+    // Agent contact after this leaves the deadline conservatively early;
+    // the next crossing just lands here again and re-arms.
+    watchdog_deadline_ = last_agent_contact_ + threshold;
     return;
   }
   CCP_WARN("flow %u: agent silent for %lld ms; engaging datapath fallback",
@@ -449,6 +458,7 @@ void CcpFlow::install_compiled(std::shared_ptr<const lang::CompiledProgram> prog
   agent_has_programmed_ = true;
   if (in_fallback_) record_fallback_exit(now);
   last_agent_contact_ = now;
+  rearm_watchdog();
   if (telemetry::enabled()) {
     auto& m = telemetry::metrics();
     m.dp_installs.inc();

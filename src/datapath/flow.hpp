@@ -123,6 +123,9 @@ class CcpFlow final : public CcModule {
   bool in_fallback() const { return in_fallback_; }
   Duration srtt() const;
   const lang::FoldMachine& fold() const { return fold_; }
+  /// True when this flow's per-ACK folds run JIT-compiled native code
+  /// (JitMode On or Verify at install time and codegen succeeded).
+  bool jit_active() const { return fold_.jit_active(); }
   uint64_t reports_sent() const { return report_seq_; }
   uint64_t acks_folded_total() const { return acks_folded_total_; }
 
@@ -130,7 +133,31 @@ class CcpFlow final : public CcModule {
   /// Folds `last_pkt_` (filled in place by the event handlers — no
   /// per-ACK PktInfo copy) and runs urgency/control.
   void fold_event(TimePoint now);
-  void check_watchdog(TimePoint now);
+  /// Per-ACK staleness gate, reduced to a single time compare: the
+  /// precise threshold (agent_timeout floor, k smoothed RTTs) is folded
+  /// into a cached deadline, recomputed only when the deadline expires —
+  /// not per ACK, where the Duration*double srtt math was a measurable
+  /// slice of the budget once the JIT shrank the fold itself. A
+  /// disarmed watchdog (knobs off, agent never programmed, or already in
+  /// fallback) parks the deadline at TimePoint::max(), so armed and
+  /// disarmed flows pay the same one branch. The deadline is
+  /// conservative (computed from the srtt at arm time): a shrinking RTT
+  /// estimate delays fallback by at most one old threshold, and crossing
+  /// a deadline while fresh merely re-arms.
+  void check_watchdog(TimePoint now) {
+    if (now < watchdog_deadline_) return;
+    check_watchdog_slow(now);
+  }
+  void check_watchdog_slow(TimePoint now);
+  /// Resyncs the deadline with the armed state after a transition
+  /// (install, fallback entry/exit). Epoch forces the next check onto
+  /// the slow path, which computes the real deadline; max() disarms.
+  void rearm_watchdog() {
+    watchdog_deadline_ =
+        (watchdog_enabled_ && agent_has_programmed_ && !in_fallback_)
+            ? TimePoint::epoch()
+            : TimePoint::max();
+  }
   void enter_fallback(TimePoint now);
   void record_fallback_exit(TimePoint now);
   void reinstall_default(TimePoint now);
@@ -177,6 +204,7 @@ class CcpFlow final : public CcModule {
   bool agent_has_programmed_ = false;  // a non-default program is active
   bool in_fallback_ = false;
   TimePoint last_agent_contact_{};
+  TimePoint watchdog_deadline_ = TimePoint::max();  // max() = disarmed
   TimePoint fallback_entered_{};  // feeds the recovery-time histogram
   uint64_t acks_folded_total_ = 0;
   lang::PktInfo last_pkt_;  // most recent event, for control-arg evaluation

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -11,6 +12,7 @@
 #include "lang/error.hpp"
 #include "lang/parser.hpp"
 #include "lang/sema.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ccp::lang {
 namespace {
@@ -437,27 +439,106 @@ CompiledProgram compile_text(std::string_view src) {
   return compile(parse_program(src));
 }
 
+namespace {
+
+// compile_text_shared's bounded LRU cache. Keyed by exact program text:
+// an agent installs a handful of distinct programs across millions of
+// flows, so the steady state stays tiny while every flow (on any shard)
+// shares one immutable compiled copy. The bound matters under algorithm
+// churn (e.g. a tuner emitting a new parameterized program text per
+// epoch): without it the map — and every JIT code region hanging off the
+// cached programs — grows forever. Eviction drops only the cache's
+// reference; flows holding the shared_ptr keep their program alive.
+//
+// The list owns the entries (front = most recently used); the index maps
+// string_views into the list nodes' keys, which are stable across
+// splices.
+struct ProgramCacheEntry {
+  std::string key;
+  std::shared_ptr<const CompiledProgram> prog;
+};
+
+std::mutex g_prog_cache_mu;
+std::list<ProgramCacheEntry>& prog_cache_list() {
+  static auto* l = new std::list<ProgramCacheEntry>();
+  return *l;
+}
+using ProgramCacheIndex =
+    std::map<std::string_view, std::list<ProgramCacheEntry>::iterator, std::less<>>;
+ProgramCacheIndex& prog_cache_index() {
+  static auto* m = new ProgramCacheIndex();
+  return *m;
+}
+size_t g_prog_cache_cap = kDefaultProgramCacheCapacity;
+
+/// Evicts LRU entries until size <= cap. Caller holds g_prog_cache_mu.
+void prog_cache_trim() {
+  auto& list = prog_cache_list();
+  auto& index = prog_cache_index();
+  while (list.size() > g_prog_cache_cap) {
+    index.erase(list.back().key);
+    list.pop_back();
+    if (telemetry::enabled()) {
+      telemetry::metrics().lang_cache_evictions.inc();
+    }
+  }
+  telemetry::metrics().lang_cache_programs.set(
+      static_cast<int64_t>(list.size()));
+}
+
+}  // namespace
+
 std::shared_ptr<const CompiledProgram> compile_text_shared(std::string_view src) {
-  // Keyed by exact program text: an agent installs a handful of distinct
-  // programs across millions of flows, so the cache stays tiny while every
-  // flow (on any shard) shares one immutable compiled copy. Entries are
-  // kept alive deliberately — re-installing a previously seen program is
-  // a map lookup, never a recompile.
-  static std::mutex mu;
-  static std::map<std::string, std::shared_ptr<const CompiledProgram>, std::less<>>
-      cache;
   {
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = cache.find(src);
-    if (it != cache.end()) return it->second;
+    std::lock_guard<std::mutex> lock(g_prog_cache_mu);
+    auto& index = prog_cache_index();
+    auto it = index.find(src);
+    if (it != index.end()) {
+      auto& list = prog_cache_list();
+      list.splice(list.begin(), list, it->second);  // mark most recent
+      return it->second->prog;
+    }
   }
   // Compile outside the lock: a malformed program throws without
   // poisoning the cache, and a slow compile doesn't serialize unrelated
   // installs. A racing duplicate compile is harmless — first insert wins.
   auto compiled = std::make_shared<const CompiledProgram>(compile_text(src));
-  std::lock_guard<std::mutex> lock(mu);
-  auto [it, inserted] = cache.emplace(std::string(src), std::move(compiled));
-  return it->second;
+  std::lock_guard<std::mutex> lock(g_prog_cache_mu);
+  auto& index = prog_cache_index();
+  if (auto it = index.find(src); it != index.end()) {
+    auto& list = prog_cache_list();
+    list.splice(list.begin(), list, it->second);
+    return it->second->prog;
+  }
+  if (g_prog_cache_cap == 0) return compiled;  // caching disabled
+  auto& list = prog_cache_list();
+  list.push_front(ProgramCacheEntry{std::string(src), std::move(compiled)});
+  index.emplace(list.front().key, list.begin());
+  prog_cache_trim();
+  return list.front().prog;
+}
+
+void set_program_cache_capacity(size_t cap) {
+  std::lock_guard<std::mutex> lock(g_prog_cache_mu);
+  g_prog_cache_cap = cap;
+  prog_cache_trim();
+}
+
+size_t program_cache_capacity() {
+  std::lock_guard<std::mutex> lock(g_prog_cache_mu);
+  return g_prog_cache_cap;
+}
+
+size_t program_cache_size() {
+  std::lock_guard<std::mutex> lock(g_prog_cache_mu);
+  return prog_cache_list().size();
+}
+
+void clear_program_cache() {
+  std::lock_guard<std::mutex> lock(g_prog_cache_mu);
+  prog_cache_index().clear();
+  prog_cache_list().clear();
+  telemetry::metrics().lang_cache_programs.set(0);
 }
 
 std::vector<double> bind_vars(const CompiledProgram& prog,

@@ -11,6 +11,10 @@
 
 namespace ccp::lang {
 
+namespace jit {
+struct Handle;  // lang/jit/jit.hpp — owns one program's native code
+}
+
 /// Everything the datapath needs to run one installed program.
 struct CompiledProgram {
   /// Evaluates every register's init expression and stores it.
@@ -44,6 +48,16 @@ struct CompiledProgram {
 
   /// Install-time variable names; the agent binds these in Install().
   std::vector<std::string> var_names;
+
+  /// Native compilation of fold_block, attached lazily by
+  /// jit::get_or_compile (mutable: the program stays logically immutable;
+  /// this is a cache). Shared by every flow and shard running this
+  /// program, and destroyed with the last shared_ptr to it — so evicting
+  /// the program from the compile cache frees its machine code only once
+  /// no flow still holds the program. A handle with no entry point
+  /// latches an emit failure (interpreter fallback, no recompile storms).
+  /// All access goes through the JIT's global compile mutex.
+  mutable std::shared_ptr<const jit::Handle> jit_handle;
 
   size_t num_folds() const { return fold_names.size(); }
   size_t num_vars() const { return var_names.size(); }
@@ -91,7 +105,28 @@ CompiledProgram compile_text(std::string_view src);
 /// is how per-shard VM instances share one compiled program (the
 /// FoldMachine keeps per-flow state; CompiledProgram is read-only after
 /// construction). Throws ProgramError on a malformed program.
+///
+/// The cache is a bounded LRU (default capacity
+/// kDefaultProgramCacheCapacity): under algorithm churn the
+/// least-recently-installed program text is evicted (counted in
+/// ccp_lang_cache_evictions_total). Eviction only drops the cache's
+/// reference — flows still running the program keep it (and its JIT
+/// code) alive through their own shared_ptr.
 std::shared_ptr<const CompiledProgram> compile_text_shared(std::string_view src);
+
+inline constexpr size_t kDefaultProgramCacheCapacity = 64;
+
+/// Caps the compile_text_shared cache, evicting LRU entries if the new
+/// cap is below the current size. A cap of 0 disables caching entirely
+/// (every call compiles). Thread-safe.
+void set_program_cache_capacity(size_t cap);
+size_t program_cache_capacity();
+
+/// Programs currently resident in the compile_text_shared cache.
+size_t program_cache_size();
+
+/// Drops every cached program (tests; live flows are unaffected).
+void clear_program_cache();
 
 /// Binds install-time variables by name into the positional vector the
 /// FoldMachine consumes. Throws ProgramError on an unknown or unbound

@@ -1,0 +1,75 @@
+#include "lang/jit/code_cache.hpp"
+
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define CCP_JIT_HAVE_MMAP 1
+#endif
+
+namespace ccp::lang::jit {
+
+CodeRegion::~CodeRegion() {
+#if CCP_JIT_HAVE_MMAP
+  if (base_ != nullptr) ::munmap(base_, mapped_);
+#endif
+}
+
+CodeRegion::CodeRegion(CodeRegion&& o) noexcept
+    : base_(std::exchange(o.base_, nullptr)), mapped_(std::exchange(o.mapped_, 0)) {}
+
+CodeRegion& CodeRegion::operator=(CodeRegion&& o) noexcept {
+  if (this != &o) {
+#if CCP_JIT_HAVE_MMAP
+    if (base_ != nullptr) ::munmap(base_, mapped_);
+#endif
+    base_ = std::exchange(o.base_, nullptr);
+    mapped_ = std::exchange(o.mapped_, 0);
+  }
+  return *this;
+}
+
+std::optional<CodeRegion> CodeRegion::create(const std::vector<uint8_t>& code,
+                                             const std::vector<double>& pool,
+                                             size_t pool_patch_at) {
+#if CCP_JIT_HAVE_MMAP
+  if (code.empty() || pool_patch_at + 8 > code.size()) return std::nullopt;
+
+  const size_t pool_off = (code.size() + 15) & ~size_t{15};
+  const size_t total = pool_off + pool.size() * sizeof(double);
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const size_t page_sz = page > 0 ? static_cast<size_t>(page) : 4096;
+  const size_t mapped = (total + page_sz - 1) & ~(page_sz - 1);
+
+  void* base = ::mmap(nullptr, mapped, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) return std::nullopt;
+
+  auto* p = static_cast<uint8_t*>(base);
+  std::memcpy(p, code.data(), code.size());
+  if (!pool.empty()) {
+    std::memcpy(p + pool_off, pool.data(), pool.size() * sizeof(double));
+  }
+  const uint64_t pool_addr = reinterpret_cast<uint64_t>(p + pool_off);
+  std::memcpy(p + pool_patch_at, &pool_addr, sizeof(pool_addr));
+
+  if (::mprotect(base, mapped, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(base, mapped);
+    return std::nullopt;
+  }
+
+  CodeRegion r;
+  r.base_ = base;
+  r.mapped_ = mapped;
+  return r;
+#else
+  (void)code;
+  (void)pool;
+  (void)pool_patch_at;
+  return std::nullopt;
+#endif
+}
+
+}  // namespace ccp::lang::jit

@@ -1,0 +1,48 @@
+// W^X executable memory for JIT-compiled fold programs.
+//
+// A CodeRegion is one mmap'd block laid out as [code | pad | const pool].
+// It is populated while the mapping is read-write, the single absolute
+// address embedded in the code (the const-pool base, loaded into r15 by
+// the prologue's movabs) is patched, and only then is the whole mapping
+// flipped to read+execute. The region is never writable and executable
+// at the same time, so a stray write through a corrupted pointer cannot
+// retarget live code (W^X). The pool stays readable under PROT_EXEC |
+// PROT_READ, which is all the generated code needs — it only ever loads
+// from it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ccp::lang::jit {
+
+class CodeRegion {
+ public:
+  CodeRegion() = default;
+  ~CodeRegion();
+  CodeRegion(const CodeRegion&) = delete;
+  CodeRegion& operator=(const CodeRegion&) = delete;
+  CodeRegion(CodeRegion&& o) noexcept;
+  CodeRegion& operator=(CodeRegion&& o) noexcept;
+
+  /// Maps RW, copies `code` then `pool` (16-byte aligned after the code),
+  /// patches the 8-byte immediate at code offset `pool_patch_at` with the
+  /// absolute pool address, and seals the mapping RX. Returns nullopt if
+  /// mmap/mprotect fail (treated as an emit failure upstream — the
+  /// program falls back to the interpreter).
+  static std::optional<CodeRegion> create(const std::vector<uint8_t>& code,
+                                          const std::vector<double>& pool,
+                                          size_t pool_patch_at);
+
+  const void* entry() const { return base_; }
+  size_t mapped_bytes() const { return mapped_; }
+  bool valid() const { return base_ != nullptr; }
+
+ private:
+  void* base_ = nullptr;
+  size_t mapped_ = 0;
+};
+
+}  // namespace ccp::lang::jit

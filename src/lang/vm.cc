@@ -1,6 +1,8 @@
 #include "lang/vm.hpp"
 
+#include <bit>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "telemetry/telemetry.hpp"
@@ -167,6 +169,34 @@ void FoldMachine::install(const CompiledProgram* prog, std::vector<double> vars)
   const PktInfo zero_pkt{};
   eval_block(prog->init_block, state_, zero_pkt, vars_, scratch_);
   init_snapshot_ = state_;
+
+  // Native execution: the JitMode is consulted here, once per install —
+  // never on the per-ACK path. Init and control-arg blocks stay on the
+  // interpreter (they run rarely); only the per-ACK fold block is
+  // lowered. Any compile failure leaves jit_fn_ null and the machine
+  // interpreting, exactly as before.
+  jit_handle_.reset();
+  jit_fn_ = nullptr;
+  jit_verify_ = false;
+  const jit::JitMode m = jit::mode();
+  if (m != jit::JitMode::Off && jit::available() &&
+      !prog->fold_block.code.empty()) {
+    jit_handle_ = jit::get_or_compile(*prog);
+    if (jit_handle_) {
+      jit_fn_ = jit::entry(*jit_handle_);
+      jit_verify_ = (m == jit::JitMode::Verify);
+      // The native code indexes the scratch array directly (memory-slot
+      // mode) without the interpreter's lazy resize; presize it here so
+      // the per-ACK path stays allocation-free.
+      if (scratch_.size() < prog->fold_block.n_slots) {
+        scratch_.resize(prog->fold_block.n_slots);
+      }
+      if (jit_verify_) {
+        verify_state_.assign(state_.size(), 0.0);
+        verify_scratch_.assign(prog->fold_block.n_slots, 0.0);
+      }
+    }
+  }
 }
 
 void FoldMachine::update_vars(std::vector<double> vars) {
@@ -175,6 +205,42 @@ void FoldMachine::update_vars(std::vector<double> vars) {
     throw std::invalid_argument("FoldMachine: var count mismatch");
   }
   vars_ = std::move(vars);
+}
+
+void FoldMachine::jit_exec(const PktInfo& pkt) {
+  const double* pkt_mem = jit::pkt_ptr(pkt);
+  if (!jit_verify_) {
+    // Same 1/1024 sampling scheme as eval_block, into the JIT's own
+    // histogram so the two engines' latency profiles stay comparable.
+    thread_local uint32_t sample_tick = 0;
+    if ((++sample_tick & 1023u) == 0 && telemetry::enabled()) [[unlikely]] {
+      const uint64_t t0 = telemetry::now_ns();
+      jit_fn_(state_.data(), pkt_mem, vars_.data(), scratch_.data());
+      telemetry::metrics().jit_exec_ns.record(telemetry::now_ns() - t0);
+      return;
+    }
+    jit_fn_(state_.data(), pkt_mem, vars_.data(), scratch_.data());
+    return;
+  }
+  // Verify: native code folds into a shadow copy of the state, the
+  // interpreter folds authoritatively, and the two register files must
+  // match bit for bit (as must the result-slot value). The interpreter
+  // stays authoritative so a miscompile can skew only the mismatch
+  // counter, never the congestion response.
+  std::memcpy(verify_state_.data(), state_.data(),
+              state_.size() * sizeof(double));
+  const double jit_result =
+      jit_fn_(verify_state_.data(), pkt_mem, vars_.data(), verify_scratch_.data());
+  const double vm_result =
+      eval_block(prog_->fold_block, state_, pkt, vars_, scratch_);
+  const bool state_ok =
+      std::memcmp(verify_state_.data(), state_.data(),
+                  state_.size() * sizeof(double)) == 0;
+  const bool result_ok = std::bit_cast<uint64_t>(jit_result) ==
+                         std::bit_cast<uint64_t>(vm_result);
+  if (!(state_ok && result_ok)) [[unlikely]] {
+    telemetry::metrics().jit_verify_mismatches.inc();
+  }
 }
 
 double FoldMachine::eval_control_arg(size_t idx, const PktInfo& pkt) {

@@ -13,6 +13,7 @@
 
 #include "lang/bytecode.hpp"
 #include "lang/compiler.hpp"
+#include "lang/jit/jit.hpp"
 #include "lang/pkt_fields.hpp"
 
 namespace ccp::lang {
@@ -48,14 +49,14 @@ class FoldMachine {
     if (prog_ == nullptr) return false;
     const auto& urgent = prog_->urgent_indices;
     if (urgent.empty()) {
-      eval_block(prog_->fold_block, state_, pkt, vars_, scratch_);
+      exec_fold(pkt);
       return false;
     }
     // Snapshot only the urgent registers (typically 1-2 of dozens) rather
     // than the whole register file; `before_` is a member sized once at
     // install so the per-ACK path stays allocation-free.
     for (size_t i = 0; i < urgent.size(); ++i) before_[i] = state_[urgent[i]];
-    eval_block(prog_->fold_block, state_, pkt, vars_, scratch_);
+    exec_fold(pkt);
     for (size_t i = 0; i < urgent.size(); ++i) {
       if (state_[urgent[i]] != before_[i]) return true;
     }
@@ -73,13 +74,42 @@ class FoldMachine {
   const CompiledProgram* program() const { return prog_; }
   bool installed() const { return prog_ != nullptr; }
 
+  /// True when per-ACK folds run native code (JitMode On or Verify and
+  /// the program compiled successfully at install).
+  bool jit_active() const { return jit_fn_ != nullptr; }
+  /// True when every fold also cross-checks the interpreter (Verify).
+  bool jit_verifying() const { return jit_fn_ != nullptr && jit_verify_; }
+
  private:
+  /// Per-ACK fold dispatch: direct native call in the common JIT-on
+  /// case; out-of-line jit_exec handles sampling + Verify; otherwise the
+  /// interpreter. Mode is resolved at install, not here.
+  void exec_fold(const PktInfo& pkt) {
+    if (jit_fn_ != nullptr) {
+      jit_exec(pkt);
+      return;
+    }
+    eval_block(prog_->fold_block, state_, pkt, vars_, scratch_);
+  }
+
+  /// Runs the native fold (with 1/1024-sampled jit_exec_ns timing), or
+  /// in Verify mode both engines with a bitwise fold-state compare.
+  /// Out of line: keeps telemetry out of this header.
+  void jit_exec(const PktInfo& pkt);
+
   const CompiledProgram* prog_ = nullptr;
   std::vector<double> vars_;
   std::vector<double> state_;
   std::vector<double> init_snapshot_;  // state right after init, for volatile reset
   std::vector<double> scratch_;
   std::vector<double> before_;  // urgent-register snapshot, one per urgent_indices entry
+
+  // -- native execution (lang/jit) --
+  std::shared_ptr<const jit::Handle> jit_handle_;  // keeps the code alive
+  jit::FoldFn jit_fn_ = nullptr;                   // null: interpret
+  bool jit_verify_ = false;                        // JitMode::Verify at install
+  std::vector<double> verify_state_;    // shadow fold state for Verify
+  std::vector<double> verify_scratch_;  // shadow slot file for Verify
 };
 
 }  // namespace ccp::lang

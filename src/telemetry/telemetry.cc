@@ -45,9 +45,16 @@ Metrics::Metrics() {
   r.add("ccp_agent_unknown_flow_total", &agent_unknown_flow);
   r.add("ccp_agent_flows_resynced_total", &agent_flows_resynced);
 
+  r.add("ccp_jit_compiles_total", &jit_compiles);
+  r.add("ccp_jit_fallbacks_total", &jit_fallbacks);
+  r.add("ccp_jit_verify_mismatches_total", &jit_verify_mismatches);
+  r.add("ccp_lang_cache_evictions_total", &lang_cache_evictions);
+
   r.add("ccp_active_flows", &active_flows);
   r.add("ccp_ipc_ring_used_bytes", &ipc_ring_used_bytes);
   r.add("ccp_flows_in_fallback", &flows_in_fallback);
+  r.add("ccp_jit_code_bytes", &jit_code_bytes);
+  r.add("ccp_lang_cache_programs", &lang_cache_programs);
 
   for (size_t i = 0; i < kMaxShards; ++i) {
     const std::string prefix = "ccp_shard" + std::to_string(i) + "_";
@@ -65,6 +72,8 @@ Metrics::Metrics() {
   r.add("ccp_agent_measurement_handler_ns", &agent_measurement_handler_ns);
   r.add("ccp_agent_urgent_handler_ns", &agent_urgent_handler_ns);
   r.add("ccp_vm_exec_ns", &vm_exec_ns);
+  r.add("ccp_jit_compile_ns", &jit_compile_ns);
+  r.add("ccp_jit_exec_ns", &jit_exec_ns);
   r.add("ccp_ipc_drain_batch", &ipc_drain_batch);
   r.add("ccp_dp_flush_batch", &dp_flush_batch);
   r.add("ccp_fallback_recovery_ns", &fallback_recovery_ns);

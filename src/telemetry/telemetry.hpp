@@ -114,9 +114,19 @@ struct Metrics {
   Counter agent_unknown_flow;  // messages for flows the agent doesn't know
   Counter agent_flows_resynced;  // flows rebuilt from replayed summaries
 
+  // -- fold-program JIT (src/lang/jit/) --
+  Counter jit_compiles;           // fold programs lowered to native code
+  Counter jit_fallbacks;          // programs latched onto the interpreter
+  Counter jit_verify_mismatches;  // Verify-mode engine divergences (should be 0)
+
+  // -- program cache (lang::compile_text_shared) --
+  Counter lang_cache_evictions;   // LRU evictions under algorithm churn
+
   Gauge active_flows;          // datapath-side live flow count
   Gauge ipc_ring_used_bytes;   // shm ring occupancy at last send
   Gauge flows_in_fallback;     // flows currently on the safe-mode program
+  Gauge jit_code_bytes;        // live JIT code cache size, bytes
+  Gauge lang_cache_programs;   // programs resident in the compile cache
 
   Histogram report_latency_ns;           // report emit -> OnMeasurement
   Histogram urgent_latency_ns;           // urgent emit -> OnUrgent
@@ -125,6 +135,8 @@ struct Metrics {
   Histogram agent_measurement_handler_ns;
   Histogram agent_urgent_handler_ns;
   Histogram vm_exec_ns;                  // sampled 1/1024 eval_block duration
+  Histogram jit_compile_ns;              // bytecode -> native lowering duration
+  Histogram jit_exec_ns;                 // sampled 1/1024 native fold duration
   Histogram ipc_drain_batch;             // frames per transport drain
   Histogram dp_flush_batch;              // messages per datapath batch flush
   Histogram fallback_recovery_ns;        // fallback entry -> agent recovery

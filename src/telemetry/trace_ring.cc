@@ -19,6 +19,7 @@ const char* trace_kind_name(TraceKind k) noexcept {
     case TraceKind::Measurement: return "measurement";
     case TraceKind::FallbackExit: return "fallback_exit";
     case TraceKind::Resync: return "resync";
+    case TraceKind::JitCompile: return "jit_compile";
   }
   return "unknown";
 }

@@ -30,6 +30,8 @@ enum class TraceKind : uint16_t {
   Measurement = 10,
   FallbackExit = 11,  // flow recovered from safe mode (value = cwnd bytes)
   Resync = 12,        // flow summary replayed to a restarted agent
+  JitCompile = 13,    // fold program JIT-compiled (value = compile ns,
+                      // flow field = generated code size in bytes)
 };
 
 const char* trace_kind_name(TraceKind k) noexcept;

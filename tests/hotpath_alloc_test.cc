@@ -19,6 +19,7 @@
 #include "datapath/shard.hpp"
 #include "datapath/sharded_datapath.hpp"
 #include "ipc/wire.hpp"
+#include "lang/jit/jit.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace_ring.hpp"
 #include "util/time.hpp"
@@ -283,6 +284,86 @@ TEST(HotPathAlloc, ShardedSteadyStateIsAllocationFree) {
   telemetry::disable_trace();
   EXPECT_EQ(allocs, 0u)
       << "sharded per-ACK path allocated in steady state";
+}
+
+TEST(HotPathAlloc, JitSteadyStateIsAllocationFree) {
+  // Native fold execution: compilation happens once at install (and may
+  // allocate — it's a rare event), but the JIT steady state afterwards —
+  // ACKs dispatched straight into generated code, including the 1/1024
+  // jit_exec_ns sampling — must be exactly as allocation-free as the
+  // interpreter. On builds without a JIT this degrades to the
+  // interpreter path and must still hold.
+  const lang::jit::JitMode saved_mode = lang::jit::mode();
+  lang::jit::set_mode(lang::jit::JitMode::On);
+  telemetry::set_enabled(true);
+  (void)telemetry::metrics().dp_acks.value();
+
+  DatapathConfig dcfg;
+  dcfg.flush_interval = Duration::from_millis(1);
+  dcfg.max_batch_msgs = 32;
+  uint64_t frames = 0;
+  CcpDatapath dp(dcfg, [&frames](std::span<const uint8_t>) { ++frames; });
+
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  std::vector<ipc::FlowId> ids;
+  FlowConfig fcfg;
+  for (size_t i = 0; i < kFlows; ++i) {
+    ids.push_back(dp.create_flow(fcfg, "reno", now).id());
+  }
+  if (lang::jit::available()) {
+    for (const ipc::FlowId id : ids) {
+      ASSERT_TRUE(dp.flow(id)->jit_active())
+          << "default program must lower to native code when a JIT exists";
+    }
+  }
+  drive(dp, ids, now, kWarmupAcks);
+  ASSERT_GT(frames, 0u);
+
+  const uint64_t allocs =
+      count_allocs_during([&] { drive(dp, ids, now, kMeasuredAcks); });
+  lang::jit::set_mode(saved_mode);
+  EXPECT_EQ(allocs, 0u) << "JIT-dispatched per-ACK path allocated in steady state";
+}
+
+TEST(HotPathAlloc, JitVerifySteadyStateIsAllocationFree) {
+  // Belt-and-braces mode: every ACK runs BOTH engines and bit-compares
+  // the fold state into shadow buffers presized at install. Even this
+  // must not touch the heap per ACK — Verify is meant to be deployable
+  // on live traffic while qualifying the JIT.
+  const lang::jit::JitMode saved_mode = lang::jit::mode();
+  lang::jit::set_mode(lang::jit::JitMode::Verify);
+  telemetry::set_enabled(true);
+  (void)telemetry::metrics().dp_acks.value();
+  const uint64_t mismatches_before =
+      telemetry::metrics().jit_verify_mismatches.value();
+
+  DatapathConfig dcfg;
+  dcfg.flush_interval = Duration::from_millis(1);
+  dcfg.max_batch_msgs = 32;
+  uint64_t frames = 0;
+  CcpDatapath dp(dcfg, [&frames](std::span<const uint8_t>) { ++frames; });
+
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  std::vector<ipc::FlowId> ids;
+  FlowConfig fcfg;
+  for (size_t i = 0; i < kFlows; ++i) {
+    ids.push_back(dp.create_flow(fcfg, "reno", now).id());
+  }
+  if (lang::jit::available()) {
+    for (const ipc::FlowId id : ids) {
+      ASSERT_TRUE(dp.flow(id)->fold().jit_verifying());
+    }
+  }
+  drive(dp, ids, now, kWarmupAcks);
+  ASSERT_GT(frames, 0u);
+
+  const uint64_t allocs =
+      count_allocs_during([&] { drive(dp, ids, now, kMeasuredAcks); });
+  lang::jit::set_mode(saved_mode);
+  EXPECT_EQ(allocs, 0u) << "Verify-mode cross-check allocated in steady state";
+  EXPECT_EQ(telemetry::metrics().jit_verify_mismatches.value(),
+            mismatches_before)
+      << "JIT and interpreter diverged while driving the default program";
 }
 
 TEST(HotPathAlloc, WatchdogEnabledSteadyStateIsAllocationFree) {

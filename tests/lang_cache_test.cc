@@ -1,0 +1,119 @@
+// Bounded LRU behavior of the compile_text_shared program cache:
+// residency stays capped under algorithm churn, hot entries survive,
+// evicted programs stay alive for flows still holding them, and the
+// eviction counter / residency gauge tell the truth.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/compiler.hpp"
+#include "lang/error.hpp"
+#include "lang/pkt_fields.hpp"
+#include "lang/vm.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ccp::lang {
+namespace {
+
+/// Each test starts from an empty cache at the default capacity and
+/// leaves the process in that same state for whoever runs next.
+class ProgramCache : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_program_cache_capacity(kDefaultProgramCacheCapacity);
+    clear_program_cache();
+  }
+  void TearDown() override {
+    set_program_cache_capacity(kDefaultProgramCacheCapacity);
+    clear_program_cache();
+  }
+};
+
+/// Distinct-but-valid program text per `n` — the shape a parameter tuner
+/// produces when it re-emits its program with new constants each epoch.
+std::string program_text(int n) {
+  return "fold { acked := acked + Pkt.bytes_acked init " + std::to_string(n) +
+         "; } control { WaitRtts(1.0); Report(); }";
+}
+
+TEST_F(ProgramCache, SameTextSharesOneCompilation) {
+  auto a = compile_text_shared(program_text(1));
+  auto b = compile_text_shared(program_text(1));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(program_cache_size(), 1u);
+  EXPECT_NE(a.get(), compile_text_shared(program_text(2)).get());
+}
+
+TEST_F(ProgramCache, ChurnStaysBoundedAndCountsEvictions) {
+  const uint64_t evicted_before =
+      telemetry::metrics().lang_cache_evictions.value();
+  set_program_cache_capacity(8);
+  for (int i = 0; i < 40; ++i) compile_text_shared(program_text(i));
+  EXPECT_EQ(program_cache_size(), 8u);
+  EXPECT_EQ(telemetry::metrics().lang_cache_evictions.value() - evicted_before,
+            32u);
+  EXPECT_EQ(telemetry::metrics().lang_cache_programs.value(), 8);
+}
+
+TEST_F(ProgramCache, LruKeepsRecentlyUsedEntries) {
+  set_program_cache_capacity(2);
+  auto a = compile_text_shared(program_text(1));
+  compile_text_shared(program_text(2));
+  // Touch 1 so 2 becomes least recently used, then push a third entry.
+  compile_text_shared(program_text(1));
+  compile_text_shared(program_text(3));
+  EXPECT_EQ(program_cache_size(), 2u);
+  // 1 must still be the cached instance; 2 must have been evicted and
+  // therefore recompiles to a fresh instance.
+  EXPECT_EQ(a.get(), compile_text_shared(program_text(1)).get());
+  // Re-adding 2 is a fresh compile (and evicts 3, the new LRU).
+  auto b2 = compile_text_shared(program_text(2));
+  EXPECT_EQ(program_cache_size(), 2u);
+  EXPECT_NE(b2.get(), a.get());
+}
+
+TEST_F(ProgramCache, EvictionDoesNotKillProgramsFlowsStillRun) {
+  set_program_cache_capacity(1);
+  auto held = compile_text_shared(program_text(7));
+  FoldMachine machine;
+  machine.install(held.get(), {});
+
+  // Churn the single-slot cache until 7 is long gone.
+  for (int i = 100; i < 110; ++i) compile_text_shared(program_text(i));
+  EXPECT_EQ(program_cache_size(), 1u);
+
+  // The flow's program (and any native code attached to it) must still
+  // be fully usable through the flow's own reference.
+  PktInfo pkt;
+  pkt.bytes_acked = 1448.0;
+  for (int i = 0; i < 4; ++i) machine.on_packet(pkt);
+  EXPECT_DOUBLE_EQ(machine.state()[0], 7.0 + 4 * 1448.0);
+}
+
+TEST_F(ProgramCache, ShrinkingCapacityEvictsDownToNewCap) {
+  set_program_cache_capacity(16);
+  for (int i = 0; i < 10; ++i) compile_text_shared(program_text(i));
+  ASSERT_EQ(program_cache_size(), 10u);
+  set_program_cache_capacity(3);
+  EXPECT_EQ(program_cache_size(), 3u);
+  EXPECT_EQ(program_cache_capacity(), 3u);
+  EXPECT_EQ(telemetry::metrics().lang_cache_programs.value(), 3);
+}
+
+TEST_F(ProgramCache, ZeroCapacityDisablesCaching) {
+  set_program_cache_capacity(0);
+  auto a = compile_text_shared(program_text(1));
+  auto b = compile_text_shared(program_text(1));
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(program_cache_size(), 0u);
+}
+
+TEST_F(ProgramCache, MalformedTextThrowsWithoutPoisoningCache) {
+  EXPECT_THROW(compile_text_shared("fold { x := / ; }"), ProgramError);
+  EXPECT_EQ(program_cache_size(), 0u);
+}
+
+}  // namespace
+}  // namespace ccp::lang

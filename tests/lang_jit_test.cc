@@ -1,0 +1,514 @@
+// Unit tests for the fold-program JIT (src/lang/jit/).
+//
+// The core of this file is a per-opcode differential battery: for every
+// bytecode op, hand-built one-instruction CodeBlocks run through both
+// the interpreter (eval_block) and the JIT over a sweep of adversarial
+// double values (±0, ±inf, NaN, denormals, huge magnitudes), in both
+// slot-allocation modes, and every result must match BIT FOR BIT. The
+// whole-program differential fuzzer lives in jit_differential_test.cc;
+// this file owns the opcode-level and machinery-level (cache, fallback
+// latch, Verify, trace) coverage.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "lang/builder.hpp"
+#include "lang/compiler.hpp"
+#include "lang/jit/jit.hpp"
+#include "lang/vm.hpp"
+#include "telemetry/telemetry.hpp"
+
+#if defined(__x86_64__)
+#include "lang/jit/code_cache.hpp"
+#include "lang/jit/codegen.hpp"
+#define CCP_TEST_X86_64 1
+#endif
+
+namespace ccp::lang {
+namespace {
+
+namespace jit = ccp::lang::jit;
+
+/// Restores global JIT state no matter how a test exits; every test
+/// that flips the mode or the failure hook holds one. (Tests share a
+/// process — leaking JitMode::Verify into the next suite would be rude.)
+struct JitGuard {
+  jit::JitMode saved = jit::mode();
+  ~JitGuard() {
+    jit::set_mode(saved);
+    jit::set_force_emit_failure(false);
+  }
+};
+
+uint64_t bits(double v) { return std::bit_cast<uint64_t>(v); }
+
+const double kInf = std::numeric_limits<double>::infinity();
+const double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Adversarial operand sweep: signed zeros, infinities, NaN, denormal,
+/// near-overflow, plus ordinary values.
+const std::vector<double> kEdgeValues = {
+    0.0,   -0.0,  1.0,    -1.0,   0.5,    -2.5,  3.0,
+    1e308, -1e308, 5e-324, 2.2e-308, 1e-9, kInf,  -kInf, kNaN,
+};
+
+#if CCP_TEST_X86_64
+
+/// Compiles `block` to native code and runs it once, mirroring the
+/// interpreter call shape. Asserts the block actually lowered.
+double run_jit_block(const CodeBlock& block, std::vector<double>& fold,
+                     const PktInfo& pkt, const std::vector<double>& vars) {
+  auto cb = jit::compile_block(block);
+  EXPECT_TRUE(cb.has_value());
+  auto region = jit::CodeRegion::create(cb->code, cb->pool, cb->pool_patch_at);
+  EXPECT_TRUE(region.has_value());
+  auto fn = reinterpret_cast<jit::FoldFn>(const_cast<void*>(region->entry()));
+  std::vector<double> scratch(block.n_slots, 0.0);
+  return fn(fold.data(), jit::pkt_ptr(pkt), vars.data(), scratch.data());
+}
+
+/// Runs `block` through both engines on the same inputs; fold state and
+/// the result value must match bitwise.
+void expect_engines_agree(const CodeBlock& block,
+                          const std::vector<double>& fold_init,
+                          const std::vector<double>& vars,
+                          const PktInfo& pkt = PktInfo{}) {
+  std::vector<double> fold_vm = fold_init;
+  std::vector<double> fold_jit = fold_init;
+  std::vector<double> scratch;
+  const double vm = eval_block(block, fold_vm, pkt, vars, scratch);
+  const double native = run_jit_block(block, fold_jit, pkt, vars);
+  ASSERT_EQ(bits(vm), bits(native))
+      << "result: vm=" << vm << " jit=" << native;
+  ASSERT_EQ(fold_vm.size(), fold_jit.size());
+  for (size_t i = 0; i < fold_vm.size(); ++i) {
+    ASSERT_EQ(bits(fold_vm[i]), bits(fold_jit[i]))
+        << "fold[" << i << "]: vm=" << fold_vm[i] << " jit=" << fold_jit[i];
+  }
+}
+
+/// One binary instruction over two vars, stored to fold[0]. With
+/// `force_memory_mode`, n_slots is padded past the register budget so
+/// the same semantics get exercised through the scratch-array lowering.
+CodeBlock binary_block(OpCode op, bool force_memory_mode) {
+  CodeBlock b;
+  b.code = {
+      {OpCode::LoadVar, 0, 0, 0, 0},
+      {OpCode::LoadVar, 1, 1, 0, 0},
+      {op, 2, 0, 1, 0},
+      {OpCode::StoreFold, 0, 0, 2, 0},
+  };
+  b.n_slots = force_memory_mode ? 14 : 3;
+  b.result_slot = 2;
+  return b;
+}
+
+CodeBlock binary_const_block(OpCode op, double k, bool force_memory_mode) {
+  CodeBlock b;
+  b.code = {
+      {OpCode::LoadVar, 0, 0, 0, 0},
+      {op, 1, 0, 0, 0},  // rhs = consts[0]
+      {OpCode::StoreFold, 0, 0, 1, 0},
+  };
+  b.consts = {k};
+  b.n_slots = force_memory_mode ? 14 : 2;
+  b.result_slot = 1;
+  return b;
+}
+
+CodeBlock unary_block(OpCode op, bool force_memory_mode) {
+  CodeBlock b;
+  b.code = {
+      {OpCode::LoadVar, 0, 0, 0, 0},
+      {op, 1, 0, 0, 0},
+      {OpCode::StoreFold, 0, 0, 1, 0},
+  };
+  b.n_slots = force_memory_mode ? 14 : 2;
+  b.result_slot = 1;
+  return b;
+}
+
+class JitOpcodes : public ::testing::TestWithParam<bool> {};  // memory mode?
+
+TEST_P(JitOpcodes, BinaryOpsBitIdentical) {
+  const bool mem = GetParam();
+  const OpCode ops[] = {OpCode::Add, OpCode::Sub, OpCode::Mul, OpCode::Div,
+                        OpCode::Pow, OpCode::Min, OpCode::Max, OpCode::Lt,
+                        OpCode::Le,  OpCode::Gt,  OpCode::Ge,  OpCode::Eq,
+                        OpCode::Ne,  OpCode::And, OpCode::Or};
+  for (OpCode op : ops) {
+    const CodeBlock b = binary_block(op, mem);
+    for (double x : kEdgeValues) {
+      for (double y : kEdgeValues) {
+        SCOPED_TRACE(testing::Message() << "op=" << static_cast<int>(op)
+                                        << " x=" << x << " y=" << y);
+        expect_engines_agree(b, {0.0}, {x, y});
+      }
+    }
+  }
+}
+
+TEST_P(JitOpcodes, ConstOperandSuperinstructionsBitIdentical) {
+  const bool mem = GetParam();
+  const OpCode ops[] = {OpCode::AddC, OpCode::SubC, OpCode::MulC, OpCode::DivC,
+                        OpCode::MinC, OpCode::MaxC, OpCode::LtC,  OpCode::LeC,
+                        OpCode::GtC,  OpCode::GeC,  OpCode::EqC,  OpCode::NeC};
+  for (OpCode op : ops) {
+    for (double k : kEdgeValues) {
+      const CodeBlock b = binary_const_block(op, k, mem);
+      for (double x : kEdgeValues) {
+        SCOPED_TRACE(testing::Message() << "op=" << static_cast<int>(op)
+                                        << " x=" << x << " k=" << k);
+        expect_engines_agree(b, {0.0}, {x});
+      }
+    }
+  }
+}
+
+TEST_P(JitOpcodes, UnaryOpsBitIdentical) {
+  const bool mem = GetParam();
+  const OpCode ops[] = {OpCode::Neg, OpCode::Not,  OpCode::Sqrt, OpCode::Abs,
+                        OpCode::Log, OpCode::Exp,  OpCode::Cbrt};
+  for (OpCode op : ops) {
+    const CodeBlock b = unary_block(op, mem);
+    for (double x : kEdgeValues) {
+      SCOPED_TRACE(testing::Message()
+                   << "op=" << static_cast<int>(op) << " x=" << x);
+      expect_engines_agree(b, {0.0}, {x});
+    }
+  }
+}
+
+TEST_P(JitOpcodes, SelectAndEwmaBitIdentical) {
+  const bool mem = GetParam();
+  for (OpCode op : {OpCode::Select, OpCode::SelGtz, OpCode::Ewma}) {
+    CodeBlock b;
+    b.code = {
+        {OpCode::LoadVar, 0, 0, 0, 0},
+        {OpCode::LoadVar, 1, 1, 0, 0},
+        {OpCode::LoadVar, 2, 2, 0, 0},
+        {op, 3, 0, 1, 2},
+        {OpCode::StoreFold, 0, 0, 3, 0},
+    };
+    b.n_slots = mem ? 14 : 4;
+    b.result_slot = 3;
+    for (double x : kEdgeValues) {
+      for (double y : {0.0, -1.0, kNaN, kInf}) {
+        for (double z : {1.0, -0.0, kNaN, 1e308}) {
+          SCOPED_TRACE(testing::Message() << "op=" << static_cast<int>(op)
+                                          << " a=" << x << " b=" << y
+                                          << " c=" << z);
+          expect_engines_agree(b, {0.0}, {x, y, z});
+        }
+      }
+    }
+  }
+}
+
+TEST_P(JitOpcodes, EwmaCBitIdentical) {
+  const bool mem = GetParam();
+  for (double gain : {0.0, 0.125, 1.0, -0.5, kNaN}) {
+    CodeBlock b;
+    b.code = {
+        {OpCode::LoadVar, 0, 0, 0, 0},
+        {OpCode::LoadVar, 1, 1, 0, 0},
+        {OpCode::EwmaC, 2, 0, 1, 0},  // c = consts[0]
+        {OpCode::StoreFold, 0, 0, 2, 0},
+    };
+    b.consts = {gain};
+    b.n_slots = mem ? 14 : 3;
+    b.result_slot = 2;
+    for (double x : kEdgeValues) {
+      for (double y : {0.0, 42.0, kNaN, kInf, -kInf}) {
+        SCOPED_TRACE(testing::Message()
+                     << "gain=" << gain << " x=" << x << " y=" << y);
+        expect_engines_agree(b, {0.0}, {x, y});
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotModes, JitOpcodes, ::testing::Values(false, true),
+                         [](const auto& info) {
+                           return info.param ? "MemorySlots" : "RegCached";
+                         });
+
+TEST(JitCodegen, LoadsReadEverySource) {
+  // fold, pkt, var, and const loads all feed the result.
+  CodeBlock b;
+  b.code = {
+      {OpCode::LoadFold, 0, 1, 0, 0},
+      {OpCode::LoadPkt, 1, static_cast<uint16_t>(PktField::RttUs), 0, 0},
+      {OpCode::LoadVar, 2, 0, 0, 0},
+      {OpCode::LoadConst, 3, 0, 0, 0},
+      {OpCode::Add, 4, 0, 1, 0},
+      {OpCode::Add, 5, 4, 2, 0},
+      {OpCode::Add, 6, 5, 3, 0},
+      {OpCode::StoreFold, 0, 0, 6, 0},
+  };
+  b.consts = {1000.0};
+  b.n_slots = 7;
+  b.result_slot = 6;
+  PktInfo pkt;
+  pkt.rtt_us = 250.5;
+  expect_engines_agree(b, {0.0, 7.25}, {-3.5}, pkt);
+}
+
+TEST(JitCodegen, EveryPktFieldOffsetMatches) {
+  // LoadPkt lowers to [pkt + 8*field]; sweep all 15 fields against the
+  // interpreter's PktInfo::get to pin the struct layout.
+  PktInfo pkt;
+  pkt.rtt_us = 1;
+  pkt.bytes_acked = 2;
+  pkt.packets_acked = 3;
+  pkt.lost_packets = 4;
+  pkt.ecn = 5;
+  pkt.was_timeout = 6;
+  pkt.snd_rate_bps = 7;
+  pkt.rcv_rate_bps = 8;
+  pkt.bytes_in_flight = 9;
+  pkt.packets_in_flight = 10;
+  pkt.bytes_pending = 11;
+  pkt.now_us = 12;
+  pkt.mss = 13;
+  pkt.cwnd = 14;
+  pkt.rate_bps = 15;
+  for (uint8_t f = 0; f < kNumPktFields; ++f) {
+    CodeBlock b;
+    b.code = {
+        {OpCode::LoadPkt, 0, f, 0, 0},
+        {OpCode::StoreFold, 0, 0, 0, 0},
+    };
+    b.n_slots = 1;
+    b.result_slot = 0;
+    SCOPED_TRACE(testing::Message() << "field " << int(f));
+    expect_engines_agree(b, {0.0}, {}, pkt);
+  }
+}
+
+TEST(JitCodegen, RegisterBudgetSelectsSlotMode) {
+  CodeBlock small = binary_block(OpCode::Add, false);
+  auto cb_small = jit::compile_block(small);
+  ASSERT_TRUE(cb_small.has_value());
+  EXPECT_TRUE(cb_small->reg_cached);
+
+  CodeBlock big = binary_block(OpCode::Add, true);  // n_slots = 14
+  auto cb_big = jit::compile_block(big);
+  ASSERT_TRUE(cb_big.has_value());
+  EXPECT_FALSE(cb_big->reg_cached);
+
+  // Helper-calling programs must spill: the call clobbers every xmm.
+  CodeBlock calls = unary_block(OpCode::Log, false);
+  auto cb_calls = jit::compile_block(calls);
+  ASSERT_TRUE(cb_calls.has_value());
+  EXPECT_FALSE(cb_calls->reg_cached);
+}
+
+TEST(JitCodegen, DegenerateBlocksReturnZero) {
+  CodeBlock empty;  // no code, no slots — interpreter yields 0.0
+  std::vector<double> fold = {3.0};
+  const double r = run_jit_block(empty, fold, PktInfo{}, {});
+  EXPECT_EQ(bits(r), bits(0.0));
+  EXPECT_EQ(fold[0], 3.0);
+
+  CodeBlock bad_result = binary_block(OpCode::Add, false);
+  bad_result.result_slot = 100;  // out of range: interpreter yields 0.0
+  expect_engines_agree(bad_result, {0.0}, {1.0, 2.0});
+}
+
+TEST(JitCodegen, CodeRegionRejectsBadPatchOffset) {
+  EXPECT_FALSE(jit::CodeRegion::create({}, {}, 0).has_value());
+  EXPECT_FALSE(jit::CodeRegion::create({0xC3}, {}, 0).has_value());
+}
+
+#endif  // CCP_TEST_X86_64
+
+// --- install-path behavior (valid on every arch: gates on available())
+
+CompiledProgram compile_counter_program(const std::string& reg) {
+  ProgramBuilder b;
+  b.def(reg, Expr::c(0), f(reg) + pkt(PktField::BytesAcked));
+  b.wait_rtts(Expr::c(1.0));
+  b.report();
+  return compile(b.build());
+}
+
+TEST(JitInstall, ModeOnUsesNativeCode) {
+  JitGuard guard;
+  jit::set_mode(jit::JitMode::On);
+  CompiledProgram prog = compile_counter_program("acked");
+  FoldMachine m;
+  m.install(&prog, {});
+  EXPECT_EQ(m.jit_active(), jit::available());
+  EXPECT_FALSE(m.jit_verifying());
+  PktInfo pkt;
+  pkt.bytes_acked = 1448;
+  m.on_packet(pkt);
+  m.on_packet(pkt);
+  EXPECT_EQ(m.state()[0], 2896.0);
+  if (jit::available()) {
+    ASSERT_TRUE(prog.jit_handle != nullptr);
+    EXPECT_GT(jit::code_bytes(*prog.jit_handle), 0u);
+  }
+}
+
+TEST(JitInstall, ModeOffInterprets) {
+  JitGuard guard;
+  jit::set_mode(jit::JitMode::Off);
+  CompiledProgram prog = compile_counter_program("acked");
+  FoldMachine m;
+  m.install(&prog, {});
+  EXPECT_FALSE(m.jit_active());
+  PktInfo pkt;
+  pkt.bytes_acked = 10;
+  m.on_packet(pkt);
+  EXPECT_EQ(m.state()[0], 10.0);
+}
+
+TEST(JitInstall, CompilationIsSharedAcrossMachines) {
+  if (!jit::available()) GTEST_SKIP() << "JIT not available in this build";
+  JitGuard guard;
+  jit::set_mode(jit::JitMode::On);
+  CompiledProgram prog = compile_counter_program("acked");
+  const uint64_t compiles_before = telemetry::metrics().jit_compiles.value();
+  FoldMachine a, b, c;
+  a.install(&prog, {});
+  b.install(&prog, {});
+  c.install(&prog, {});
+  EXPECT_TRUE(a.jit_active() && b.jit_active() && c.jit_active());
+  EXPECT_EQ(telemetry::metrics().jit_compiles.value(), compiles_before + 1)
+      << "three machines sharing one program must share one compilation";
+}
+
+TEST(JitFallback, ForcedEmitFailureLatchesPerProgram) {
+  if (!jit::available()) GTEST_SKIP() << "JIT not available in this build";
+  JitGuard guard;
+  jit::set_mode(jit::JitMode::On);
+  const uint64_t fallbacks_before = telemetry::metrics().jit_fallbacks.value();
+
+  jit::set_force_emit_failure(true);
+  CompiledProgram prog = compile_counter_program("acked");
+  FoldMachine m;
+  m.install(&prog, {});
+  EXPECT_FALSE(m.jit_active());
+  EXPECT_EQ(telemetry::metrics().jit_fallbacks.value(), fallbacks_before + 1);
+
+  // The failure latches on the program: clearing the hook and
+  // reinstalling must neither retry the compile nor flip to native.
+  jit::set_force_emit_failure(false);
+  m.install(&prog, {});
+  EXPECT_FALSE(m.jit_active());
+  EXPECT_EQ(telemetry::metrics().jit_fallbacks.value(), fallbacks_before + 1);
+
+  // The interpreter fallback still computes correctly.
+  PktInfo pkt;
+  pkt.bytes_acked = 5;
+  m.on_packet(pkt);
+  EXPECT_EQ(m.state()[0], 5.0);
+
+  // A fresh program (new latch slot) compiles fine again.
+  CompiledProgram fresh = compile_counter_program("acked2");
+  FoldMachine m2;
+  m2.install(&fresh, {});
+  EXPECT_TRUE(m2.jit_active());
+}
+
+TEST(JitVerify, RunsBothEnginesAndAgrees) {
+  if (!jit::available()) GTEST_SKIP() << "JIT not available in this build";
+  JitGuard guard;
+  jit::set_mode(jit::JitMode::Verify);
+  // The stock datapath program: ewma, min-tracking, urgent loss counters.
+  auto prog = compile_text_shared(R"(
+fold {
+  volatile acked := acked + Pkt.bytes_acked   init 0;
+  rtt            := ewma(rtt, Pkt.rtt, 0.125) init 0;
+  minrtt         := if(Pkt.rtt > 0, min(minrtt, Pkt.rtt), minrtt) init 1e9;
+  volatile loss  := loss + Pkt.lost           init 0 urgent;
+}
+control { WaitRtts(1.0); Report(); }
+)");
+  FoldMachine verify_m, interp_m;
+  verify_m.install(prog.get(), {});
+  EXPECT_TRUE(verify_m.jit_active());
+  EXPECT_TRUE(verify_m.jit_verifying());
+
+  jit::set_mode(jit::JitMode::Off);
+  interp_m.install(prog.get(), {});
+
+  const uint64_t mismatches_before =
+      telemetry::metrics().jit_verify_mismatches.value();
+  PktInfo pkt;
+  for (int i = 0; i < 2000; ++i) {
+    pkt.rtt_us = 100.0 + (i % 37) * 13.5;
+    pkt.bytes_acked = 1448.0 * (1 + i % 3);
+    pkt.lost_packets = (i % 97 == 0) ? 1.0 : 0.0;
+    const bool urgent_v = verify_m.on_packet(pkt);
+    const bool urgent_i = interp_m.on_packet(pkt);
+    ASSERT_EQ(urgent_v, urgent_i) << "ack " << i;
+  }
+  EXPECT_EQ(telemetry::metrics().jit_verify_mismatches.value(),
+            mismatches_before);
+  ASSERT_EQ(verify_m.state().size(), interp_m.state().size());
+  for (size_t r = 0; r < verify_m.state().size(); ++r) {
+    EXPECT_EQ(bits(verify_m.state()[r]), bits(interp_m.state()[r]));
+  }
+}
+
+TEST(JitTelemetry, CompileEmitsTraceEventWithLatencyAndSize) {
+  if (!jit::available()) GTEST_SKIP() << "JIT not available in this build";
+  JitGuard guard;
+  jit::set_mode(jit::JitMode::On);
+  telemetry::enable_trace(256);
+  CompiledProgram prog = compile_counter_program("traced");
+  FoldMachine m;
+  m.install(&prog, {});
+  ASSERT_TRUE(m.jit_active());
+
+  bool found = false;
+  for (const auto& ev : telemetry::trace_ring()->dump()) {
+    if (ev.kind == telemetry::TraceKind::JitCompile) {
+      found = true;
+      EXPECT_GT(ev.value, 0.0) << "value carries compile latency in ns";
+      EXPECT_GT(ev.flow, 0u) << "flow field carries code size in bytes";
+      EXPECT_EQ(ev.flow, jit::code_bytes(*prog.jit_handle));
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_STREQ(telemetry::trace_kind_name(telemetry::TraceKind::JitCompile),
+               "jit_compile");
+  telemetry::disable_trace();
+}
+
+TEST(JitTelemetry, CodeBytesGaugeTracksLiveRegions) {
+  if (!jit::available()) GTEST_SKIP() << "JIT not available in this build";
+  JitGuard guard;
+  jit::set_mode(jit::JitMode::On);
+  const int64_t before = telemetry::metrics().jit_code_bytes.value();
+  {
+    CompiledProgram prog = compile_counter_program("gauged");
+    FoldMachine m;
+    m.install(&prog, {});
+    ASSERT_TRUE(m.jit_active());
+    EXPECT_GE(telemetry::metrics().jit_code_bytes.value(),
+              before + static_cast<int64_t>(jit::code_bytes(*prog.jit_handle)));
+  }
+  // Program destroyed -> its handle and code region released.
+  EXPECT_EQ(telemetry::metrics().jit_code_bytes.value(), before);
+}
+
+TEST(JitMode, SetAndGetRoundTrip) {
+  JitGuard guard;
+  jit::set_mode(jit::JitMode::Verify);
+  EXPECT_EQ(jit::mode(), jit::JitMode::Verify);
+  jit::set_mode(jit::JitMode::Off);
+  EXPECT_EQ(jit::mode(), jit::JitMode::Off);
+  jit::set_mode(jit::JitMode::On);
+  EXPECT_EQ(jit::mode(), jit::JitMode::On);
+}
+
+}  // namespace
+}  // namespace ccp::lang

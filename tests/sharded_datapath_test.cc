@@ -18,6 +18,8 @@
 #include "ipc/lanes.hpp"
 #include "ipc/message.hpp"
 #include "ipc/wire.hpp"
+#include "lang/jit/jit.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/flat_map.hpp"
 #include "util/time.hpp"
 
@@ -454,6 +456,90 @@ TEST(ShardedDatapath, ConcurrentInstallWhileProcessingAcrossFourShards) {
     applied_total += dp.shard(s).commands_applied();
   }
   EXPECT_EQ(applied_total, dp.control_stats().commands_routed);
+}
+
+TEST(ShardedDatapath, JitVerifyModeAcrossShardsWhileInstalling) {
+  // End-to-end qualification run for the JIT: every flow on every shard
+  // executes in JitMode::Verify (native code AND interpreter per ACK,
+  // bitwise fold-state cross-check) while worker threads fold ACKs and
+  // the control plane swaps programs — the shared native code regions
+  // must stay race-free across shard threads (TSan covers this file),
+  // and the two engines must never diverge.
+  namespace jit = lang::jit;
+  const jit::JitMode saved_mode = jit::mode();
+  jit::set_mode(jit::JitMode::Verify);
+  const uint64_t mismatches_before =
+      telemetry::metrics().jit_verify_mismatches.value();
+
+  constexpr uint32_t kShards = 2;
+  ipc::LaneSet lanes = ipc::make_inproc_lanes(kShards);
+  std::vector<ShardedDatapath::FrameTx> txs;
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    txs.push_back(ipc::make_lane_tx(*lanes.dp[i], i));
+  }
+  DatapathConfig dcfg;
+  dcfg.flush_interval = Duration::from_millis(1);
+  ShardedDatapath dp(dcfg, std::move(txs));
+
+  std::array<WorkerState, kShards> state;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    for (int k = 0; k < 4; ++k) {
+      const ipc::FlowId id = dp.alloc_flow_id(s);
+      dp.shard(s).create_flow(id, FlowConfig{}, "test", state[s].now);
+      state[s].ids.push_back(id);
+    }
+  }
+  if (jit::available()) {
+    for (uint32_t s = 0; s < kShards; ++s) {
+      for (const ipc::FlowId id : state[s].ids) {
+        ASSERT_TRUE(dp.shard(s).flow(id)->fold().jit_verifying())
+            << "flow " << id << " should cross-check from install onward";
+      }
+    }
+  }
+
+  dp.start_workers([&state](Shard& shard) {
+    WorkerState& st = state[shard.index()];
+    for (uint64_t i = 0; i < 256; ++i) {
+      st.now += Duration::from_micros(1);
+      auto* fl = shard.flow(st.ids[st.acks % st.ids.size()]);
+      fl->on_send(SendEvent{st.now, 1500});
+      fl->on_ack(make_ack(st.now, st.acks));
+      ++st.acks;
+    }
+    shard.poll(st.now);
+    ++st.iterations;
+  });
+  for (int round = 0; round < 40; ++round) {
+    for (uint32_t s = 0; s < kShards; ++s) {
+      for (const ipc::FlowId id : state[s].ids) {
+        const char* text = (round % 2 == 0) ? kOneRegProgram : kTwoRegProgram;
+        dp.handle_frame(ipc::encode_frame(ipc::Message(make_install(id, text))));
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  dp.stop_workers();
+
+  uint64_t acks_total = 0;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    dp.shard(s).poll(state[s].now);
+    EXPECT_GT(state[s].acks, 0u);
+    acks_total += state[s].acks;
+    if (jit::available()) {
+      for (const ipc::FlowId id : state[s].ids) {
+        EXPECT_TRUE(dp.shard(s).flow(id)->fold().jit_verifying())
+            << "program swaps must land back in Verify mode";
+      }
+    }
+  }
+  jit::set_mode(saved_mode);
+  ASSERT_GT(acks_total, 0u);
+  EXPECT_EQ(dp.control_stats().install_errors, 0u);
+  EXPECT_EQ(telemetry::metrics().jit_verify_mismatches.value(),
+            mismatches_before)
+      << "JIT diverged from the interpreter somewhere in " << acks_total
+      << " verified ACKs";
 }
 
 TEST(ShardedDatapath, FlowChurnWhileProcessingAcrossFourShards) {

@@ -15,6 +15,7 @@
 //   ccp_stats --socket PATH --trace                    # dump the trace ring
 //   ccp_stats --socket PATH --shards                   # per-shard breakdown
 //   ccp_stats --socket PATH --resilience               # fallback/fault/supervisor view
+//   ccp_stats --socket PATH --jit                      # native-execution (JIT) view
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -33,7 +34,7 @@ using ccp::telemetry::StatsClient;
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--interval SECS] [--once] [--json] "
-               "[--prom] [--trace] [--shards] [--resilience]\n",
+               "[--prom] [--trace] [--shards] [--resilience] [--jit]\n",
                argv0);
 }
 
@@ -176,13 +177,59 @@ int dump_resilience(StatsClient& client) {
   return 0;
 }
 
+/// Native-execution view: how many programs compiled vs fell back to
+/// the interpreter, resident code size, compile latency, per-fold
+/// execution time for both engines side by side, and the Verify-mode
+/// divergence count (which must read 0 on a healthy deployment). Also
+/// reports program-cache residency/evictions since compiles are driven
+/// by cache misses. See docs/PERF.md "Native execution (JIT)".
+int dump_jit(StatsClient& client) {
+  auto snap = client.snapshot();
+  if (!snap.has_value()) {
+    std::fprintf(stderr, "ccp_stats: snapshot request failed\n");
+    return 1;
+  }
+  const uint64_t compiles = counter_value(*snap, "ccp_jit_compiles_total");
+  const uint64_t fallbacks = counter_value(*snap, "ccp_jit_fallbacks_total");
+  const auto* code_bytes = snap->gauge("ccp_jit_code_bytes");
+  const auto* compile_ns = snap->histogram("ccp_jit_compile_ns");
+  const auto* jit_ns = snap->histogram("ccp_jit_exec_ns");
+  const auto* vm_ns = snap->histogram("ccp_vm_exec_ns");
+  std::printf("native execution:\n");
+  std::printf("  programs_compiled   %" PRIu64 "\n", compiles);
+  std::printf("  interpreter_fallbk  %" PRIu64 "\n", fallbacks);
+  std::printf("  code_bytes_live     %" PRId64 "\n",
+              code_bytes != nullptr ? code_bytes->value : 0);
+  if (compile_ns != nullptr && compile_ns->count > 0) {
+    std::printf("  compile_us p50/p99  %.1f / %.1f\n",
+                compile_ns->quantile(0.5) / 1e3,
+                compile_ns->quantile(0.99) / 1e3);
+  }
+  std::printf("  verify_mismatches   %" PRIu64 "\n",
+              counter_value(*snap, "ccp_jit_verify_mismatches_total"));
+  std::printf("fold latency (sampled 1/1024):\n");
+  std::printf("  jit_ns p50/p99      %.0f / %.0f\n",
+              jit_ns != nullptr ? jit_ns->quantile(0.5) : 0.0,
+              jit_ns != nullptr ? jit_ns->quantile(0.99) : 0.0);
+  std::printf("  interp_ns p50/p99   %.0f / %.0f\n",
+              vm_ns != nullptr ? vm_ns->quantile(0.5) : 0.0,
+              vm_ns != nullptr ? vm_ns->quantile(0.99) : 0.0);
+  const auto* resident = snap->gauge("ccp_lang_cache_programs");
+  std::printf("program cache:\n");
+  std::printf("  programs_resident   %" PRId64 "\n",
+              resident != nullptr ? resident->value : 0);
+  std::printf("  evictions           %" PRIu64 "\n",
+              counter_value(*snap, "ccp_lang_cache_evictions_total"));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path;
   double interval_secs = 1.0;
   bool once = false, json = false, prom = false, trace = false, shards = false;
-  bool resilience = false;
+  bool resilience = false, jit = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -201,6 +248,7 @@ int main(int argc, char** argv) {
     else if (arg == "--trace") trace = true;
     else if (arg == "--shards") shards = true;
     else if (arg == "--resilience") resilience = true;
+    else if (arg == "--jit") jit = true;
     else {
       usage(argv[0]);
       return 2;
@@ -225,6 +273,7 @@ int main(int argc, char** argv) {
   if (trace) return dump_trace(*client);
   if (shards) return dump_shards(*client);
   if (resilience) return dump_resilience(*client);
+  if (jit) return dump_jit(*client);
 
   if (json || prom) {
     auto snap = client->snapshot();
