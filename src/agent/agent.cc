@@ -143,6 +143,7 @@ class CcpAgent::FlowEntry final : public FlowControl {
       if (!found) msg.var_values[i] = last_var_values_[i];
     }
     last_var_values_ = msg.var_values;
+    agent_->stamp_span(msg.span);
     agent_->send(ipc::Message(std::move(msg)));
   }
 
@@ -151,6 +152,7 @@ class CcpAgent::FlowEntry final : public FlowControl {
     msg.flow_id = info_.id;
     msg.cwnd_bytes = clamp_opt(bytes, agent_->config_.policy.min_cwnd_bytes,
                                agent_->config_.policy.max_cwnd_bytes);
+    agent_->stamp_span(msg.span);
     agent_->send(msg);
   }
 
@@ -158,6 +160,7 @@ class CcpAgent::FlowEntry final : public FlowControl {
     ipc::DirectControlMsg msg;
     msg.flow_id = info_.id;
     msg.rate_bps = clamp_opt(bps, std::nullopt, agent_->config_.policy.max_rate_bps);
+    agent_->stamp_span(msg.span);
     agent_->send(msg);
   }
 
@@ -190,6 +193,7 @@ class CcpAgent::FlowEntry final : public FlowControl {
       }
     }
     if (msg.cwnd_bytes.has_value() || msg.rate_bps.has_value()) {
+      agent_->stamp_span(msg.span);
       agent_->send(msg);
     }
   }
@@ -245,6 +249,7 @@ class CcpAgent::FlowEntry final : public FlowControl {
       msg.emitted_ns = install_sent_ns_;
       telemetry::trace(telemetry::TraceKind::InstallSent, info_.id, 0.0);
     }
+    agent_->stamp_span(msg.span);
     agent_->send(ipc::Message(std::move(msg)));
   }
 
@@ -277,6 +282,12 @@ void CcpAgent::send(const ipc::Message& msg) {
   send_enc_.clear();
   ipc::encode_frame_into(send_enc_, msg);
   tx_(send_enc_.buffer());
+}
+
+void CcpAgent::stamp_span(telemetry::SpanStamp& span) {
+  if (current_span_.span_id == 0) return;
+  span = current_span_;
+  span.agent_send_ns = telemetry::now_ns();
 }
 
 void CcpAgent::handle_frame(std::span<const uint8_t> frame) {
@@ -407,9 +418,15 @@ void CcpAgent::on_measurement(const ipc::MeasurementMsg& msg) {
     }
     telemetry::trace(telemetry::TraceKind::Measurement, msg.flow_id,
                      static_cast<double>(msg.report_seq));
+    // Open the span context for the handler: any command the algorithm
+    // issues from on_measurement inherits this report's span.
+    current_span_.span_id = msg.span_id;
+    current_span_.emit_ns = msg.emitted_ns;
+    current_span_.agent_recv_ns = t0;
   }
   Measurement m(&entry.field_names(), &msg);
   entry.alg().on_measurement(entry, m);
+  current_span_ = telemetry::SpanStamp{};
   if (t0 != 0) {
     telemetry::metrics().agent_measurement_handler_ns.record(
         telemetry::now_ns() - t0);
@@ -432,6 +449,9 @@ void CcpAgent::on_urgent(const ipc::UrgentMsg& msg) {
     if (msg.emitted_ns != 0 && t0 > msg.emitted_ns) {
       tm.urgent_latency_ns.record(t0 - msg.emitted_ns);
     }
+    current_span_.span_id = msg.span_id;
+    current_span_.emit_ns = msg.emitted_ns;
+    current_span_.agent_recv_ns = t0;
   }
   FlowEntry& entry = **slot;
   // Urgent snapshots share the fold layout with measurements. The view
@@ -441,6 +461,7 @@ void CcpAgent::on_urgent(const ipc::UrgentMsg& msg) {
   urgent_view_.fields.assign(msg.fields.begin(), msg.fields.end());
   Measurement m(&entry.field_names(), &urgent_view_);
   entry.alg().on_urgent(entry, msg.kind, m);
+  current_span_ = telemetry::SpanStamp{};
   if (t0 != 0) {
     telemetry::metrics().agent_urgent_handler_ns.record(telemetry::now_ns() - t0);
   }

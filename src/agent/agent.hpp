@@ -78,6 +78,10 @@ class CcpAgent {
   void on_close(const ipc::FlowCloseMsg& msg);
   void on_flow_summary(const ipc::FlowSummaryMsg& msg);
   void send(const ipc::Message& msg);
+  /// Copies the active control-loop span (the report/urgent currently
+  /// being handled) onto an outgoing command, stamping the send time.
+  /// No-op outside a handler or when the report carried no span.
+  void stamp_span(telemetry::SpanStamp& span);
 
   AgentConfig config_;
   FrameTx tx_;
@@ -92,6 +96,12 @@ class CcpAgent {
   std::vector<ipc::Message> rx_scratch_;
   bool rx_busy_ = false;
   ipc::MeasurementMsg urgent_view_;  // urgent fields presented as a measurement
+
+  // Span context of the report/urgent being handled right now; zero
+  // span_id outside handlers. Commands issued from inside a handler
+  // inherit it via stamp_span(), which is what links a datapath report
+  // to the command it provoked.
+  telemetry::SpanStamp current_span_;
 
   friend class FlowEntry;
 };

@@ -72,6 +72,16 @@ void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
   std::vector<ipc::Message> local;
   std::vector<ipc::Message>& msgs = use_scratch ? rx_scratch_ : local;
   if (use_scratch) rx_busy_ = true;
+  // Decode-stage cycle profiling: frames arrive far less often than
+  // ACKs, so the sampler keeps its own tick at the same 1-in-N rate.
+  uint64_t prof_c0 = 0;
+  if (const uint32_t pmask = telemetry::profile_sample_mask();
+      pmask != 0 && telemetry::enabled()) {
+    thread_local uint32_t decode_tick = 0;
+    if ((++decode_tick & pmask) == 0) [[unlikely]] {
+      prof_c0 = telemetry::prof_cycles();
+    }
+  }
   size_t n_msgs = 0;
   try {
     n_msgs = ipc::decode_frame_into(frame, msgs);
@@ -82,6 +92,14 @@ void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
     CCP_WARN("datapath: dropping malformed frame: %s", e.what());
     return;
   }
+  if (prof_c0 != 0) {
+    telemetry::prof_record(telemetry::ProfStage::Decode,
+                           telemetry::prof_cycles() - prof_c0);
+  }
+  // Span close bookkeeping: in the single-core datapath a command is
+  // applied synchronously right after decode, so "enqueue" is the decode
+  // completion time and "apply" is read per command below.
+  const uint64_t enqueue_ns = telemetry::enabled() ? telemetry::now_ns() : 0;
   for (size_t i = 0; i < n_msgs; ++i) {
     const auto& msg = msgs[i];
     ++stats_.msgs_received;
@@ -92,6 +110,8 @@ void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
             if (CcpFlow* fl = flow(m.flow_id)) {
               try {
                 fl->install(m, now);
+                telemetry::close_span(m.span, enqueue_ns, telemetry::now_ns(),
+                                      m.flow_id, telemetry::SpanCommand::Install);
               } catch (const lang::ProgramError& e) {
                 ++stats_.install_errors;
                 if (telemetry::enabled()) {
@@ -105,6 +125,9 @@ void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
             if (CcpFlow* fl = flow(m.flow_id)) {
               try {
                 fl->update_fields(m, now);
+                telemetry::close_span(m.span, enqueue_ns, telemetry::now_ns(),
+                                      m.flow_id,
+                                      telemetry::SpanCommand::UpdateFields);
               } catch (const lang::ProgramError& e) {
                 ++stats_.install_errors;
                 CCP_WARN("datapath: bad update_fields for flow %u: %s", m.flow_id,
@@ -112,7 +135,12 @@ void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
               }
             }
           } else if constexpr (std::is_same_v<T, ipc::DirectControlMsg>) {
-            if (CcpFlow* fl = flow(m.flow_id)) fl->direct_control(m, now);
+            if (CcpFlow* fl = flow(m.flow_id)) {
+              fl->direct_control(m, now);
+              telemetry::close_span(m.span, enqueue_ns, telemetry::now_ns(),
+                                    m.flow_id,
+                                    telemetry::SpanCommand::DirectControl);
+            }
           } else if constexpr (std::is_same_v<T, ipc::ResyncRequestMsg>) {
             replay_flow_summaries(now, m.token);
           } else {

@@ -146,6 +146,22 @@ void CcpFlow::fill_pkt_info(const AckEvent& ev) {
 }
 
 void CcpFlow::on_ack(const AckEvent& ev) {
+  // Cycle-profiler gate: one relaxed load; when sampling is on, every
+  // (mask+1)th ACK of this flow collects per-stage rdtsc stamps on the
+  // stack (zero-alloc) and commits them in one cold call at fold_event
+  // exit. ACK accounting is genuinely per ACK (the old per-batch delta
+  // counting is ccp_dp_report_batches_total's job now).
+  telemetry::ProfSample prof;
+  telemetry::ProfSample* ps = nullptr;
+  if (telemetry::enabled()) {
+    telemetry::metrics().dp_acks.inc();
+    const uint32_t mask = telemetry::profile_sample_mask();
+    if (mask != 0 &&
+        (static_cast<uint32_t>(acks_folded_total_) & mask) == 0) [[unlikely]] {
+      ps = &prof;
+      prof.entry = telemetry::prof_cycles();
+    }
+  }
   if (config_.smooth_cwnd && cwnd_target_bytes_ > cwnd_bytes_) {
     // Open the window by at most the bytes this ACK freed: the ramp is
     // ACK-clocked, so the instantaneous send rate never exceeds 2x the
@@ -169,7 +185,8 @@ void CcpFlow::on_ack(const AckEvent& ev) {
                            {pkt.rtt_us, pkt.bytes_acked, pkt.lost_packets, pkt.ecn,
                             pkt.snd_rate_bps, pkt.rcv_rate_bps});
   }
-  fold_event(ev.now);
+  if (ps) ps->measure = telemetry::prof_cycles();
+  fold_event(ev.now, ps);
 }
 
 void CcpFlow::on_loss(const LossEvent& ev) {
@@ -202,12 +219,14 @@ void CcpFlow::on_timeout(const TimeoutEvent& ev) {
   fold_event(ev.now);
 }
 
-void CcpFlow::fold_event(TimePoint now) {
+void CcpFlow::fold_event(TimePoint now, telemetry::ProfSample* ps) {
   const lang::PktInfo& pkt = last_pkt_;
   ++acks_since_report_;
   ++acks_folded_total_;
   check_watchdog(now);
+  if (ps) ps->watchdog = telemetry::prof_cycles();
   const bool urgent = fold_.on_packet(pkt);
+  if (ps) ps->fold = telemetry::prof_cycles();
   // Damping: at most one urgent notification per report interval. During
   // a large loss episode every ACK can mark new losses; the agent only
   // needs to hear about the episode once per control period (its own
@@ -222,6 +241,10 @@ void CcpFlow::fold_event(TimePoint now) {
   // Steady-state fast path: while a control wait is pending, run_control
   // would return immediately — skip the call.
   if (!waiting_ || now >= wait_until_) run_control(now);
+  if (ps) {
+    ps->done = telemetry::prof_cycles();
+    telemetry::prof_commit(*ps, fold_.jit_active());
+  }
 }
 
 void CcpFlow::tick(TimePoint now) {
@@ -356,16 +379,19 @@ void CcpFlow::emit_report(TimePoint now) {
   msg.report_seq = report_seq_++;
   msg.num_acks_folded = acks_since_report_;
   if (telemetry::enabled()) {
-    // Per-report accounting only (never per ACK): the ACK counter
-    // advances by the whole batch, keeping the hot path untouched.
     auto& m = telemetry::metrics();
     m.dp_reports.inc();
-    m.dp_acks.inc(acks_since_report_);
+    m.dp_report_batches.inc();
     msg.emitted_ns = telemetry::now_ns();
+    // Open a control-loop span: the agent echoes the id (and our emit
+    // time) onto whatever command this report provokes, and the span
+    // closes where that command is applied.
+    msg.span_id = telemetry::next_span_id();
     telemetry::trace(telemetry::TraceKind::Report, id_,
                      static_cast<double>(msg.report_seq));
   } else {
     msg.emitted_ns = 0;
+    msg.span_id = 0;
   }
   if (vector_mode_) {
     msg.is_vector = true;
@@ -399,10 +425,12 @@ void CcpFlow::emit_urgent(ipc::UrgentKind kind) {
   if (telemetry::enabled()) {
     telemetry::metrics().dp_urgents.inc();
     msg.emitted_ns = telemetry::now_ns();
+    msg.span_id = telemetry::next_span_id();
     telemetry::trace(telemetry::TraceKind::Urgent, id_,
                      static_cast<double>(static_cast<uint8_t>(kind)));
   } else {
     msg.emitted_ns = 0;
+    msg.span_id = 0;
   }
   sink_(urgent_msg_, /*urgent=*/true);
 }

@@ -24,6 +24,10 @@
 #include "util/time.hpp"
 #include "util/windowed_filter.hpp"
 
+namespace ccp::telemetry {
+struct ProfSample;  // per-stage cycle profiler (telemetry/profiler.hpp)
+}
+
 namespace ccp::datapath {
 
 /// Configuration for one flow.
@@ -131,8 +135,10 @@ class CcpFlow final : public CcModule {
 
  private:
   /// Folds `last_pkt_` (filled in place by the event handlers — no
-  /// per-ACK PktInfo copy) and runs urgency/control.
-  void fold_event(TimePoint now);
+  /// per-ACK PktInfo copy) and runs urgency/control. `ps` is non-null
+  /// only on profiler-sampled ACKs (on_ack decides); the stage stamps it
+  /// collects cost one predictable branch each when sampling is off.
+  void fold_event(TimePoint now, telemetry::ProfSample* ps = nullptr);
   /// Per-ACK staleness gate, reduced to a single time compare: the
   /// precise threshold (agent_timeout floor, k smoothed RTTs) is folded
   /// into a cached deadline, recomputed only when the deadline expires —

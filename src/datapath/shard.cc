@@ -62,6 +62,7 @@ void Shard::apply(ShardCommand& cmd, TimePoint now) {
   }
   CcpFlow* fl = dp_.flow(cmd.flow_id);
   if (fl == nullptr) return;  // closed while the command was in flight
+  telemetry::SpanCommand span_cmd = telemetry::SpanCommand::DirectControl;
   switch (cmd.kind) {
     case ShardCommand::Kind::Install:
       // Compile and variable binding already happened on the control
@@ -69,12 +70,14 @@ void Shard::apply(ShardCommand& cmd, TimePoint now) {
       // per-flow FoldMachine re-init.
       fl->install_compiled(std::move(cmd.program), std::move(cmd.var_values),
                            cmd.vector_mode, now);
+      span_cmd = telemetry::SpanCommand::Install;
       break;
     case ShardCommand::Kind::UpdateFields: {
       ipc::UpdateFieldsMsg msg;
       msg.flow_id = cmd.flow_id;
       msg.var_values = std::move(cmd.var_values);
       fl->update_fields(msg, now);
+      span_cmd = telemetry::SpanCommand::UpdateFields;
       break;
     }
     case ShardCommand::Kind::DirectControl: {
@@ -88,6 +91,10 @@ void Shard::apply(ShardCommand& cmd, TimePoint now) {
     case ShardCommand::Kind::Resync:
       break;  // unreachable: handled before the flow lookup
   }
+  // Quiescent-point span close: the full report->decide->install loop
+  // ends here on the sharded datapath.
+  telemetry::close_span(cmd.span, cmd.enqueue_ns, telemetry::now_ns(),
+                        cmd.flow_id, span_cmd);
 }
 
 }  // namespace ccp::datapath

@@ -65,6 +65,12 @@ struct ShardCommand {
 
   // Resync
   uint64_t resync_token = 0;
+
+  // Control-loop span carried from the originating command message; the
+  // control plane stamps enqueue_ns when it pushes the command, and the
+  // shard closes the span at its quiescent-point apply.
+  ipc::SpanStamp span;
+  uint64_t enqueue_ns = 0;
 };
 
 /// Bounded SPSC command queue with epoch publication. The control plane

@@ -46,6 +46,14 @@ void ShardedDatapath::route(uint32_t shard_index, ShardCommand cmd) {
 
 void ShardedDatapath::handle_frame(std::span<const uint8_t> frame) {
   ++stats_.frames_received;
+  uint64_t prof_c0 = 0;
+  if (const uint32_t pmask = telemetry::profile_sample_mask();
+      pmask != 0 && telemetry::enabled()) {
+    thread_local uint32_t decode_tick = 0;
+    if ((++decode_tick & pmask) == 0) [[unlikely]] {
+      prof_c0 = telemetry::prof_cycles();
+    }
+  }
   size_t n_msgs = 0;
   try {
     n_msgs = ipc::decode_frame_into(frame, rx_scratch_);
@@ -54,6 +62,14 @@ void ShardedDatapath::handle_frame(std::span<const uint8_t> frame) {
     CCP_WARN("sharded datapath: dropping malformed frame: %s", e.what());
     return;
   }
+  if (prof_c0 != 0) {
+    telemetry::prof_record(telemetry::ProfStage::Decode,
+                           telemetry::prof_cycles() - prof_c0);
+  }
+  // Spans on the sharded path: "enqueue" is the control plane pushing
+  // the decoded command onto the owning shard's queue; the shard closes
+  // the span when it applies the command at its next quiescent point.
+  const uint64_t enqueue_ns = telemetry::enabled() ? telemetry::now_ns() : 0;
   for (size_t i = 0; i < n_msgs; ++i) {
     std::visit(
         [&](const auto& m) {
@@ -63,6 +79,8 @@ void ShardedDatapath::handle_frame(std::span<const uint8_t> frame) {
             cmd.kind = ShardCommand::Kind::Install;
             cmd.flow_id = m.flow_id;
             cmd.vector_mode = m.vector_mode;
+            cmd.span = m.span;
+            cmd.enqueue_ns = enqueue_ns;
             try {
               // Compile once, share everywhere: flows on every shard
               // installing this text get the same immutable program.
@@ -84,6 +102,8 @@ void ShardedDatapath::handle_frame(std::span<const uint8_t> frame) {
             cmd.kind = ShardCommand::Kind::UpdateFields;
             cmd.flow_id = m.flow_id;
             cmd.var_values = m.var_values;
+            cmd.span = m.span;
+            cmd.enqueue_ns = enqueue_ns;
             route(shard_of_flow(m.flow_id), std::move(cmd));
           } else if constexpr (std::is_same_v<T, ipc::DirectControlMsg>) {
             ShardCommand cmd;
@@ -91,6 +111,8 @@ void ShardedDatapath::handle_frame(std::span<const uint8_t> frame) {
             cmd.flow_id = m.flow_id;
             cmd.cwnd_bytes = m.cwnd_bytes;
             cmd.rate_bps = m.rate_bps;
+            cmd.span = m.span;
+            cmd.enqueue_ns = enqueue_ns;
             route(shard_of_flow(m.flow_id), std::move(cmd));
           } else if constexpr (std::is_same_v<T, ipc::ResyncRequestMsg>) {
             // Fan the resync out to every shard; each replays its own

@@ -15,9 +15,17 @@
 #include <variant>
 #include <vector>
 
+#include "telemetry/spans.hpp"
+
 namespace ccp::ipc {
 
 using FlowId = uint32_t;
+
+/// Control-loop span context (telemetry/spans.hpp) carried by command
+/// messages; span_id 0 = no span. Encoded at the end of each payload,
+/// like MeasurementMsg::emitted_ns, so fixed-offset consumers of the
+/// leading fields are unaffected.
+using SpanStamp = telemetry::SpanStamp;
 
 /// Why an Urgent message fired. Loss/Timeout/Ecn come from the datapath's
 /// own congestion detection; FoldUrgent means a register declared
@@ -58,8 +66,12 @@ struct MeasurementMsg {
                                  // num_acks_folded * kVectorFieldsPerPkt samples
   uint64_t emitted_ns = 0;  // sender's monotonic clock at emit; 0 = unstamped.
                             // Feeds the report->OnMeasurement latency
-                            // histogram (telemetry); last on the wire so
-                            // fixed-offset consumers are unaffected.
+                            // histogram (telemetry); near the end of the
+                            // wire payload so fixed-offset consumers of
+                            // the leading fields are unaffected.
+  uint64_t span_id = 0;     // control-loop span opened at emit; 0 = none.
+                            // The agent copies it (with emitted_ns) onto
+                            // any command this report provokes.
 };
 
 /// Immediate notification of a congestion event (§2.1).
@@ -68,6 +80,7 @@ struct UrgentMsg {
   UrgentKind kind = UrgentKind::Loss;
   std::vector<double> fields;  // fold register snapshot at the event
   uint64_t emitted_ns = 0;     // see MeasurementMsg::emitted_ns
+  uint64_t span_id = 0;        // see MeasurementMsg::span_id
 };
 
 struct FlowCloseMsg {
@@ -84,6 +97,7 @@ struct InstallMsg {
   std::vector<double> var_values;
   bool vector_mode = false;  // §2.4: request per-ACK vector reports
   uint64_t emitted_ns = 0;   // see MeasurementMsg::emitted_ns (install RTT)
+  SpanStamp span;            // control-loop span this install closes
 };
 
 /// Rebind install-time variables of the running program without resetting
@@ -91,6 +105,7 @@ struct InstallMsg {
 struct UpdateFieldsMsg {
   FlowId flow_id = 0;
   std::vector<double> var_values;  // positional, must match installed program
+  SpanStamp span;                  // control-loop span this update closes
 };
 
 /// One-shot override used by simple window/rate algorithms and by agent
@@ -99,6 +114,7 @@ struct DirectControlMsg {
   FlowId flow_id = 0;
   std::optional<double> cwnd_bytes;
   std::optional<double> rate_bps;
+  SpanStamp span;  // control-loop span this override closes
 };
 
 /// A (re)started agent asks the datapath to replay summaries of every

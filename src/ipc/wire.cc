@@ -165,6 +165,21 @@ void Decoder::str_vec_into(std::vector<std::string>& out) {
 
 namespace {
 
+// Span context rides at the end of command payloads (four u64s); a zero
+// span_id still encodes, keeping every payload fixed-shape.
+void encode_span(Encoder& e, const SpanStamp& s) {
+  e.u64(s.span_id);
+  e.u64(s.emit_ns);
+  e.u64(s.agent_recv_ns);
+  e.u64(s.agent_send_ns);
+}
+void decode_span(Decoder& d, SpanStamp& s) {
+  s.span_id = d.u64();
+  s.emit_ns = d.u64();
+  s.agent_recv_ns = d.u64();
+  s.agent_send_ns = d.u64();
+}
+
 void encode_payload(Encoder& e, const CreateMsg& m) {
   e.u32(m.flow_id);
   e.u32(m.init_cwnd_bytes);
@@ -181,12 +196,14 @@ void encode_payload(Encoder& e, const MeasurementMsg& m) {
   e.u8(m.is_vector ? 1 : 0);
   e.f64_vec(m.fields);
   e.u64(m.emitted_ns);
+  e.u64(m.span_id);
 }
 void encode_payload(Encoder& e, const UrgentMsg& m) {
   e.u32(m.flow_id);
   e.u8(static_cast<uint8_t>(m.kind));
   e.f64_vec(m.fields);
   e.u64(m.emitted_ns);
+  e.u64(m.span_id);
 }
 void encode_payload(Encoder& e, const FlowCloseMsg& m) { e.u32(m.flow_id); }
 void encode_payload(Encoder& e, const InstallMsg& m) {
@@ -196,10 +213,12 @@ void encode_payload(Encoder& e, const InstallMsg& m) {
   e.f64_vec(m.var_values);
   e.u8(m.vector_mode ? 1 : 0);
   e.u64(m.emitted_ns);
+  encode_span(e, m.span);
 }
 void encode_payload(Encoder& e, const UpdateFieldsMsg& m) {
   e.u32(m.flow_id);
   e.f64_vec(m.var_values);
+  encode_span(e, m.span);
 }
 void encode_payload(Encoder& e, const DirectControlMsg& m) {
   e.u32(m.flow_id);
@@ -207,6 +226,7 @@ void encode_payload(Encoder& e, const DirectControlMsg& m) {
   e.f64(m.cwnd_bytes.value_or(0));
   e.u8(m.rate_bps.has_value() ? 1 : 0);
   e.f64(m.rate_bps.value_or(0));
+  encode_span(e, m.span);
 }
 void encode_payload(Encoder& e, const ResyncRequestMsg& m) { e.u64(m.token); }
 void encode_payload(Encoder& e, const FlowSummaryMsg& m) {
@@ -240,6 +260,7 @@ Message decode_payload(MsgType type, Decoder& d) {
       m.is_vector = d.u8() != 0;
       m.fields = d.f64_vec();
       m.emitted_ns = d.u64();
+      m.span_id = d.u64();
       return m;
     }
     case MsgType::Urgent: {
@@ -252,6 +273,7 @@ Message decode_payload(MsgType type, Decoder& d) {
       m.kind = static_cast<UrgentKind>(kind);
       m.fields = d.f64_vec();
       m.emitted_ns = d.u64();
+      m.span_id = d.u64();
       return m;
     }
     case MsgType::FlowClose: {
@@ -267,12 +289,14 @@ Message decode_payload(MsgType type, Decoder& d) {
       m.var_values = d.f64_vec();
       m.vector_mode = d.u8() != 0;
       m.emitted_ns = d.u64();
+      decode_span(d, m.span);
       return m;
     }
     case MsgType::UpdateFields: {
       UpdateFieldsMsg m;
       m.flow_id = d.u32();
       m.var_values = d.f64_vec();
+      decode_span(d, m.span);
       return m;
     }
     case MsgType::DirectControl: {
@@ -284,6 +308,7 @@ Message decode_payload(MsgType type, Decoder& d) {
       const double rate = d.f64();
       if (has_cwnd) m.cwnd_bytes = cwnd;
       if (has_rate) m.rate_bps = rate;
+      decode_span(d, m.span);
       return m;
     }
     case MsgType::ResyncRequest: {
@@ -325,6 +350,7 @@ void decode_payload_into(Decoder& d, MeasurementMsg& m) {
   m.is_vector = d.u8() != 0;
   d.f64_vec_into(m.fields);
   m.emitted_ns = d.u64();
+  m.span_id = d.u64();
 }
 void decode_payload_into(Decoder& d, UrgentMsg& m) {
   m.flow_id = d.u32();
@@ -335,6 +361,7 @@ void decode_payload_into(Decoder& d, UrgentMsg& m) {
   m.kind = static_cast<UrgentKind>(kind);
   d.f64_vec_into(m.fields);
   m.emitted_ns = d.u64();
+  m.span_id = d.u64();
 }
 void decode_payload_into(Decoder& d, FlowCloseMsg& m) { m.flow_id = d.u32(); }
 void decode_payload_into(Decoder& d, InstallMsg& m) {
@@ -344,10 +371,12 @@ void decode_payload_into(Decoder& d, InstallMsg& m) {
   d.f64_vec_into(m.var_values);
   m.vector_mode = d.u8() != 0;
   m.emitted_ns = d.u64();
+  decode_span(d, m.span);
 }
 void decode_payload_into(Decoder& d, UpdateFieldsMsg& m) {
   m.flow_id = d.u32();
   d.f64_vec_into(m.var_values);
+  decode_span(d, m.span);
 }
 void decode_payload_into(Decoder& d, DirectControlMsg& m) {
   m.flow_id = d.u32();
@@ -357,6 +386,7 @@ void decode_payload_into(Decoder& d, DirectControlMsg& m) {
   const double rate = d.f64();
   m.cwnd_bytes = has_cwnd ? std::optional<double>(cwnd) : std::nullopt;
   m.rate_bps = has_rate ? std::optional<double>(rate) : std::nullopt;
+  decode_span(d, m.span);
 }
 void decode_payload_into(Decoder& d, ResyncRequestMsg& m) { m.token = d.u64(); }
 void decode_payload_into(Decoder& d, FlowSummaryMsg& m) {

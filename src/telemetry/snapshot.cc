@@ -38,9 +38,10 @@ std::string Snapshot::to_json() const {
   for (size_t i = 0; i < histograms.size(); ++i) {
     const HistogramSample& h = histograms[i];
     appendf(out, "%s\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
-                 ",\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f,\"max\":%.1f,\"buckets\":[",
+                 ",\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f,\"p999\":%.1f,"
+                 "\"max\":%.1f,\"buckets\":[",
             i ? "," : "", h.name.c_str(), h.count, h.sum, h.quantile(0.5),
-            h.quantile(0.9), h.quantile(0.99), h.max());
+            h.quantile(0.9), h.quantile(0.99), h.quantile(0.999), h.max());
     for (size_t b = 0; b < h.buckets.size(); ++b) {
       appendf(out, "%s[%" PRIu64 ",%" PRIu64 "]", b ? "," : "",
               h.buckets[b].upper, h.buckets[b].count);

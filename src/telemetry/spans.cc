@@ -1,0 +1,109 @@
+#include "telemetry/spans.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "telemetry/telemetry.hpp"
+
+namespace ccp::telemetry {
+
+namespace {
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<SpanRing*> g_spans{nullptr};
+std::unique_ptr<SpanRing> g_spans_storage;
+
+// Stage recording guards against missing stamps (a hop that never ran)
+// and clock oddities; a span with holes contributes only the stages it
+// actually measured. A genuine zero-length stage still records.
+inline void record_stage(Histogram& h, uint64_t from, uint64_t to) noexcept {
+  if (from != 0 && to >= from) h.record(to - from);
+}
+}  // namespace
+
+uint64_t next_span_id() noexcept {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+const char* span_command_name(SpanCommand c) noexcept {
+  switch (c) {
+    case SpanCommand::Install: return "install";
+    case SpanCommand::UpdateFields: return "update_fields";
+    case SpanCommand::DirectControl: return "direct_control";
+  }
+  return "unknown";
+}
+
+SpanRing::SpanRing(size_t capacity) {
+  size_t cap = std::max<size_t>(capacity, 64);
+  cap = std::bit_ceil(cap);
+  mask_ = cap - 1;
+  slots_ = std::make_unique<Slot[]>(cap);
+}
+
+std::vector<CompletedSpan> SpanRing::dump() const {
+  const size_t cap = capacity();
+  std::vector<CompletedSpan> out;
+  out.reserve(cap);
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t first = head > cap ? head - cap : 0;
+  for (uint64_t t = first; t < head; ++t) {
+    const Slot& s = slots_[t & mask_];
+    const uint64_t seq_before = s.seq.load(std::memory_order_acquire);
+    if (seq_before != t + 1) continue;  // overwritten or mid-write
+    CompletedSpan sp;
+    sp.span_id = s.span_id.load(std::memory_order_relaxed);
+    sp.emit_ns = s.emit_ns.load(std::memory_order_relaxed);
+    sp.agent_recv_ns = s.agent_recv_ns.load(std::memory_order_relaxed);
+    sp.agent_send_ns = s.agent_send_ns.load(std::memory_order_relaxed);
+    sp.enqueue_ns = s.enqueue_ns.load(std::memory_order_relaxed);
+    sp.apply_ns = s.apply_ns.load(std::memory_order_relaxed);
+    sp.flow = s.flow.load(std::memory_order_relaxed);
+    sp.command = static_cast<SpanCommand>(s.command.load(std::memory_order_relaxed));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != t + 1) continue;  // torn
+    out.push_back(sp);
+  }
+  return out;
+}
+
+SpanRing* span_ring() noexcept {
+  return g_spans.load(std::memory_order_relaxed);
+}
+
+void enable_spans(size_t capacity) {
+  g_spans.store(nullptr, std::memory_order_release);
+  g_spans_storage = std::make_unique<SpanRing>(capacity);
+  g_spans.store(g_spans_storage.get(), std::memory_order_release);
+}
+
+void disable_spans() {
+  g_spans.store(nullptr, std::memory_order_release);
+  g_spans_storage.reset();
+}
+
+void close_span(const SpanStamp& stamp, uint64_t enqueue_ns, uint64_t apply_ns,
+                uint32_t flow, SpanCommand cmd) noexcept {
+  if (stamp.span_id == 0) return;
+  Metrics& m = metrics();
+  // The stages telescope out of five clock reads along the loop, so
+  // total == sum(stages) exactly whenever every hop stamped.
+  record_stage(m.loop_emit_to_agent_ns, stamp.emit_ns, stamp.agent_recv_ns);
+  record_stage(m.loop_agent_handler_ns, stamp.agent_recv_ns, stamp.agent_send_ns);
+  record_stage(m.loop_agent_to_enqueue_ns, stamp.agent_send_ns, enqueue_ns);
+  record_stage(m.loop_enqueue_to_apply_ns, enqueue_ns, apply_ns);
+  record_stage(m.loop_total_ns, stamp.emit_ns, apply_ns);
+  if (SpanRing* ring = span_ring()) {
+    CompletedSpan sp;
+    sp.span_id = stamp.span_id;
+    sp.emit_ns = stamp.emit_ns;
+    sp.agent_recv_ns = stamp.agent_recv_ns;
+    sp.agent_send_ns = stamp.agent_send_ns;
+    sp.enqueue_ns = enqueue_ns;
+    sp.apply_ns = apply_ns;
+    sp.flow = flow;
+    sp.command = cmd;
+    ring->record(sp);
+  }
+}
+
+}  // namespace ccp::telemetry

@@ -104,6 +104,33 @@ void send_trace(ipc::Transport& conn, ipc::Encoder& enc) {
   conn.send_frame(enc.buffer());
 }
 
+void send_spans(ipc::Transport& conn, ipc::Encoder& enc) {
+  std::vector<CompletedSpan> spans;
+  if (SpanRing* ring = span_ring()) spans = ring->dump();
+  size_t off = 0;
+  while (off < spans.size()) {
+    const size_t n = std::min(kTraceChunk, spans.size() - off);
+    enc.clear();
+    enc.u32(static_cast<uint32_t>(n));
+    for (size_t i = 0; i < n; ++i) {
+      const CompletedSpan& sp = spans[off + i];
+      enc.u64(sp.span_id);
+      enc.u64(sp.emit_ns);
+      enc.u64(sp.agent_recv_ns);
+      enc.u64(sp.agent_send_ns);
+      enc.u64(sp.enqueue_ns);
+      enc.u64(sp.apply_ns);
+      enc.u32(sp.flow);
+      enc.u8(static_cast<uint8_t>(sp.command));
+    }
+    if (!conn.send_frame(enc.buffer())) return;
+    off += n;
+  }
+  enc.clear();
+  enc.u32(0);
+  conn.send_frame(enc.buffer());
+}
+
 }  // namespace
 
 class StatsServerImpl {
@@ -147,6 +174,8 @@ void StatsServer::run() {
         if (!conn->send_frame(enc.buffer())) break;
       } else if (kind == kStatsReqTrace) {
         send_trace(*conn, enc);
+      } else if (kind == kStatsReqSpans) {
+        send_spans(*conn, enc);
       } else {
         CCP_WARN("stats server: unknown request kind %u", unsigned{kind});
       }
@@ -211,6 +240,37 @@ std::optional<std::vector<TraceEvent>> StatsClient::trace() {
       }
     } catch (const ipc::WireError& e) {
       CCP_WARN("stats client: bad trace reply: %s", e.what());
+      return std::nullopt;
+    }
+  }
+}
+
+std::optional<std::vector<CompletedSpan>> StatsClient::spans() {
+  impl_->enc_.clear();
+  impl_->enc_.u8(kStatsReqSpans);
+  if (!impl_->conn_->send_frame(impl_->enc_.buffer())) return std::nullopt;
+  std::vector<CompletedSpan> out;
+  for (;;) {
+    auto reply = impl_->conn_->recv_frame(Duration::from_millis(2000));
+    if (!reply.has_value()) return std::nullopt;
+    try {
+      ipc::Decoder dec(*reply);
+      const uint32_t n = dec.u32();
+      if (n == 0) return out;
+      for (uint32_t i = 0; i < n; ++i) {
+        CompletedSpan sp;
+        sp.span_id = dec.u64();
+        sp.emit_ns = dec.u64();
+        sp.agent_recv_ns = dec.u64();
+        sp.agent_send_ns = dec.u64();
+        sp.enqueue_ns = dec.u64();
+        sp.apply_ns = dec.u64();
+        sp.flow = dec.u32();
+        sp.command = static_cast<SpanCommand>(dec.u8());
+        out.push_back(sp);
+      }
+    } catch (const ipc::WireError& e) {
+      CCP_WARN("stats client: bad spans reply: %s", e.what());
       return std::nullopt;
     }
   }

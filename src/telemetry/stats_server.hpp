@@ -4,7 +4,8 @@
 //
 // Protocol (binary, via ipc::Encoder/Decoder; one request datagram, one
 // or more reply datagrams):
-//   request  := u8 kind            (1 = snapshot, 2 = trace dump)
+//   request  := u8 kind            (1 = snapshot, 2 = trace dump,
+//                                   3 = completed-span dump)
 //   snapshot reply := u64 wall_ns
 //                     u32 n_counters  (name:str u64 value)*
 //                     u32 n_gauges    (name:str u64 value-as-bits)*
@@ -14,6 +15,10 @@
 //                     ... repeated, terminated by a reply with n_events=0.
 //                     Chunked so each datagram stays well under seqpacket
 //                     message-size limits.
+//   spans reply    := u32 n_spans (u64 span_id u64 emit u64 agent_recv
+//                     u64 agent_send u64 enqueue u64 apply u32 flow
+//                     u8 command)* ... chunked + zero-terminated like the
+//                     trace reply.
 //
 // The server thread owns its listener and polls with a short timeout so
 // stop() is prompt. It serves whatever MetricsRegistry::global() and the
@@ -28,6 +33,7 @@
 #include <vector>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/spans.hpp"
 #include "telemetry/trace_ring.hpp"
 
 namespace ccp::ipc {
@@ -39,6 +45,7 @@ namespace ccp::telemetry {
 
 inline constexpr uint8_t kStatsReqSnapshot = 1;
 inline constexpr uint8_t kStatsReqTrace = 2;
+inline constexpr uint8_t kStatsReqSpans = 3;
 
 /// Serializes `snap` into `enc` (reply payload only).
 void encode_snapshot(ipc::Encoder& enc, const Snapshot& snap);
@@ -79,6 +86,8 @@ class StatsClient {
   /// Full trace-ring dump; nullopt on timeout/disconnect (an enabled but
   /// empty ring yields an empty vector).
   std::optional<std::vector<TraceEvent>> trace();
+  /// Full completed-span dump; same contract as trace().
+  std::optional<std::vector<CompletedSpan>> spans();
 
  private:
   explicit StatsClient(std::unique_ptr<class StatsClientImpl> impl);

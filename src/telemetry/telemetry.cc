@@ -8,6 +8,7 @@ namespace ccp::telemetry {
 Metrics::Metrics() {
   MetricsRegistry& r = MetricsRegistry::global();
   r.add("ccp_dp_acks_total", &dp_acks);
+  r.add("ccp_dp_report_batches_total", &dp_report_batches);
   r.add("ccp_dp_loss_events_total", &dp_loss_events);
   r.add("ccp_dp_timeouts_total", &dp_timeouts);
   r.add("ccp_dp_reports_total", &dp_reports);
@@ -77,6 +78,18 @@ Metrics::Metrics() {
   r.add("ccp_ipc_drain_batch", &ipc_drain_batch);
   r.add("ccp_dp_flush_batch", &dp_flush_batch);
   r.add("ccp_fallback_recovery_ns", &fallback_recovery_ns);
+
+  r.add("ccp_loop_emit_to_agent_ns", &loop_emit_to_agent_ns);
+  r.add("ccp_loop_agent_handler_ns", &loop_agent_handler_ns);
+  r.add("ccp_loop_agent_to_enqueue_ns", &loop_agent_to_enqueue_ns);
+  r.add("ccp_loop_enqueue_to_apply_ns", &loop_enqueue_to_apply_ns);
+  r.add("ccp_loop_total_ns", &loop_total_ns);
+
+  for (size_t i = 0; i < kProfStages; ++i) {
+    const std::string stage = prof_stage_name(static_cast<ProfStage>(i));
+    r.add("ccp_prof_" + stage + "_cycles_total", &prof_cycles[i]);
+    r.add("ccp_prof_" + stage + "_samples_total", &prof_samples[i]);
+  }
 }
 
 Metrics::~Metrics() = default;
@@ -100,6 +113,14 @@ void init_from_env() {
   if (const char* v = std::getenv("CCP_TRACE_BUF")) {
     const long n = std::strtol(v, nullptr, 10);
     if (n > 0) enable_trace(static_cast<size_t>(n));
+  }
+  if (const char* v = std::getenv("CCP_SPAN_BUF")) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 0) enable_spans(static_cast<size_t>(n));
+  }
+  if (const char* v = std::getenv("CCP_PROFILE_SAMPLE")) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 0) set_profile_sample(static_cast<uint32_t>(n));
   }
   // Touch the registry so exporters see every metric even before the
   // first event fires.

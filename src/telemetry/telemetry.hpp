@@ -14,6 +14,11 @@
 //   CCP_TELEMETRY=off|0|false   disable recording (default: on)
 //   CCP_TRACE_BUF=<n>           enable the control-loop trace ring with
 //                               capacity n events (default: off)
+//   CCP_SPAN_BUF=<n>            enable the completed-span ring with
+//                               capacity n spans (default: off)
+//   CCP_PROFILE_SAMPLE=<n>      enable the per-stage cycle profiler at
+//                               1-in-n ACK sampling, n rounded up to a
+//                               power of two (default: off)
 #pragma once
 
 #include <atomic>
@@ -22,6 +27,8 @@
 
 #include "telemetry/histogram.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/spans.hpp"
 #include "telemetry/trace_ring.hpp"
 
 namespace ccp::telemetry {
@@ -72,7 +79,8 @@ struct ShardStats {
 /// MetricsRegistry::global() at construction. Access via metrics().
 struct Metrics {
   // -- datapath --
-  Counter dp_acks;             // ACKs folded (counted per report, by delta)
+  Counter dp_acks;             // ACKs folded (counted per ACK)
+  Counter dp_report_batches;   // report batches emitted (one per report msg)
   Counter dp_loss_events;      // loss notifications into the fold machine
   Counter dp_timeouts;         // timeout events
   Counter dp_reports;          // measurement reports emitted
@@ -140,6 +148,18 @@ struct Metrics {
   Histogram ipc_drain_batch;             // frames per transport drain
   Histogram dp_flush_batch;              // messages per datapath batch flush
   Histogram fallback_recovery_ns;        // fallback entry -> agent recovery
+
+  // -- control-loop spans (spans.hpp): one record per closed span; the
+  //    stages telescope, so loop_total == sum of the four stages --
+  Histogram loop_emit_to_agent_ns;     // report emit -> agent handler entry
+  Histogram loop_agent_handler_ns;     // handler entry -> command sent
+  Histogram loop_agent_to_enqueue_ns;  // command sent -> datapath enqueue
+  Histogram loop_enqueue_to_apply_ns;  // enqueue -> quiescent-point apply
+  Histogram loop_total_ns;             // report emit -> command applied
+
+  // -- per-stage cycle profiler (profiler.hpp); indexed by ProfStage --
+  Counter prof_cycles[kProfStages];   // cycles attributed to the stage
+  Counter prof_samples[kProfStages];  // sampled observations of the stage
 
   // -- sharded datapath (per-shard breakdown; aggregate counters above
   //    keep counting too) --

@@ -1,0 +1,224 @@
+#include "telemetry/trace_export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+namespace ccp::telemetry {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min<size_t>(static_cast<size_t>(n), sizeof(buf) - 1));
+}
+
+// Microsecond timestamps, the unit the Trace Event Format expects.
+double us(uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+// JSON numbers must be finite; clamp anything else (a corrupt ring slot
+// read mid-overwrite can hold any bit pattern).
+double finite(double v) { return std::isfinite(v) ? v : 0.0; }
+
+void append_complete_event(std::string& out, bool& first, const char* name,
+                           uint32_t tid, uint64_t from_ns, uint64_t to_ns,
+                           uint64_t span_id) {
+  if (from_ns == 0 || to_ns < from_ns) return;  // hop never stamped
+  if (!first) out += ",\n";
+  first = false;
+  appendf(out,
+          "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+          "\"pid\":1,\"tid\":%u,\"args\":{\"span_id\":%" PRIu64 "}}",
+          name, us(from_ns), us(to_ns - from_ns), tid, span_id);
+}
+
+}  // namespace
+
+std::string trace_events_json(const std::vector<TraceEvent>& events,
+                              const std::vector<CompletedSpan>& spans) {
+  std::string out;
+  out.reserve(256 + events.size() * 128 + spans.size() * 640);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+
+  // Metadata: one process, flows as threads (tracks).
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"ccp\"}}";
+  first = false;
+
+  for (const CompletedSpan& sp : spans) {
+    char total_name[64];
+    snprintf(total_name, sizeof(total_name), "loop/%s",
+             span_command_name(sp.command));
+    // Parent first: viewers stack same-track "X" events by containment.
+    append_complete_event(out, first, total_name, sp.flow, sp.emit_ns,
+                          sp.apply_ns, sp.span_id);
+    append_complete_event(out, first, "emit_to_agent", sp.flow, sp.emit_ns,
+                          sp.agent_recv_ns, sp.span_id);
+    append_complete_event(out, first, "agent_handler", sp.flow,
+                          sp.agent_recv_ns, sp.agent_send_ns, sp.span_id);
+    append_complete_event(out, first, "agent_to_enqueue", sp.flow,
+                          sp.agent_send_ns, sp.enqueue_ns, sp.span_id);
+    append_complete_event(out, first, "enqueue_to_apply", sp.flow,
+                          sp.enqueue_ns, sp.apply_ns, sp.span_id);
+  }
+
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ",\n";
+    first = false;
+    appendf(out,
+            "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,"
+            "\"tid\":%u,\"s\":\"t\",\"args\":{\"value\":%.6g}}",
+            trace_kind_name(ev.kind), us(ev.t_ns), ev.flow, finite(ev.value));
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+namespace {
+
+constexpr uint32_t kDumpMagic = 0x54504343;  // "CCPT" little-endian
+constexpr uint32_t kDumpVersion = 1;
+// Caps a corrupt header's allocation request, mirroring the wire codec's
+// kMaxVecLen discipline.
+constexpr uint64_t kMaxDumpEntries = 1ull << 24;
+
+void put_u32(std::vector<uint8_t>& b, uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::vector<uint8_t>& b, uint64_t v) {
+  for (int i = 0; i < 8; ++i) b.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void put_f64(std::vector<uint8_t>& b, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(b, bits);
+}
+
+struct Reader {
+  const uint8_t* p;
+  const uint8_t* end;
+  bool ok = true;
+
+  bool need(size_t n) {
+    if (static_cast<size_t>(end - p) < n) ok = false;
+    return ok;
+  }
+  uint32_t u32() {
+    if (!need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    return v;
+  }
+  uint64_t u64() {
+    if (!need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    return v;
+  }
+  double f64() {
+    const uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+};
+
+}  // namespace
+
+bool write_trace_dump(const std::string& path,
+                      const std::vector<TraceEvent>& events,
+                      const std::vector<CompletedSpan>& spans) {
+  std::vector<uint8_t> buf;
+  buf.reserve(24 + events.size() * 24 + spans.size() * 56);
+  put_u32(buf, kDumpMagic);
+  put_u32(buf, kDumpVersion);
+  put_u64(buf, events.size());
+  put_u64(buf, spans.size());
+  for (const TraceEvent& ev : events) {
+    put_u64(buf, ev.t_ns);
+    put_f64(buf, ev.value);
+    put_u32(buf, ev.flow);
+    put_u32(buf, static_cast<uint32_t>(ev.kind));
+  }
+  for (const CompletedSpan& sp : spans) {
+    put_u64(buf, sp.span_id);
+    put_u64(buf, sp.emit_ns);
+    put_u64(buf, sp.agent_recv_ns);
+    put_u64(buf, sp.agent_send_ns);
+    put_u64(buf, sp.enqueue_ns);
+    put_u64(buf, sp.apply_ns);
+    put_u32(buf, sp.flow);
+    put_u32(buf, static_cast<uint32_t>(sp.command));
+  }
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+  return fclose(f) == 0 && ok;
+}
+
+bool read_trace_dump(const std::string& path, std::vector<TraceEvent>& events,
+                     std::vector<CompletedSpan>& spans) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::vector<uint8_t> buf;
+  uint8_t chunk[4096];
+  size_t n;
+  while ((n = fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    buf.insert(buf.end(), chunk, chunk + n);
+  }
+  fclose(f);
+
+  Reader r{buf.data(), buf.data() + buf.size()};
+  if (r.u32() != kDumpMagic || r.u32() != kDumpVersion) return false;
+  const uint64_t n_events = r.u64();
+  const uint64_t n_spans = r.u64();
+  if (!r.ok || n_events > kMaxDumpEntries || n_spans > kMaxDumpEntries) {
+    return false;
+  }
+  events.clear();
+  events.reserve(n_events);
+  for (uint64_t i = 0; i < n_events && r.ok; ++i) {
+    TraceEvent ev;
+    ev.t_ns = r.u64();
+    ev.value = r.f64();
+    ev.flow = r.u32();
+    ev.kind = static_cast<TraceKind>(r.u32());
+    if (r.ok) events.push_back(ev);
+  }
+  spans.clear();
+  spans.reserve(n_spans);
+  for (uint64_t i = 0; i < n_spans && r.ok; ++i) {
+    CompletedSpan sp;
+    sp.span_id = r.u64();
+    sp.emit_ns = r.u64();
+    sp.agent_recv_ns = r.u64();
+    sp.agent_send_ns = r.u64();
+    sp.enqueue_ns = r.u64();
+    sp.apply_ns = r.u64();
+    sp.flow = r.u32();
+    sp.command = static_cast<SpanCommand>(r.u32());
+    if (r.ok) spans.push_back(sp);
+  }
+  return r.ok;
+}
+
+bool write_current_trace_dump(const std::string& path) {
+  std::vector<TraceEvent> events;
+  std::vector<CompletedSpan> spans;
+  if (const TraceRing* ring = trace_ring()) events = ring->dump();
+  if (const SpanRing* ring = span_ring()) spans = ring->dump();
+  return write_trace_dump(path, events, spans);
+}
+
+}  // namespace ccp::telemetry

@@ -1,0 +1,41 @@
+// Trace Event Format export: turns the trace ring and completed
+// control-loop spans into JSON that Perfetto and chrome://tracing load
+// directly (the Chromium "Trace Event Format", a {"traceEvents": [...]}
+// object of "X"/"i"/"M" events with microsecond timestamps).
+//
+// Two consumption paths share this code:
+//   - tools/ccp_trace_export --socket <path>: pulls the live rings from
+//     a running process via the stats server.
+//   - ccp_sim --trace-dump <file> writes a small binary dump at exit;
+//     ccp_trace_export <file> converts it offline. The dump makes CI
+//     smoke runs deterministic — no racing a live socket.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/spans.hpp"
+#include "telemetry/trace_ring.hpp"
+
+namespace ccp::telemetry {
+
+/// Renders trace events + completed spans as a Trace Event Format JSON
+/// document. Span stages become nested "X" (complete) events on a
+/// per-flow track; trace-ring events become "i" (instant) events.
+/// Always returns a valid JSON object, even for empty inputs.
+std::string trace_events_json(const std::vector<TraceEvent>& events,
+                              const std::vector<CompletedSpan>& spans);
+
+/// Binary dump I/O (little-endian, magic "CCPT", versioned). Returns
+/// false on I/O failure; read_trace_dump also fails on a bad header.
+bool write_trace_dump(const std::string& path,
+                      const std::vector<TraceEvent>& events,
+                      const std::vector<CompletedSpan>& spans);
+bool read_trace_dump(const std::string& path, std::vector<TraceEvent>& events,
+                     std::vector<CompletedSpan>& spans);
+
+/// Dumps whatever the global trace/span rings currently hold (either may
+/// be disabled; the dump then carries an empty section).
+bool write_current_trace_dump(const std::string& path);
+
+}  // namespace ccp::telemetry

@@ -167,6 +167,92 @@ TEST(HotPathAlloc, TelemetryAndTraceEnabledStaysAllocationFree) {
       << "telemetry recording allocated on the per-ACK hot path";
 }
 
+TEST(HotPathAlloc, SpansEnabledSteadyStateIsAllocationFree) {
+  // Control-loop spans on: every report emit allocates a span id and
+  // stamps it into the scratch message, and every close_span records
+  // four stage histograms + the total and a SpanRing slot. None of that
+  // may touch the heap — the ring is sized at enable time and the stamps
+  // ride by value. The close side is driven explicitly since no agent is
+  // attached in this harness.
+  telemetry::set_enabled(true);
+  telemetry::enable_spans(4096);
+  (void)telemetry::metrics().dp_acks.value();
+
+  DatapathConfig dcfg;
+  dcfg.flush_interval = Duration::from_millis(1);
+  dcfg.max_batch_msgs = 32;
+  uint64_t frames = 0;
+  CcpDatapath dp(dcfg, [&frames](std::span<const uint8_t>) { ++frames; });
+
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  std::vector<ipc::FlowId> ids;
+  FlowConfig fcfg;
+  for (size_t i = 0; i < kFlows; ++i) {
+    ids.push_back(dp.create_flow(fcfg, "reno", now).id());
+  }
+  drive(dp, ids, now, kWarmupAcks);
+  ASSERT_GT(frames, 0u);
+
+  const uint64_t allocs = count_allocs_during([&] {
+    drive(dp, ids, now, kMeasuredAcks);
+    telemetry::SpanStamp stamp;
+    for (uint64_t i = 1; i <= 10'000; ++i) {
+      stamp.span_id = i;
+      stamp.emit_ns = i * 10;
+      stamp.agent_recv_ns = i * 10 + 2;
+      stamp.agent_send_ns = i * 10 + 4;
+      telemetry::close_span(stamp, i * 10 + 6, i * 10 + 8,
+                            static_cast<uint32_t>(i % kFlows),
+                            telemetry::SpanCommand::UpdateFields);
+    }
+  });
+  telemetry::disable_spans();
+  EXPECT_EQ(allocs, 0u)
+      << "span stamping or close_span allocated in steady state";
+  EXPECT_GT(telemetry::metrics().loop_total_ns.count(), 0u);
+}
+
+TEST(HotPathAlloc, ProfilerEnabledSteadyStateIsAllocationFree) {
+  // The sampled cycle profiler armed at a hot 1-in-64 rate: the per-ACK
+  // gate, the rdtsc stamps on sampled ACKs, and prof_commit's counter
+  // increments must all run without heap traffic.
+  telemetry::set_enabled(true);
+  telemetry::set_profile_sample(64);
+  (void)telemetry::metrics().dp_acks.value();
+
+  DatapathConfig dcfg;
+  dcfg.flush_interval = Duration::from_millis(1);
+  dcfg.max_batch_msgs = 32;
+  uint64_t frames = 0;
+  CcpDatapath dp(dcfg, [&frames](std::span<const uint8_t>) { ++frames; });
+
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  std::vector<ipc::FlowId> ids;
+  FlowConfig fcfg;
+  for (size_t i = 0; i < kFlows; ++i) {
+    ids.push_back(dp.create_flow(fcfg, "reno", now).id());
+  }
+  drive(dp, ids, now, kWarmupAcks);
+  ASSERT_GT(frames, 0u);
+  const uint64_t samples_before =
+      telemetry::metrics()
+          .prof_samples[size_t(telemetry::ProfStage::Measure)]
+          .value();
+  ASSERT_GT(samples_before, 0u)
+      << "profiler must actually be sampling in this configuration";
+
+  const uint64_t allocs =
+      count_allocs_during([&] { drive(dp, ids, now, kMeasuredAcks); });
+  telemetry::set_profile_sample(0);
+  EXPECT_EQ(allocs, 0u)
+      << "sampled cycle profiler allocated on the per-ACK path";
+  EXPECT_GT(telemetry::metrics()
+                .prof_samples[size_t(telemetry::ProfStage::Measure)]
+                .value(),
+            samples_before)
+      << "measured window must include profiler samples";
+}
+
 TEST(HotPathAlloc, VectorModeSteadyStateIsAllocationFree) {
   DatapathConfig dcfg;
   // Flush each vector report in its own frame. Batching them would make

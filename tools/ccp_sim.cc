@@ -28,6 +28,7 @@
 #include "sim/trace.hpp"
 #include "telemetry/stats_server.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_export.hpp"
 #include "util/series.hpp"
 #include "util/units.hpp"
 
@@ -52,6 +53,7 @@ struct Options {
   std::vector<FlowSpec> flows;
   std::string csv;  // empty = human summary
   std::string stats_sock;  // empty = no stats server
+  std::string trace_dump;  // empty = no dump at exit
   uint64_t seed = 42;
 };
 
@@ -70,6 +72,7 @@ options:
                       in-datapath baselines; optional @start_secs
   --csv <series>      emit CSV instead of a summary: cwnd | tput | queue
   --stats <path>      serve live telemetry on a unix socket (see ccp_stats)
+  --trace-dump <file> write trace + span rings at exit (for ccp_trace_export)
   --list              list available algorithms and exit
 )");
   std::exit(code);
@@ -102,6 +105,8 @@ Options parse_args(int argc, char** argv) {
         opt.csv = need_value(i);
       } else if (std::strcmp(arg, "--stats") == 0) {
         opt.stats_sock = need_value(i);
+      } else if (std::strcmp(arg, "--trace-dump") == 0) {
+        opt.trace_dump = need_value(i);
       } else if (std::strcmp(arg, "--flow") == 0) {
         std::string spec = need_value(i);
         FlowSpec flow;
@@ -231,6 +236,17 @@ int main(int argc, char** argv) {
   }
 
   events.run_until(end);
+
+  if (!opt.trace_dump.empty()) {
+    if (!telemetry::write_current_trace_dump(opt.trace_dump)) {
+      std::fprintf(stderr, "ccp_sim: cannot write trace dump %s\n",
+                   opt.trace_dump.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote trace dump to %s (convert with "
+                 "ccp_trace_export)\n",
+                 opt.trace_dump.c_str());
+  }
 
   if (!opt.csv.empty()) {
     tracer.write_csv(stdout);

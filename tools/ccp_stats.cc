@@ -16,6 +16,8 @@
 //   ccp_stats --socket PATH --shards                   # per-shard breakdown
 //   ccp_stats --socket PATH --resilience               # fallback/fault/supervisor view
 //   ccp_stats --socket PATH --jit                      # native-execution (JIT) view
+//   ccp_stats --socket PATH --profile                  # per-stage cycle profiler view
+//   ccp_stats --socket PATH --loop                     # control-loop span latencies
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -34,7 +36,8 @@ using ccp::telemetry::StatsClient;
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--interval SECS] [--once] [--json] "
-               "[--prom] [--trace] [--shards] [--resilience] [--jit]\n",
+               "[--prom] [--trace] [--shards] [--resilience] [--jit] "
+               "[--profile] [--loop]\n",
                argv0);
 }
 
@@ -54,20 +57,23 @@ double rate(const Snapshot& prev, const Snapshot& cur, const char* name) {
 }
 
 void print_live_header() {
-  std::printf("%12s %12s %12s %10s %10s %10s %8s\n", "acks/s", "reports/s",
-              "urgents/s", "rep_p50us", "rep_p99us", "vm_p50ns", "flows");
+  std::printf("%12s %12s %12s %10s %10s %11s %10s %8s\n", "acks/s",
+              "reports/s", "urgents/s", "rep_p50us", "rep_p99us",
+              "rep_p999us", "vm_p50ns", "flows");
 }
 
 void print_live_row(const Snapshot& prev, const Snapshot& cur) {
   const auto* rep = cur.histogram("ccp_report_latency_ns");
   const auto* vm = cur.histogram("ccp_vm_exec_ns");
   const auto* flows = cur.gauge("ccp_active_flows");
-  std::printf("%12.0f %12.0f %12.0f %10.1f %10.1f %10.0f %8" PRId64 "\n",
+  std::printf("%12.0f %12.0f %12.0f %10.1f %10.1f %11.1f %10.0f %8" PRId64
+              "\n",
               rate(prev, cur, "ccp_dp_acks_total"),
               rate(prev, cur, "ccp_dp_reports_total"),
               rate(prev, cur, "ccp_dp_urgents_total"),
               rep != nullptr ? rep->quantile(0.5) / 1e3 : 0.0,
               rep != nullptr ? rep->quantile(0.99) / 1e3 : 0.0,
+              rep != nullptr ? rep->quantile(0.999) / 1e3 : 0.0,
               vm != nullptr ? vm->quantile(0.5) : 0.0,
               flows != nullptr ? flows->value : 0);
   std::fflush(stdout);
@@ -223,13 +229,92 @@ int dump_jit(StatsClient& client) {
   return 0;
 }
 
+/// Cycle-profiler view: where sampled ACKs spend their time in the shard
+/// loop (docs/OBSERVABILITY.md "Cycle profiler"). Values are raw rdtsc
+/// cycles; shares are relative to the total sampled cycles, so they show
+/// the stage mix even without knowing the TSC frequency.
+int dump_profile(StatsClient& client) {
+  auto snap = client.snapshot();
+  if (!snap.has_value()) {
+    std::fprintf(stderr, "ccp_stats: snapshot request failed\n");
+    return 1;
+  }
+  uint64_t cycles[ccp::telemetry::kProfStages] = {};
+  uint64_t samples[ccp::telemetry::kProfStages] = {};
+  uint64_t total_cycles = 0;
+  for (size_t i = 0; i < ccp::telemetry::kProfStages; ++i) {
+    char name[64];
+    const char* stage = ccp::telemetry::prof_stage_name(
+        static_cast<ccp::telemetry::ProfStage>(i));
+    std::snprintf(name, sizeof(name), "ccp_prof_%s_cycles_total", stage);
+    cycles[i] = counter_value(*snap, name);
+    std::snprintf(name, sizeof(name), "ccp_prof_%s_samples_total", stage);
+    samples[i] = counter_value(*snap, name);
+    total_cycles += cycles[i];
+  }
+  if (total_cycles == 0) {
+    std::printf("(no profiler samples recorded; set CCP_PROFILE_SAMPLE=N "
+                "in the target process to enable 1-in-N sampling)\n");
+    return 0;
+  }
+  std::printf("%-12s %16s %12s %12s %8s\n", "stage", "cycles", "samples",
+              "cyc/sample", "share");
+  for (size_t i = 0; i < ccp::telemetry::kProfStages; ++i) {
+    if (samples[i] == 0 && cycles[i] == 0) continue;
+    std::printf("%-12s %16" PRIu64 " %12" PRIu64 " %12.1f %7.1f%%\n",
+                ccp::telemetry::prof_stage_name(
+                    static_cast<ccp::telemetry::ProfStage>(i)),
+                cycles[i], samples[i],
+                samples[i] > 0
+                    ? static_cast<double>(cycles[i]) /
+                          static_cast<double>(samples[i])
+                    : 0.0,
+                100.0 * static_cast<double>(cycles[i]) /
+                    static_cast<double>(total_cycles));
+  }
+  return 0;
+}
+
+/// Control-loop span view: end-to-end report->decide->apply latency and
+/// its per-stage breakdown (docs/OBSERVABILITY.md "Control-loop spans").
+int dump_loop(StatsClient& client) {
+  auto snap = client.snapshot();
+  if (!snap.has_value()) {
+    std::fprintf(stderr, "ccp_stats: snapshot request failed\n");
+    return 1;
+  }
+  static constexpr struct { const char* metric; const char* label; } kStages[] = {
+      {"ccp_loop_emit_to_agent_ns", "emit_to_agent"},
+      {"ccp_loop_agent_handler_ns", "agent_handler"},
+      {"ccp_loop_agent_to_enqueue_ns", "agent_to_enqueue"},
+      {"ccp_loop_enqueue_to_apply_ns", "enqueue_to_apply"},
+      {"ccp_loop_total_ns", "total"},
+  };
+  bool any = false;
+  std::printf("%-18s %10s %10s %10s %10s %10s\n", "stage", "count", "p50_us",
+              "p90_us", "p99_us", "p99.9_us");
+  for (const auto& st : kStages) {
+    const auto* h = snap->histogram(st.metric);
+    if (h == nullptr || h->count == 0) continue;
+    any = true;
+    std::printf("%-18s %10" PRIu64 " %10.1f %10.1f %10.1f %10.1f\n", st.label,
+                h->count, h->quantile(0.5) / 1e3, h->quantile(0.9) / 1e3,
+                h->quantile(0.99) / 1e3, h->quantile(0.999) / 1e3);
+  }
+  if (!any) {
+    std::printf("(no completed spans recorded; spans need telemetry enabled "
+                "and close at the datapath's command apply)\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path;
   double interval_secs = 1.0;
   bool once = false, json = false, prom = false, trace = false, shards = false;
-  bool resilience = false, jit = false;
+  bool resilience = false, jit = false, profile = false, loop = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -249,6 +334,8 @@ int main(int argc, char** argv) {
     else if (arg == "--shards") shards = true;
     else if (arg == "--resilience") resilience = true;
     else if (arg == "--jit") jit = true;
+    else if (arg == "--profile") profile = true;
+    else if (arg == "--loop") loop = true;
     else {
       usage(argv[0]);
       return 2;
@@ -274,6 +361,8 @@ int main(int argc, char** argv) {
   if (shards) return dump_shards(*client);
   if (resilience) return dump_resilience(*client);
   if (jit) return dump_jit(*client);
+  if (profile) return dump_profile(*client);
+  if (loop) return dump_loop(*client);
 
   if (json || prom) {
     auto snap = client->snapshot();

@@ -1,0 +1,98 @@
+// ccp_trace_export: convert CCP trace data to Chromium Trace Event
+// Format JSON for Perfetto / chrome://tracing.
+//
+// Two sources:
+//   ccp_trace_export DUMP_FILE            # offline: binary dump written by
+//                                         #   ccp_sim --trace-dump FILE
+//   ccp_trace_export --socket PATH        # live: pull the trace + span
+//                                         #   rings from a running process
+//
+// Output goes to stdout (or --out FILE). Load the result at
+// https://ui.perfetto.dev or chrome://tracing. Completed control-loop
+// spans render as nested slices per flow track; trace-ring events as
+// instants. See docs/OBSERVABILITY.md "Control-loop spans".
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "telemetry/stats_server.hpp"
+#include "telemetry/trace_export.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s DUMP_FILE [--out FILE]\n"
+               "       %s --socket PATH [--out FILE]\n",
+               argv0, argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dump_path, socket_path, out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") socket_path = next();
+    else if (arg == "--out") out_path = next();
+    else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+      return 2;
+    } else {
+      dump_path = arg;
+    }
+  }
+  if (dump_path.empty() == socket_path.empty()) {  // exactly one source
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::vector<ccp::telemetry::TraceEvent> events;
+  std::vector<ccp::telemetry::CompletedSpan> spans;
+  if (!dump_path.empty()) {
+    if (!ccp::telemetry::read_trace_dump(dump_path, events, spans)) {
+      std::fprintf(stderr, "ccp_trace_export: cannot read dump %s\n",
+                   dump_path.c_str());
+      return 1;
+    }
+  } else {
+    auto client = ccp::telemetry::StatsClient::connect(socket_path);
+    if (client == nullptr) {
+      std::fprintf(stderr,
+                   "ccp_trace_export: cannot connect to %s (is the process "
+                   "running with a stats server?)\n",
+                   socket_path.c_str());
+      return 1;
+    }
+    auto ev = client->trace();
+    auto sp = client->spans();
+    if (!ev.has_value() || !sp.has_value()) {
+      std::fprintf(stderr, "ccp_trace_export: dump request failed\n");
+      return 1;
+    }
+    events = std::move(*ev);
+    spans = std::move(*sp);
+  }
+
+  const std::string json = ccp::telemetry::trace_events_json(events, spans);
+  FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = fopen(out_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "ccp_trace_export: cannot open %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), out) == json.size();
+  if (out != stdout && fclose(out) != 0) return 1;
+  return ok ? 0 : 1;
+}
