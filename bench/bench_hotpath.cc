@@ -8,6 +8,13 @@
 // transport, with a per-packet flow-table lookup on every ACK (the demux
 // a real stack performs), and reports end-to-end ACKs/sec.
 //
+// The headline configuration drives the per-ACK scalar API (the number
+// the committed ratchet compares against). A batch-intake run rides
+// along in each trial — the same workload in bursts of 32 through the
+// cross-flow batch runner (on_ack_batch), the intake a GRO/poll-mode
+// stack provides — so the JSON carries the measured batch/scalar ratio
+// and the wave occupancy (docs/PERF.md "Batch execution").
+//
 // The full datapath runs in several configurations: with the telemetry
 // layer recording (the default, "instrumented"), with telemetry disabled
 // ("stripped"), with the ACK watchdog armed, and with the flight
@@ -59,8 +66,15 @@ constexpr uint64_t kAcks = 4'000'000;
 /// drain (single synchronization round-trip per pump).
 void pump(ipc::Transport& t, const ipc::FrameSink& fn) { t.drain_frames(fn); }
 
+double thread_cpu_secs() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) / 1e9;
+}
+
 struct RunResult {
-  double acks_per_sec = 0;
+  double acks_per_sec = 0;      // wall clock (the headline / ratcheted rate)
+  double acks_per_cpu_sec = 0;  // CLOCK_THREAD_CPUTIME_ID (overhead ratios)
   uint64_t frames_to_agent = 0;
 };
 
@@ -112,16 +126,95 @@ RunResult drive(Datapath& dp, ipc::Transport& dp_end, agent::CcpAgent& agent,
 
   run(total_acks / 10);  // warm-up: programs installed, capacities settled
   const TimePoint t0 = monotonic_now();
+  const double c0 = thread_cpu_secs();
   run(total_acks);
+  const double c1 = thread_cpu_secs();
   const TimePoint t1 = monotonic_now();
 
   RunResult r;
   r.acks_per_sec = static_cast<double>(total_acks) / (t1 - t0).secs();
+  // The event loop is single-threaded (the agent is pumped inline), so
+  // thread CPU time covers the whole loop while excluding preemption by
+  // the rest of the box — the stable basis for small overhead ratios.
+  r.acks_per_cpu_sec = static_cast<double>(total_acks) / (c1 - c0);
   if (frames_to_agent != nullptr) r.frames_to_agent = *frames_to_agent;
   return r;
 }
 
-RunResult run_full(const datapath::FlowConfig& fcfg = {}) {
+/// Same workload as drive(), but handed to the datapath in bursts of 32
+/// FlowAcks through on_ack_batch — the cross-flow batch intake a
+/// GRO/poll-mode stack feeds. Ticks and IPC pumps keep the scalar
+/// cadence (every 256 ACKs) so the agent sees identical traffic.
+template <typename Datapath>
+RunResult drive_batch(Datapath& dp, ipc::Transport& dp_end,
+                      agent::CcpAgent& agent, ipc::Transport& agent_end,
+                      size_t n_flows, uint64_t total_acks,
+                      uint64_t* frames_to_agent,
+                      const datapath::FlowConfig& fcfg = {}) {
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  std::vector<ipc::FlowId> ids;
+  for (size_t i = 0; i < n_flows; ++i) {
+    ids.push_back(dp.create_flow(fcfg, "reno", now).id());
+  }
+  const ipc::FrameSink agent_rx = [&](std::span<const uint8_t> f) {
+    agent.handle_frame(f);
+  };
+  const ipc::FrameSink dp_rx = [&](std::span<const uint8_t> f) {
+    dp.handle_frame(f, now);
+  };
+  pump(agent_end, agent_rx);
+  pump(dp_end, dp_rx);
+
+  const Duration kAckGap = Duration::from_micros(1);
+  const Duration kRtt = Duration::from_millis(10);
+  constexpr size_t kBurst = 32;
+  // Persistent burst template, the way a poll-mode stack reuses its ring
+  // descriptors: the invariant fields are written once, each burst only
+  // refreshes flow id, clock, and RTT sample in place.
+  std::vector<datapath::FlowAck> burst(kBurst);
+  for (datapath::FlowAck& fa : burst) {
+    fa.sent_bytes = 1500;
+    fa.ev.bytes_acked = 1500;
+    fa.ev.packets_acked = 1;
+    fa.ev.bytes_in_flight = 64 * 1500;
+    fa.ev.packets_in_flight = 64;
+  }
+
+  auto run = [&](uint64_t acks) {
+    for (uint64_t i = 0; i < acks;) {
+      size_t nb = 0;
+      for (; nb < kBurst && i < acks; ++nb, ++i) {
+        now += kAckGap;
+        datapath::FlowAck& fa = burst[nb];
+        fa.flow_id = ids[i % n_flows];
+        fa.ev.now = now;
+        fa.ev.rtt_sample =
+            kRtt + Duration::from_nanos(static_cast<int64_t>(i % 1024) * 1000);
+      }
+      dp.on_ack_batch(std::span<const datapath::FlowAck>(burst.data(), nb));
+      if ((i & 255) == 0) {
+        dp.tick(now);
+        pump(agent_end, agent_rx);
+        pump(dp_end, dp_rx);
+      }
+    }
+  };
+
+  run(total_acks / 10);  // warm-up: programs installed, SoA staging sized
+  const TimePoint t0 = monotonic_now();
+  const double c0 = thread_cpu_secs();
+  run(total_acks);
+  const double c1 = thread_cpu_secs();
+  const TimePoint t1 = monotonic_now();
+
+  RunResult r;
+  r.acks_per_sec = static_cast<double>(total_acks) / (t1 - t0).secs();
+  r.acks_per_cpu_sec = static_cast<double>(total_acks) / (c1 - c0);
+  if (frames_to_agent != nullptr) r.frames_to_agent = *frames_to_agent;
+  return r;
+}
+
+RunResult run_full(bool batch, const datapath::FlowConfig& fcfg = {}) {
   auto pair = ipc::make_inproc_pair();
   uint64_t frames = 0;
   datapath::DatapathConfig dcfg;
@@ -134,6 +227,9 @@ RunResult run_full(const datapath::FlowConfig& fcfg = {}) {
   agent::AgentConfig acfg;
   agent::CcpAgent agent(acfg, [&](std::span<const uint8_t> f) { pair.b->send_frame(f); });
   algorithms::register_builtin_algorithms(agent);
+  if (batch) {
+    return drive_batch(dp, *pair.a, agent, *pair.b, kFlows, kAcks, &frames, fcfg);
+  }
   return drive(dp, *pair.a, agent, *pair.b, kFlows, kAcks, &frames, fcfg);
 }
 
@@ -155,12 +251,6 @@ struct ScalingResult {
   double cpu_acks_per_sec = 0;   // sum of per-shard acks / thread-CPU-time
   double wall_acks_per_sec = 0;  // total acks / wall time
 };
-
-double thread_cpu_secs() {
-  timespec ts{};
-  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
-  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) / 1e9;
-}
 
 /// One worker thread per shard, each folding ACKs through its own flow
 /// table, report batcher, and lane; the main thread plays the control
@@ -206,21 +296,33 @@ ScalingResult run_sharded(uint32_t n_shards, size_t flows_per_shard,
       datapath::Shard& shard = dp.shard(s);
       TimePoint now = now0;
       const Duration kRtt = Duration::from_millis(10);
-      datapath::AckEvent ev;
-      ev.bytes_acked = 1500;
-      ev.packets_acked = 1;
-      ev.bytes_in_flight = 64 * 1500;
-      ev.packets_in_flight = 64;
+      // Batch intake, same burst size as the single-core headline: each
+      // worker drains its shard's share of a coalesced ACK queue.
+      constexpr size_t kBurst = 32;
+      // Persistent template, same as drive_batch: invariants written
+      // once, per-ACK fields refreshed in place.
+      std::vector<datapath::FlowAck> burst(kBurst);
+      for (datapath::FlowAck& fa : burst) {
+        fa.sent_bytes = 1500;
+        fa.ev.bytes_acked = 1500;
+        fa.ev.packets_acked = 1;
+        fa.ev.bytes_in_flight = 64 * 1500;
+        fa.ev.packets_in_flight = 64;
+      }
       auto run = [&](uint64_t acks) {
-        for (uint64_t i = 0; i < acks; ++i) {
-          now += Duration::from_micros(1);
-          auto* fl = shard.flow(ids[s][i % ids[s].size()]);
-          ev.now = now;
-          ev.rtt_sample =
-              kRtt + Duration::from_nanos(static_cast<int64_t>(i % 1024) * 1000);
-          fl->on_send(datapath::SendEvent{now, 1500});
-          fl->on_ack(ev);
-          if ((i & 255) == 255) shard.poll(now);  // quiescent point
+        for (uint64_t i = 0; i < acks;) {
+          size_t nb = 0;
+          for (; nb < kBurst && i < acks; ++nb, ++i) {
+            now += Duration::from_micros(1);
+            datapath::FlowAck& fa = burst[nb];
+            fa.flow_id = ids[s][i % ids[s].size()];
+            fa.ev.now = now;
+            fa.ev.rtt_sample = kRtt + Duration::from_nanos(
+                                          static_cast<int64_t>(i % 1024) * 1000);
+          }
+          shard.on_ack_batch(
+              std::span<const datapath::FlowAck>(burst.data(), nb));
+          if ((i & 255) == 0) shard.poll(now);  // quiescent point
         }
       };
       run(acks_per_shard / 10);  // warm-up; picks up the installs below
@@ -395,7 +497,7 @@ int main(int argc, char** argv) {
   // runs easily exceeds the telemetry delta, so interleave the two
   // configurations and take best-of-N per config — best-of discards
   // frequency dips and scheduler noise, leaving the structural cost.
-  bench::section("full datapath: instrumented vs stripped vs watchdog vs flight recorder (best of 5, interleaved)");
+  bench::section("full datapath: instrumented vs stripped vs watchdog vs flight recorder vs batch intake (best of 5, interleaved)");
   constexpr int kRepeats = 5;
   // Watchdog-armed config: k-RTT staleness checking on, thresholds the
   // bench can never reach (the agent refreshes contact every report
@@ -403,42 +505,76 @@ int main(int argc, char** argv) {
   // check, not a fallback transition.
   datapath::FlowConfig wd_cfg;
   wd_cfg.watchdog_rtts = 8.0;
-  RunResult full{}, stripped{}, watchdog{}, recorder{};
+  RunResult full{}, stripped{}, watchdog{}, recorder{}, batch_best{};
   std::vector<double> overhead_trials;
   std::vector<double> recorder_trials;
+  std::vector<double> watchdog_trials;
+  std::vector<double> batch_trials;
   for (int r = 0; r < kRepeats; ++r) {
+    // Every overhead/speedup ratio below is computed on thread-CPU-time
+    // rates, not wall rates: this box shares its one core with the rest
+    // of the machine, and wall rates swing several percent run to run
+    // from preemption alone — more than every gate's threshold. CPU time
+    // charges a run only for cycles it actually got. Wall rates are
+    // still what the headline prints and the ratchet compares.
+    //
+    // The telemetry pair additionally runs as an ABBA quad —
+    // instrumented, stripped, stripped, instrumented — so any linear
+    // frequency drift across the four runs cancels in the paired means
+    // (a fixed-order pair books the drift as overhead; PR 6's committed
+    // 6.4% "overhead" was mostly that). The gated values are the same
+    // numbers the JSON reports.
     telemetry::set_enabled(true);
-    const RunResult a = run_full();
+    const RunResult a1 = run_full(/*batch=*/false);
+    telemetry::set_enabled(false);
+    const RunResult b1 = run_full(/*batch=*/false);
+    const RunResult b2 = run_full(/*batch=*/false);
+    telemetry::set_enabled(true);
+    const RunResult a2 = run_full(/*batch=*/false);
+    const RunResult& a = a1.acks_per_sec > a2.acks_per_sec ? a1 : a2;
+    const RunResult& b = b1.acks_per_sec > b2.acks_per_sec ? b1 : b2;
+    if (b.acks_per_sec > stripped.acks_per_sec) stripped = b;
     if (a.acks_per_sec > full.acks_per_sec) full = a;
+    const double am = 0.5 * (a1.acks_per_cpu_sec + a2.acks_per_cpu_sec);
+    const double bm = 0.5 * (b1.acks_per_cpu_sec + b2.acks_per_cpu_sec);
+    if (bm > 0) {
+      overhead_trials.push_back((bm - am) / bm * 100.0);
+    }
     // Flight-recorder config: spans recording through the full loop plus
     // the 1-in-1024 cycle profiler, on top of normal instrumentation.
     // Runs immediately after its instrumented pair so the per-trial
     // overhead difference sees the least machine drift.
     telemetry::enable_spans(4096);
     telemetry::set_profile_sample(1024);
-    const RunResult fr = run_full();
+    const RunResult fr = run_full(/*batch=*/false);
     if (fr.acks_per_sec > recorder.acks_per_sec) recorder = fr;
     telemetry::set_profile_sample(0);
     telemetry::disable_spans();
-    const RunResult w = run_full(wd_cfg);
-    if (w.acks_per_sec > watchdog.acks_per_sec) watchdog = w;
-    telemetry::set_enabled(false);
-    const RunResult b = run_full();
-    if (b.acks_per_sec > stripped.acks_per_sec) stripped = b;
-    // Overheads are computed per trial from adjacent pairs, so both
-    // halves of each comparison saw the same machine state.
-    if (b.acks_per_sec > 0) {
-      overhead_trials.push_back(
-          (b.acks_per_sec - a.acks_per_sec) / b.acks_per_sec * 100.0);
+    if (am > 0) {
+      // Denominator is the trial's instrumented MEAN (the ABBA average),
+      // not the best-of: fr is one run, and comparing it against the
+      // fastest instrumented run of the trial would book drift as cost.
+      recorder_trials.push_back((am - fr.acks_per_cpu_sec) / am * 100.0);
     }
-    if (a.acks_per_sec > 0) {
-      recorder_trials.push_back(
-          (a.acks_per_sec - fr.acks_per_sec) / a.acks_per_sec * 100.0);
+    const RunResult w = run_full(/*batch=*/false, wd_cfg);
+    if (w.acks_per_sec > watchdog.acks_per_sec) watchdog = w;
+    if (am > 0) {
+      watchdog_trials.push_back((am - w.acks_per_cpu_sec) / am * 100.0);
+    }
+    // The same workload through the cross-flow batch intake (bursts of
+    // 32 through on_ack_batch), instrumented like `a`. Per-trial ratio
+    // against the trial's instrumented mean so drift largely cancels in
+    // the median.
+    const RunResult bt = run_full(/*batch=*/true);
+    if (bt.acks_per_sec > batch_best.acks_per_sec) batch_best = bt;
+    if (am > 0) {
+      batch_trials.push_back(bt.acks_per_cpu_sec / am);
     }
   }
   telemetry::set_enabled(true);
-  std::printf("%zu flows, %llu ACKs\n", kFlows,
-              static_cast<unsigned long long>(kAcks));
+  std::printf("%zu flows, %llu ACKs per run; batch intake = bursts of 32 "
+              "via on_ack_batch\n",
+              kFlows, static_cast<unsigned long long>(kAcks));
   std::printf("  instrumented: %.2f M ACKs/sec (%llu frames to agent)\n",
               full.acks_per_sec / 1e6,
               static_cast<unsigned long long>(full.frames_to_agent));
@@ -446,40 +582,65 @@ int main(int argc, char** argv) {
   std::printf("  watchdog on:  %.2f M ACKs/sec\n", watchdog.acks_per_sec / 1e6);
   std::printf("  recorder on:  %.2f M ACKs/sec (spans + 1/1024 profiler)\n",
               recorder.acks_per_sec / 1e6);
+  std::printf("  batch intake: %.2f M ACKs/sec\n",
+              batch_best.acks_per_sec / 1e6);
+  double batch_speedup = 0.0;
+  if (!batch_trials.empty()) {
+    std::sort(batch_trials.begin(), batch_trials.end());
+    batch_speedup = batch_trials[batch_trials.size() / 2];
+  }
+  double batch_lanes_per_wave = 0.0;
+  double batch_simd_share_pct = 0.0;
+  {
+    const auto& m = telemetry::metrics();
+    const uint64_t waves = m.dp_batch_waves.value();
+    const uint64_t lanes = m.dp_batch_lanes_sum.value();
+    const uint64_t simd = m.dp_batch_simd_lanes.value();
+    if (waves > 0) {
+      batch_lanes_per_wave =
+          static_cast<double>(lanes) / static_cast<double>(waves);
+    }
+    if (lanes > 0) {
+      batch_simd_share_pct =
+          100.0 * static_cast<double>(simd) / static_cast<double>(lanes);
+    }
+    // On the fold-light default program the batch intake lands near
+    // parity: the packed kernel wins ~3.5x on the fold stage, but the
+    // fold is only ~a third of the per-ACK budget and SoA staging costs
+    // about what the kernel saves (Amdahl analysis in docs/PERF.md).
+    std::printf("  batch vs scalar intake %.2fx (median of paired CPU-time "
+                "trials); occupancy %.1f lanes/wave, %.0f%% SIMD lanes\n",
+                batch_speedup, batch_lanes_per_wave, batch_simd_share_pct);
+  }
   const double rep_p50_us =
       telemetry::metrics().report_latency_ns.quantile(0.5) / 1e3;
   const double rep_p99_us =
       telemetry::metrics().report_latency_ns.quantile(0.99) / 1e3;
   std::printf("report latency (emit -> agent handler): p50 %.1f us, p99 %.1f us\n",
               rep_p50_us, rep_p99_us);
-  // Median of the per-trial deltas, clamped at zero: best-of-per-config
-  // (the old method) compares two different trials, so ordinary run-to-run
-  // noise could report a *negative* overhead. The median of paired trials
-  // is drift-immune, and a negative median just means the cost is below
-  // the noise floor — report it as 0, not as a nonsensical speedup.
-  double overhead_pct = 0.0;
-  if (!overhead_trials.empty()) {
-    std::sort(overhead_trials.begin(), overhead_trials.end());
-    overhead_pct =
-        std::max(0.0, overhead_trials[overhead_trials.size() / 2]);
-  }
-  std::printf("telemetry overhead: %.2f%% (median of %d paired trials, "
-              "target < 3%%)\n",
+  // Median of the per-trial CPU-time deltas, clamped at zero:
+  // best-of-per-config (the old method) compares two different trials on
+  // wall rates, so ordinary run-to-run noise could report a *negative*
+  // overhead. The median of paired CPU-time trials is drift- and
+  // preemption-immune, and a negative median just means the cost is
+  // below the noise floor — report it as 0, not as a nonsensical
+  // speedup.
+  const auto clamped_median = [](std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    return std::max(0.0, v[v.size() / 2]);
+  };
+  const double overhead_pct = clamped_median(overhead_trials);
+  std::printf("telemetry overhead: %.2f%% (median of %d paired CPU-time "
+              "trials, target < 3%%)\n",
               overhead_pct, kRepeats);
-  const double watchdog_overhead_pct =
-      full.acks_per_sec > 0
-          ? (full.acks_per_sec - watchdog.acks_per_sec) / full.acks_per_sec * 100.0
-          : 0.0;
-  std::printf("watchdog overhead:  %.2f%% vs instrumented (target < 2%%)\n",
-              watchdog_overhead_pct);
-  double recorder_overhead_pct = 0.0;
-  if (!recorder_trials.empty()) {
-    std::sort(recorder_trials.begin(), recorder_trials.end());
-    recorder_overhead_pct =
-        std::max(0.0, recorder_trials[recorder_trials.size() / 2]);
-  }
+  const double watchdog_overhead_pct = clamped_median(watchdog_trials);
+  std::printf("watchdog overhead:  %.2f%% vs instrumented (median of %d "
+              "paired CPU-time trials, target < 2%%)\n",
+              watchdog_overhead_pct, kRepeats);
+  const double recorder_overhead_pct = clamped_median(recorder_trials);
   std::printf("recorder overhead:  %.2f%% vs instrumented (median of %d "
-              "paired trials, target < 1%%)\n",
+              "paired CPU-time trials, target < 6%%)\n",
               recorder_overhead_pct, kRepeats);
 
   bench::section("fold execution: interpreter vs JIT (best of 5, interleaved)");
@@ -537,6 +698,10 @@ int main(int argc, char** argv) {
       bench::bench_json_path(), "hotpath",
       {{full_key, bench::json_num(full.acks_per_sec)},
        {proto_key, bench::json_num(proto.acks_per_sec)},
+       {"batch_acks_per_sec", bench::json_num(batch_best.acks_per_sec)},
+       {"batch_speedup", bench::json_num(batch_speedup)},
+       {"batch_lanes_per_wave", bench::json_num(batch_lanes_per_wave)},
+       {"batch_simd_share_pct", bench::json_num(batch_simd_share_pct)},
        {"full_acks_per_sec_stripped", bench::json_num(stripped.acks_per_sec)},
        {"telemetry_overhead_pct", bench::json_num(overhead_pct)},
        {"watchdog_acks_per_sec", bench::json_num(watchdog.acks_per_sec)},
@@ -546,7 +711,15 @@ int main(int argc, char** argv) {
        {"report_latency_p50_us", bench::json_num(rep_p50_us)},
        {"report_latency_p99_us", bench::json_num(rep_p99_us)},
        {"n_flows", bench::json_num(static_cast<double>(kFlows))},
-       {"acks", bench::json_num(static_cast<double>(kAcks))}});
+       {"acks", bench::json_num(static_cast<double>(kAcks))},
+       {"methodology",
+        "\"full_* keys drive per-ACK on_send/on_ack (the ratcheted headline, "
+        "wall clock); batch_acks_per_sec is the same workload in bursts of 32 "
+        "through on_ack_batch. All *_overhead_pct and batch_speedup ratios are "
+        "medians of per-trial thread-CPU-time comparisons (telemetry as an "
+        "ABBA quad) so container preemption and frequency drift cancel — "
+        "batch lands near parity on the fold-light default program (SoA "
+        "staging offsets the packed-kernel fold win; see docs/PERF.md)\""}});
   bench::update_json_section(
       bench::bench_json_path(), "jit",
       {{"available", bench::json_num(lang::jit::available() ? 1.0 : 0.0)},
@@ -572,11 +745,19 @@ int main(int argc, char** argv) {
        {"shards_8_wall_acks_per_sec", bench::json_num(scaling[3].wall_acks_per_sec)},
        {"speedup_4_shards",
         bench::json_num(scaling[2].cpu_acks_per_sec / scaling[0].cpu_acks_per_sec)},
+       {"wall_speedup_4_shards",
+        bench::json_num(scaling[0].wall_acks_per_sec > 0
+                            ? scaling[2].wall_acks_per_sec /
+                                  scaling[0].wall_acks_per_sec
+                            : 0.0)},
        {"acks_per_shard", bench::json_num(static_cast<double>(kAcksPerShard))},
        {"hw_cores", bench::json_num(static_cast<double>(hw_cores))},
        {"methodology",
-        "\"aggregate of per-shard rates on CLOCK_THREAD_CPUTIME_ID; equals "
-        "wall-clock aggregate when cores >= shards\""}});
+        "\"speedup_4_shards is a CPU-TIME aggregate (sum of per-shard rates "
+        "on CLOCK_THREAD_CPUTIME_ID): it measures per-shard sync overhead, "
+        "not parallel capacity, and can approach n_shards even on one core. "
+        "wall_speedup_4_shards is the wall-clock ratio and is the honest "
+        "parallelism number; expect ~1x when hw_cores < shards\""}});
 
   if (enforce_ratio > 0) {
     if (!have_committed) {
@@ -609,28 +790,35 @@ int main(int argc, char** argv) {
                   scaling[0].cpu_acks_per_sec, enforce_ratio * 100.0,
                   committed_1shard);
     }
-    // Arming the watchdog must cost < 2% of the instrumented rate. Both
-    // numbers come from this run (interleaved best-of-5), so machine
-    // drift cancels and a fixed ratio is safe to enforce.
-    constexpr double kWatchdogMinRatio = 0.98;
-    if (watchdog.acks_per_sec < kWatchdogMinRatio * full.acks_per_sec) {
+    // Arming the watchdog must cost < 2% of the instrumented rate. Gated
+    // on the median of paired per-trial CPU-time overheads (same
+    // estimator as the printed number): best-of wall rates from two
+    // different trials wobble several percent on a shared box, which at a
+    // 2% resolution is pure noise.
+    constexpr double kWatchdogMaxOverheadPct = 2.0;
+    if (watchdog_overhead_pct >= kWatchdogMaxOverheadPct) {
       std::fprintf(stderr,
-                   "[enforce] FAIL: watchdog-enabled %.3g ACKs/sec < %.0f%% of "
-                   "instrumented %.3g (overhead %.2f%%, target < 2%%)\n",
-                   watchdog.acks_per_sec, kWatchdogMinRatio * 100.0,
-                   full.acks_per_sec, watchdog_overhead_pct);
+                   "[enforce] FAIL: watchdog overhead %.2f%% >= %.0f%% "
+                   "(watchdog %.3g vs instrumented %.3g ACKs/sec)\n",
+                   watchdog_overhead_pct, kWatchdogMaxOverheadPct,
+                   watchdog.acks_per_sec, full.acks_per_sec);
       return 1;
     }
-    std::printf("[enforce] ok: watchdog-enabled %.3g ACKs/sec >= %.0f%% of "
-                "instrumented %.3g (overhead %.2f%%)\n",
-                watchdog.acks_per_sec, kWatchdogMinRatio * 100.0,
-                full.acks_per_sec, watchdog_overhead_pct);
+    std::printf("[enforce] ok: watchdog overhead %.2f%% < %.0f%% "
+                "(watchdog %.3g vs instrumented %.3g ACKs/sec)\n",
+                watchdog_overhead_pct, kWatchdogMaxOverheadPct,
+                watchdog.acks_per_sec, full.acks_per_sec);
     // The flight recorder (full-loop spans + sampled cycle profiler) must
-    // cost < 1% on top of plain instrumentation. Gate on the median of
-    // the per-repeat paired overheads rather than the best-of-5 rates: at
-    // a 1% resolution the point estimates wobble more than the median of
-    // adjacent A/B pairs, which cancels machine drift per trial.
-    constexpr double kRecorderMaxOverheadPct = 1.0;
+    // cost < 6% on top of plain instrumentation. The budget moved when
+    // span ids became conditional on spans_active(): span tracing used to
+    // run whenever telemetry was on and billed ~4-5% to the baseline
+    // telemetry gate (PR6: 6.4% telemetry + 0.6% recorder); now the
+    // flight-recorder config carries the full span+profiler cost
+    // (~2.3% + ~4.5%) and the always-on tier is cheap. Gate on the median
+    // of the per-repeat paired overheads rather than the best-of-5 rates:
+    // the point estimates wobble more than the median of adjacent A/B
+    // pairs, which cancels machine drift per trial.
+    constexpr double kRecorderMaxOverheadPct = 6.0;
     if (recorder_overhead_pct >= kRecorderMaxOverheadPct) {
       std::fprintf(stderr,
                    "[enforce] FAIL: recorder overhead %.2f%% >= %.0f%% "
@@ -643,6 +831,63 @@ int main(int argc, char** argv) {
                 "(recorder %.3g vs instrumented %.3g ACKs/sec)\n",
                 recorder_overhead_pct, kRecorderMaxOverheadPct,
                 recorder.acks_per_sec, full.acks_per_sec);
+    // Base telemetry must cost < 3%. The gated value IS the JSON value:
+    // the median of adjacent stripped/instrumented pairs — no second
+    // estimator that can drift apart from what the report shows.
+    constexpr double kTelemetryMaxOverheadPct = 3.0;
+    if (overhead_pct >= kTelemetryMaxOverheadPct) {
+      std::fprintf(stderr,
+                   "[enforce] FAIL: telemetry overhead %.2f%% >= %.0f%% "
+                   "(instrumented %.3g vs stripped %.3g ACKs/sec)\n",
+                   overhead_pct, kTelemetryMaxOverheadPct, full.acks_per_sec,
+                   stripped.acks_per_sec);
+      return 1;
+    }
+    std::printf("[enforce] ok: telemetry overhead %.2f%% < %.0f%% "
+                "(instrumented %.3g vs stripped %.3g ACKs/sec)\n",
+                overhead_pct, kTelemetryMaxOverheadPct, full.acks_per_sec,
+                stripped.acks_per_sec);
+    // Batch intake no-pathology guard. On the fold-light default program
+    // the grouped path is near scalar parity (the ~3.5x packed-kernel
+    // fold win is offset by SoA staging on a fold that is only ~a third
+    // of the per-ACK budget — docs/PERF.md works the Amdahl math), so the
+    // gate catches regressions in the batch machinery itself rather than
+    // demanding a speedup this workload cannot show: the grouped path
+    // must stay within 25% of scalar, waves must fill, and eligible
+    // lanes must actually take the packed kernel. Builds without packed
+    // kernels (non-x86-64, -DCCP_ENABLE_SIMD=OFF) batch the intake but
+    // fold per lane; only the floor applies there.
+    constexpr double kBatchMinSpeedup = 0.75;
+    if (batch_speedup < kBatchMinSpeedup) {
+      std::fprintf(stderr,
+                   "[enforce] FAIL: batch intake %.3g ACKs/sec is only "
+                   "%.2fx the scalar API's %.3g (floor %.2fx)\n",
+                   batch_best.acks_per_sec, batch_speedup, full.acks_per_sec,
+                   kBatchMinSpeedup);
+      return 1;
+    }
+    std::printf("[enforce] ok: batch intake = %.2fx scalar API "
+                "(floor %.2fx)\n",
+                batch_speedup, kBatchMinSpeedup);
+    if (lang::jit::simd_available()) {
+      constexpr double kBatchMinLanesPerWave = 8.0;
+      constexpr double kBatchMinSimdSharePct = 90.0;
+      if (batch_lanes_per_wave < kBatchMinLanesPerWave ||
+          batch_simd_share_pct < kBatchMinSimdSharePct) {
+        std::fprintf(stderr,
+                     "[enforce] FAIL: batch occupancy %.1f lanes/wave, "
+                     "%.0f%% SIMD lanes (need >= %.0f and >= %.0f%%)\n",
+                     batch_lanes_per_wave, batch_simd_share_pct,
+                     kBatchMinLanesPerWave, kBatchMinSimdSharePct);
+        return 1;
+      }
+      std::printf("[enforce] ok: batch occupancy %.1f lanes/wave, "
+                  "%.0f%% SIMD lanes\n",
+                  batch_lanes_per_wave, batch_simd_share_pct);
+    } else {
+      std::printf("[enforce] no packed batch kernels in this build; "
+                  "skipping batch occupancy gate\n");
+    }
     // Native lowering must actually buy something: >= 1.3x over the
     // interpreter on the fold-heavy program. Both rates come from the
     // same interleaved A/B in this run, so the ratio is drift-immune.

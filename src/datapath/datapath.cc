@@ -52,12 +52,15 @@ CcpFlow& CcpDatapath::create_flow_with_id(ipc::FlowId id, const FlowConfig& cfg,
 
 void CcpDatapath::close_flow(ipc::FlowId id, TimePoint now) {
   alg_hints_.erase(id);
-  if (flows_.erase(id) > 0) {
+  if (auto* fl = flows_.find(id); fl != nullptr) {
     if (telemetry::enabled()) {
       auto& m = telemetry::metrics();
+      // Residual ACK accounting the flow hasn't drained at a report/tick.
+      m.dp_acks.inc((*fl)->take_unreported_acks());
       m.flows_closed.inc();
-      m.active_flows.set(static_cast<int64_t>(flows_.size()));
+      m.active_flows.set(static_cast<int64_t>(flows_.size() - 1));
     }
+    flows_.erase(id);
     telemetry::trace(telemetry::TraceKind::FlowClose, id, 0.0);
     enqueue(ipc::FlowCloseMsg{id}, /*urgent=*/true, now);
   }
@@ -99,7 +102,8 @@ void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
   // Span close bookkeeping: in the single-core datapath a command is
   // applied synchronously right after decode, so "enqueue" is the decode
   // completion time and "apply" is read per command below.
-  const uint64_t enqueue_ns = telemetry::enabled() ? telemetry::now_ns() : 0;
+  const uint64_t enqueue_ns =
+      telemetry::spans_active() ? telemetry::now_ns() : 0;
   for (size_t i = 0; i < n_msgs; ++i) {
     const auto& msg = msgs[i];
     ++stats_.msgs_received;
@@ -110,8 +114,8 @@ void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
             if (CcpFlow* fl = flow(m.flow_id)) {
               try {
                 fl->install(m, now);
-                telemetry::close_span(m.span, enqueue_ns, telemetry::now_ns(),
-                                      m.flow_id, telemetry::SpanCommand::Install);
+                telemetry::close_span_now(m.span, enqueue_ns, m.flow_id,
+                                          telemetry::SpanCommand::Install);
               } catch (const lang::ProgramError& e) {
                 ++stats_.install_errors;
                 if (telemetry::enabled()) {
@@ -125,9 +129,8 @@ void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
             if (CcpFlow* fl = flow(m.flow_id)) {
               try {
                 fl->update_fields(m, now);
-                telemetry::close_span(m.span, enqueue_ns, telemetry::now_ns(),
-                                      m.flow_id,
-                                      telemetry::SpanCommand::UpdateFields);
+                telemetry::close_span_now(m.span, enqueue_ns, m.flow_id,
+                                          telemetry::SpanCommand::UpdateFields);
               } catch (const lang::ProgramError& e) {
                 ++stats_.install_errors;
                 CCP_WARN("datapath: bad update_fields for flow %u: %s", m.flow_id,
@@ -137,9 +140,8 @@ void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
           } else if constexpr (std::is_same_v<T, ipc::DirectControlMsg>) {
             if (CcpFlow* fl = flow(m.flow_id)) {
               fl->direct_control(m, now);
-              telemetry::close_span(m.span, enqueue_ns, telemetry::now_ns(),
-                                    m.flow_id,
-                                    telemetry::SpanCommand::DirectControl);
+              telemetry::close_span_now(m.span, enqueue_ns, m.flow_id,
+                                        telemetry::SpanCommand::DirectControl);
             }
           } else if constexpr (std::is_same_v<T, ipc::ResyncRequestMsg>) {
             replay_flow_summaries(now, m.token);
@@ -181,7 +183,23 @@ size_t CcpDatapath::replay_flow_summaries(TimePoint now, uint64_t token) {
 
 void CcpDatapath::tick(TimePoint now) {
   last_event_time_ = now;
-  for (auto& [id, flow] : flows_) flow->tick(now);
+  // Drain per-flow ACK counts into the global counter on a slow cadence
+  // (and at report/close) instead of paying an atomic RMW on every ACK.
+  // Flows that report regularly drain themselves in emit_report; this
+  // catches idle tails — flows that stopped folding, or whose program
+  // never Report()s — so ccp_dp_acks_total still converges. Every 64th
+  // tick is plenty fresh for a rate counter and keeps the drain walk off
+  // the tick path a high-frequency driver spins.
+  if ((++tick_seq_ & 63) == 0 && telemetry::enabled()) {
+    uint64_t acks = 0;
+    for (auto& [id, flow] : flows_) {
+      acks += flow->take_unreported_acks();
+      flow->tick(now);
+    }
+    if (acks > 0) telemetry::metrics().dp_acks.inc(acks);
+  } else {
+    for (auto& [id, flow] : flows_) flow->tick(now);
+  }
   if (pending_msgs_ > 0 && now - oldest_pending_ >= config_.flush_interval) {
     flush();
   }

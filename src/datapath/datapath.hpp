@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "datapath/ack_batch.hpp"
 #include "datapath/flow.hpp"
 #include "ipc/wire.hpp"
 #include "util/flat_map.hpp"
@@ -67,6 +68,15 @@ class CcpDatapath {
     return slot == nullptr ? nullptr : slot->get();
   }
 
+  /// Feeds a whole burst of ACKs through the cross-flow batch runner:
+  /// behaviorally equivalent to the per-ACK on_send/on_ack sequence in
+  /// arrival order (same messages, same bytes), but same-program flows
+  /// fold in grouped batch calls — packed SIMD where the program is
+  /// eligible. See datapath/ack_batch.hpp for the peeling rules.
+  void on_ack_batch(std::span<const FlowAck> burst) {
+    batch_runner_.run(*this, burst);
+  }
+
   /// Feeds one frame from the agent. Malformed frames and bad programs
   /// are counted and dropped — never fatal (§5).
   void handle_frame(std::span<const uint8_t> frame, TimePoint now);
@@ -115,6 +125,7 @@ class CcpDatapath {
   std::vector<uint8_t> flush_buf_;  // swapped with the encoder at flush
   TimePoint oldest_pending_{};
   TimePoint last_event_time_{};  // freshest tick time, stamps sink messages
+  uint32_t tick_seq_ = 0;        // paces the slow-cadence metric drain
 
   // Incoming decode scratch, reused across frames. `rx_busy_` guards
   // against reentrant handle_frame (a synchronously wired agent can loop
@@ -122,6 +133,8 @@ class CcpDatapath {
   // back to a local vector.
   std::vector<ipc::Message> rx_scratch_;
   bool rx_busy_ = false;
+
+  AckBatchRunner batch_runner_;
 
   DatapathStats stats_;
   telemetry::ShardStats* shard_stats_ = nullptr;  // sharded mode only

@@ -45,4 +45,18 @@ struct SendEvent {
   uint64_t bytes = 0;
 };
 
+/// How the cross-flow batch runner (datapath/ack_batch.cc) executes one
+/// lane's fold. The value is a pure function of the flow's install-time
+/// latches (engine choice, vector mode), so CcpFlow caches it in its hot
+/// block at every transition and the runner's per-ACK classification is
+/// one byte load instead of a walk over the fold machine's flags.
+enum class BatchExec : uint8_t {
+  Simd,         // packed batch kernel over the group's SoA slice
+  BatchInterp,  // scalar batch interpreter over the SoA slice
+  PerLane,      // fold_.on_packet per lane (scalar JIT w/o kernel)
+  Verify,       // batch engine on a shadow + authoritative scalar,
+                // bitwise-compared per lane (CCP_JIT=Verify)
+  Peel,         // full scalar on_ack at finish time
+};
+
 }  // namespace ccp::datapath

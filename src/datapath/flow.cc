@@ -70,14 +70,15 @@ CcpFlow::CcpFlow(ipc::FlowId id, FlowConfig config, MessageSink sink)
     : id_(id),
       config_(config),
       sink_(std::move(sink)),
-      cwnd_bytes_(config.init_cwnd_bytes),
-      cwnd_target_bytes_(config.init_cwnd_bytes),
       snd_rate_(config.rate_window),
       rcv_rate_(config.rate_window) {
+  hot_.cwnd_bytes = config.init_cwnd_bytes;
+  hot_.cwnd_target_bytes = config.init_cwnd_bytes;
   // Shared across every flow: the default program is compiled exactly
   // once per process, not once per flow.
   program_ = lang::compile_text_shared(kDefaultProgram);
   fold_.install(program_.get(), {});
+  refresh_batch_exec();
   watchdog_enabled_ =
       !config_.agent_timeout.is_zero() || config_.watchdog_rtts > 0;
 }
@@ -90,20 +91,29 @@ CcpFlow::~CcpFlow() {
 }
 
 Duration CcpFlow::srtt() const {
-  return Duration::from_nanos(static_cast<int64_t>(srtt_us_.value() * 1000.0));
+  return Duration::from_nanos(static_cast<int64_t>(hot_.srtt_us.value() * 1000.0));
 }
 
 Duration CcpFlow::rtt_or_default() const {
-  if (srtt_us_.initialized() && srtt_us_.value() > 0) return srtt();
+  if (hot_.srtt_us.initialized() && hot_.srtt_us.value() > 0) return srtt();
   return config_.default_report_interval;
 }
 
 // Delivery/sending rates are most meaningful over roughly one RTT
 // (BBR-style delivery rate sampling). Called right before the estimators
 // are queried — not per ACK, where the double->Duration conversion was
-// measurable overhead for programs that never read the rates.
+// measurable overhead for programs that never read the rates — and a
+// no-op until the smoothed RTT has drifted 3% from the last retune: the
+// horizon is a soft "roughly one RTT", and chasing every EWMA wiggle
+// with two set_window calls (each invalidating the rate caches) was pure
+// overhead on the steady-state path.
 void CcpFlow::tune_rate_windows() {
-  if (!srtt_us_.initialized()) return;
+  if (!hot_.srtt_us.initialized()) return;
+  const double cur = hot_.srtt_us.value();
+  if (cur > hot_.tuned_srtt_us * 0.97 && cur < hot_.tuned_srtt_us * 1.03) {
+    return;
+  }
+  hot_.tuned_srtt_us = cur;
   const Duration window = std::max(srtt(), Duration::from_millis(1));
   snd_rate_.set_window(window);
   rcv_rate_.set_window(window);
@@ -116,7 +126,7 @@ void CcpFlow::tune_rate_windows() {
 void CcpFlow::fill_pkt_info(const AckEvent& ev) {
   lang::PktInfo& pkt = last_pkt_;
   pkt.rtt_us = ev.rtt_sample.is_zero()
-                   ? srtt_us_.value()
+                   ? hot_.srtt_us.value()
                    : static_cast<double>(ev.rtt_sample.micros());
   pkt.bytes_acked = static_cast<double>(ev.bytes_acked);
   pkt.packets_acked = static_cast<double>(ev.packets_acked);
@@ -129,55 +139,42 @@ void CcpFlow::fill_pkt_info(const AckEvent& ev) {
   // samples are off). Zero matches what a fresh PktInfo would carry.
   // The horizon retune (roughly one RTT, BBR-style delivery rate
   // sampling) also lives here, on the queried path only.
-  const bool want_snd = vector_mode_ || program_ == nullptr ||
+  const bool want_snd = hot_.vector_mode || program_ == nullptr ||
                         program_->reads_pkt_field(lang::PktField::SndRateBps);
-  const bool want_rcv = vector_mode_ || program_ == nullptr ||
+  const bool want_rcv = hot_.vector_mode || program_ == nullptr ||
                         program_->reads_pkt_field(lang::PktField::RcvRateBps);
   if (want_snd || want_rcv) tune_rate_windows();
-  pkt.snd_rate_bps = want_snd ? snd_rate_.rate_bps(ev.now) : 0.0;
-  pkt.rcv_rate_bps = want_rcv ? rcv_rate_.rate_bps(ev.now) : 0.0;
+  // TTL-cached (window/8): per-ACK reads tolerate an estimate a fraction
+  // of the window stale; loss/timeout and control paths still query the
+  // exact-now rate_bps().
+  pkt.snd_rate_bps = want_snd ? snd_rate_.rate_bps_cached(ev.now) : 0.0;
+  pkt.rcv_rate_bps = want_rcv ? rcv_rate_.rate_bps_cached(ev.now) : 0.0;
   pkt.bytes_in_flight = static_cast<double>(ev.bytes_in_flight);
   pkt.packets_in_flight = static_cast<double>(ev.packets_in_flight);
   pkt.bytes_pending = static_cast<double>(ev.bytes_pending);
   pkt.now_us = static_cast<double>(ev.now.nanos()) / 1000.0;
   pkt.mss = static_cast<double>(config_.mss);
-  pkt.cwnd = static_cast<double>(cwnd_bytes_);
-  pkt.rate_bps = rate_bps_;
+  pkt.cwnd = static_cast<double>(hot_.cwnd_bytes);
+  pkt.rate_bps = hot_.rate_bps;
 }
 
-void CcpFlow::on_ack(const AckEvent& ev) {
-  // Cycle-profiler gate: one relaxed load; when sampling is on, every
-  // (mask+1)th ACK of this flow collects per-stage rdtsc stamps on the
-  // stack (zero-alloc) and commits them in one cold call at fold_event
-  // exit. ACK accounting is genuinely per ACK (the old per-batch delta
-  // counting is ccp_dp_report_batches_total's job now).
-  telemetry::ProfSample prof;
-  telemetry::ProfSample* ps = nullptr;
-  if (telemetry::enabled()) {
-    telemetry::metrics().dp_acks.inc();
-    const uint32_t mask = telemetry::profile_sample_mask();
-    if (mask != 0 &&
-        (static_cast<uint32_t>(acks_folded_total_) & mask) == 0) [[unlikely]] {
-      ps = &prof;
-      prof.entry = telemetry::prof_cycles();
-    }
-  }
-  if (config_.smooth_cwnd && cwnd_target_bytes_ > cwnd_bytes_) {
+void CcpFlow::measure_ack(const AckEvent& ev) {
+  ++hot_.acks_seen;  // plain; drained into ccp_dp_acks_total at flush points
+  if (config_.smooth_cwnd && hot_.cwnd_target_bytes > hot_.cwnd_bytes) {
     // Open the window by at most the bytes this ACK freed: the ramp is
     // ACK-clocked, so the instantaneous send rate never exceeds 2x the
     // bottleneck (classic slow-start pacing, never a window-sized burst).
-    cwnd_bytes_ = std::min(cwnd_target_bytes_, cwnd_bytes_ + ev.bytes_acked);
+    hot_.cwnd_bytes =
+        std::min(hot_.cwnd_target_bytes, hot_.cwnd_bytes + ev.bytes_acked);
   }
   if (!ev.rtt_sample.is_zero()) {
-    const double rtt_us = static_cast<double>(ev.rtt_sample.micros());
-    srtt_us_.update(rtt_us);
-    min_rtt_us_.update(rtt_us, ev.now);
+    hot_.srtt_us.update(static_cast<double>(ev.rtt_sample.micros()));
   }
   rcv_rate_.on_bytes(ev.bytes_delivered > 0 ? ev.bytes_delivered : ev.bytes_acked,
                      ev.now);
 
   fill_pkt_info(ev);
-  if (vector_mode_ &&
+  if (hot_.vector_mode &&
       vector_samples_.size() <
           config_.max_vector_samples * kVectorFieldsPerPkt) {
     const lang::PktInfo& pkt = last_pkt_;
@@ -185,14 +182,63 @@ void CcpFlow::on_ack(const AckEvent& ev) {
                            {pkt.rtt_us, pkt.bytes_acked, pkt.lost_packets, pkt.ecn,
                             pkt.snd_rate_bps, pkt.rcv_rate_bps});
   }
+}
+
+void CcpFlow::on_ack(const AckEvent& ev) {
+  // Cycle-profiler gate: one relaxed load (the profiler's own mask, no
+  // enabled() wrapper — sampling is opt-in and off by default, so this
+  // is the per-ACK path's only telemetry instruction); when sampling is
+  // on, every (mask+1)th ACK of this flow collects per-stage rdtsc
+  // stamps on the stack (zero-alloc) and commits them in one cold call
+  // at fold_event exit. ACK accounting is per-flow (hot_.acks_seen, a
+  // plain store in measure_ack) and drained into the global atomic
+  // counter at report/tick/close — no lock-prefixed add per ACK.
+  telemetry::ProfSample prof;
+  telemetry::ProfSample* ps = nullptr;
+  const uint32_t mask = telemetry::profile_sample_mask();
+  if (mask != 0 &&
+      (static_cast<uint32_t>(hot_.acks_folded_total) & mask) == 0) [[unlikely]] {
+    ps = &prof;
+    prof.entry = telemetry::prof_cycles();
+  }
+  measure_ack(ev);
   if (ps) ps->measure = telemetry::prof_cycles();
   fold_event(ev.now, ps);
+}
+
+void CcpFlow::ack_prepare(const AckEvent& ev) {
+  measure_ack(ev);
+  ++hot_.acks_since_report;
+  ++hot_.acks_folded_total;
+  // The watchdog can swap in the fallback program, so the batch runner
+  // groups lanes by program only after prepare. (In practice an expired
+  // deadline peels the lane to the scalar path before reaching here —
+  // fallback entry emits messages, which only the scalar path may do
+  // mid-sequence — so this stays the one-branch fast path.)
+  check_watchdog(ev.now);
+}
+
+void CcpFlow::ack_finish(bool urgent, TimePoint now) {
+  // Damping: at most one urgent notification per report interval. During
+  // a large loss episode every ACK can mark new losses; the agent only
+  // needs to hear about the episode once per control period (its own
+  // response cadence, §2.3), not once per ACK.
+  if (urgent && !hot_.urgent_since_report) {
+    hot_.urgent_since_report = true;
+    emit_urgent(last_pkt_.was_timeout != 0.0  ? ipc::UrgentKind::Timeout
+                : last_pkt_.lost_packets > 0  ? ipc::UrgentKind::Loss
+                : last_pkt_.ecn != 0.0        ? ipc::UrgentKind::Ecn
+                                              : ipc::UrgentKind::FoldUrgent);
+  }
+  // Steady-state fast path: while a control wait is pending, run_control
+  // would return immediately — skip the call.
+  if (!hot_.waiting || now >= hot_.wait_until) run_control(now);
 }
 
 void CcpFlow::on_loss(const LossEvent& ev) {
   if (telemetry::enabled()) telemetry::metrics().dp_loss_events.inc();
   lang::PktInfo pkt;
-  pkt.rtt_us = srtt_us_.value();
+  pkt.rtt_us = hot_.srtt_us.value();
   pkt.lost_packets = static_cast<double>(ev.lost_packets);
   tune_rate_windows();
   pkt.snd_rate_bps = snd_rate_.rate_bps(ev.now);
@@ -200,8 +246,8 @@ void CcpFlow::on_loss(const LossEvent& ev) {
   pkt.bytes_in_flight = static_cast<double>(ev.bytes_in_flight);
   pkt.now_us = static_cast<double>(ev.now.nanos()) / 1000.0;
   pkt.mss = static_cast<double>(config_.mss);
-  pkt.cwnd = static_cast<double>(cwnd_bytes_);
-  pkt.rate_bps = rate_bps_;
+  pkt.cwnd = static_cast<double>(hot_.cwnd_bytes);
+  pkt.rate_bps = hot_.rate_bps;
   last_pkt_ = pkt;
   fold_event(ev.now);
 }
@@ -209,38 +255,24 @@ void CcpFlow::on_loss(const LossEvent& ev) {
 void CcpFlow::on_timeout(const TimeoutEvent& ev) {
   if (telemetry::enabled()) telemetry::metrics().dp_timeouts.inc();
   lang::PktInfo pkt;
-  pkt.rtt_us = srtt_us_.value();
+  pkt.rtt_us = hot_.srtt_us.value();
   pkt.was_timeout = 1.0;
   pkt.now_us = static_cast<double>(ev.now.nanos()) / 1000.0;
   pkt.mss = static_cast<double>(config_.mss);
-  pkt.cwnd = static_cast<double>(cwnd_bytes_);
-  pkt.rate_bps = rate_bps_;
+  pkt.cwnd = static_cast<double>(hot_.cwnd_bytes);
+  pkt.rate_bps = hot_.rate_bps;
   last_pkt_ = pkt;
   fold_event(ev.now);
 }
 
 void CcpFlow::fold_event(TimePoint now, telemetry::ProfSample* ps) {
-  const lang::PktInfo& pkt = last_pkt_;
-  ++acks_since_report_;
-  ++acks_folded_total_;
+  ++hot_.acks_since_report;
+  ++hot_.acks_folded_total;
   check_watchdog(now);
   if (ps) ps->watchdog = telemetry::prof_cycles();
-  const bool urgent = fold_.on_packet(pkt);
+  const bool urgent = fold_.on_packet(last_pkt_);
   if (ps) ps->fold = telemetry::prof_cycles();
-  // Damping: at most one urgent notification per report interval. During
-  // a large loss episode every ACK can mark new losses; the agent only
-  // needs to hear about the episode once per control period (its own
-  // response cadence, §2.3), not once per ACK.
-  if (urgent && !urgent_since_report_) {
-    urgent_since_report_ = true;
-    emit_urgent(pkt.was_timeout != 0.0  ? ipc::UrgentKind::Timeout
-                : pkt.lost_packets > 0  ? ipc::UrgentKind::Loss
-                : pkt.ecn != 0.0        ? ipc::UrgentKind::Ecn
-                                        : ipc::UrgentKind::FoldUrgent);
-  }
-  // Steady-state fast path: while a control wait is pending, run_control
-  // would return immediately — skip the call.
-  if (!waiting_ || now >= wait_until_) run_control(now);
+  ack_finish(urgent, now);
   if (ps) {
     ps->done = telemetry::prof_cycles();
     telemetry::prof_commit(*ps, fold_.jit_active());
@@ -256,7 +288,7 @@ void CcpFlow::check_watchdog_slow(TimePoint now) {
   // Self-heal after a state transition that left an expired deadline
   // behind: a disarmed flow parks at max() and never comes back here.
   if (!watchdog_enabled_ || !agent_has_programmed_ || in_fallback_) {
-    watchdog_deadline_ = TimePoint::max();
+    hot_.watchdog_deadline = TimePoint::max();
     return;
   }
   // Stale only past *both* thresholds: the fixed agent_timeout (zero =
@@ -270,7 +302,7 @@ void CcpFlow::check_watchdog_slow(TimePoint now) {
     // Not stale: re-arm the fast-path deadline with the current srtt.
     // Agent contact after this leaves the deadline conservatively early;
     // the next crossing just lands here again and re-arms.
-    watchdog_deadline_ = last_agent_contact_ + threshold;
+    hot_.watchdog_deadline = last_agent_contact_ + threshold;
     return;
   }
   CCP_WARN("flow %u: agent silent for %lld ms; engaging datapath fallback",
@@ -287,7 +319,7 @@ void CcpFlow::enter_fallback(TimePoint now) {
   msg.var_names = {"init_cwnd", "ssthresh"};
   // Resume conservatively from half the current window, in congestion
   // avoidance (win == ssthresh).
-  const double half = std::max(static_cast<double>(cwnd_bytes_) / 2.0,
+  const double half = std::max(static_cast<double>(hot_.cwnd_bytes) / 2.0,
                                2.0 * config_.mss);
   msg.var_values = {half, half};
   install(msg, now);
@@ -309,7 +341,7 @@ void CcpFlow::record_fallback_exit(TimePoint now) {
     m.fallback_recovery_ns.record(ns > 0 ? static_cast<uint64_t>(ns) : 0);
   }
   telemetry::trace(telemetry::TraceKind::FallbackExit, id_,
-                   static_cast<double>(cwnd_bytes_));
+                   static_cast<double>(hot_.cwnd_bytes));
 }
 
 void CcpFlow::reinstall_default(TimePoint now) {
@@ -319,9 +351,9 @@ void CcpFlow::reinstall_default(TimePoint now) {
 
 void CcpFlow::run_control(TimePoint now) {
   if (program_ == nullptr || program_->control_ops.empty()) return;
-  if (waiting_) {
-    if (now < wait_until_) return;
-    waiting_ = false;
+  if (hot_.waiting) {
+    if (now < hot_.wait_until) return;
+    hot_.waiting = false;
     if (advance_pc_on_resume_) {
       ++control_pc_;
       if (control_pc_ >= program_->control_ops.size()) control_pc_ = 0;
@@ -333,11 +365,11 @@ void CcpFlow::run_control(TimePoint now) {
   // natural control timescale, §2.3).
   size_t executed = 0;
   const size_t n = program_->control_ops.size();
-  while (!waiting_) {
+  while (!hot_.waiting) {
     if (executed++ >= n) {
-      waiting_ = true;
+      hot_.waiting = true;
       advance_pc_on_resume_ = false;  // resume from this pc, don't skip it
-      wait_until_ = now + rtt_or_default();
+      hot_.wait_until = now + rtt_or_default();
       return;
     }
     const auto op = program_->control_ops[control_pc_];
@@ -350,17 +382,17 @@ void CcpFlow::run_control(TimePoint now) {
         break;
       case lang::ControlInstr::Op::Wait: {
         const double us = fold_.eval_control_arg(control_pc_, last_pkt_);
-        waiting_ = true;
+        hot_.waiting = true;
         advance_pc_on_resume_ = true;
-        wait_until_ =
+        hot_.wait_until =
             now + Duration::from_nanos(static_cast<int64_t>(std::max(0.0, us) * 1000));
         return;  // pc advances when the wait expires
       }
       case lang::ControlInstr::Op::WaitRtts: {
         const double rtts = fold_.eval_control_arg(control_pc_, last_pkt_);
-        waiting_ = true;
+        hot_.waiting = true;
         advance_pc_on_resume_ = true;
-        wait_until_ = now + rtt_or_default() * std::max(0.0, rtts);
+        hot_.wait_until = now + rtt_or_default() * std::max(0.0, rtts);
         return;
       }
       case lang::ControlInstr::Op::Report:
@@ -377,23 +409,26 @@ void CcpFlow::emit_report(TimePoint now) {
   auto& msg = std::get<ipc::MeasurementMsg>(report_msg_);
   msg.flow_id = id_;
   msg.report_seq = report_seq_++;
-  msg.num_acks_folded = acks_since_report_;
+  msg.num_acks_folded = hot_.acks_since_report;
   if (telemetry::enabled()) {
     auto& m = telemetry::metrics();
+    m.dp_acks.inc(take_unreported_acks());
     m.dp_reports.inc();
     m.dp_report_batches.inc();
     msg.emitted_ns = telemetry::now_ns();
-    // Open a control-loop span: the agent echoes the id (and our emit
+    // Open a control-loop span — only while the flight recorder is
+    // actually recording spans: the agent echoes the id (and our emit
     // time) onto whatever command this report provokes, and the span
-    // closes where that command is applied.
-    msg.span_id = telemetry::next_span_id();
+    // closes where that command is applied. With recording off the id
+    // stays 0 and every downstream hop skips its stamps and histograms.
+    msg.span_id = telemetry::spans_active() ? telemetry::next_span_id() : 0;
     telemetry::trace(telemetry::TraceKind::Report, id_,
                      static_cast<double>(msg.report_seq));
   } else {
     msg.emitted_ns = 0;
     msg.span_id = 0;
   }
-  if (vector_mode_) {
+  if (hot_.vector_mode) {
     msg.is_vector = true;
     // Copy instead of move: vector_samples_ keeps its capacity, so the
     // next interval's samples append without reallocating. Grow the
@@ -412,8 +447,8 @@ void CcpFlow::emit_report(TimePoint now) {
   }
   sink_(report_msg_, /*urgent=*/false);
   fold_.reset_volatile();
-  acks_since_report_ = 0;
-  urgent_since_report_ = false;
+  hot_.acks_since_report = 0;
+  hot_.urgent_since_report = false;
 }
 
 void CcpFlow::emit_urgent(ipc::UrgentKind kind) {
@@ -425,7 +460,7 @@ void CcpFlow::emit_urgent(ipc::UrgentKind kind) {
   if (telemetry::enabled()) {
     telemetry::metrics().dp_urgents.inc();
     msg.emitted_ns = telemetry::now_ns();
-    msg.span_id = telemetry::next_span_id();
+    msg.span_id = telemetry::spans_active() ? telemetry::next_span_id() : 0;
     telemetry::trace(telemetry::TraceKind::Urgent, id_,
                      static_cast<double>(static_cast<uint8_t>(kind)));
   } else {
@@ -441,18 +476,18 @@ void CcpFlow::set_cwnd(double bytes) {
                  static_cast<double>(config_.max_cwnd_bytes));
   const uint64_t target = static_cast<uint64_t>(clamped);
   telemetry::trace(telemetry::TraceKind::SetCwnd, id_, clamped);
-  cwnd_target_bytes_ = target;
-  if (!config_.smooth_cwnd || target <= cwnd_bytes_) {
+  hot_.cwnd_target_bytes = target;
+  if (!config_.smooth_cwnd || target <= hot_.cwnd_bytes) {
     // Decreases (and everything when smoothing is off) apply immediately.
-    cwnd_bytes_ = target;
+    hot_.cwnd_bytes = target;
   }
   // Increases ramp ACK-clocked in on_ack() (§3: "smooth congestion
   // window transitions in the datapath to avoid packet bursts").
 }
 
 void CcpFlow::set_rate(double bps) {
-  rate_bps_ = std::max(0.0, bps);
-  telemetry::trace(telemetry::TraceKind::SetRate, id_, rate_bps_);
+  hot_.rate_bps = std::max(0.0, bps);
+  telemetry::trace(telemetry::TraceKind::SetRate, id_, hot_.rate_bps);
 }
 
 void CcpFlow::install(const ipc::InstallMsg& msg, TimePoint now) {
@@ -473,16 +508,17 @@ void CcpFlow::install_compiled(std::shared_ptr<const lang::CompiledProgram> prog
   program_ = std::move(prog);
   fold_.install(program_.get(), std::move(var_values));
   control_pc_ = 0;
-  waiting_ = false;
-  acks_since_report_ = 0;
-  vector_mode_ = vector_mode;
+  hot_.waiting = false;
+  hot_.acks_since_report = 0;
+  hot_.vector_mode = vector_mode;
   vector_samples_.clear();
-  if (vector_mode_) {
+  if (hot_.vector_mode) {
     // Pre-size for a typical report interval so early ACKs do not grow
     // the buffer incrementally; the hard cap still bounds worst case.
     vector_samples_.reserve(
         std::min<size_t>(config_.max_vector_samples, 1024) * kVectorFieldsPerPkt);
   }
+  refresh_batch_exec();
   agent_has_programmed_ = true;
   if (in_fallback_) record_fallback_exit(now);
   last_agent_contact_ = now;

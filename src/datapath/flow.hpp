@@ -22,7 +22,6 @@
 #include "util/ewma.hpp"
 #include "util/rate_estimator.hpp"
 #include "util/time.hpp"
-#include "util/windowed_filter.hpp"
 
 namespace ccp::telemetry {
 struct ProfSample;  // per-stage cycle profiler (telemetry/profiler.hpp)
@@ -77,6 +76,50 @@ struct FlowConfig {
 /// scratch message per kind across calls — the zero-alloc report path).
 using MessageSink = std::function<void(const ipc::Message&, bool urgent)>;
 
+/// The flow state the per-ACK path actually touches, split out of CcpFlow
+/// so it packs into ~two cache lines regardless of how much cold
+/// configuration/resync state the flow carries. The cross-flow batch
+/// runner (datapath/ack_batch.cc) leans on this: a wave of ACKs walks one
+/// hot block + PktInfo per flow instead of dragging whole CcpFlow objects
+/// (rate-estimator rings included) through cache.
+struct FlowHot {
+  // Enforcement state (primitives (1) and (2) of §2.1).
+  uint64_t cwnd_bytes = 0;
+  uint64_t cwnd_target_bytes = 0;  // smooth-transition target (== cwnd if off)
+  double rate_bps = 0;
+
+  // Measurement state (primitive (3)). tuned_srtt_us remembers the srtt
+  // at the last rate-window retune so the retune can be skipped until the
+  // estimate actually moves (see CcpFlow::tune_rate_windows).
+  Ewma srtt_us{0.125};  // RFC 6298 gain
+  double tuned_srtt_us = 0;
+
+  // Control / report cadence.
+  bool waiting = false;
+  bool urgent_since_report = false;  // damping: one urgent per interval
+  bool vector_mode = false;          // §2.4 vector-of-measurements reporting
+  TimePoint wait_until{};
+  TimePoint watchdog_deadline = TimePoint::max();  // max() = disarmed
+  uint32_t acks_since_report = 0;
+  uint64_t acks_folded_total = 0;
+  // ACKs measured on this flow, ever (plain increment in measure_ack).
+  // The global ccp_dp_acks_total counter is fed from deltas of this at
+  // report/tick/close time — one atomic RMW per interval instead of a
+  // lock-prefixed add on every ACK of the hot path.
+  uint64_t acks_seen = 0;
+
+  // Id of the batch wave that last claimed this flow: a second ACK for
+  // the same flow inside one burst must not share a wave (its fold reads
+  // the first ACK's writes), so the runner flushes on a repeat.
+  uint64_t batch_epoch = 0;
+
+  // Cached batch execution class (see BatchExec). Recomputed on every
+  // install and vector-mode switch — the only transitions that change
+  // it — so the batch runner classifies a lane with one byte load plus
+  // the per-ACK gates (watchdog deadline, profiler sampling).
+  BatchExec exec_class = BatchExec::Peel;
+};
+
 class CcpFlow final : public CcModule {
  public:
   CcpFlow(ipc::FlowId id, FlowConfig config, MessageSink sink);
@@ -94,9 +137,9 @@ class CcpFlow final : public CcModule {
   void tick(TimePoint now) override;
 
   /// Current enforcement values the stack must obey.
-  uint64_t cwnd_bytes() const override { return cwnd_bytes_; }
+  uint64_t cwnd_bytes() const override { return hot_.cwnd_bytes; }
   /// 0 means "no pacing" (window-limited only).
-  double pacing_rate_bps() const override { return rate_bps_; }
+  double pacing_rate_bps() const override { return hot_.rate_bps; }
 
   // --- agent-facing API ---
 
@@ -116,8 +159,29 @@ class CcpFlow final : public CcModule {
   /// Switches between fold reporting and vector-of-measurements
   /// reporting (§2.4). In vector mode the flow records one sample per
   /// ACK and ships the raw vector at Report() time.
-  void set_vector_mode(bool enabled) { vector_mode_ = enabled; }
-  bool vector_mode() const { return vector_mode_; }
+  void set_vector_mode(bool enabled) {
+    hot_.vector_mode = enabled;
+    refresh_batch_exec();
+  }
+  bool vector_mode() const { return hot_.vector_mode; }
+
+  // --- cross-flow batch execution surface (datapath/ack_batch.cc) ---
+
+  /// First half of on_ack: measurement update, report/fold counters, and
+  /// the watchdog gate, leaving the ACK's fields in last_pkt(). The batch
+  /// runner calls this for every batch lane at intake, folds whole groups
+  /// through one kernel call, then completes each lane with ack_finish().
+  /// ack_prepare(ev) + fold + ack_finish(urgent, ev.now) is behaviorally
+  /// identical to on_ack(ev).
+  void ack_prepare(const AckEvent& ev);
+  /// Second half of on_ack: urgent damping/emission and the control gate.
+  /// `urgent` is the fold's urgent-register-changed verdict for this ACK.
+  void ack_finish(bool urgent, TimePoint now);
+  /// Mutable hot block / fold machine / packet view for the runner's
+  /// struct-of-arrays gather and scatter.
+  FlowHot& hot() { return hot_; }
+  lang::FoldMachine& fold_machine() { return fold_; }
+  const lang::PktInfo& last_pkt() const { return last_pkt_; }
 
   // --- introspection (tests, tracing) ---
 
@@ -131,7 +195,19 @@ class CcpFlow final : public CcModule {
   /// (JitMode On or Verify at install time and codegen succeeded).
   bool jit_active() const { return fold_.jit_active(); }
   uint64_t reports_sent() const { return report_seq_; }
-  uint64_t acks_folded_total() const { return acks_folded_total_; }
+  uint64_t acks_folded_total() const { return hot_.acks_folded_total; }
+
+  /// Returns the ACKs measured since the last call and marks them
+  /// flushed. The owning datapath drains this into the global
+  /// ccp_dp_acks_total counter at tick and flow-close (emit_report also
+  /// drains, so the counter is fresh at report cadence); keeping the
+  /// per-ACK count a plain per-flow field removes the atomic
+  /// read-modify-write from the per-ACK path.
+  uint64_t take_unreported_acks() {
+    const uint64_t d = hot_.acks_seen - acks_flushed_;
+    acks_flushed_ = hot_.acks_seen;
+    return d;
+  }
 
  private:
   /// Folds `last_pkt_` (filled in place by the event handlers — no
@@ -139,6 +215,9 @@ class CcpFlow final : public CcModule {
   /// only on profiler-sampled ACKs (on_ack decides); the stage stamps it
   /// collects cost one predictable branch each when sampling is off.
   void fold_event(TimePoint now, telemetry::ProfSample* ps = nullptr);
+  /// Measurement half of an ACK (cwnd ramp, srtt, delivery rate, packet
+  /// view, vector sample) — shared verbatim by on_ack and ack_prepare.
+  void measure_ack(const AckEvent& ev);
   /// Per-ACK staleness gate, reduced to a single time compare: the
   /// precise threshold (agent_timeout floor, k smoothed RTTs) is folded
   /// into a cached deadline, recomputed only when the deadline expires —
@@ -151,7 +230,7 @@ class CcpFlow final : public CcModule {
   /// estimate delays fallback by at most one old threshold, and crossing
   /// a deadline while fresh merely re-arms.
   void check_watchdog(TimePoint now) {
-    if (now < watchdog_deadline_) return;
+    if (now < hot_.watchdog_deadline) return;
     check_watchdog_slow(now);
   }
   void check_watchdog_slow(TimePoint now);
@@ -159,10 +238,20 @@ class CcpFlow final : public CcModule {
   /// (install, fallback entry/exit). Epoch forces the next check onto
   /// the slow path, which computes the real deadline; max() disarms.
   void rearm_watchdog() {
-    watchdog_deadline_ =
+    hot_.watchdog_deadline =
         (watchdog_enabled_ && agent_has_programmed_ && !in_fallback_)
             ? TimePoint::epoch()
             : TimePoint::max();
+  }
+  /// Re-derives hot_.exec_class from the fold machine's install-time
+  /// latches. Must run after every fold_.install and vector-mode change.
+  void refresh_batch_exec() {
+    hot_.exec_class = !fold_.installed() || hot_.vector_mode
+                          ? BatchExec::Peel
+                      : fold_.jit_verifying() ? BatchExec::Verify
+                      : fold_.batch_fn() != nullptr ? BatchExec::Simd
+                      : !fold_.jit_active() ? BatchExec::BatchInterp
+                                            : BatchExec::PerLane;
   }
   void enter_fallback(TimePoint now);
   void record_fallback_exit(TimePoint now);
@@ -180,14 +269,13 @@ class CcpFlow final : public CcModule {
   FlowConfig config_;
   MessageSink sink_;
 
-  // Enforcement state (primitives (1) and (2) of §2.1).
-  uint64_t cwnd_bytes_;
-  uint64_t cwnd_target_bytes_;  // smooth-transition target (== cwnd if off)
-  double rate_bps_ = 0;
+  // The per-ACK working set, adjacent by construction: the hot block and
+  // the packet view the fold reads.
+  FlowHot hot_;
+  lang::PktInfo last_pkt_;  // most recent event, for control-arg evaluation
 
-  // Measurement state (primitive (3)).
-  Ewma srtt_us_{0.125};  // RFC 6298 gain
-  WindowedFilter<double> min_rtt_us_{FilterKind::Min, Duration::from_secs(10)};
+  // Measurement state (primitive (3)), queried behind field gating and a
+  // short TTL cache rather than walked per ACK.
   RateEstimator snd_rate_;
   RateEstimator rcv_rate_;
 
@@ -197,12 +285,9 @@ class CcpFlow final : public CcModule {
   std::shared_ptr<const lang::CompiledProgram> program_;
   lang::FoldMachine fold_;
   size_t control_pc_ = 0;
-  bool waiting_ = false;
   bool advance_pc_on_resume_ = true;
-  TimePoint wait_until_{};
   uint64_t report_seq_ = 0;
-  uint32_t acks_since_report_ = 0;
-  bool urgent_since_report_ = false;  // damping: one urgent per interval
+  uint64_t acks_flushed_ = 0;  // watermark for take_unreported_acks()
 
   // Watchdog state. watchdog_enabled_ caches "either knob is set" so the
   // per-ACK staleness check stays one branch when the watchdog is off.
@@ -210,13 +295,9 @@ class CcpFlow final : public CcModule {
   bool agent_has_programmed_ = false;  // a non-default program is active
   bool in_fallback_ = false;
   TimePoint last_agent_contact_{};
-  TimePoint watchdog_deadline_ = TimePoint::max();  // max() = disarmed
   TimePoint fallback_entered_{};  // feeds the recovery-time histogram
-  uint64_t acks_folded_total_ = 0;
-  lang::PktInfo last_pkt_;  // most recent event, for control-arg evaluation
 
   // Vector mode (§2.4 first approach).
-  bool vector_mode_ = false;
   std::vector<double> vector_samples_;  // flattened kVectorFieldsPerPkt per ACK
 
   // Reusable outgoing messages: emit_report()/emit_urgent() mutate these

@@ -93,8 +93,7 @@ void Shard::apply(ShardCommand& cmd, TimePoint now) {
   }
   // Quiescent-point span close: the full report->decide->install loop
   // ends here on the sharded datapath.
-  telemetry::close_span(cmd.span, cmd.enqueue_ns, telemetry::now_ns(),
-                        cmd.flow_id, span_cmd);
+  telemetry::close_span_now(cmd.span, cmd.enqueue_ns, cmd.flow_id, span_cmd);
 }
 
 }  // namespace ccp::datapath

@@ -69,7 +69,8 @@ void ShardedDatapath::handle_frame(std::span<const uint8_t> frame) {
   // Spans on the sharded path: "enqueue" is the control plane pushing
   // the decoded command onto the owning shard's queue; the shard closes
   // the span when it applies the command at its next quiescent point.
-  const uint64_t enqueue_ns = telemetry::enabled() ? telemetry::now_ns() : 0;
+  const uint64_t enqueue_ns =
+      telemetry::spans_active() ? telemetry::now_ns() : 0;
   for (size_t i = 0; i < n_msgs; ++i) {
     std::visit(
         [&](const auto& m) {

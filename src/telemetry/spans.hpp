@@ -14,8 +14,11 @@
 // Cost model: span ids are allocated per *report* (per-RTT cadence, not
 // per ACK), the stamp travels by value inside messages that already
 // exist, and close_span() runs at command-apply time — all of it off
-// the per-ACK hot path. With telemetry off no ids are allocated and
-// every stamp stays zero, making the whole layer a no-op.
+// the per-ACK hot path. Ids are only allocated while span recording is
+// active (spans_active()): with recording off every stamp stays zero
+// and the whole layer — id allocation, hop stamping, the close-time
+// loop-stage histograms, the ring — is a no-op, so span tracing bills
+// to the flight-recorder tier it belongs to, not to baseline telemetry.
 #pragma once
 
 #include <atomic>
@@ -112,6 +115,11 @@ class SpanRing {
 
 /// Global span ring, or nullptr when off (one relaxed load).
 SpanRing* span_ring() noexcept;
+
+/// True while span recording is enabled. Span-id allocation keys off
+/// this: emitters attach ids (and hops pay their clock reads) only
+/// while someone is actually recording the loop.
+inline bool spans_active() noexcept { return span_ring() != nullptr; }
 
 /// Installs / removes the global ring. Startup / test setup only, like
 /// enable_trace(); CCP_SPAN_BUF=<n> does it from init_from_env().

@@ -24,6 +24,11 @@ Metrics::Metrics() {
   r.add("ccp_flows_created_total", &flows_created);
   r.add("ccp_flows_closed_total", &flows_closed);
 
+  r.add("ccp_dp_batch_lanes_sum", &dp_batch_lanes_sum);
+  r.add("ccp_dp_batch_lanes_total", &dp_batch_waves);
+  r.add("ccp_dp_batch_simd_lanes_total", &dp_batch_simd_lanes);
+  r.add("ccp_dp_batch_scalar_lanes_total", &dp_batch_scalar_lanes);
+
   r.add("ccp_ipc_ring_full_total", &ipc_ring_full);
   r.add("ccp_ipc_send_failures_total", &ipc_send_failures);
 

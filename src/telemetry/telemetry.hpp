@@ -79,7 +79,8 @@ struct ShardStats {
 /// MetricsRegistry::global() at construction. Access via metrics().
 struct Metrics {
   // -- datapath --
-  Counter dp_acks;             // ACKs folded (counted per ACK)
+  Counter dp_acks;             // ACKs measured (exact; per-flow counted,
+                               // drained at report/tick/close)
   Counter dp_report_batches;   // report batches emitted (one per report msg)
   Counter dp_loss_events;      // loss notifications into the fold machine
   Counter dp_timeouts;         // timeout events
@@ -95,6 +96,15 @@ struct Metrics {
   Counter dp_resync_flows;     // flow summaries replayed on agent resync
   Counter flows_created;
   Counter flows_closed;
+
+  // -- cross-flow batch execution (datapath/ack_batch.cc) --
+  // Occupancy = lanes_sum / lanes_total waves. simd/scalar split how each
+  // lane's fold actually executed: packed batch kernel vs any scalar-lane
+  // form (batch-interpreter lane, per-lane fold, peeled full-scalar ACK).
+  Counter dp_batch_lanes_sum;     // lanes summed over all batch waves
+  Counter dp_batch_waves;         // batch waves executed
+  Counter dp_batch_simd_lanes;    // lanes folded by a packed SIMD kernel
+  Counter dp_batch_scalar_lanes;  // lanes folded scalar (incl. peeled)
 
   // -- ipc / transports --
   Counter ipc_ring_full;       // shm ring rejected a frame (backpressure)
@@ -182,6 +192,14 @@ inline void trace(TraceKind kind, uint32_t flow, double value) noexcept {
   if (TraceRing* ring = trace_ring()) {
     ring->record(kind, flow, value, now_ns());
   }
+}
+
+/// Closes `stamp`'s span with apply time = now. The guard lives here so
+/// command-apply sites don't pay the clock read when no span is
+/// attached (span ids are only allocated while spans_active()).
+inline void close_span_now(const SpanStamp& stamp, uint64_t enqueue_ns,
+                           uint32_t flow, SpanCommand cmd) noexcept {
+  if (stamp.span_id != 0) close_span(stamp, enqueue_ns, now_ns(), flow, cmd);
 }
 
 }  // namespace ccp::telemetry

@@ -40,6 +40,8 @@ void RateEstimator::reset() {
   head_ = tail_ = 0;
   bytes_in_window_ = 0;
   anchor_valid_ = false;
+  cache_rate_ = 0.0;
+  cache_until_ = TimePoint{};
 }
 
 }  // namespace ccp

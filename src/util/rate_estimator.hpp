@@ -26,7 +26,10 @@ class RateEstimator {
   /// control wants roughly an RTT; callers may retune via set_window().
   explicit RateEstimator(Duration window = Duration::from_millis(100));
 
-  void set_window(Duration window) { window_ = window; }
+  void set_window(Duration window) {
+    window_ = window;
+    cache_until_ = TimePoint{};  // retuned window: next query recomputes
+  }
   Duration window() const { return window_; }
 
   /// Record that `bytes` were sent/delivered at `now`. Inline: this runs
@@ -44,6 +47,23 @@ class RateEstimator {
   /// Estimated rate in bytes per second over the trailing window.
   /// Returns 0 until at least two events span a measurable interval.
   double rate_bps(TimePoint now) const;
+
+  /// rate_bps with a short time-to-live cache: recomputes at most once
+  /// per window/8 and otherwise returns the previous estimate. The full
+  /// computation walks and expires the ring — at per-ACK query rates
+  /// that walk dominates the measurement cost, while the estimate it
+  /// refreshes is a trailing-window average that barely moves between
+  /// adjacent ACKs. An eighth of the window keeps the staleness well
+  /// inside the estimator's own smoothing horizon. Used by the per-ACK
+  /// packet-field fill; control decisions that want an exact-now reading
+  /// keep calling rate_bps().
+  double rate_bps_cached(TimePoint now) const {
+    if (now >= cache_until_) {
+      cache_rate_ = rate_bps(now);
+      cache_until_ = now + window_ / 8;
+    }
+    return cache_rate_;
+  }
 
   /// Total bytes recorded since construction (monotone counter).
   uint64_t total_bytes() const { return total_bytes_; }
@@ -85,6 +105,10 @@ class RateEstimator {
   // over the burst's own microseconds.
   mutable TimePoint anchor_time_{};
   mutable bool anchor_valid_ = false;
+  // rate_bps_cached TTL state. cache_until_ at the epoch forces the first
+  // query (and the first after set_window) to compute.
+  mutable double cache_rate_ = 0.0;
+  mutable TimePoint cache_until_{};
   uint64_t total_bytes_ = 0;
 };
 

@@ -411,6 +411,140 @@ TEST(HotPathAlloc, JitSteadyStateIsAllocationFree) {
   EXPECT_EQ(allocs, 0u) << "JIT-dispatched per-ACK path allocated in steady state";
 }
 
+TEST(HotPathAlloc, BatchModeSteadyStateIsAllocationFree) {
+  // Cross-flow batch intake (on_ack_batch): the runner's SoA staging
+  // buffers grow to the largest program during warm-up and are then
+  // reused forever. Steady state — 32-ACK bursts over two program groups,
+  // gathered, folded by the packed batch kernel (or batch interpreter),
+  // scattered, finished — must be exactly as allocation-free as the
+  // scalar per-ACK path, with full telemetry (per-wave counters) on.
+  const lang::jit::JitMode saved_mode = lang::jit::mode();
+  lang::jit::set_mode(lang::jit::JitMode::On);
+  telemetry::set_enabled(true);
+  (void)telemetry::metrics().dp_acks.value();
+
+  DatapathConfig dcfg;
+  dcfg.flush_interval = Duration::from_millis(1);
+  dcfg.max_batch_msgs = 32;
+  uint64_t frames = 0;
+  CcpDatapath dp(dcfg, [&frames](std::span<const uint8_t>) { ++frames; });
+
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  std::vector<ipc::FlowId> ids;
+  FlowConfig fcfg;
+  for (size_t i = 0; i < kFlows; ++i) {
+    ids.push_back(dp.create_flow(fcfg, "reno", now).id());
+  }
+  // Half the flows get a second program so every wave carries two groups
+  // (group-split bookkeeping is part of what must stay alloc-free).
+  ipc::InstallMsg ins;
+  ins.program_text =
+      "fold { r := r + Pkt.bytes_acked init 0;\n"
+      "       m := ewma(m, Pkt.rtt, 0.25) init 0; }\n"
+      "control { WaitRtts(1.0); Report(); }";
+  for (size_t i = 0; i < kFlows / 2; ++i) {
+    ins.flow_id = ids[i];
+    dp.handle_frame(ipc::encode_frame(ipc::Message{ins}), now);
+  }
+
+  // Burst buffer preallocated outside the counting window; clear() keeps
+  // capacity, so refilling it is heap-silent.
+  std::vector<FlowAck> burst;
+  burst.reserve(32);
+  const auto drive_batch = [&](uint64_t acks) {
+    const Duration kRtt = Duration::from_millis(10);
+    for (uint64_t i = 0; i < acks;) {
+      burst.clear();
+      for (size_t b = 0; b < 32 && i < acks; ++b, ++i) {
+        now += Duration::from_micros(1);
+        FlowAck fa;
+        fa.flow_id = ids[i % ids.size()];
+        fa.sent_bytes = 1500;
+        fa.ev.now = now;
+        fa.ev.bytes_acked = 1500;
+        fa.ev.packets_acked = 1;
+        fa.ev.bytes_in_flight = 64 * 1500;
+        fa.ev.packets_in_flight = 64;
+        fa.ev.rtt_sample =
+            kRtt + Duration::from_nanos(static_cast<int64_t>(i % 1024) * 1000);
+        burst.push_back(fa);
+      }
+      dp.on_ack_batch(burst);
+      if ((i & 255) == 0) dp.tick(now);
+    }
+  };
+
+  drive_batch(kWarmupAcks);
+  ASSERT_GT(frames, 0u);
+  ASSERT_GT(telemetry::metrics().dp_batch_waves.value(), 0u)
+      << "workload must actually run through the batch runner";
+  if (lang::jit::simd_available()) {
+    ASSERT_GT(telemetry::metrics().dp_batch_simd_lanes.value(), 0u)
+        << "pure-arithmetic groups must fold in the packed kernel";
+  }
+
+  const uint64_t allocs =
+      count_allocs_during([&] { drive_batch(kMeasuredAcks); });
+  lang::jit::set_mode(saved_mode);
+  EXPECT_EQ(allocs, 0u)
+      << "batch SoA gather/fold/scatter allocated in steady state";
+}
+
+TEST(HotPathAlloc, BatchInterpreterSteadyStateIsAllocationFree) {
+  // Same batch workload with the JIT off: groups execute through
+  // eval_block_batch instead of the packed kernel. The interpreter path
+  // shares the SoA staging, so it must hold the same invariant.
+  const lang::jit::JitMode saved_mode = lang::jit::mode();
+  lang::jit::set_mode(lang::jit::JitMode::Off);
+
+  DatapathConfig dcfg;
+  dcfg.flush_interval = Duration::from_millis(1);
+  dcfg.max_batch_msgs = 32;
+  uint64_t frames = 0;
+  CcpDatapath dp(dcfg, [&frames](std::span<const uint8_t>) { ++frames; });
+
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  std::vector<ipc::FlowId> ids;
+  FlowConfig fcfg;
+  for (size_t i = 0; i < kFlows; ++i) {
+    ids.push_back(dp.create_flow(fcfg, "reno", now).id());
+  }
+
+  std::vector<FlowAck> burst;
+  burst.reserve(32);
+  const auto drive_batch = [&](uint64_t acks) {
+    const Duration kRtt = Duration::from_millis(10);
+    for (uint64_t i = 0; i < acks;) {
+      burst.clear();
+      for (size_t b = 0; b < 32 && i < acks; ++b, ++i) {
+        now += Duration::from_micros(1);
+        FlowAck fa;
+        fa.flow_id = ids[i % ids.size()];
+        fa.sent_bytes = 1500;
+        fa.ev.now = now;
+        fa.ev.bytes_acked = 1500;
+        fa.ev.packets_acked = 1;
+        fa.ev.bytes_in_flight = 64 * 1500;
+        fa.ev.packets_in_flight = 64;
+        fa.ev.rtt_sample =
+            kRtt + Duration::from_nanos(static_cast<int64_t>(i % 1024) * 1000);
+        burst.push_back(fa);
+      }
+      dp.on_ack_batch(burst);
+      if ((i & 255) == 0) dp.tick(now);
+    }
+  };
+
+  drive_batch(kWarmupAcks);
+  ASSERT_GT(frames, 0u);
+
+  const uint64_t allocs =
+      count_allocs_during([&] { drive_batch(kMeasuredAcks); });
+  lang::jit::set_mode(saved_mode);
+  EXPECT_EQ(allocs, 0u)
+      << "batch interpreter path allocated in steady state";
+}
+
 TEST(HotPathAlloc, JitVerifySteadyStateIsAllocationFree) {
   // Belt-and-braces mode: every ACK runs BOTH engines and bit-compares
   // the fold state into shadow buffers presized at install. Even this
