@@ -10,6 +10,7 @@
 // (same cubic function, per-ACK execution); the network is simulated
 // with identical parameters.
 #include <cstdio>
+#include <cstring>
 #include <map>
 
 #include "algorithms/native/native_cubic.hpp"
@@ -18,6 +19,7 @@
 #include "sim/ccp_host.hpp"
 #include "sim/dumbbell.hpp"
 #include "sim/trace.hpp"
+#include "util/series.hpp"
 
 namespace {
 
@@ -33,9 +35,10 @@ struct RunOutput {
   double utilization = 0;
   double median_rtt_ms = 0;
   uint64_t loss_events = 0;
+  util::FlowSummaryRow summary;  // scorecard-schema per-flow row
 };
 
-RunOutput run(bool use_ccp) {
+RunOutput run(bool use_ccp, uint64_t seed) {
   EventQueue q;
   auto cfg = DumbbellConfig::make(kRateBps, kRtt, 1.0);
   Dumbbell net(q, cfg);
@@ -51,30 +54,39 @@ RunOutput run(bool use_ccp) {
   // steady-state figures.
   const TimePoint measure_from = TimePoint::epoch() + Duration::from_secs(2);
 
+  auto finish = [&](TcpSender& snd, const char* name) {
+    q.run_until(measure_from);
+    net.mark_utilization_epoch();
+    q.run_until(end);
+    out.utilization = net.utilization(measure_from, end);
+    out.median_rtt_ms = snd.rtt_samples().quantile(0.5) / 1000.0;
+    out.loss_events = snd.stats().loss_events;
+    out.summary.name = name;
+    out.summary.throughput_mbps =
+        snd.delivered_bytes() * 8.0 / kDurationSecs / 1e6;
+    out.summary.share = 1.0;  // single flow per run
+    out.summary.retransmits = static_cast<double>(snd.stats().retransmits);
+    out.summary.timeouts = static_cast<double>(snd.stats().timeouts);
+    out.summary.rtt_p50_ms = out.median_rtt_ms;
+    out.summary.rtt_p95_ms = snd.rtt_samples().quantile(0.95) / 1000.0;
+  };
+
   if (use_ccp) {
-    SimCcpHost host(q, CcpHostConfig{});
+    CcpHostConfig host_cfg;
+    host_cfg.seed = seed;
+    SimCcpHost host(q, host_cfg);
     auto& flow = host.create_flow(datapath::FlowConfig{1460, 10 * 1460}, "cubic");
     host.start(end);
     auto& snd = net.add_flow(scfg, &flow, TimePoint::epoch());
     tracer.sample_every("cwnd", Duration::from_millis(50), end,
                         [&flow] { return flow.cwnd_bytes() / 1460.0; });
-    q.run_until(measure_from);
-    net.mark_utilization_epoch();
-    q.run_until(end);
-    out.utilization = net.utilization(measure_from, end);
-    out.median_rtt_ms = snd.rtt_samples().quantile(0.5) / 1000.0;
-    out.loss_events = snd.stats().loss_events;
+    finish(snd, "ccp_cubic");
   } else {
     algorithms::native::NativeCubic cubic(1460, 10 * 1460);
     auto& snd = net.add_flow(scfg, &cubic, TimePoint::epoch());
     tracer.sample_every("cwnd", Duration::from_millis(50), end,
                         [&cubic] { return cubic.cwnd_bytes() / 1460.0; });
-    q.run_until(measure_from);
-    net.mark_utilization_epoch();
-    q.run_until(end);
-    out.utilization = net.utilization(measure_from, end);
-    out.median_rtt_ms = snd.rtt_samples().quantile(0.5) / 1000.0;
-    out.loss_events = snd.stats().loss_events;
+    finish(snd, "native_cubic");
   }
   out.cwnd = tracer.series("cwnd");
   return out;
@@ -96,14 +108,22 @@ void print_series(const char* name, const std::vector<TracePoint>& series) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    }
+  }
+
   bench::banner("Figure 3 (reproduction)",
                 "Cubic window dynamics: CCP vs in-datapath ('Linux') baseline");
   std::printf("workload: 1 Gbit/s bottleneck, 10 ms RTT, 1 BDP buffer, "
-              "%.0f s flow\n", kDurationSecs);
+              "%.0f s flow; seed %llu\n", kDurationSecs,
+              static_cast<unsigned long long>(seed));
 
-  const RunOutput native = run(/*use_ccp=*/false);
-  const RunOutput ccp = run(/*use_ccp=*/true);
+  const RunOutput native = run(/*use_ccp=*/false, seed);
+  const RunOutput ccp = run(/*use_ccp=*/true, seed);
 
   bench::section("summary (paper: Linux 94.4% util / 15.8 ms; CCP 95.4% / 16.1 ms)");
   std::printf("%-22s %12s %16s %12s\n", "implementation", "utilization",
@@ -118,12 +138,17 @@ int main() {
   print_series("native cubic (Linux baseline, Fig 3b)", native.cwnd);
   print_series("CCP cubic (Fig 3a)", ccp.cwnd);
 
+  bench::section("per-flow scorecard rows");
+  util::write_flow_summary_csv(stdout, {native.summary, ccp.summary});
+
   bench::update_json_section(
       bench::bench_json_path(), "fig3_cubic_fidelity",
       {{"native_utilization", bench::json_num(native.utilization)},
        {"native_median_rtt_ms", bench::json_num(native.median_rtt_ms)},
+       {"native_retransmits", bench::json_num(native.summary.retransmits)},
        {"ccp_utilization", bench::json_num(ccp.utilization)},
        {"ccp_median_rtt_ms", bench::json_num(ccp.median_rtt_ms)},
+       {"ccp_retransmits", bench::json_num(ccp.summary.retransmits)},
        {"native_cwnd_pkts", bench::json_series(decimate(native.cwnd))},
        {"ccp_cwnd_pkts", bench::json_series(decimate(ccp.cwnd))}});
   return 0;

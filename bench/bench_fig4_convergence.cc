@@ -6,6 +6,7 @@
 // convergence dynamics: the first flow cedes roughly half the link within
 // a few seconds and the two flows share fairly thereafter.
 #include <cstdio>
+#include <cstring>
 #include <map>
 
 #include "algorithms/native/native_reno.hpp"
@@ -14,6 +15,7 @@
 #include "sim/ccp_host.hpp"
 #include "sim/dumbbell.hpp"
 #include "sim/trace.hpp"
+#include "util/series.hpp"
 
 namespace {
 
@@ -30,9 +32,10 @@ struct RunOutput {
   std::vector<double> tput1, tput2;
   double converge_secs = -1;  // time after t=20 s until within 25% of fair share
   double jain_last20 = 0;
+  std::vector<util::FlowSummaryRow> flows;  // scorecard-schema rows
 };
 
-RunOutput run(bool use_ccp) {
+RunOutput run(bool use_ccp, uint64_t seed) {
   EventQueue q;
   auto cfg = DumbbellConfig::make(kRateBps, kRtt, 1.0);
   Dumbbell net(q, cfg);
@@ -44,14 +47,18 @@ RunOutput run(bool use_ccp) {
   datapath::CcModule* cc1 = &native1;
   datapath::CcModule* cc2 = &native2;
   if (use_ccp) {
-    host = std::make_unique<SimCcpHost>(q, CcpHostConfig{});
+    CcpHostConfig host_cfg;
+    host_cfg.seed = seed;
+    host = std::make_unique<SimCcpHost>(q, host_cfg);
     cc1 = &host->create_flow(datapath::FlowConfig{1460, 10 * 1460}, "reno");
     cc2 = &host->create_flow(datapath::FlowConfig{1460, 10 * 1460}, "reno");
     host->start(end);
   }
 
-  auto& s1 = net.add_flow(TcpSenderConfig{}, cc1, TimePoint::epoch());
-  auto& s2 = net.add_flow(TcpSenderConfig{}, cc2,
+  TcpSenderConfig scfg;
+  scfg.record_rtt_samples = true;
+  auto& s1 = net.add_flow(scfg, cc1, TimePoint::epoch());
+  auto& s2 = net.add_flow(scfg, cc2,
                           TimePoint::epoch() + Duration::from_secs_f(kSecondFlowStart));
 
   RunOutput out;
@@ -79,8 +86,25 @@ RunOutput run(bool use_ccp) {
     sum1 += out.tput1[i];
     sum2 += out.tput2[i];
   }
-  out.jain_last20 =
-      (sum1 + sum2) * (sum1 + sum2) / (2.0 * (sum1 * sum1 + sum2 * sum2));
+  out.jain_last20 = util::jain_index({sum1, sum2});
+
+  const double total_mbps =
+      (s1.delivered_bytes() + s2.delivered_bytes()) * 8.0 / 1e6;
+  auto flow_row = [&](TcpSender& snd, const char* name,
+                      double active_secs) {
+    util::FlowSummaryRow row;
+    row.name = name;
+    row.throughput_mbps = snd.delivered_bytes() * 8.0 / active_secs / 1e6;
+    row.share =
+        total_mbps > 0 ? snd.delivered_bytes() * 8.0 / 1e6 / total_mbps : 0;
+    row.retransmits = static_cast<double>(snd.stats().retransmits);
+    row.timeouts = static_cast<double>(snd.stats().timeouts);
+    row.rtt_p50_ms = snd.rtt_samples().quantile(0.5) / 1000.0;
+    row.rtt_p95_ms = snd.rtt_samples().quantile(0.95) / 1000.0;
+    return row;
+  };
+  out.flows.push_back(flow_row(s1, "flow1", kDurationSecs));
+  out.flows.push_back(flow_row(s2, "flow2", kDurationSecs - kSecondFlowStart));
   return out;
 }
 
@@ -99,14 +123,22 @@ void print_series(const char* name, const RunOutput& out) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    }
+  }
+
   bench::banner("Figure 4 (reproduction)",
                 "NewReno reactivity: competing flow joins at t=20 s");
   std::printf("workload: 1 Gbit/s bottleneck, 10 ms RTT, 1 BDP buffer, 60 s;\n"
-              "flow 2 starts at t=20 s\n");
+              "flow 2 starts at t=20 s; seed %llu\n",
+              static_cast<unsigned long long>(seed));
 
-  const RunOutput native = run(/*use_ccp=*/false);
-  const RunOutput ccp = run(/*use_ccp=*/true);
+  const RunOutput native = run(/*use_ccp=*/false, seed);
+  const RunOutput ccp = run(/*use_ccp=*/true, seed);
 
   bench::section("summary (paper: 'Both implementations exhibit similar "
                  "convergence dynamics')");
@@ -120,12 +152,25 @@ int main() {
   print_series("native newreno (Fig 4b)", native);
   print_series("CCP newreno (Fig 4a)", ccp);
 
+  bench::section("per-flow scorecard rows (native, then CCP)");
+  std::vector<util::FlowSummaryRow> rows = native.flows;
+  rows.insert(rows.end(), ccp.flows.begin(), ccp.flows.end());
+  rows[0].name = "native/flow1";
+  rows[1].name = "native/flow2";
+  rows[2].name = "ccp/flow1";
+  rows[3].name = "ccp/flow2";
+  util::write_flow_summary_csv(stdout, rows);
+
   bench::update_json_section(
       bench::bench_json_path(), "fig4_convergence",
       {{"native_converge_secs", bench::json_num(native.converge_secs)},
        {"native_jain_last20", bench::json_num(native.jain_last20)},
+       {"native_retransmits",
+        bench::json_num(native.flows[0].retransmits + native.flows[1].retransmits)},
        {"ccp_converge_secs", bench::json_num(ccp.converge_secs)},
        {"ccp_jain_last20", bench::json_num(ccp.jain_last20)},
+       {"ccp_retransmits",
+        bench::json_num(ccp.flows[0].retransmits + ccp.flows[1].retransmits)},
        {"native_flow2_mbps",
         bench::json_series(util::make_series(native.tput2, 1.0, 1.0))},
        {"ccp_flow2_mbps",

@@ -1,0 +1,48 @@
+// EWTCP-style multipath coupling (Honda et al.; the weighted coupling
+// family CCID5's multipath experiments draw on).
+//
+// Each subflow of an n-subflow bundle runs its own full CCA instance —
+// for CCP flows that means its own agent control loop, which is the
+// point: coupling composes at the datapath boundary without touching the
+// algorithm. The coupler scales the subflow's enforced window (and
+// pacing rate) by 1/n, so a bundle whose subflows share one bottleneck
+// competes for roughly one flow's fair share instead of n.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "datapath/cc_module.hpp"
+
+namespace ccp::scenario {
+
+class CoupledCc : public datapath::CcModule {
+ public:
+  /// Wraps `inner` (not owned) as one of `subflows` coupled subflows.
+  /// The window never drops below `floor_bytes` (2 MSS keeps ACK clock
+  /// alive).
+  CoupledCc(datapath::CcModule* inner, uint32_t subflows, uint64_t floor_bytes)
+      : inner_(inner), subflows_(subflows), floor_bytes_(floor_bytes) {}
+
+  void on_ack(const datapath::AckEvent& ev) override { inner_->on_ack(ev); }
+  void on_loss(const datapath::LossEvent& ev) override { inner_->on_loss(ev); }
+  void on_timeout(const datapath::TimeoutEvent& ev) override {
+    inner_->on_timeout(ev);
+  }
+  void on_send(const datapath::SendEvent& ev) override { inner_->on_send(ev); }
+  void tick(TimePoint now) override { inner_->tick(now); }
+
+  uint64_t cwnd_bytes() const override {
+    return std::max<uint64_t>(inner_->cwnd_bytes() / subflows_, floor_bytes_);
+  }
+  double pacing_rate_bps() const override {
+    return inner_->pacing_rate_bps() / static_cast<double>(subflows_);
+  }
+
+ private:
+  datapath::CcModule* inner_;
+  uint32_t subflows_;
+  uint64_t floor_bytes_;
+};
+
+}  // namespace ccp::scenario

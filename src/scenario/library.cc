@@ -1,0 +1,162 @@
+#include "scenario/library.hpp"
+
+#include <stdexcept>
+
+namespace ccp::scenario {
+
+namespace {
+
+/// Inter-CCA coexistence, the buffer-depth story of Hock et al. and Ware
+/// et al.: in a shallow buffer BBR's model-driven sending shrugs off the
+/// drops that force Cubic to back off, so BBR takes well over its fair
+/// share. The _deep variant below shows the published flip.
+ScenarioSpec cubic_vs_bbr(bool deep) {
+  ScenarioSpec spec;
+  spec.name = deep ? "cubic_vs_bbr_deep" : "cubic_vs_bbr";
+  spec.description =
+      deep ? "Cubic vs BBR on a deep (4 BDP) buffer: Cubic wins the queue"
+           : "Cubic vs BBR on a shallow (0.5 BDP) buffer: BBR gains share";
+  spec.duration_secs = 24;
+  LinkSpec link;
+  link.rate_bps = 96e6;
+  link.delay = Duration::from_millis(10);  // 20 ms base RTT
+  link.buffer_bdp = deep ? 4.0 : 0.5;
+  spec.links.push_back(link);
+  FlowGroupSpec cubic;
+  cubic.name = "cubic";
+  cubic.alg = "cubic";
+  cubic.count = 2;
+  spec.groups.push_back(cubic);
+  FlowGroupSpec bbr;
+  bbr.name = "bbr";
+  bbr.alg = "bbr";
+  bbr.count = 2;
+  spec.groups.push_back(bbr);
+  return spec;
+}
+
+/// Parking lot: one long flow crosses all three hops; one cross flow per
+/// hop. The long flow pays the multi-bottleneck toll and lands below the
+/// per-hop fair share — the classic parking-lot unfairness.
+ScenarioSpec parking_lot() {
+  ScenarioSpec spec;
+  spec.name = "parking_lot";
+  spec.description = "3-hop parking lot: long flow vs per-hop cross traffic";
+  spec.topology = Topology::kParkingLot;
+  spec.duration_secs = 20;
+  for (int i = 0; i < 3; ++i) {
+    LinkSpec link;
+    link.rate_bps = 48e6;
+    link.delay = Duration::from_millis(5);
+    link.buffer_bdp = 1.0;
+    spec.links.push_back(link);
+  }
+  FlowGroupSpec long_flow;
+  long_flow.name = "long";
+  long_flow.alg = "cubic";
+  long_flow.hop_first = 0;
+  long_flow.hop_last = 2;
+  spec.groups.push_back(long_flow);
+  for (size_t hop = 0; hop < 3; ++hop) {
+    FlowGroupSpec cross;
+    cross.name = "cross" + std::to_string(hop);
+    cross.alg = "cubic";
+    cross.hop_first = cross.hop_last = hop;
+    spec.groups.push_back(cross);
+  }
+  return spec;
+}
+
+/// "Wireless" link: 0.3% random loss and a rate dip to half bandwidth
+/// mid-run. Loss-blind BBR should hold goodput where loss-as-congestion
+/// Cubic collapses — the robustness axis measurement-based CCAs claim.
+ScenarioSpec wireless_loss() {
+  ScenarioSpec spec;
+  spec.name = "wireless_loss";
+  spec.description = "random-loss + variable-rate wireless bottleneck";
+  spec.duration_secs = 20;
+  LinkSpec link;
+  link.rate_bps = 24e6;
+  link.delay = Duration::from_millis(20);  // 40 ms base RTT
+  link.buffer_bdp = 1.0;
+  link.random_loss = 0.003;
+  link.rate_schedule = {{Duration::from_secs(8), 12e6},
+                        {Duration::from_secs(14), 24e6}};
+  spec.links.push_back(link);
+  FlowGroupSpec cubic;
+  cubic.name = "cubic";
+  cubic.alg = "cubic";
+  spec.groups.push_back(cubic);
+  FlowGroupSpec bbr;
+  bbr.name = "bbr";
+  bbr.alg = "bbr";
+  spec.groups.push_back(bbr);
+  return spec;
+}
+
+/// RTT unfairness: four Cubic flows with RTTs 10/30/50/70 ms sharing one
+/// bottleneck. Short-RTT flows grow faster per unit time and win share.
+ScenarioSpec rtt_unfairness() {
+  ScenarioSpec spec;
+  spec.name = "rtt_unfairness";
+  spec.description = "RTT-unfairness sweep: 10..70 ms Cubic flows";
+  spec.duration_secs = 30;
+  LinkSpec link;
+  link.rate_bps = 96e6;
+  link.delay = Duration::from_millis(5);  // 10 ms base RTT
+  link.buffer_bdp = 1.0;
+  spec.links.push_back(link);
+  FlowGroupSpec group;
+  group.name = "cubic";
+  group.alg = "cubic";
+  group.count = 4;
+  group.rtt_step = Duration::from_millis(20);
+  spec.groups.push_back(group);
+  return spec;
+}
+
+/// Shared-bottleneck multipath: a two-subflow EWTCP-coupled bundle vs a
+/// regular flow. Coupled, the bundle's aggregate competes like one flow
+/// (~50/50 vs the regular flow); uncoupled it would grab ~2/3.
+ScenarioSpec multipath_coupled() {
+  ScenarioSpec spec;
+  spec.name = "multipath_coupled";
+  spec.description = "two-subflow coupled bundle vs one regular flow";
+  spec.duration_secs = 24;
+  LinkSpec link;
+  link.rate_bps = 48e6;
+  link.delay = Duration::from_millis(10);  // 20 ms base RTT
+  link.buffer_bdp = 1.0;
+  spec.links.push_back(link);
+  FlowGroupSpec mp;
+  mp.name = "mp";
+  mp.alg = "cubic";
+  mp.count = 2;
+  mp.coupled_subflows = 2;
+  spec.groups.push_back(mp);
+  FlowGroupSpec bg;
+  bg.name = "bg";
+  bg.alg = "cubic";
+  spec.groups.push_back(bg);
+  return spec;
+}
+
+}  // namespace
+
+std::vector<std::string> builtin_scenario_names() {
+  return {"cubic_vs_bbr", "cubic_vs_bbr_deep", "parking_lot", "wireless_loss",
+          "rtt_unfairness", "multipath_coupled"};
+}
+
+ScenarioSpec builtin_scenario(const std::string& name) {
+  if (name == "cubic_vs_bbr") return cubic_vs_bbr(/*deep=*/false);
+  if (name == "cubic_vs_bbr_deep") return cubic_vs_bbr(/*deep=*/true);
+  if (name == "parking_lot") return parking_lot();
+  if (name == "wireless_loss") return wireless_loss();
+  if (name == "rtt_unfairness") return rtt_unfairness();
+  if (name == "multipath_coupled") return multipath_coupled();
+  throw std::invalid_argument("unknown scenario: " + name +
+                              " (see ccp_scenario --list)");
+}
+
+}  // namespace ccp::scenario

@@ -1,0 +1,28 @@
+// Built-in scenario library: the coverage matrix ROADMAP's "Scenario
+// matrix" item calls for, each stressing a different fidelity axis that
+// the single-dumbbell figure benches never exercise.
+//
+//   cubic_vs_bbr       inter-CCA coexistence, shallow buffer (BBR gains share)
+//   cubic_vs_bbr_deep  same mix, 4 BDP buffer (the flip: Cubic wins the queue)
+//   parking_lot        a 3-hop chain: one long flow vs per-hop cross traffic
+//   wireless_loss      random loss + a variable-rate ("wireless") bottleneck
+//   rtt_unfairness     same CCA, spread RTTs: who gets the bigger share
+//   multipath_coupled  two-subflow coupled bundle vs a regular flow on a
+//                      shared bottleneck (CCID5's experiment shape)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace ccp::scenario {
+
+/// Names of all built-in scenarios, in matrix order.
+std::vector<std::string> builtin_scenario_names();
+
+/// Returns the named built-in spec. Throws std::invalid_argument on an
+/// unknown name.
+ScenarioSpec builtin_scenario(const std::string& name);
+
+}  // namespace ccp::scenario

@@ -1,0 +1,36 @@
+// Executes a ScenarioSpec on the event-queue simulator with CCP hosts.
+//
+// One run builds the topology (scenario/topology.hpp), a SimCcpHost
+// whose agent has the full algorithm registry, and the traffic mix: each
+// flow group's algorithm is either a registered CCP algorithm (its
+// control loop runs in the simulated agent, measurements cross the
+// modeled IPC boundary — the paper's architecture) or a "native:<name>"
+// in-datapath baseline. Flows start/stop on schedule, sample their
+// goodput on the spec's grid, and the run distills into a Scorecard.
+//
+// Determinism: everything derives from spec.seed — the host's IPC-jitter
+// RNG, every hop's loss RNG (forked per hop in topology order), and the
+// event queue's tie-breaking. Same spec + same seed => byte-identical
+// scorecard JSON.
+//
+// Convergence time: the first sample time at or after the last group
+// start where the instantaneous Jain index across the flows active for
+// that whole sample reaches 0.9 and holds for kConvergenceHold
+// consecutive samples; -1 if it never does. (Heterogeneous-CCA mixes
+// legitimately report -1.)
+#pragma once
+
+#include "scenario/scorecard.hpp"
+#include "scenario/spec.hpp"
+
+namespace ccp::scenario {
+
+inline constexpr double kConvergenceJain = 0.9;
+inline constexpr int kConvergenceHold = 3;
+
+/// Runs the scenario to spec.duration_secs and scores it. Throws
+/// std::invalid_argument on a spec that fails validate() or names an
+/// unknown algorithm.
+Scorecard run_scenario(const ScenarioSpec& spec);
+
+}  // namespace ccp::scenario

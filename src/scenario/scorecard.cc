@@ -1,0 +1,133 @@
+#include "scenario/scorecard.hpp"
+
+#include <map>
+
+namespace ccp::scenario {
+
+std::string Scorecard::flow_name(const FlowScore& f) {
+  return f.group + "/" + std::to_string(f.flow);
+}
+
+void Scorecard::write_series_csv(std::FILE* out) const {
+  std::map<std::string, std::vector<util::SeriesPoint>> columns;
+  for (const FlowScore& f : flows) columns[flow_name(f)] = f.tput_mbps;
+  util::write_series_csv(out, columns);
+}
+
+std::vector<util::FlowSummaryRow> Scorecard::summary_rows() const {
+  std::vector<util::FlowSummaryRow> rows;
+  rows.reserve(flows.size());
+  for (const FlowScore& f : flows) {
+    util::FlowSummaryRow row;
+    row.name = flow_name(f);
+    row.throughput_mbps = f.throughput_mbps;
+    row.share = f.share;
+    row.retransmits = static_cast<double>(f.retransmits);
+    row.timeouts = static_cast<double>(f.timeouts);
+    row.rtt_p50_ms = f.rtt_p50_ms;
+    row.rtt_p95_ms = f.rtt_p95_ms;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void Scorecard::write_summary_csv(std::FILE* out) const {
+  util::write_flow_summary_csv(out, summary_rows());
+  std::fprintf(out,
+               "# scenario=%s seed=%llu jain=%.4f aggregate_mbps=%.3f "
+               "convergence_secs=%.1f retransmits=%llu timeouts=%llu\n",
+               scenario.c_str(), static_cast<unsigned long long>(seed), jain,
+               aggregate_mbps, convergence_secs,
+               static_cast<unsigned long long>(total_retransmits),
+               static_cast<unsigned long long>(total_timeouts));
+  for (const HopScore& h : hops) {
+    std::fprintf(out,
+                 "# hop=%zu utilization=%.4f delivered=%llu tail_drops=%llu "
+                 "random_drops=%llu ecn_marks=%llu max_queue_pkts=%.1f\n",
+                 h.hop, h.utilization,
+                 static_cast<unsigned long long>(h.delivered_pkts),
+                 static_cast<unsigned long long>(h.tail_drops),
+                 static_cast<unsigned long long>(h.random_drops),
+                 static_cast<unsigned long long>(h.ecn_marks),
+                 h.max_queue_pkts);
+  }
+}
+
+std::string Scorecard::json() const {
+  std::string out;
+  char buf[512];
+  auto emit = [&](const char* fmt, auto... args) {
+    const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+    if (n > 0) out.append(buf, static_cast<size_t>(n));
+  };
+  emit("{\"scenario\":\"%s\",\"seed\":%llu,\"duration_secs\":%.6g,"
+       "\"aggregate_mbps\":%.6g,\"jain\":%.6g,\"convergence_secs\":%.6g,"
+       "\"retransmits\":%llu,\"timeouts\":%llu",
+       scenario.c_str(), static_cast<unsigned long long>(seed), duration_secs,
+       aggregate_mbps, jain, convergence_secs,
+       static_cast<unsigned long long>(total_retransmits),
+       static_cast<unsigned long long>(total_timeouts));
+  out += ",\"flows\":[";
+  for (size_t i = 0; i < flows.size(); ++i) {
+    const FlowScore& f = flows[i];
+    emit("%s{\"flow\":\"%s\",\"alg\":\"%s\",\"start_secs\":%.6g,"
+         "\"stop_secs\":%.6g,\"throughput_mbps\":%.6g,\"share\":%.6g,"
+         "\"retransmits\":%llu,\"timeouts\":%llu,\"rtt_p50_ms\":%.6g,"
+         "\"rtt_p95_ms\":%.6g,\"qdelay_p50_ms\":%.6g,\"qdelay_p95_ms\":%.6g,"
+         "\"tput_mbps\":",
+         i ? "," : "", flow_name(f).c_str(), f.alg.c_str(), f.start_secs,
+         f.stop_secs, f.throughput_mbps, f.share,
+         static_cast<unsigned long long>(f.retransmits),
+         static_cast<unsigned long long>(f.timeouts), f.rtt_p50_ms,
+         f.rtt_p95_ms, f.qdelay_p50_ms, f.qdelay_p95_ms);
+    out += util::series_json_value(f.tput_mbps);
+    out += "}";
+  }
+  out += "],\"hops\":[";
+  for (size_t i = 0; i < hops.size(); ++i) {
+    const HopScore& h = hops[i];
+    emit("%s{\"hop\":%zu,\"utilization\":%.6g,\"delivered_pkts\":%llu,"
+         "\"tail_drops\":%llu,\"random_drops\":%llu,\"ecn_marks\":%llu,"
+         "\"max_queue_pkts\":%.6g}",
+         i ? "," : "", h.hop, h.utilization,
+         static_cast<unsigned long long>(h.delivered_pkts),
+         static_cast<unsigned long long>(h.tail_drops),
+         static_cast<unsigned long long>(h.random_drops),
+         static_cast<unsigned long long>(h.ecn_marks), h.max_queue_pkts);
+  }
+  out += "]}";
+  return out;
+}
+
+void Scorecard::print(std::FILE* out) const {
+  std::fprintf(out, "scenario %s (seed %llu, %.0f s)\n", scenario.c_str(),
+               static_cast<unsigned long long>(seed), duration_secs);
+  std::fprintf(out, "%-16s %-12s %10s %7s %8s %8s %10s %10s\n", "flow", "alg",
+               "tput", "share", "rtt p50", "rtt p95", "qdly p95", "rexmits");
+  for (const FlowScore& f : flows) {
+    std::fprintf(out,
+                 "%-16s %-12s %7.2f Mb %6.1f%% %6.2fms %6.2fms %8.2fms %10llu\n",
+                 flow_name(f).c_str(), f.alg.c_str(), f.throughput_mbps,
+                 f.share * 100.0, f.rtt_p50_ms, f.rtt_p95_ms, f.qdelay_p95_ms,
+                 static_cast<unsigned long long>(f.retransmits));
+  }
+  std::fprintf(out,
+               "aggregate %.2f Mbit/s, Jain %.3f, convergence %.1f s, "
+               "%llu retransmits, %llu timeouts\n",
+               aggregate_mbps, jain, convergence_secs,
+               static_cast<unsigned long long>(total_retransmits),
+               static_cast<unsigned long long>(total_timeouts));
+  for (const HopScore& h : hops) {
+    std::fprintf(out,
+                 "hop %zu: utilization %.1f%%, %llu delivered, %llu tail-drop, "
+                 "%llu random-drop, %llu marked, max queue %.1f pkts\n",
+                 h.hop, h.utilization * 100.0,
+                 static_cast<unsigned long long>(h.delivered_pkts),
+                 static_cast<unsigned long long>(h.tail_drops),
+                 static_cast<unsigned long long>(h.random_drops),
+                 static_cast<unsigned long long>(h.ecn_marks),
+                 h.max_queue_pkts);
+  }
+}
+
+}  // namespace ccp::scenario

@@ -1,0 +1,81 @@
+// Scenario result: the fairness/latency/retransmit scorecard.
+//
+// One Scorecard per scenario run: per-flow rows (throughput, share,
+// retransmits, RTT and queueing-delay percentiles, a throughput time
+// series on the sample grid) plus aggregates (total throughput, Jain
+// fairness, convergence time, per-hop link accounting). Emitters reuse
+// the util/series.hpp schema: the time-series CSV is the canonical
+// aligned-columns format, the summary CSV is the shared flow-summary
+// schema, and json() nests series via series_json_value — so scorecards
+// parse with the same tooling as every other series in the repo.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/series.hpp"
+
+namespace ccp::scenario {
+
+struct FlowScore {
+  std::string group;       // flow-group name
+  std::string alg;
+  uint32_t flow = 0;       // global flow index within the scenario
+  double start_secs = 0;
+  double stop_secs = 0;    // end of active window (scenario end if no stop)
+  double throughput_mbps = 0;  // goodput over the active window
+  double share = 0;            // fraction of aggregate goodput
+  uint64_t retransmits = 0;
+  uint64_t timeouts = 0;
+  double rtt_p50_ms = 0;
+  double rtt_p95_ms = 0;
+  double qdelay_p50_ms = 0;  // RTT percentile minus base RTT
+  double qdelay_p95_ms = 0;
+  std::vector<util::SeriesPoint> tput_mbps;  // per-sample-interval goodput
+};
+
+struct HopScore {
+  size_t hop = 0;
+  double utilization = 0;  // vs time-weighted mean rate (rate schedule aware)
+  uint64_t delivered_pkts = 0;
+  uint64_t tail_drops = 0;
+  uint64_t random_drops = 0;
+  uint64_t ecn_marks = 0;
+  double max_queue_pkts = 0;
+};
+
+struct Scorecard {
+  std::string scenario;
+  uint64_t seed = 0;
+  double duration_secs = 0;
+  std::vector<FlowScore> flows;
+  std::vector<HopScore> hops;
+  double aggregate_mbps = 0;
+  double jain = 0;               // over per-flow throughput shares
+  double convergence_secs = -1;  // see runner.hpp for the definition
+  uint64_t total_retransmits = 0;
+  uint64_t total_timeouts = 0;
+
+  /// Flow name used across all emitters: "<group>/<index>".
+  static std::string flow_name(const FlowScore& f);
+
+  /// Per-flow throughput time series in the shared aligned-columns CSV.
+  void write_series_csv(std::FILE* out) const;
+
+  /// Per-flow summary rows in the shared flow-summary CSV schema, plus
+  /// trailing aggregate/hop comment lines.
+  void write_summary_csv(std::FILE* out) const;
+
+  /// The whole scorecard as one JSON object (a bench_json-style value).
+  std::string json() const;
+
+  /// Human-readable table for the CLI.
+  void print(std::FILE* out) const;
+
+  /// The shared flow-summary rows (what fig3/fig4 also emit).
+  std::vector<util::FlowSummaryRow> summary_rows() const;
+};
+
+}  // namespace ccp::scenario

@@ -5,9 +5,31 @@
 namespace ccp::sim {
 
 Link::Link(EventQueue& events, LinkConfig config, Sink sink)
-    : events_(events), config_(config), sink_(std::move(sink)) {}
+    : events_(events),
+      config_(std::move(config)),
+      sink_(std::move(sink)),
+      initial_rate_bps_(config_.rate_bps),
+      loss_rng_(config_.loss_seed) {
+  // Arm the variable-rate schedule. Each change fires once, at its
+  // absolute time; the schedule is part of the config, so two links
+  // built from the same config produce identical rate trajectories.
+  for (const RateChange& change : config_.rate_schedule) {
+    events_.schedule_at(TimePoint::epoch() + change.at,
+                        [this, rate = change.rate_bps] {
+                          config_.rate_bps = rate;
+                          ++stats_.rate_changes_applied;
+                        });
+  }
+}
 
 void Link::enqueue(Packet pkt) {
+  // Random ("wireless") loss acts before the queue: the packet never
+  // occupied buffer space. Drawn per arriving packet so the drop
+  // sequence is a pure function of (loss_seed, arrival order).
+  if (config_.random_loss > 0 && loss_rng_.chance(config_.random_loss)) {
+    ++stats_.random_dropped_pkts;
+    return;
+  }
   // Drop-tail on the byte budget; an empty queue always admits one
   // packet (a real queue can hold at least one MTU regardless of its
   // configured byte limit).
@@ -47,6 +69,30 @@ void Link::service_next() {
                      stats_.delivered_bytes += pkt.wire_bytes();
                      sink_(std::move(pkt));
                    });
+}
+
+double Link::mean_rate_bps(Duration until) const {
+  if (config_.rate_schedule.empty() || until <= Duration::zero()) {
+    return initial_rate_bps_;
+  }
+  // Integrate the configured schedule over [0, until]. The schedule is
+  // ascending; the rate before its first entry is the construction-time
+  // rate (config_.rate_bps mutates as changes apply, so it cannot be
+  // read back for this).
+  double integral = 0;
+  Duration prev = Duration::zero();
+  double rate = initial_rate_bps_;
+  for (const RateChange& change : config_.rate_schedule) {
+    const Duration at = change.at < until ? change.at : until;
+    if (at > prev) {
+      integral += rate * (at - prev).secs();
+      prev = at;
+    }
+    if (change.at >= until) break;
+    rate = change.rate_bps;
+  }
+  if (until > prev) integral += rate * (until - prev).secs();
+  return integral / until.secs();
 }
 
 }  // namespace ccp::sim

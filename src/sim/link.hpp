@@ -7,30 +7,53 @@
 // to a standing queue above the threshold get their CE bit set instead
 // of (not in addition to) being dropped — the DCTCP-style marking that
 // Table 1's ECN-based algorithms consume.
+//
+// Two optional impairments model "wireless" links for the scenario
+// harness:
+//   - `random_loss`: each arriving packet is independently dropped with
+//     this probability, from a private xoshiro stream seeded by
+//     `loss_seed` — the same seed always yields the same drop sequence.
+//   - `rate_schedule`: timed rate changes (sorted by time, applied
+//     once). The packet being serialized keeps the rate it started
+//     with; later packets see the new rate.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/packet.hpp"
+#include "util/rng.hpp"
 
 namespace ccp::sim {
+
+/// One entry of a variable-rate schedule: at `at`, the link rate becomes
+/// `rate_bps`.
+struct RateChange {
+  Duration at;
+  double rate_bps;
+};
 
 struct LinkConfig {
   double rate_bps = 1e9;                       // bits per second
   Duration prop_delay = Duration::from_millis(5);
   uint64_t queue_capacity_bytes = 125'000;     // 1 BDP at 1 Gbit/s x 1 ms
   uint64_t ecn_threshold_bytes = std::numeric_limits<uint64_t>::max();
+  double random_loss = 0.0;                    // iid drop probability per packet
+  uint64_t loss_seed = 1;                      // seeds the private loss RNG
+  std::vector<RateChange> rate_schedule;       // ascending by .at
 };
 
 struct LinkStats {
   uint64_t enqueued_pkts = 0;
   uint64_t delivered_pkts = 0;
-  uint64_t dropped_pkts = 0;
+  uint64_t dropped_pkts = 0;         // drop-tail (queue full)
+  uint64_t random_dropped_pkts = 0;  // random_loss model, counted separately
   uint64_t marked_pkts = 0;
+  uint64_t rate_changes_applied = 0;
   uint64_t delivered_bytes = 0;  // wire bytes through the link
   uint64_t max_queue_bytes = 0;
 };
@@ -41,14 +64,20 @@ class Link {
 
   Link(EventQueue& events, LinkConfig config, Sink sink);
 
-  /// Offers a packet to the queue; may drop (drop-tail) or CE-mark it.
+  /// Offers a packet to the queue; may drop (random loss or drop-tail)
+  /// or CE-mark it.
   void enqueue(Packet pkt);
 
   uint64_t queue_bytes() const { return queue_bytes_; }
   const LinkConfig& config() const { return config_; }
   const LinkStats& stats() const { return stats_; }
 
-  /// Serialization time of one packet at the link rate.
+  /// Time-weighted mean rate over [epoch, until], accounting for the
+  /// rate schedule. With no schedule this is just `rate_bps`. Used by
+  /// scorecards to compute utilization on variable-rate links.
+  double mean_rate_bps(Duration until) const;
+
+  /// Serialization time of one packet at the current link rate.
   Duration serialization_delay(uint32_t wire_bytes) const {
     return Duration::from_nanos(
         static_cast<int64_t>(wire_bytes * 8.0 / config_.rate_bps * 1e9));
@@ -60,6 +89,8 @@ class Link {
   EventQueue& events_;
   LinkConfig config_;
   Sink sink_;
+  double initial_rate_bps_;  // config rate before any schedule applied
+  Rng loss_rng_;
   std::deque<Packet> queue_;
   uint64_t queue_bytes_ = 0;
   bool busy_ = false;

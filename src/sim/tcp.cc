@@ -19,8 +19,12 @@ void TcpSender::start() {
   try_send();
 }
 
+void TcpSender::stop() {
+  stop_limit_ = std::min(stop_limit_, snd_nxt_);
+}
+
 uint64_t TcpSender::data_limit() const {
-  return config_.bytes_to_send.value_or(UINT64_MAX);
+  return std::min(config_.bytes_to_send.value_or(UINT64_MAX), stop_limit_);
 }
 
 uint64_t TcpSender::bytes_in_flight() const {

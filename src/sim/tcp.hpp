@@ -53,6 +53,12 @@ class TcpSender {
   /// Begins transmitting (call at the flow's start time).
   void start();
 
+  /// Stops offering new data (call at the flow's stop time): the send
+  /// window is frozen at snd_nxt, in-flight segments still complete and
+  /// lost ones are still repaired. Idempotent.
+  void stop();
+  bool stopped() const { return stop_limit_ != UINT64_MAX; }
+
   /// Delivers an ACK from the network.
   void on_ack(const Packet& ack);
 
@@ -108,6 +114,7 @@ class TcpSender {
   // Sequence state.
   uint64_t snd_una_ = 0;
   uint64_t snd_nxt_ = 0;
+  uint64_t stop_limit_ = UINT64_MAX;  // frozen snd_nxt after stop()
   uint64_t high_rexmit_ = 0;  // Karn: no RTT samples at or below this seq
   uint64_t high_sacked_ = 0;  // highest byte covered by any SACK
 

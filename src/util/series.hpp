@@ -75,4 +75,63 @@ std::string series_json_value(const std::vector<Point>& pts) {
   return out;
 }
 
+/// Jain's fairness index over per-flow allocations: (Σx)² / (n·Σx²).
+/// 1.0 = perfectly fair, 1/n = one flow takes everything. Empty or
+/// all-zero input returns 0.
+inline double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0, sq = 0;
+  for (double x : xs) {
+    sum += x;
+    sq += x * x;
+  }
+  if (sq <= 0) return 0.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sq);
+}
+
+/// One per-flow row of the shared flow-summary schema: what every
+/// multi-flow experiment reports about each flow. `write_flow_summary_csv`
+/// and `flow_summary_json` are the canonical emitters; the scenario
+/// scorecard and the fig3/fig4 benches all use this shape.
+struct FlowSummaryRow {
+  std::string name;          // e.g. "cubic/0"
+  double throughput_mbps = 0;
+  double share = 0;          // fraction of aggregate throughput
+  double retransmits = 0;    // per-flow retransmit counter
+  double timeouts = 0;
+  double rtt_p50_ms = 0;
+  double rtt_p95_ms = 0;
+};
+
+inline void write_flow_summary_csv(std::FILE* out,
+                                   const std::vector<FlowSummaryRow>& rows) {
+  std::fprintf(out,
+               "flow,throughput_mbps,share,retransmits,timeouts,"
+               "rtt_p50_ms,rtt_p95_ms\n");
+  for (const auto& r : rows) {
+    std::fprintf(out, "%s,%.3f,%.4f,%.0f,%.0f,%.3f,%.3f\n", r.name.c_str(),
+                 r.throughput_mbps, r.share, r.retransmits, r.timeouts,
+                 r.rtt_p50_ms, r.rtt_p95_ms);
+  }
+}
+
+/// Flow-summary rows as a JSON array value (objects, one per flow).
+inline std::string flow_summary_json(const std::vector<FlowSummaryRow>& rows) {
+  std::string out = "[";
+  char buf[256];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const int n = std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"flow\":\"%s\",\"throughput_mbps\":%.6g,\"share\":%.6g,"
+        "\"retransmits\":%.6g,\"timeouts\":%.6g,\"rtt_p50_ms\":%.6g,"
+        "\"rtt_p95_ms\":%.6g}",
+        i ? "," : "", rows[i].name.c_str(), rows[i].throughput_mbps,
+        rows[i].share, rows[i].retransmits, rows[i].timeouts,
+        rows[i].rtt_p50_ms, rows[i].rtt_p95_ms);
+    if (n > 0) out.append(buf, static_cast<size_t>(n));
+  }
+  out += "]";
+  return out;
+}
+
 }  // namespace ccp::util

@@ -1,0 +1,144 @@
+// Random-loss and variable-rate link models: determinism (same seed ->
+// identical drop/rate event sequence), statistics, and schedule math.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/link.hpp"
+
+namespace ccp::sim {
+namespace {
+
+Packet data_pkt(uint32_t flow, uint64_t seq, uint32_t len) {
+  Packet p;
+  p.flow = flow;
+  p.seq = seq;
+  p.len = len;
+  p.header_bytes = 40;
+  return p;
+}
+
+/// Pushes `n` packets through a lossy link and returns the delivered
+/// sequence numbers — the drop pattern, as a function of the seed.
+std::vector<uint64_t> delivered_seqs(uint64_t seed, int n) {
+  EventQueue q;
+  LinkConfig cfg;
+  cfg.rate_bps = 1e9;
+  cfg.queue_capacity_bytes = UINT64_MAX;  // no tail drops: only random loss
+  cfg.random_loss = 0.1;
+  cfg.loss_seed = seed;
+  std::vector<uint64_t> seqs;
+  Link link(q, cfg, [&](Packet p) { seqs.push_back(p.seq); });
+  for (int i = 0; i < n; ++i) link.enqueue(data_pkt(0, i, 960));
+  q.run();
+  return seqs;
+}
+
+TEST(RandomLoss, SameSeedSameDropSequence) {
+  const auto a = delivered_seqs(7, 2000);
+  const auto b = delivered_seqs(7, 2000);
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a.size(), 2000u);  // some packets were actually dropped
+}
+
+TEST(RandomLoss, DifferentSeedDifferentDropSequence) {
+  EXPECT_NE(delivered_seqs(7, 2000), delivered_seqs(8, 2000));
+}
+
+TEST(RandomLoss, DropRateApproximatesProbability) {
+  EventQueue q;
+  LinkConfig cfg;
+  cfg.rate_bps = 1e9;
+  cfg.queue_capacity_bytes = UINT64_MAX;
+  cfg.random_loss = 0.1;
+  cfg.loss_seed = 3;
+  Link link(q, cfg, [](Packet) {});
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) link.enqueue(data_pkt(0, i, 960));
+  q.run();
+  // 0.1 * 20000 = 2000 expected; allow +-25%.
+  EXPECT_GT(link.stats().random_dropped_pkts, 1500u);
+  EXPECT_LT(link.stats().random_dropped_pkts, 2500u);
+  EXPECT_EQ(link.stats().delivered_pkts + link.stats().random_dropped_pkts,
+            static_cast<uint64_t>(n));
+}
+
+TEST(RandomLoss, OffByDefault) {
+  EventQueue q;
+  LinkConfig cfg;
+  cfg.rate_bps = 1e9;
+  cfg.queue_capacity_bytes = UINT64_MAX;  // isolate random loss from drop-tail
+  Link link(q, cfg, [](Packet) {});
+  for (int i = 0; i < 1000; ++i) link.enqueue(data_pkt(0, i, 960));
+  q.run();
+  EXPECT_EQ(link.stats().random_dropped_pkts, 0u);
+  EXPECT_EQ(link.stats().delivered_pkts, 1000u);
+}
+
+TEST(RandomLoss, CountedSeparatelyFromTailDrops) {
+  EventQueue q;
+  LinkConfig cfg;
+  cfg.rate_bps = 1e3;  // very slow: everything queues
+  cfg.queue_capacity_bytes = 3000;
+  cfg.random_loss = 0.2;
+  cfg.loss_seed = 11;
+  Link link(q, cfg, [](Packet) {});
+  for (int i = 0; i < 200; ++i) link.enqueue(data_pkt(0, i, 960));
+  EXPECT_GT(link.stats().random_dropped_pkts, 0u);
+  EXPECT_GT(link.stats().dropped_pkts, 0u);
+  // A randomly dropped packet never counts as a tail drop and vice versa.
+  EXPECT_EQ(link.stats().enqueued_pkts + link.stats().dropped_pkts +
+                link.stats().random_dropped_pkts,
+            200u);
+}
+
+TEST(RateSchedule, ChangesServiceRate) {
+  EventQueue q;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;  // 1000 wire bytes -> 1 ms
+  cfg.prop_delay = Duration::zero();
+  cfg.rate_schedule = {{Duration::from_millis(5), 4e6}};
+  std::vector<TimePoint> arrivals;
+  Link link(q, cfg, [&](Packet) { arrivals.push_back(q.now()); });
+  link.enqueue(data_pkt(0, 0, 960));  // serialized at 8 Mbit/s
+  q.schedule_at(TimePoint::epoch() + Duration::from_millis(10),
+                [&] { link.enqueue(data_pkt(0, 1, 960)); });  // at 4 Mbit/s
+  q.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ((arrivals[0] - TimePoint::epoch()).micros(), 1000);
+  EXPECT_EQ((arrivals[1] - TimePoint::epoch()).micros(), 12000);
+  EXPECT_EQ(link.stats().rate_changes_applied, 1u);
+}
+
+TEST(RateSchedule, DeterministicEventSequence) {
+  auto run_once = [] {
+    EventQueue q;
+    LinkConfig cfg;
+    cfg.rate_bps = 8e6;
+    cfg.rate_schedule = {{Duration::from_millis(3), 2e6},
+                         {Duration::from_millis(9), 8e6}};
+    std::vector<int64_t> arrivals_us;
+    Link link(q, cfg, [&](Packet) {
+      arrivals_us.push_back((q.now() - TimePoint::epoch()).micros());
+    });
+    for (int i = 0; i < 20; ++i) link.enqueue(data_pkt(0, i, 960));
+    q.run();
+    return arrivals_us;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(RateSchedule, MeanRateIntegratesSchedule) {
+  EventQueue q;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;
+  cfg.rate_schedule = {{Duration::from_secs(5), 4e6}};
+  Link link(q, cfg, [](Packet) {});
+  // First 5 s at 8 Mbit/s, next 5 s at 4 Mbit/s -> 6 Mbit/s mean.
+  EXPECT_NEAR(link.mean_rate_bps(Duration::from_secs(10)), 6e6, 1.0);
+  // Window entirely before the change: the initial rate.
+  EXPECT_NEAR(link.mean_rate_bps(Duration::from_secs(4)), 8e6, 1.0);
+}
+
+}  // namespace
+}  // namespace ccp::sim

@@ -1,0 +1,202 @@
+// ccp_scenario — declarative scenario driver.
+//
+// Runs one named built-in scenario, a spec file in the declarative text
+// format (docs/SCENARIOS.md), or the whole built-in matrix, and emits
+// the fairness/latency/retransmit scorecard as a human table, the
+// shared-series CSV schema, and/or JSON.
+//
+// Examples:
+//   ccp_scenario --list
+//   ccp_scenario cubic_vs_bbr
+//   ccp_scenario rtt_unfairness --seed 7 --json -
+//   ccp_scenario --spec my_scenario.txt --csv out
+//   ccp_scenario --matrix --json scorecard.json --csv scorecard
+//
+// --csv writes <prefix>_<scenario>_series.csv (per-flow goodput on the
+// sample grid, util/series.hpp schema) and <prefix>_<scenario>_summary.csv
+// (the shared flow-summary schema); "-" streams the summary to stdout.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/library.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace {
+
+using namespace ccp;
+using namespace ccp::scenario;
+
+struct Options {
+  std::vector<std::string> names;  // built-in scenario names to run
+  std::string spec_path;           // --spec file (exclusive with names)
+  bool matrix = false;
+  bool have_seed = false;
+  uint64_t seed = 0;
+  double time_override = -1;
+  std::string csv;   // prefix, or "-" for stdout summary
+  std::string json;  // path, or "-" for stdout
+};
+
+[[noreturn]] void usage(int code) {
+  std::printf(R"(usage: ccp_scenario <name> [...] | --matrix | --spec <file>
+
+options:
+  --matrix            run every built-in scenario
+  --spec <file>       run a declarative spec file (see docs/SCENARIOS.md)
+  --seed <n>          override the spec seed (bit-reproducible runs)
+  --time <secs>       override the spec duration
+  --csv <prefix|->    write <prefix>_<name>_{series,summary}.csv; '-' streams
+                      summaries to stdout
+  --json <file|->     write one JSON object with a "scenarios" array
+  --list              list built-in scenarios and exit
+)");
+  std::exit(code);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(1);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    try {
+      if (std::strcmp(arg, "--matrix") == 0) {
+        opt.matrix = true;
+      } else if (std::strcmp(arg, "--spec") == 0) {
+        opt.spec_path = need_value(i);
+      } else if (std::strcmp(arg, "--seed") == 0) {
+        opt.seed = std::stoull(need_value(i));
+        opt.have_seed = true;
+      } else if (std::strcmp(arg, "--time") == 0) {
+        opt.time_override = std::stod(need_value(i));
+      } else if (std::strcmp(arg, "--csv") == 0) {
+        opt.csv = need_value(i);
+      } else if (std::strcmp(arg, "--json") == 0) {
+        opt.json = need_value(i);
+      } else if (std::strcmp(arg, "--list") == 0) {
+        for (const auto& name : builtin_scenario_names()) {
+          const ScenarioSpec spec = builtin_scenario(name);
+          std::printf("%-18s %s\n", name.c_str(), spec.description.c_str());
+        }
+        std::exit(0);
+      } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+        usage(0);
+      } else if (arg[0] == '-') {
+        std::fprintf(stderr, "unknown option: %s\n", arg);
+        usage(1);
+      } else {
+        opt.names.push_back(arg);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad value for %s: %s\n", arg, e.what());
+      std::exit(1);
+    }
+  }
+  if (opt.matrix + !opt.spec_path.empty() + !opt.names.empty() != 1) usage(1);
+  return opt;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "ccp_scenario: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), out);
+  std::fclose(out);
+  return true;
+}
+
+bool emit_csv(const Options& opt, const Scorecard& card) {
+  if (opt.csv == "-") {
+    card.write_summary_csv(stdout);
+    return true;
+  }
+  const std::string base = opt.csv + "_" + card.scenario;
+  std::FILE* series = std::fopen((base + "_series.csv").c_str(), "w");
+  std::FILE* summary = std::fopen((base + "_summary.csv").c_str(), "w");
+  if (series == nullptr || summary == nullptr) {
+    std::fprintf(stderr, "ccp_scenario: cannot write %s_*.csv\n", base.c_str());
+    if (series) std::fclose(series);
+    if (summary) std::fclose(summary);
+    return false;
+  }
+  card.write_series_csv(series);
+  card.write_summary_csv(summary);
+  std::fclose(series);
+  std::fclose(summary);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+
+  std::vector<ScenarioSpec> specs;
+  try {
+    if (opt.matrix) {
+      for (const auto& name : builtin_scenario_names()) {
+        specs.push_back(builtin_scenario(name));
+      }
+    } else if (!opt.spec_path.empty()) {
+      std::ifstream in(opt.spec_path);
+      if (!in) {
+        std::fprintf(stderr, "ccp_scenario: cannot read %s\n",
+                     opt.spec_path.c_str());
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      specs.push_back(parse_spec(text.str()));
+    } else {
+      for (const auto& name : opt.names) {
+        specs.push_back(builtin_scenario(name));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ccp_scenario: %s\n", e.what());
+    return 1;
+  }
+
+  std::string json = "{\"scenarios\":[";
+  bool first = true;
+  for (ScenarioSpec& spec : specs) {
+    if (opt.have_seed) spec.seed = opt.seed;
+    if (opt.time_override > 0) spec.duration_secs = opt.time_override;
+    Scorecard card;
+    try {
+      card = run_scenario(spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ccp_scenario: %s: %s\n", spec.name.c_str(), e.what());
+      return 1;
+    }
+    if (opt.json != "-" && opt.csv != "-") {
+      card.print(stdout);
+      std::printf("\n");
+    }
+    if (!opt.csv.empty() && !emit_csv(opt, card)) return 1;
+    if (!opt.json.empty()) {
+      if (!first) json += ",";
+      json += card.json();
+      first = false;
+    }
+  }
+  json += "]}";
+
+  if (!opt.json.empty()) {
+    if (opt.json == "-") {
+      std::printf("%s\n", json.c_str());
+    } else if (!write_file(opt.json, json + "\n")) {
+      return 1;
+    }
+  }
+  return 0;
+}

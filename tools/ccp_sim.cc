@@ -29,6 +29,7 @@
 #include "telemetry/stats_server.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace_export.hpp"
+#include "util/rng.hpp"
 #include "util/series.hpp"
 #include "util/units.hpp"
 
@@ -48,6 +49,7 @@ struct Options {
   Duration rtt = Duration::from_millis(10);
   double buffer_bdp = 1.0;
   double ecn_threshold_bdp = -1;  // <0: ECN off
+  double loss = 0.0;              // bottleneck random (non-congestive) loss
   double secs = 20;
   Duration ipc_delay = Duration::from_micros(15);
   std::vector<FlowSpec> flows;
@@ -65,6 +67,7 @@ options:
   --rtt <dur>         base round-trip time, e.g. 10ms        [10ms]
   --buffer <bdp>      queue size in BDP units                [1.0]
   --ecn <bdp>         ECN marking threshold in BDP (enables ECN)
+  --loss <p>          bottleneck random loss probability      [0]
   --time <secs>       simulated seconds                      [20]
   --ipc <dur>         simulated agent IPC delay              [15us]
   --seed <n>          RNG seed                               [42]
@@ -95,6 +98,8 @@ Options parse_args(int argc, char** argv) {
         opt.buffer_bdp = std::stod(need_value(i));
       } else if (std::strcmp(arg, "--ecn") == 0) {
         opt.ecn_threshold_bdp = std::stod(need_value(i));
+      } else if (std::strcmp(arg, "--loss") == 0) {
+        opt.loss = std::stod(need_value(i));
       } else if (std::strcmp(arg, "--time") == 0) {
         opt.secs = std::stod(need_value(i));
       } else if (std::strcmp(arg, "--ipc") == 0) {
@@ -181,6 +186,10 @@ int main(int argc, char** argv) {
       opt.ecn_threshold_bdp >= 0
           ? static_cast<uint64_t>(bdp_bytes * opt.ecn_threshold_bdp)
           : UINT64_MAX);
+  net_cfg.bottleneck.random_loss = opt.loss;
+  // The loss stream forks off --seed so a run replays bit-for-bit, but is
+  // decorrelated from the host's IPC-jitter stream (same parent seed).
+  net_cfg.bottleneck.loss_seed = Rng(opt.seed).next_u64();
   Dumbbell net(events, net_cfg);
 
   CcpHostConfig host_cfg;
@@ -268,10 +277,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(senders[i]->stats().timeouts));
   }
   const auto& link = net.bottleneck().stats();
-  std::printf("\nbottleneck: %llu pkts delivered, %llu dropped, %llu ECN-marked, "
-              "max queue %.1f pkts\n",
+  std::printf("\nbottleneck: %llu pkts delivered, %llu dropped (%llu random), "
+              "%llu ECN-marked, max queue %.1f pkts\n",
               static_cast<unsigned long long>(link.delivered_pkts),
-              static_cast<unsigned long long>(link.dropped_pkts),
+              static_cast<unsigned long long>(link.dropped_pkts +
+                                              link.random_dropped_pkts),
+              static_cast<unsigned long long>(link.random_dropped_pkts),
               static_cast<unsigned long long>(link.marked_pkts),
               link.max_queue_bytes / 1500.0);
   return 0;
