@@ -74,8 +74,68 @@ void AckBatchRunner::stage_lane(CcpFlow& flow,
 }
 
 void AckBatchRunner::run(CcpDatapath& dp, std::span<const FlowAck> burst) {
-  for (const FlowAck& fa : burst) {
-    CcpFlow* flow = dp.flow(fa.flow_id);
+  // Intake prefetch pipeline. At million-flow scale the per-ACK cost is
+  // dominated by dependent cache misses: the index bucket line, then the
+  // flow object's lines, then the lines behind the flow's pointers (hot
+  // block, estimator rings, fold state). Each chunk of 32 ACKs runs
+  // three full-width sweeps before any ACK is processed, so every level
+  // of the dependency chain is issued a whole sweep (hundreds of ns)
+  // ahead of its first use:
+  //   sweep 1  pull every index bucket line (pure hash, no loads)
+  //   sweep 2  resolve every flow pointer (buckets now warm) and
+  //            prefetch the flow objects' own lines — address
+  //            arithmetic only, stalls on nothing
+  //   sweep 3  dereference the (now warm) flows to prefetch the
+  //            indirect lines: ring write positions, fold state
+  // Holding resolved pointers across the chunk is safe because nothing
+  // inside a burst can create or close flows: emission goes sink ->
+  // enqueue -> FrameTx, and no FrameTx re-enters the flow lifecycle
+  // (close_flow / create_flow happen between bursts, on the owner
+  // thread).
+  // A Zipf-popular stream is mostly repeats of a few hot flows whose
+  // lines are already resident; prefetching those again wastes the issue
+  // slots and fill-buffer probes the genuinely cold flows need. The
+  // resolve sweep dedups per chunk through find_mark(): the first
+  // resolution of a flow prefetches, repeats come back tagged (pointer
+  // low bit) so the deep sweep skips them too.
+  FlowTable& table = dp.flow_table();
+  static constexpr size_t kChunk = 32;
+  static constexpr uintptr_t kSeenTag = 1;
+  CcpFlow* look[kChunk];
+  for (size_t base = 0; base < burst.size(); base += kChunk) {
+    const size_t n = std::min(burst.size() - base, kChunk);
+    const FlowAck* const acks = burst.data() + base;
+    if (++burst_stamp_ == 0) ++burst_stamp_;  // 0 is the fresh-bucket value
+    for (size_t i = 0; i < n; ++i) table.prefetch(acks[i].flow_id);
+    for (size_t i = 0; i < n; ++i) {
+      bool fresh = false;
+      CcpFlow* f = table.find_mark(acks[i].flow_id, burst_stamp_, fresh);
+      if (f != nullptr && fresh) {
+        f->prefetch_self();
+      } else if (f != nullptr) {
+        f = reinterpret_cast<CcpFlow*>(reinterpret_cast<uintptr_t>(f) |
+                                       kSeenTag);
+      }
+      look[i] = f;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      CcpFlow* f = look[i];
+      if (f != nullptr && (reinterpret_cast<uintptr_t>(f) & kSeenTag) == 0) {
+        f->prefetch_for_ack();
+      }
+    }
+    run_chunk(dp, std::span<const FlowAck>(acks, n), look);
+  }
+}
+
+void AckBatchRunner::run_chunk(CcpDatapath& dp, std::span<const FlowAck> burst,
+                               CcpFlow* const* look) {
+  static constexpr uintptr_t kSeenTag = 1;
+  const size_t n = burst.size();
+  for (size_t i = 0; i < n; ++i) {
+    const FlowAck& fa = burst[i];
+    CcpFlow* flow = reinterpret_cast<CcpFlow*>(
+        reinterpret_cast<uintptr_t>(look[i]) & ~kSeenTag);
     if (flow == nullptr) continue;
 
     FlowHot& hot = flow->hot();

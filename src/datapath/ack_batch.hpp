@@ -76,6 +76,14 @@ class AckBatchRunner {
   void run(CcpDatapath& dp, std::span<const FlowAck> burst);
 
  private:
+  /// One ≤32-ACK chunk after the intake prefetch sweeps: `look[i]` is
+  /// the resolved (possibly seen-tagged) flow for burst[i].
+  void run_chunk(CcpDatapath& dp, std::span<const FlowAck> burst,
+                 CcpFlow* const* look);
+
+ public:
+
+ private:
   // The lane's execution engine (cached per flow; see BatchExec in
   // events.hpp). Doubles as part of the grouping key so one grouped
   // call never mixes engines.
@@ -124,6 +132,7 @@ class AckBatchRunner {
   size_t n_lanes_ = 0;
   size_t n_groups_ = 0;
   uint64_t wave_id_ = 1;    // matched against FlowHot::batch_epoch (0 = never)
+  uint32_t burst_stamp_ = 0;  // FlowTable::find_mark prefetch dedup (0 reserved)
   uint64_t wave_seq_ = 0;   // profiler sampling counter (waves, not ACKs)
 
   Arena lead_;  // wave's first group: staged at intake, scattered at finish

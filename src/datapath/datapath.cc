@@ -1,6 +1,7 @@
 #include "datapath/datapath.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "lang/error.hpp"
 #include "telemetry/telemetry.hpp"
@@ -9,11 +10,41 @@
 namespace ccp::datapath {
 
 CcpDatapath::CcpDatapath(DatapathConfig config, FrameTx tx)
-    : config_(config), tx_(std::move(tx)) {}
+    : config_(config), tx_(std::move(tx)) {
+  // One sink shared by every flow the table constructs (copied per slot
+  // construction, not per create — recycled slots keep their copy).
+  flows_.set_sink([this](const ipc::Message& msg, bool urgent) {
+    // `oldest_pending_` needs a timestamp; flows stamp messages via the
+    // enqueue path below with the time of their triggering event. We use
+    // the flow's last event time implicitly: enqueue() receives it from
+    // tick()/on_ack() callers through the flow; here we approximate with
+    // the batcher's own clock, which tick() keeps fresh.
+    enqueue(msg, urgent, last_event_time_);
+  });
+  flows_.reserve(config_.expected_flows);
+}
 
 CcpFlow& CcpDatapath::create_flow(const FlowConfig& cfg, const std::string& alg_hint,
                                   TimePoint now) {
   return create_flow_with_id(next_flow_id_++, cfg, alg_hint, now);
+}
+
+void CcpDatapath::publish_table_gauges() {
+  auto& m = telemetry::metrics();
+  m.active_flows.set(static_cast<int64_t>(flows_.size()));
+  m.dp_flows.set(static_cast<int64_t>(flows_.size()));
+  m.dp_table_load_factor.set(
+      static_cast<int64_t>(flows_.load_factor() * 10000.0));
+  if (shard_stats_ != nullptr) {
+    shard_stats_->flows.set(static_cast<int64_t>(flows_.size()));
+  }
+}
+
+void CcpDatapath::pump_rehash() {
+  const size_t scanned = flows_.rehash_step(config_.rehash_step_buckets);
+  if (scanned > 0 && telemetry::enabled()) {
+    telemetry::metrics().dp_flow_rehash_steps.inc();
+  }
 }
 
 CcpFlow& CcpDatapath::create_flow_with_id(ipc::FlowId id, const FlowConfig& cfg,
@@ -21,48 +52,40 @@ CcpFlow& CcpDatapath::create_flow_with_id(ipc::FlowId id, const FlowConfig& cfg,
                                           TimePoint now) {
   // Keep locally assigned ids clear of caller-chosen ones.
   if (id >= next_flow_id_) next_flow_id_ = id + 1;
-  auto sink = [this](const ipc::Message& msg, bool urgent) {
-    // `oldest_pending_` needs a timestamp; flows stamp messages via the
-    // enqueue path below with the time of their triggering event. We use
-    // the flow's last event time implicitly: enqueue() receives it from
-    // tick()/on_ack() callers through the flow; here we approximate with
-    // the batcher's own clock, which tick() keeps fresh.
-    enqueue(msg, urgent, last_event_time_);
-  };
-  auto flow = std::make_unique<CcpFlow>(id, cfg, std::move(sink));
-  CcpFlow& ref = *flow;
-  flows_.insert_or_assign(id, std::move(flow));
-  alg_hints_.insert_or_assign(id, alg_hint);
+  CcpFlow& ref = flows_.create(id, cfg, alg_hint);
   if (telemetry::enabled()) {
     auto& m = telemetry::metrics();
     m.flows_created.inc();
-    m.active_flows.set(static_cast<int64_t>(flows_.size()));
+    m.dp_flow_creates.inc();
+    publish_table_gauges();
   }
   telemetry::trace(telemetry::TraceKind::FlowCreate, id,
                    static_cast<double>(cfg.init_cwnd_bytes));
 
-  ipc::CreateMsg create;
+  auto& create = std::get<ipc::CreateMsg>(create_msg_);
   create.flow_id = id;
   create.init_cwnd_bytes = static_cast<uint32_t>(cfg.init_cwnd_bytes);
   create.mss = cfg.mss;
-  create.alg_hint = alg_hint;
-  enqueue(create, /*urgent=*/true, now);
+  create.alg_hint = alg_hint;  // string assign: capacity reused across creates
+  enqueue(create_msg_, /*urgent=*/true, now);
   return ref;
 }
 
 void CcpDatapath::close_flow(ipc::FlowId id, TimePoint now) {
-  alg_hints_.erase(id);
-  if (auto* fl = flows_.find(id); fl != nullptr) {
+  if (CcpFlow* fl = flows_.find(id); fl != nullptr) {
     if (telemetry::enabled()) {
       auto& m = telemetry::metrics();
       // Residual ACK accounting the flow hasn't drained at a report/tick.
-      m.dp_acks.inc((*fl)->take_unreported_acks());
+      m.dp_acks.inc(fl->take_unreported_acks());
       m.flows_closed.inc();
-      m.active_flows.set(static_cast<int64_t>(flows_.size() - 1));
+      m.dp_flow_closes.inc();
     }
-    flows_.erase(id);
+    flows_.erase(id);  // parks the slot; the next create recycles it
+    if (telemetry::enabled()) publish_table_gauges();
     telemetry::trace(telemetry::TraceKind::FlowClose, id, 0.0);
-    enqueue(ipc::FlowCloseMsg{id}, /*urgent=*/true, now);
+    auto& close = std::get<ipc::FlowCloseMsg>(close_msg_);
+    close.flow_id = id;
+    enqueue(close_msg_, /*urgent=*/true, now);
   }
 }
 
@@ -157,23 +180,24 @@ void CcpDatapath::handle_frame(std::span<const uint8_t> frame, TimePoint now) {
 
 size_t CcpDatapath::replay_flow_summaries(TimePoint now, uint64_t token) {
   size_t replayed = 0;
-  for (auto& [id, fl] : flows_) {
-    ipc::FlowSummaryMsg summary;
-    summary.flow_id = id;
-    summary.mss = fl->config().mss;
+  // Slot (creation) order; the summary scratch and the interned hint
+  // keep a million-flow replay free of per-flow allocation.
+  flows_.for_each([&](CcpFlow& fl, const std::string& hint) {
+    auto& summary = std::get<ipc::FlowSummaryMsg>(summary_msg_);
+    summary.flow_id = fl.id();
+    summary.mss = fl.config().mss;
     summary.cwnd_bytes = static_cast<uint32_t>(
-        std::min<uint64_t>(fl->cwnd_bytes(), 0xffffffffu));
-    const int64_t srtt_us = fl->srtt().micros();
+        std::min<uint64_t>(fl.cwnd_bytes(), 0xffffffffu));
+    const int64_t srtt_us = fl.srtt().micros();
     summary.srtt_us = srtt_us > 0 ? static_cast<uint64_t>(srtt_us) : 0;
-    summary.in_fallback = fl->in_fallback();
-    const std::string* hint = alg_hints_.find(id);
-    summary.alg_hint = hint != nullptr ? *hint : std::string();
+    summary.in_fallback = fl.in_fallback();
+    summary.alg_hint = hint;
     summary.token = token;
-    enqueue(summary, /*urgent=*/false, now);
-    telemetry::trace(telemetry::TraceKind::Resync, id,
+    enqueue(summary_msg_, /*urgent=*/false, now);
+    telemetry::trace(telemetry::TraceKind::Resync, fl.id(),
                      static_cast<double>(summary.cwnd_bytes));
     ++replayed;
-  }
+  });
   if (telemetry::enabled() && replayed > 0) {
     telemetry::metrics().dp_resync_flows.inc(replayed);
   }
@@ -183,6 +207,18 @@ size_t CcpDatapath::replay_flow_summaries(TimePoint now, uint64_t token) {
 
 void CcpDatapath::tick(TimePoint now) {
   last_event_time_ = now;
+  // Pump the incremental rehash from the tick path too: an idle shard
+  // mid-grow still drains without waiting for ACK traffic.
+  if (flows_.rehash_pending()) [[unlikely]] pump_rehash();
+  // Per-flow maintenance, bounded when configured: tick_flow_budget = 0
+  // sweeps every flow from slot 0 (the historical full walk, creation
+  // order); a budget sweeps a bounded cohort behind a round-robin
+  // cursor, the same bounded-per-call contract the rehash gives the
+  // index — a million mostly-idle flows never stall one tick call.
+  const size_t budget = config_.tick_flow_budget == 0
+                            ? std::numeric_limits<size_t>::max()
+                            : config_.tick_flow_budget;
+  const size_t start = config_.tick_flow_budget == 0 ? 0 : tick_sweep_cursor_;
   // Drain per-flow ACK counts into the global counter on a slow cadence
   // (and at report/close) instead of paying an atomic RMW on every ACK.
   // Flows that report regularly drain themselves in emit_report; this
@@ -192,13 +228,14 @@ void CcpDatapath::tick(TimePoint now) {
   // the tick path a high-frequency driver spins.
   if ((++tick_seq_ & 63) == 0 && telemetry::enabled()) {
     uint64_t acks = 0;
-    for (auto& [id, flow] : flows_) {
-      acks += flow->take_unreported_acks();
-      flow->tick(now);
-    }
+    tick_sweep_cursor_ = flows_.sweep(start, budget, [&](CcpFlow& flow) {
+      acks += flow.take_unreported_acks();
+      flow.tick(now);
+    });
     if (acks > 0) telemetry::metrics().dp_acks.inc(acks);
   } else {
-    for (auto& [id, flow] : flows_) flow->tick(now);
+    tick_sweep_cursor_ =
+        flows_.sweep(start, budget, [&](CcpFlow& flow) { flow.tick(now); });
   }
   if (pending_msgs_ > 0 && now - oldest_pending_ >= config_.flush_interval) {
     flush();

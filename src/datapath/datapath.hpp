@@ -15,8 +15,8 @@
 
 #include "datapath/ack_batch.hpp"
 #include "datapath/flow.hpp"
+#include "datapath/flow_table.hpp"
 #include "ipc/wire.hpp"
-#include "util/flat_map.hpp"
 #include "util/time.hpp"
 
 namespace ccp::telemetry {
@@ -31,6 +31,24 @@ struct DatapathConfig {
   Duration flush_interval = Duration::zero();
   /// Flush regardless of age once this many messages are pending.
   size_t max_batch_msgs = 64;
+
+  /// Pre-sizes the flow index for this many flows (0 = start small and
+  /// grow incrementally through every doubling). Either way the wire
+  /// behavior is identical — the incremental rehash is invisible to the
+  /// agent — which tests/flow_table_test.cc pins byte for byte.
+  size_t expected_flows = 0;
+  /// Old-table buckets migrated per on_ack_batch / tick call while an
+  /// index grow is draining. Bounds the rehash work any single ACK burst
+  /// can observe; the insert-time budget in FlowTable guarantees the
+  /// drain completes before the next grow regardless of this knob.
+  size_t rehash_step_buckets = 128;
+  /// Flows visited per tick() for control-wait/watchdog maintenance.
+  /// 0 = every flow, the historical behavior and right for datapaths
+  /// with thousands of flows. Million-flow datapaths set a budget: the
+  /// sweep cursor round-robins so every flow is still visited within
+  /// live/budget ticks, and ACK arrival advances control waits anyway —
+  /// a bounded maintenance delay for idle flows, never for active ones.
+  size_t tick_flow_budget = 0;
 };
 
 struct DatapathStats {
@@ -63,17 +81,17 @@ class CcpDatapath {
   void close_flow(ipc::FlowId id, TimePoint now);
   /// Per-packet demux; inline so the per-ACK lookup is one probe
   /// sequence with no call overhead.
-  CcpFlow* flow(ipc::FlowId id) {
-    auto* slot = flows_.find(id);
-    return slot == nullptr ? nullptr : slot->get();
-  }
+  CcpFlow* flow(ipc::FlowId id) { return flows_.find(id); }
 
   /// Feeds a whole burst of ACKs through the cross-flow batch runner:
   /// behaviorally equivalent to the per-ACK on_send/on_ack sequence in
   /// arrival order (same messages, same bytes), but same-program flows
   /// fold in grouped batch calls — packed SIMD where the program is
-  /// eligible. See datapath/ack_batch.hpp for the peeling rules.
+  /// eligible. See datapath/ack_batch.hpp for the peeling rules. Each
+  /// call also pumps one bounded incremental-rehash step when a flow-
+  /// index grow is draining, so table growth never stalls a burst.
   void on_ack_batch(std::span<const FlowAck> burst) {
+    if (flows_.rehash_pending()) [[unlikely]] pump_rehash();
     batch_runner_.run(*this, burst);
   }
 
@@ -97,6 +115,10 @@ class CcpDatapath {
 
   const DatapathStats& stats() const { return stats_; }
   size_t num_flows() const { return flows_.size(); }
+  /// The slab-backed flow store (benchmarks and tests read its stats,
+  /// handles, and load factor; the churn bench drives its recycling).
+  const FlowTable& flow_table() const { return flows_; }
+  FlowTable& flow_table() { return flows_; }
 
   /// Attributes this datapath's report/urgent traffic to a shard's
   /// counter set (sharded mode; see src/datapath/shard.hpp). Accounting
@@ -106,15 +128,22 @@ class CcpDatapath {
 
  private:
   void enqueue(const ipc::Message& msg, bool urgent, TimePoint now);
+  /// One bounded incremental-rehash step + the telemetry that goes with
+  /// it. Out of line: the callers' fast path is the rehash_pending()
+  /// test, false for the table's whole steady state.
+  void pump_rehash();
+  /// Publishes flow-count / load-factor gauges after create/close.
+  void publish_table_gauges();
 
   DatapathConfig config_;
   FrameTx tx_;
-  util::FlatMap<ipc::FlowId, std::unique_ptr<CcpFlow>> flows_;
-  // Each flow's CreateMsg alg_hint, kept so resync replays can tell a
-  // restarted agent which algorithm the host policy wanted. Cold data:
-  // touched only at create/close/resync, never on the per-ACK path.
-  util::FlatMap<ipc::FlowId, std::string> alg_hints_;
+  // Two-tier slab flow storage (hot FlowHot slab + parked-recycled cold
+  // CcpFlow slab) behind an incremental-rehash FlowId index. Also owns
+  // the interned algorithm-hint pool resync replays read — one pooled
+  // string per distinct hint, not a heap string per flow.
+  FlowTable flows_;
   ipc::FlowId next_flow_id_ = 1;
+  size_t tick_sweep_cursor_ = 0;  // round-robin slot cursor (bounded tick)
 
   // Outgoing batch: messages are encoded straight into `batch_enc_` as
   // they arrive (frame header first, msg count patched at flush), so a
@@ -126,6 +155,14 @@ class CcpDatapath {
   TimePoint oldest_pending_{};
   TimePoint last_event_time_{};  // freshest tick time, stamps sink messages
   uint32_t tick_seq_ = 0;        // paces the slow-cadence metric drain
+
+  // Outgoing control-plane scratch messages (create/close/resync),
+  // mirrors of the flows' own report/urgent scratch: mutated in place
+  // and handed to enqueue by reference, so steady-state churn reuses
+  // their string/field capacities instead of allocating per flow event.
+  ipc::Message create_msg_{ipc::CreateMsg{}};
+  ipc::Message close_msg_{ipc::FlowCloseMsg{}};
+  ipc::Message summary_msg_{ipc::FlowSummaryMsg{}};
 
   // Incoming decode scratch, reused across frames. `rx_busy_` guards
   // against reentrant handle_frame (a synchronously wired agent can loop

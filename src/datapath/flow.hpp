@@ -68,6 +68,13 @@ struct FlowConfig {
   /// report goes out truncated (num_acks_folded still counts every ACK,
   /// so the agent can tell samples are missing).
   size_t max_vector_samples = 16384;
+
+  /// Rate-estimator ring capacity, in events (rounded to a power of
+  /// two). Two rings per flow make this the dominant per-flow footprint:
+  /// 512 entries is ~24 KB/flow — fine for dozens of hot flows, ~24 GB
+  /// at a million resident. Million-flow configurations shrink it (the
+  /// anchor fallback keeps estimates graceful; see util/rate_estimator).
+  size_t rate_ring_entries = RateEstimator::kDefaultCapacity;
 };
 
 /// Sink for messages the flow wants delivered to the agent. `urgent`
@@ -122,8 +129,25 @@ struct FlowHot {
 
 class CcpFlow final : public CcModule {
  public:
-  CcpFlow(ipc::FlowId id, FlowConfig config, MessageSink sink);
+  /// `hot` points this flow's per-ACK block into the owning FlowTable's
+  /// hot slab (stable for the slot's lifetime). Null — standalone flows,
+  /// tests — makes the flow own a private block instead; behavior is
+  /// identical either way.
+  CcpFlow(ipc::FlowId id, FlowConfig config, MessageSink sink,
+          FlowHot* hot = nullptr);
   ~CcpFlow() override;
+
+  /// Re-initializes a parked (closed, slot-recycled) flow as a brand-new
+  /// flow `id` — the storage-reuse twin of the constructor. Every
+  /// internal buffer (estimator rings, fold state, vector samples,
+  /// report scratch) keeps its capacity, so steady-state close->create
+  /// churn allocates nothing. The caller must have park()ed the flow.
+  void reset_for_reuse(ipc::FlowId id, const FlowConfig& config);
+
+  /// Settles telemetry for a flow leaving service without destruction
+  /// (the FlowTable parks closed flows for recycling): releases the
+  /// in-fallback gauge the destructor would otherwise settle.
+  void park();
 
   // --- stack-facing API (the datapath contract, §2.1) ---
 
@@ -137,9 +161,9 @@ class CcpFlow final : public CcModule {
   void tick(TimePoint now) override;
 
   /// Current enforcement values the stack must obey.
-  uint64_t cwnd_bytes() const override { return hot_.cwnd_bytes; }
+  uint64_t cwnd_bytes() const override { return hot_->cwnd_bytes; }
   /// 0 means "no pacing" (window-limited only).
-  double pacing_rate_bps() const override { return hot_.rate_bps; }
+  double pacing_rate_bps() const override { return hot_->rate_bps; }
 
   // --- agent-facing API ---
 
@@ -160,10 +184,10 @@ class CcpFlow final : public CcModule {
   /// reporting (§2.4). In vector mode the flow records one sample per
   /// ACK and ships the raw vector at Report() time.
   void set_vector_mode(bool enabled) {
-    hot_.vector_mode = enabled;
+    hot_->vector_mode = enabled;
     refresh_batch_exec();
   }
-  bool vector_mode() const { return hot_.vector_mode; }
+  bool vector_mode() const { return hot_->vector_mode; }
 
   // --- cross-flow batch execution surface (datapath/ack_batch.cc) ---
 
@@ -179,9 +203,46 @@ class CcpFlow final : public CcModule {
   void ack_finish(bool urgent, TimePoint now);
   /// Mutable hot block / fold machine / packet view for the runner's
   /// struct-of-arrays gather and scatter.
-  FlowHot& hot() { return hot_; }
+  FlowHot& hot() { return *hot_; }
   lang::FoldMachine& fold_machine() { return fold_; }
   const lang::PktInfo& last_pkt() const { return last_pkt_; }
+  /// Stage-one prefetch: the flow object's own cache lines. Every address
+  /// here is `this` plus a compile-time offset — no field is read — so a
+  /// completely cold flow costs no stall to prefetch. Covers the lines
+  /// holding the pointers/indices that prefetch_for_ack() must *load*
+  /// (hot_, the estimator ring heads, the fold state pointer).
+  void prefetch_self() const {
+    const char* base = reinterpret_cast<const char*>(this);
+    __builtin_prefetch(base);        // id_, config_ head
+    __builtin_prefetch(base + 64);   // config_ tail, sink_, hot_ pointer
+    // PktInfo is 15 doubles — it straddles two lines, and the per-ACK
+    // fill writes most of it.
+    const char* pkt = reinterpret_cast<const char*>(&last_pkt_);
+    __builtin_prefetch(pkt, 1);
+    __builtin_prefetch(pkt + sizeof(last_pkt_) - 1, 1);
+    __builtin_prefetch(&snd_rate_);
+    __builtin_prefetch(&rcv_rate_);
+    __builtin_prefetch(&fold_);
+    // Control/report tail: run_control's per-ACK gate reads control_pc_,
+    // the watchdog flags, and the report watermark — the cycle profiler
+    // shows these lines are where a cold flow's report_emit stage pays.
+    const char* ctl = reinterpret_cast<const char*>(&control_pc_);
+    __builtin_prefetch(ctl, 1);
+    __builtin_prefetch(ctl + 64, 1);
+  }
+  /// Stage-two prefetch: the lines *behind* the flow's pointers — hot
+  /// block, both estimator ring write positions, fold state. These
+  /// require reading fields of the flow, so the batch runner calls this
+  /// only after prefetch_self()'s lines have had a few ACKs' worth of
+  /// work to arrive; a cold (Zipf-tail) flow's dependent misses then
+  /// overlap earlier lanes instead of serializing in front of its own.
+  void prefetch_for_ack() {
+    __builtin_prefetch(hot_, 1);
+    __builtin_prefetch(snd_rate_.write_pos(), 1);
+    __builtin_prefetch(rcv_rate_.write_pos(), 1);
+    __builtin_prefetch(fold_.state_data(), 1);
+    __builtin_prefetch(fold_.vars_data());
+  }
 
   // --- introspection (tests, tracing) ---
 
@@ -195,7 +256,7 @@ class CcpFlow final : public CcModule {
   /// (JitMode On or Verify at install time and codegen succeeded).
   bool jit_active() const { return fold_.jit_active(); }
   uint64_t reports_sent() const { return report_seq_; }
-  uint64_t acks_folded_total() const { return hot_.acks_folded_total; }
+  uint64_t acks_folded_total() const { return hot_->acks_folded_total; }
 
   /// Returns the ACKs measured since the last call and marks them
   /// flushed. The owning datapath drains this into the global
@@ -204,8 +265,8 @@ class CcpFlow final : public CcModule {
   /// per-ACK count a plain per-flow field removes the atomic
   /// read-modify-write from the per-ACK path.
   uint64_t take_unreported_acks() {
-    const uint64_t d = hot_.acks_seen - acks_flushed_;
-    acks_flushed_ = hot_.acks_seen;
+    const uint64_t d = hot_->acks_seen - acks_flushed_;
+    acks_flushed_ = hot_->acks_seen;
     return d;
   }
 
@@ -230,7 +291,7 @@ class CcpFlow final : public CcModule {
   /// estimate delays fallback by at most one old threshold, and crossing
   /// a deadline while fresh merely re-arms.
   void check_watchdog(TimePoint now) {
-    if (now < hot_.watchdog_deadline) return;
+    if (now < hot_->watchdog_deadline) return;
     check_watchdog_slow(now);
   }
   void check_watchdog_slow(TimePoint now);
@@ -238,15 +299,15 @@ class CcpFlow final : public CcModule {
   /// (install, fallback entry/exit). Epoch forces the next check onto
   /// the slow path, which computes the real deadline; max() disarms.
   void rearm_watchdog() {
-    hot_.watchdog_deadline =
+    hot_->watchdog_deadline =
         (watchdog_enabled_ && agent_has_programmed_ && !in_fallback_)
             ? TimePoint::epoch()
             : TimePoint::max();
   }
-  /// Re-derives hot_.exec_class from the fold machine's install-time
+  /// Re-derives hot_->exec_class from the fold machine's install-time
   /// latches. Must run after every fold_.install and vector-mode change.
   void refresh_batch_exec() {
-    hot_.exec_class = !fold_.installed() || hot_.vector_mode
+    hot_->exec_class = !fold_.installed() || hot_->vector_mode
                           ? BatchExec::Peel
                       : fold_.jit_verifying() ? BatchExec::Verify
                       : fold_.batch_fn() != nullptr ? BatchExec::Simd
@@ -271,7 +332,12 @@ class CcpFlow final : public CcModule {
 
   // The per-ACK working set, adjacent by construction: the hot block and
   // the packet view the fold reads.
-  FlowHot hot_;
+  // Slab-resident (owned_hot_ null) or privately owned: either way hot_
+  // is non-null for the flow's whole life and the per-ACK path is one
+  // pointer indirection away from the ~2-line block. Declared before
+  // hot_ so the member initializer can fall back to the owned block.
+  std::unique_ptr<FlowHot> owned_hot_;
+  FlowHot* hot_;
   lang::PktInfo last_pkt_;  // most recent event, for control-arg evaluation
 
   // Measurement state (primitive (3)), queried behind field gating and a

@@ -73,6 +73,7 @@ struct ShardStats {
   Counter urgents;    // urgent events emitted by this shard
   Counter ring_full;  // frames dropped: this shard's IPC lane was full
   Counter commands;   // agent commands applied at quiescent points
+  Gauge flows;        // live flows resident in this shard's FlowTable
 };
 
 /// Every runtime metric, one member each, registered by name in
@@ -96,6 +97,11 @@ struct Metrics {
   Counter dp_resync_flows;     // flow summaries replayed on agent resync
   Counter flows_created;
   Counter flows_closed;
+
+  // -- flow table (datapath/flow_table.hpp) --
+  Counter dp_flow_creates;       // FlowTable creates (fresh + recycled slots)
+  Counter dp_flow_closes;        // FlowTable closes (slots parked)
+  Counter dp_flow_rehash_steps;  // bounded incremental-rehash migration steps
 
   // -- cross-flow batch execution (datapath/ack_batch.cc) --
   // Occupancy = lanes_sum / lanes_total waves. simd/scalar split how each
@@ -141,6 +147,10 @@ struct Metrics {
   Counter lang_cache_evictions;   // LRU evictions under algorithm churn
 
   Gauge active_flows;          // datapath-side live flow count
+  Gauge dp_flows;              // flows resident across every FlowTable
+  Gauge dp_table_load_factor;  // flow-index load factor, basis points
+                               // (live/buckets * 10000; per-process max
+                               // across tables when sharded)
   Gauge ipc_ring_used_bytes;   // shm ring occupancy at last send
   Gauge flows_in_fallback;     // flows currently on the safe-mode program
   Gauge jit_code_bytes;        // live JIT code cache size, bytes

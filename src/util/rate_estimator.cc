@@ -1,13 +1,47 @@
 #include "util/rate_estimator.hpp"
 
+#include <bit>
+
 namespace ccp {
 
-RateEstimator::RateEstimator(Duration window) : window_(window) {
-  events_.resize(kCapacity);
+size_t RateEstimator::round_capacity(size_t capacity) {
+  return std::bit_ceil(capacity < 8 ? size_t{8} : capacity);
+}
+
+RateEstimator::RateEstimator(Duration window, size_t capacity)
+    : window_(window), capacity_(round_capacity(capacity)) {
+  events_.resize(capacity_);
+}
+
+void RateEstimator::reinit(Duration window, size_t capacity) {
+  window_ = window;
+  const size_t cap = round_capacity(capacity);
+  if (cap != capacity_) {
+    capacity_ = cap;
+    events_.resize(cap);
+    events_.shrink_to_fit();
+  }
+  reset();
+  total_bytes_ = 0;
 }
 
 void RateEstimator::expire(TimePoint now) const {
   const TimePoint cutoff = now - window_;
+  if (count() == 0) return;
+  // Long-idle fast path: if even the newest event predates the window,
+  // the whole ring expires at once. Walking the ring here is what a
+  // Zipf-tail flow at million-flow scale would pay on every visit — its
+  // cache TTL and its history are both long gone by the time it is
+  // ACKed again — so the O(ring) walk collapses to the same state the
+  // pops would reach: anchor at the newest event, empty window.
+  const Event& newest = events_[(tail_ - 1) & (capacity_ - 1)];
+  if (newest.time < cutoff) {
+    anchor_time_ = newest.time;
+    anchor_valid_ = true;
+    bytes_in_window_ = 0;
+    head_ = tail_;
+    return;
+  }
   while (count() > 0 && front().time < cutoff) pop_front_into_anchor();
 }
 

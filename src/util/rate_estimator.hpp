@@ -24,7 +24,12 @@ class RateEstimator {
  public:
   /// `window`: how much history contributes to the estimate. Congestion
   /// control wants roughly an RTT; callers may retune via set_window().
-  explicit RateEstimator(Duration window = Duration::from_millis(100));
+  /// `capacity`: ring size in events, rounded up to a power of two (min
+  /// 8). The default suits a hot flow; million-flow datapaths shrink it
+  /// (FlowConfig::rate_ring_entries) because two 512-entry rings per
+  /// flow is ~24 KB — the dominant per-flow footprint at scale.
+  explicit RateEstimator(Duration window = Duration::from_millis(100),
+                         size_t capacity = kDefaultCapacity);
 
   void set_window(Duration window) {
     window_ = window;
@@ -37,8 +42,8 @@ class RateEstimator {
   /// handful of stores. Expiry is deferred to rate_bps(); the ring-full
   /// fold below bounds memory regardless of how stale the window gets.
   void on_bytes(uint64_t bytes, TimePoint now) {
-    if (count() == kCapacity) pop_front_into_anchor();  // ring full: fold oldest
-    events_[tail_ & (kCapacity - 1)] = {now, bytes};
+    if (count() == capacity_) pop_front_into_anchor();  // ring full: fold oldest
+    events_[tail_ & (capacity_ - 1)] = {now, bytes};
     ++tail_;
     bytes_in_window_ += bytes;
     total_bytes_ += bytes;
@@ -65,10 +70,29 @@ class RateEstimator {
     return cache_rate_;
   }
 
+  /// Address the next on_bytes() will write. The batch intake's lookahead
+  /// pipeline prefetches it so a cold flow's ring line is already in
+  /// flight when the record lands.
+  const void* write_pos() const { return &events_[tail_ & (capacity_ - 1)]; }
+
   /// Total bytes recorded since construction (monotone counter).
   uint64_t total_bytes() const { return total_bytes_; }
 
   void reset();
+
+  /// Full reinitialization for flow-slot recycling: clears history *and*
+  /// the monotone byte counter, and retunes the window. The ring is
+  /// resized only when the requested capacity differs from the current
+  /// one, so a same-shape reinit (steady-state churn) never allocates.
+  void reinit(Duration window, size_t capacity);
+
+  size_t capacity() const { return capacity_; }
+
+  // Default ring capacity (power of two). At one event per ACK this is
+  // ~0.5 ms of history at 1M ACKs/sec — beyond it the anchor fallback
+  // takes over, which is exactly the regime where per-event resolution
+  // stops mattering.
+  static constexpr size_t kDefaultCapacity = 512;
 
  private:
   struct Event {
@@ -76,14 +100,10 @@ class RateEstimator {
     uint64_t bytes;
   };
 
-  // Fixed ring capacity (power of two). At one event per ACK this is
-  // ~0.5 ms of history at 1M ACKs/sec — beyond it the anchor fallback
-  // takes over, which is exactly the regime where per-event resolution
-  // stops mattering.
-  static constexpr size_t kCapacity = 512;
+  static size_t round_capacity(size_t capacity);
 
   size_t count() const { return tail_ - head_; }
-  const Event& front() const { return events_[head_ & (kCapacity - 1)]; }
+  const Event& front() const { return events_[head_ & (capacity_ - 1)]; }
   void pop_front_into_anchor() const {
     const Event& ev = front();
     bytes_in_window_ -= ev.bytes;
@@ -94,6 +114,7 @@ class RateEstimator {
   void expire(TimePoint now) const;
 
   Duration window_;
+  size_t capacity_ = kDefaultCapacity;  // power of two, set at construction
   // mutable: expire() trims history from const accessors.
   mutable std::vector<Event> events_;  // ring storage, sized once
   mutable uint64_t head_ = 0;          // monotone ring indices

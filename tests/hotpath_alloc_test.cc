@@ -672,6 +672,86 @@ TEST(HotPathAlloc, FallbackSteadyStateIsAllocationFree) {
   }
 }
 
+TEST(HotPathAlloc, SteadyChurnIsAllocationFree) {
+  // Flow churn at capacity: the op mix of bench_hotpath's churn engine
+  // (Zipf-ish batch ACKs + close->create->install cycles) must allocate
+  // nothing once the table's slots, free list, and index have settled —
+  // every create is served by a parked slot (CcpFlow::reset_for_reuse),
+  // the hint stays interned, and the index neither grows nor shrinks.
+  // The test's own frame construction reuses one Encoder so the counting
+  // window sees only datapath work.
+  DatapathConfig dcfg;
+  dcfg.flush_interval = Duration::from_millis(1);
+  dcfg.max_batch_msgs = 32;
+  uint64_t frames = 0;
+  CcpDatapath dp(dcfg, [&frames](std::span<const uint8_t>) { ++frames; });
+
+  TimePoint now = TimePoint::epoch() + Duration::from_millis(1);
+  std::vector<ipc::FlowId> ids;
+  FlowConfig fcfg;
+  for (size_t i = 0; i < kFlows; ++i) {
+    ids.push_back(dp.create_flow(fcfg, "reno", now).id());
+  }
+  // The install message and its frame encoder live outside the loop and
+  // are mutated/reused in place — Message holds the program text by
+  // value, so rebuilding it per op would charge a string copy to the
+  // counting window that the datapath never performs.
+  ipc::Message install_msg{ipc::InstallMsg{}};
+  auto& ins = std::get<ipc::InstallMsg>(install_msg);
+  ins.program_text =
+      "fold { r := r + Pkt.bytes_acked init 0; }\n"
+      "control { WaitRtts(1.0); Report(); }";
+  ipc::Encoder enc;
+
+  std::vector<FlowAck> burst;
+  burst.reserve(32);
+  uint64_t seq = 0;
+  const auto drive_churn = [&](uint64_t acks) {
+    const Duration kRtt = Duration::from_millis(10);
+    for (uint64_t i = 0; i < acks;) {
+      burst.clear();
+      for (size_t b = 0; b < 32 && i < acks; ++b, ++i) {
+        now += Duration::from_micros(1);
+        FlowAck fa;
+        fa.flow_id = ids[i % ids.size()];
+        fa.sent_bytes = 1500;
+        fa.ev.now = now;
+        fa.ev.bytes_acked = 1500;
+        fa.ev.packets_acked = 1;
+        fa.ev.bytes_in_flight = 64 * 1500;
+        fa.ev.packets_in_flight = 64;
+        fa.ev.rtt_sample =
+            kRtt + Duration::from_nanos(static_cast<int64_t>(i % 1024) * 1000);
+        burst.push_back(fa);
+      }
+      dp.on_ack_batch(burst);
+      // One close->create->install op per burst, round-robin victims.
+      const size_t j = static_cast<size_t>(++seq % ids.size());
+      dp.close_flow(ids[j], now);
+      ids[j] = dp.create_flow(fcfg, "reno", now).id();
+      ins.flow_id = ids[j];
+      enc.clear();
+      ipc::encode_frame_into(enc, install_msg);
+      dp.handle_frame(enc.buffer(), now);
+      if ((i & 255) == 0) dp.tick(now);
+    }
+  };
+
+  drive_churn(kWarmupAcks);
+  ASSERT_GT(frames, 0u);
+  const uint64_t recycles_before = dp.flow_table().stats().recycles;
+
+  const uint64_t allocs =
+      count_allocs_during([&] { drive_churn(kMeasuredAcks); });
+  EXPECT_EQ(allocs, 0u)
+      << "steady close->create->install churn allocated";
+  EXPECT_GT(dp.flow_table().stats().recycles, recycles_before)
+      << "measured window must include recycled creates";
+  EXPECT_EQ(dp.flow_table().stats().recycles,
+            dp.flow_table().stats().closes)
+      << "every churn create must be served by a parked slot";
+}
+
 TEST(HotPathAlloc, PrototypeDatapathSteadyStateIsAllocationFree) {
   DatapathConfig dcfg;
   uint64_t frames = 0;

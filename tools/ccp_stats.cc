@@ -15,6 +15,7 @@
 //   ccp_stats --socket PATH --trace                    # dump the trace ring
 //   ccp_stats --socket PATH --shards                   # per-shard breakdown
 //   ccp_stats --socket PATH --resilience               # fallback/fault/supervisor view
+//   ccp_stats --socket PATH --table                    # flow-table (slab + index) view
 //   ccp_stats --socket PATH --jit                      # native-execution (JIT) view
 //   ccp_stats --socket PATH --profile                  # per-stage cycle profiler view
 //   ccp_stats --socket PATH --loop                     # control-loop span latencies
@@ -36,8 +37,8 @@ using ccp::telemetry::StatsClient;
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--interval SECS] [--once] [--json] "
-               "[--prom] [--trace] [--shards] [--resilience] [--jit] "
-               "[--profile] [--loop]\n",
+               "[--prom] [--trace] [--shards] [--resilience] [--table] "
+               "[--jit] [--profile] [--loop]\n",
                argv0);
 }
 
@@ -102,9 +103,9 @@ int dump_shards(StatsClient& client) {
     std::fprintf(stderr, "ccp_stats: snapshot request failed\n");
     return 1;
   }
-  std::printf("%6s %16s %12s %10s %10s %10s\n", "shard", "acks", "reports",
-              "urgents", "ring_full", "commands");
-  uint64_t total[5] = {0, 0, 0, 0, 0};
+  std::printf("%6s %16s %12s %10s %10s %10s %8s\n", "shard", "acks",
+              "reports", "urgents", "ring_full", "commands", "flows");
+  uint64_t total[6] = {0, 0, 0, 0, 0, 0};
   bool any = false;
   for (size_t s = 0; s < ccp::telemetry::kMaxShards; ++s) {
     char name[64];
@@ -112,14 +113,19 @@ int dump_shards(StatsClient& client) {
       std::snprintf(name, sizeof(name), "ccp_shard%zu_%s_total", s, what);
       return counter_value(*snap, name);
     };
-    const uint64_t row[5] = {get("acks"), get("reports"), get("urgents"),
-                             get("ring_full"), get("commands")};
-    if ((row[0] | row[1] | row[2] | row[3] | row[4]) == 0) continue;
+    std::snprintf(name, sizeof(name), "ccp_shard%zu_flows", s);
+    const auto* fl = snap->gauge(name);
+    const uint64_t flows =
+        fl != nullptr && fl->value > 0 ? static_cast<uint64_t>(fl->value) : 0;
+    const uint64_t row[6] = {get("acks"),      get("reports"),
+                             get("urgents"),   get("ring_full"),
+                             get("commands"),  flows};
+    if ((row[0] | row[1] | row[2] | row[3] | row[4] | row[5]) == 0) continue;
     any = true;
-    for (size_t k = 0; k < 5; ++k) total[k] += row[k];
+    for (size_t k = 0; k < 6; ++k) total[k] += row[k];
     std::printf("%6zu %16" PRIu64 " %12" PRIu64 " %10" PRIu64 " %10" PRIu64
-                " %10" PRIu64 "\n",
-                s, row[0], row[1], row[2], row[3], row[4]);
+                " %10" PRIu64 " %8" PRIu64 "\n",
+                s, row[0], row[1], row[2], row[3], row[4], row[5]);
   }
   if (!any) {
     std::printf("(no per-shard activity recorded; is the process running a "
@@ -127,8 +133,39 @@ int dump_shards(StatsClient& client) {
     return 0;
   }
   std::printf("%6s %16" PRIu64 " %12" PRIu64 " %10" PRIu64 " %10" PRIu64
-              " %10" PRIu64 "\n",
-              "total", total[0], total[1], total[2], total[3], total[4]);
+              " %10" PRIu64 " %8" PRIu64 "\n",
+              "total", total[0], total[1], total[2], total[3], total[4],
+              total[5]);
+  return 0;
+}
+
+/// Flow-table view: slab/index occupancy and churn tallies for the
+/// two-tier flow store (docs/PERF.md "Million-flow scale"). Load factor
+/// is exported as a gauge in basis points; rehash_steps counts bounded
+/// incremental-migration steps, so a rising value under churn is normal
+/// — what matters is that it rises in small increments, not bursts.
+int dump_table(StatsClient& client) {
+  auto snap = client.snapshot();
+  if (!snap.has_value()) {
+    std::fprintf(stderr, "ccp_stats: snapshot request failed\n");
+    return 1;
+  }
+  const auto* flows = snap->gauge("ccp_dp_flows");
+  const auto* load_bp = snap->gauge("ccp_dp_table_load_factor");
+  const uint64_t creates = counter_value(*snap, "ccp_dp_flow_creates_total");
+  const uint64_t closes = counter_value(*snap, "ccp_dp_flow_closes_total");
+  std::printf("flow table:\n");
+  std::printf("  flows_live          %" PRId64 "\n",
+              flows != nullptr ? flows->value : 0);
+  std::printf("  index_load_factor   %.2f%%\n",
+              load_bp != nullptr
+                  ? static_cast<double>(load_bp->value) / 100.0
+                  : 0.0);
+  std::printf("churn:\n");
+  std::printf("  creates             %" PRIu64 "\n", creates);
+  std::printf("  closes              %" PRIu64 "\n", closes);
+  std::printf("  rehash_steps        %" PRIu64 "\n",
+              counter_value(*snap, "ccp_dp_flow_rehash_steps_total"));
   return 0;
 }
 
@@ -329,7 +366,8 @@ int main(int argc, char** argv) {
   std::string socket_path;
   double interval_secs = 1.0;
   bool once = false, json = false, prom = false, trace = false, shards = false;
-  bool resilience = false, jit = false, profile = false, loop = false;
+  bool resilience = false, table = false, jit = false, profile = false;
+  bool loop = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -348,6 +386,7 @@ int main(int argc, char** argv) {
     else if (arg == "--trace") trace = true;
     else if (arg == "--shards") shards = true;
     else if (arg == "--resilience") resilience = true;
+    else if (arg == "--table") table = true;
     else if (arg == "--jit") jit = true;
     else if (arg == "--profile") profile = true;
     else if (arg == "--loop") loop = true;
@@ -375,6 +414,7 @@ int main(int argc, char** argv) {
   if (trace) return dump_trace(*client);
   if (shards) return dump_shards(*client);
   if (resilience) return dump_resilience(*client);
+  if (table) return dump_table(*client);
   if (jit) return dump_jit(*client);
   if (profile) return dump_profile(*client);
   if (loop) return dump_loop(*client);
